@@ -1,0 +1,163 @@
+// Command schema-advisor runs the Section 4.1 automated schema
+// optimizer over a CSV file or one of the built-in synthetic tables and
+// prints per-column encoding recommendations and the waste report.
+//
+// Usage:
+//
+//	schema-advisor -table revision|page|cartel|text [-rows N]
+//	schema-advisor -csv data.csv
+//
+// CSV mode infers a declared schema of all-VARCHAR columns from the
+// header row and lets the analyzer discover what the strings really are
+// (ints, timestamps, booleans, low-cardinality enums) — the purest
+// demonstration of "schema as a hint".
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/encoding"
+	"repro/internal/tuple"
+	"repro/internal/wiki"
+)
+
+func main() {
+	table := flag.String("table", "", "synthetic table: revision, page, cartel, or text")
+	csvPath := flag.String("csv", "", "CSV file to analyze (header row required)")
+	rows := flag.Int("rows", 20000, "rows to generate for synthetic tables")
+	flag.Parse()
+
+	switch {
+	case *csvPath != "":
+		if err := analyzeCSV(*csvPath); err != nil {
+			log.Fatal(err)
+		}
+	case *table != "":
+		if err := analyzeSynthetic(*table, *rows); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func analyzeSynthetic(name string, rows int) error {
+	gen := wiki.NewGenerator(wiki.Config{
+		Pages:            max(rows/10, 10),
+		RevisionsPerPage: 10,
+		Alpha:            0.5,
+		Seed:             1,
+	})
+	var (
+		schema *tuple.Schema
+		data   []tuple.Row
+	)
+	switch name {
+	case "revision":
+		schema = wiki.RevisionSchema()
+		revs, _ := gen.Revisions()
+		if len(revs) > rows {
+			revs = revs[:rows]
+		}
+		for _, r := range revs {
+			data = append(data, r.Row)
+		}
+	case "page":
+		schema = wiki.PageSchema()
+		for i := 0; i < rows; i++ {
+			data = append(data, gen.PageRow(i, int64(i)))
+		}
+	case "cartel":
+		schema = wiki.CarTelSchema()
+		for i := 0; i < rows; i++ {
+			data = append(data, gen.CarTelRow(i))
+		}
+	case "text":
+		schema = wiki.TextSchema()
+		for i := 0; i < rows; i++ {
+			data = append(data, gen.TextRow(i))
+		}
+	default:
+		return fmt.Errorf("unknown synthetic table %q", name)
+	}
+	i := 0
+	report := encoding.AnalyzeRows(name, schema, func() (tuple.Row, bool) {
+		if i >= len(data) {
+			return nil, false
+		}
+		r := data[i]
+		i++
+		return r, true
+	})
+	printReport(report)
+	return nil
+}
+
+func analyzeCSV(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	header, err := r.Read()
+	if err != nil {
+		return fmt.Errorf("reading header: %w", err)
+	}
+	fields := make([]tuple.Field, len(header))
+	for i, name := range header {
+		fields[i] = tuple.Field{Name: name, Kind: tuple.KindString}
+	}
+	schema, err := tuple.NewSchema(fields...)
+	if err != nil {
+		return err
+	}
+	report := encoding.AnalyzeRows(path, schema, func() (tuple.Row, bool) {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return nil, false
+		}
+		if err != nil {
+			return nil, false
+		}
+		row := make(tuple.Row, len(fields))
+		for i := range fields {
+			v := ""
+			if i < len(rec) {
+				v = rec[i]
+			}
+			if v == "" {
+				row[i] = tuple.Null(tuple.KindString)
+			} else {
+				row[i] = tuple.String(v)
+			}
+		}
+		return row, true
+	})
+	printReport(report)
+	return nil
+}
+
+func printReport(report encoding.TableReport) {
+	fmt.Printf("table %q: %d rows\n", report.Name, report.Rows)
+	fmt.Printf("declared footprint: %d bytes, optimal: %d bytes, waste: %.1f%%\n\n",
+		report.DeclaredBytes(), report.OptimalBytes(), report.WastePct())
+	fmt.Printf("%-20s %-14s %10s %10s %7s  %s\n", "column", "encoding", "decl bits", "opt bits", "waste%", "why")
+	for _, c := range report.Columns {
+		fmt.Printf("%-20s %-14s %10.1f %10.1f %6.1f%%  %s\n",
+			c.Rec.Field.Name, c.Rec.Enc, c.DeclaredBits, c.OptimalBits, c.WastePct(), c.Rec.Note)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

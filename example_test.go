@@ -1,0 +1,54 @@
+package nblb_test
+
+import (
+	"fmt"
+	"log"
+
+	nblb "repro"
+)
+
+// Example shows the package's core loop: declare a table, enable the
+// index cache on the fields hot queries project, and watch lookups stop
+// touching the heap.
+func Example() {
+	db, err := nblb.Open(nblb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	articles, err := db.CreateTable("articles", nblb.MustSchema(
+		nblb.Field{Name: "id", Kind: nblb.KindInt64},
+		nblb.Field{Name: "views", Kind: nblb.KindInt32},
+		nblb.Field{Name: "body", Kind: nblb.KindString},
+	))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := articles.Insert(nblb.Row{
+			nblb.Int64(int64(i)),
+			nblb.Int32(int32(i * 3)),
+			nblb.String("long article body"),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The index recycles its leaves' free space as a cache of `views`.
+	byID, err := articles.CreateIndex("by_id", []string{"id"}, nblb.WithCache("views"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// First lookup fills the cache; the second never touches the heap.
+	if _, _, err := byID.Lookup([]string{"views"}, nblb.Int64(7)); err != nil {
+		log.Fatal(err)
+	}
+	row, res, err := byID.Lookup([]string{"views"}, nblb.Int64(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("views=%d cacheHit=%v heapAccess=%v\n", row[0].Int, res.CacheHit, res.HeapAccess)
+	// Output: views=21 cacheHit=true heapAccess=false
+}

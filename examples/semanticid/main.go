@@ -1,0 +1,75 @@
+// Semanticid: Section 4.2. Embed partition numbers in tuple IDs and
+// retire the per-tuple routing table; find ID columns a proxy can
+// replace outright.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	nblb "repro"
+	"repro/internal/wiki"
+)
+
+func main() {
+	// 6 partition bits: up to 64 shards, 2^58 sequence numbers each.
+	layout, err := nblb.NewIDLayout(6)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const tuples = 500000
+	table := nblb.NewTableRouter()
+	embedded := nblb.NewEmbeddedRouter(layout)
+	ids := make([]uint64, tuples)
+	for i := range ids {
+		part := uint64(i % 64)
+		id, err := layout.Make(part, uint64(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids[i] = id
+		table.Add(id, part)
+	}
+
+	measure := func(name string, r nblb.Router) {
+		start := time.Now()
+		var sink uint64
+		for _, id := range ids {
+			p, err := r.Route(id)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sink ^= p
+		}
+		_ = sink
+		perOp := float64(time.Since(start).Nanoseconds()) / float64(len(ids))
+		fmt.Printf("%-18s %10d bytes   %.1f ns/route\n", name, r.MemoryBytes(), perOp)
+	}
+	fmt.Printf("routing %d tuples across 64 partitions:\n", tuples)
+	measure("routing table:", table)
+	measure("embedded bits:", embedded)
+
+	// Moving a tuple to another partition is an ID rewrite.
+	id := ids[12345]
+	moved, err := layout.Rewrite(id, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrewrite: id %d (partition %d) → id %d (partition %d), sequence preserved: %v\n",
+		id, layout.Partition(id), moved, layout.Partition(moved),
+		layout.Sequence(id) == layout.Sequence(moved))
+
+	// Reduction: which ID columns can be dropped entirely?
+	checks, err := nblb.FindReducibleIDs(wiki.RevisionSchema(),
+		[]string{"rev_id"},
+		map[string]string{"rev_text_id": "rev_id"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nreducible ID fields in the revision schema:")
+	for _, c := range checks {
+		fmt.Printf("  %-12s −%d bits/row: %s\n", c.Field, c.SavedBitsPerRow, c.Reason)
+	}
+}

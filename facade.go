@@ -1,0 +1,136 @@
+package nblb
+
+import (
+	"repro/internal/encoding"
+	"repro/internal/partition"
+	"repro/internal/semid"
+	"repro/internal/storage"
+	"repro/internal/tuple"
+	"repro/internal/vertical"
+)
+
+// --- §3.1 horizontal partitioning ---------------------------------------
+
+// AccessTracker observes per-tuple access frequency to find hot tuples.
+type AccessTracker = partition.AccessTracker
+
+// NewAccessTracker returns an empty tracker.
+func NewAccessTracker() *AccessTracker { return partition.NewAccessTracker() }
+
+// Forwarding maps relocated tuples' old RIDs to their new homes.
+type Forwarding = partition.Forwarding
+
+// NewForwarding returns an empty forwarding table.
+func NewForwarding() *Forwarding { return partition.NewForwarding() }
+
+// HotCold is a table split into hot and cold partitions with per-
+// partition lookup indexes.
+type HotCold = partition.HotCold
+
+// HotColdConfig configures NewHotCold.
+type HotColdConfig = partition.Config
+
+// NewHotCold creates an empty hot/cold partition pair.
+func NewHotCold(cfg HotColdConfig) (*HotCold, error) { return partition.New(cfg) }
+
+// Cluster relocates hot tuples to the end of the table (delete +
+// append), recording moves in fwd when non-nil.
+func Cluster(t *Table, hot []RID, fwd *Forwarding) (map[RID]RID, error) {
+	return partition.Cluster(t, hot, fwd)
+}
+
+// ClusterFraction clusters only the leading fraction of the hot list.
+func ClusterFraction(t *Table, hot []RID, frac float64, fwd *Forwarding) (map[RID]RID, error) {
+	return partition.ClusterFraction(t, hot, frac, fwd)
+}
+
+// --- §3.2 vertical partitioning ------------------------------------------
+
+// FieldStats profiles one column's workload for the vertical advisor.
+type FieldStats = vertical.FieldStats
+
+// VerticalSplit is a proposed column grouping with model costs.
+type VerticalSplit = vertical.Split
+
+// VerticalCostModel weighs per-group seeks against bytes transferred.
+type VerticalCostModel = vertical.CostModel
+
+// AdviseVertical proposes a vertical split for the workload profile.
+func AdviseVertical(schema *Schema, stats []FieldStats, m VerticalCostModel) (VerticalSplit, error) {
+	return vertical.Advise(schema, stats, m)
+}
+
+// DefaultVerticalCostModel returns the standard seek:byte trade-off.
+func DefaultVerticalCostModel() VerticalCostModel { return vertical.DefaultCostModel() }
+
+// VerticalTable stores a logical table as multiple column-group tables.
+type VerticalTable = vertical.VerticalTable
+
+// NewVerticalTable materializes a split on the engine.
+func NewVerticalTable(e *Engine, name string, schema *Schema, pkField string, groups [][]string) (*VerticalTable, error) {
+	return vertical.NewVerticalTable(e, name, schema, pkField, groups)
+}
+
+// --- §4.1 automated schema optimization -----------------------------------
+
+// ColumnProfile accumulates per-column value statistics.
+type ColumnProfile = encoding.ColumnProfile
+
+// Recommendation is the advisor's minimal-encoding verdict for a column.
+type Recommendation = encoding.Recommendation
+
+// TableReport aggregates per-column waste findings.
+type TableReport = encoding.TableReport
+
+// PackedCodec encodes rows at their recommended bit widths.
+type PackedCodec = encoding.PackedCodec
+
+// AnalyzeTable profiles every row of a table and reports the encoding
+// waste its declared types hide — §4.1's automated analysis.
+func AnalyzeTable(t *Table) (TableReport, error) {
+	rows := make([]tuple.Row, 0, t.Rows())
+	err := t.Scan(func(_ storage.RID, row tuple.Row) bool {
+		rows = append(rows, row.Clone())
+		return true
+	})
+	if err != nil {
+		return TableReport{}, err
+	}
+	i := 0
+	report := encoding.AnalyzeRows(t.Name(), t.Schema(), func() (tuple.Row, bool) {
+		if i >= len(rows) {
+			return nil, false
+		}
+		r := rows[i]
+		i++
+		return r, true
+	})
+	return report, nil
+}
+
+// NewPackedCodec builds a bit-packed row codec from recommendations.
+func NewPackedCodec(schema *Schema, recs []Recommendation) (*PackedCodec, error) {
+	return encoding.NewPackedCodec(schema, recs)
+}
+
+// --- §4.2 semantic IDs -----------------------------------------------------
+
+// IDLayout divides an ID's bits between partition and sequence.
+type IDLayout = semid.Layout
+
+// NewIDLayout creates a layout with the given number of partition bits.
+func NewIDLayout(partitionBits int) (IDLayout, error) { return semid.NewLayout(partitionBits) }
+
+// Router resolves tuple IDs to partitions.
+type Router = semid.Router
+
+// NewTableRouter returns the per-tuple routing-table baseline.
+func NewTableRouter() *semid.TableRouter { return semid.NewTableRouter() }
+
+// NewEmbeddedRouter routes by decoding partition bits from the ID.
+func NewEmbeddedRouter(l IDLayout) *semid.EmbeddedRouter { return semid.NewEmbeddedRouter(l) }
+
+// FindReducibleIDs reports ID fields a proxy can replace (§4.2).
+func FindReducibleIDs(schema *Schema, uniqueOnly []string, derived map[string]string) ([]semid.ReductionCheck, error) {
+	return semid.FindReducible(schema, uniqueOnly, derived)
+}

@@ -1,0 +1,170 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/storage"
+)
+
+// BulkLoad builds a tree from strictly increasing (key, value) pairs,
+// filling every node to the given fill factor (fraction of usable page
+// bytes, 0 < ff ≤ 1).
+//
+// The fill factor is the experiment knob of the whole paper: 0.68 is
+// the canonical random-insert steady state [Yao 1978], 0.45 matches the
+// paper's CarTel measurement, and 1.0 is the fully compacted read-only
+// layout that leaves the index cache no room at all.
+func BulkLoad(pool *buffer.Pool, ff float64, next func() (key []byte, value uint64, ok bool)) (*Tree, error) {
+	if ff <= 0 || ff > 1 {
+		return nil, fmt.Errorf("btree: fill factor must be in (0, 1], got %g", ff)
+	}
+	type levelEntry struct {
+		firstKey []byte
+		page     storage.PageID
+	}
+	var leaves []levelEntry
+
+	usable := pool.Disk().PageSize() - nodeHeaderSize - nodeFooterSize
+	budget := int(float64(usable) * ff)
+
+	var (
+		cur     *buffer.Frame
+		curNode node
+		prevKey []byte
+		count   int64
+	)
+	flush := func() {
+		if cur == nil {
+			return
+		}
+		pool.Unpin(cur, true)
+		cur = nil
+	}
+	newLeaf := func() error {
+		fr, err := pool.NewPage()
+		if err != nil {
+			return err
+		}
+		n := initNode(fr.Data(), nodeLeaf)
+		if cur != nil {
+			curNode.setRightSibling(uint64(fr.ID()))
+			flush()
+		}
+		cur, curNode = fr, n
+		return nil
+	}
+
+	for {
+		key, value, ok := next()
+		if !ok {
+			break
+		}
+		if len(key) == 0 {
+			flush()
+			return nil, fmt.Errorf("btree: empty key in bulk load")
+		}
+		if prevKey != nil && bytes.Compare(prevKey, key) >= 0 {
+			flush()
+			return nil, fmt.Errorf("btree: bulk load keys not strictly increasing at %q", key)
+		}
+		prevKey = append(prevKey[:0], key...)
+		need := cellSize(len(key)) + dirEntrySize
+		if cur == nil || curNode.usedBytes()+need > budget || !curNode.canInsert(len(key)) {
+			if cur != nil && curNode.nKeys() == 0 {
+				flush()
+				return nil, fmt.Errorf("btree: key of %d bytes exceeds bulk-load budget", len(key))
+			}
+			if err := newLeaf(); err != nil {
+				flush()
+				return nil, err
+			}
+			leaves = append(leaves, levelEntry{firstKey: append([]byte(nil), key...), page: cur.ID()})
+		}
+		if err := curNode.insertAt(curNode.nKeys(), key, value); err != nil {
+			flush()
+			return nil, fmt.Errorf("btree: bulk leaf insert: %w", err)
+		}
+		count++
+	}
+	flush()
+
+	if len(leaves) == 0 {
+		// Empty input: fresh empty tree.
+		return New(pool)
+	}
+
+	// Build internal levels bottom-up until a single node remains.
+	level := leaves
+	height := 1
+	for len(level) > 1 {
+		var parents []levelEntry
+		var (
+			pfr *buffer.Frame
+			pn  node
+		)
+		flushParent := func() {
+			if pfr != nil {
+				pool.Unpin(pfr, true)
+				pfr = nil
+			}
+		}
+		for i, e := range level {
+			if pfr == nil {
+				fr, err := pool.NewPage()
+				if err != nil {
+					flushParent()
+					return nil, err
+				}
+				pn = initNode(fr.Data(), nodeInternal)
+				pfr = fr
+				pn.setLeftmostChild(uint64(e.page))
+				parents = append(parents, levelEntry{firstKey: e.firstKey, page: fr.ID()})
+				continue
+			}
+			need := cellSize(len(e.firstKey)) + dirEntrySize
+			if pn.usedBytes()+need > budget || !pn.canInsert(len(e.firstKey)) {
+				flushParent()
+				// Re-process this entry as the start of a new parent.
+				fr, err := pool.NewPage()
+				if err != nil {
+					return nil, err
+				}
+				pn = initNode(fr.Data(), nodeInternal)
+				pfr = fr
+				pn.setLeftmostChild(uint64(e.page))
+				parents = append(parents, levelEntry{firstKey: e.firstKey, page: fr.ID()})
+				continue
+			}
+			if err := pn.insertAt(pn.nKeys(), e.firstKey, uint64(e.page)); err != nil {
+				flushParent()
+				return nil, fmt.Errorf("btree: bulk internal insert: %w", err)
+			}
+			_ = i
+		}
+		flushParent()
+		level = parents
+		height++
+	}
+
+	return &Tree{pool: pool, root: level[0].page, height: height, numKeys: count}, nil
+}
+
+// PairSource adapts a slice of (key, value) pairs into the iterator
+// BulkLoad consumes.
+type PairSource struct {
+	Keys   [][]byte
+	Values []uint64
+	i      int
+}
+
+// Next implements the BulkLoad iterator contract.
+func (p *PairSource) Next() ([]byte, uint64, bool) {
+	if p.i >= len(p.Keys) {
+		return nil, 0, false
+	}
+	k, v := p.Keys[p.i], p.Values[p.i]
+	p.i++
+	return k, v, true
+}

@@ -1,0 +1,303 @@
+// Package btree implements the B+Tree index with the page anatomy of
+// the paper's Figure 1:
+//
+//	offset 0                                              pageSize
+//	| header | directory → | ...... free space ...... | ← key cells | footer |
+//
+// The directory (2-byte sorted cell pointers) grows upward from the
+// header; key cells grow downward from the footer; the free space in
+// the middle is exactly the region Section 2.1 recycles as the index
+// cache. Key inserts overwrite the periphery of that region freely —
+// the cache (internal/idxcache) is designed to survive that.
+//
+// Values are fixed 8-byte payloads: packed RIDs in leaves, child page
+// ids in internal nodes. Keys are opaque memcomparable byte strings
+// (tuple.EncodeKey), so composite keys need no schema here.
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Node header layout (nodeHeaderSize bytes at offset 0):
+//
+//	[0:2)   type/flags: nodeLeaf or nodeInternal
+//	[2:4)   nKeys
+//	[4:6)   dirEnd    first byte past the directory
+//	[6:8)   keyStart  first byte of the key-cell region
+//	[8:16)  right sibling page id (leaves; 0 = none)
+//	[16:24) leftmost child page id (internal nodes)
+//	[24:28) CSNp — the page cache sequence number (Section 2.1.2)
+//	[28:32) appliedSeq — predicate-log position applied to this page
+//	[32:34) cacheEntrySize — slot width the cache last used on this page
+//	[34:40) reserved
+//
+// Footer: 4-byte magic at the very end of the page. Cache writes and key
+// inserts must never touch it; integrity checks verify that.
+const (
+	nodeHeaderSize = 40
+	nodeFooterSize = 4
+
+	offType        = 0
+	offNKeys       = 2
+	offDirEnd      = 4
+	offKeyStart    = 6
+	offRightSib    = 8
+	offLeftChild   = 16
+	offCSN         = 24
+	offAppliedSeq  = 28
+	offCacheEntry  = 32
+	dirEntrySize   = 2
+	cellHeaderSize = 2 // uint16 key length
+	valueSize      = 8
+)
+
+// footerMagic marks a well-formed index page end.
+const footerMagic uint32 = 0xB17C0DE5
+
+// Node type tags.
+const (
+	nodeLeaf     uint16 = 1
+	nodeInternal uint16 = 2
+)
+
+// ErrNodeFull signals the caller must split before inserting.
+var errNodeFull = fmt.Errorf("btree: node full")
+
+// node wraps a page buffer with the index-node layout. It holds no
+// state of its own; everything lives in the page bytes.
+type node struct {
+	data []byte
+}
+
+func asNode(data []byte) node { return node{data: data} }
+
+// initNode formats the buffer as an empty node of the given type.
+func initNode(data []byte, typ uint16) node {
+	for i := range data {
+		data[i] = 0
+	}
+	n := node{data: data}
+	n.setType(typ)
+	n.setNKeys(0)
+	n.setDirEnd(nodeHeaderSize)
+	n.setKeyStart(len(data) - nodeFooterSize)
+	binary.LittleEndian.PutUint32(data[len(data)-nodeFooterSize:], footerMagic)
+	return n
+}
+
+func (n node) typ() uint16      { return binary.LittleEndian.Uint16(n.data[offType:]) }
+func (n node) setType(t uint16) { binary.LittleEndian.PutUint16(n.data[offType:], t) }
+func (n node) isLeaf() bool     { return n.typ() == nodeLeaf }
+
+func (n node) nKeys() int     { return int(binary.LittleEndian.Uint16(n.data[offNKeys:])) }
+func (n node) setNKeys(k int) { binary.LittleEndian.PutUint16(n.data[offNKeys:], uint16(k)) }
+
+func (n node) dirEnd() int     { return int(binary.LittleEndian.Uint16(n.data[offDirEnd:])) }
+func (n node) setDirEnd(v int) { binary.LittleEndian.PutUint16(n.data[offDirEnd:], uint16(v)) }
+
+func (n node) keyStart() int     { return int(binary.LittleEndian.Uint16(n.data[offKeyStart:])) }
+func (n node) setKeyStart(v int) { binary.LittleEndian.PutUint16(n.data[offKeyStart:], uint16(v)) }
+
+func (n node) rightSibling() uint64 { return binary.LittleEndian.Uint64(n.data[offRightSib:]) }
+func (n node) setRightSibling(v uint64) {
+	binary.LittleEndian.PutUint64(n.data[offRightSib:], v)
+}
+
+func (n node) leftmostChild() uint64 { return binary.LittleEndian.Uint64(n.data[offLeftChild:]) }
+func (n node) setLeftmostChild(v uint64) {
+	binary.LittleEndian.PutUint64(n.data[offLeftChild:], v)
+}
+
+// CSN returns the page cache sequence number CSNp.
+func (n node) CSN() uint32     { return binary.LittleEndian.Uint32(n.data[offCSN:]) }
+func (n node) setCSN(v uint32) { binary.LittleEndian.PutUint32(n.data[offCSN:], v) }
+
+func (n node) appliedSeq() uint32 { return binary.LittleEndian.Uint32(n.data[offAppliedSeq:]) }
+func (n node) setAppliedSeq(v uint32) {
+	binary.LittleEndian.PutUint32(n.data[offAppliedSeq:], v)
+}
+
+func (n node) cacheEntrySize() int {
+	return int(binary.LittleEndian.Uint16(n.data[offCacheEntry:]))
+}
+func (n node) setCacheEntrySize(v int) {
+	binary.LittleEndian.PutUint16(n.data[offCacheEntry:], uint16(v))
+}
+
+// footerOK verifies the footer magic survived.
+func (n node) footerOK() bool {
+	return binary.LittleEndian.Uint32(n.data[len(n.data)-nodeFooterSize:]) == footerMagic
+}
+
+// freeSpace returns the bytes between the directory and the key cells —
+// the cache region's current extent.
+func (n node) freeSpace() int { return n.keyStart() - n.dirEnd() }
+
+// freeRegion returns the [lo, hi) bounds of the free space.
+func (n node) freeRegion() (lo, hi int) { return n.dirEnd(), n.keyStart() }
+
+// dirEntry returns the cell offset stored in directory position i.
+func (n node) dirEntry(i int) int {
+	return int(binary.LittleEndian.Uint16(n.data[nodeHeaderSize+i*dirEntrySize:]))
+}
+
+func (n node) setDirEntry(i, off int) {
+	binary.LittleEndian.PutUint16(n.data[nodeHeaderSize+i*dirEntrySize:], uint16(off))
+}
+
+// cellKey returns the key bytes of the cell at off (aliases the page).
+func (n node) cellKey(off int) []byte {
+	klen := int(binary.LittleEndian.Uint16(n.data[off:]))
+	return n.data[off+cellHeaderSize : off+cellHeaderSize+klen]
+}
+
+// cellValue returns the 8-byte value of the cell at off.
+func (n node) cellValue(off int) uint64 {
+	klen := int(binary.LittleEndian.Uint16(n.data[off:]))
+	return binary.LittleEndian.Uint64(n.data[off+cellHeaderSize+klen:])
+}
+
+func (n node) setCellValue(off int, v uint64) {
+	klen := int(binary.LittleEndian.Uint16(n.data[off:]))
+	binary.LittleEndian.PutUint64(n.data[off+cellHeaderSize+klen:], v)
+}
+
+// key returns the key at directory position i.
+func (n node) key(i int) []byte { return n.cellKey(n.dirEntry(i)) }
+
+// value returns the value at directory position i.
+func (n node) value(i int) uint64 { return n.cellValue(n.dirEntry(i)) }
+
+// cellSize returns the bytes a cell with the given key length occupies.
+func cellSize(keyLen int) int { return cellHeaderSize + keyLen + valueSize }
+
+// search finds the directory position of key, or the position where it
+// would be inserted, and whether it was found.
+func (n node) search(key []byte) (int, bool) {
+	lo, hi := 0, n.nKeys()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch bytes.Compare(n.key(mid), key) {
+		case -1:
+			lo = mid + 1
+		case 0:
+			return mid, true
+		default:
+			hi = mid
+		}
+	}
+	return lo, false
+}
+
+// childFor returns the child page id covering key in an internal node:
+// the leftmost child if key < key(0), else the value of the largest
+// key ≤ key.
+func (n node) childFor(key []byte) uint64 {
+	pos, found := n.search(key)
+	if found {
+		return n.value(pos)
+	}
+	if pos == 0 {
+		return n.leftmostChild()
+	}
+	return n.value(pos - 1)
+}
+
+// canInsert reports whether a cell with the given key length fits.
+func (n node) canInsert(keyLen int) bool {
+	return n.freeSpace() >= cellSize(keyLen)+dirEntrySize
+}
+
+// insertAt places (key, value) at directory position pos, shifting the
+// directory and carving the cell out of the free region's key side.
+// The overwritten free-space bytes are exactly "the periphery of the
+// cache space" the paper lets index inserts clobber.
+func (n node) insertAt(pos int, key []byte, value uint64) error {
+	if !n.canInsert(len(key)) {
+		return errNodeFull
+	}
+	// Carve the cell below keyStart.
+	newStart := n.keyStart() - cellSize(len(key))
+	binary.LittleEndian.PutUint16(n.data[newStart:], uint16(len(key)))
+	copy(n.data[newStart+cellHeaderSize:], key)
+	binary.LittleEndian.PutUint64(n.data[newStart+cellHeaderSize+len(key):], value)
+	n.setKeyStart(newStart)
+	// Shift directory entries right of pos.
+	k := n.nKeys()
+	copy(n.data[nodeHeaderSize+(pos+1)*dirEntrySize:nodeHeaderSize+(k+1)*dirEntrySize],
+		n.data[nodeHeaderSize+pos*dirEntrySize:nodeHeaderSize+k*dirEntrySize])
+	n.setDirEntry(pos, newStart)
+	n.setNKeys(k + 1)
+	n.setDirEnd(nodeHeaderSize + (k+1)*dirEntrySize)
+	return nil
+}
+
+// deleteAt removes the entry at directory position pos, compacts the
+// key-cell region, and zeroes the bytes returned to the free region so
+// stale key bytes can never masquerade as cache entries.
+func (n node) deleteAt(pos int) {
+	k := n.nKeys()
+	// Remove from directory.
+	copy(n.data[nodeHeaderSize+pos*dirEntrySize:nodeHeaderSize+(k-1)*dirEntrySize],
+		n.data[nodeHeaderSize+(pos+1)*dirEntrySize:nodeHeaderSize+k*dirEntrySize])
+	n.setNKeys(k - 1)
+	newDirEnd := nodeHeaderSize + (k-1)*dirEntrySize
+	// Zero the vacated directory slot.
+	for i := newDirEnd; i < n.dirEnd(); i++ {
+		n.data[i] = 0
+	}
+	n.setDirEnd(newDirEnd)
+	n.compactCells()
+}
+
+// compactCells rewrites the key-cell region without holes, preserving
+// directory order, and zeroes everything between dirEnd and the new
+// keyStart (the enlarged cache region starts clean).
+func (n node) compactCells() {
+	k := n.nKeys()
+	type cell struct {
+		key   []byte
+		value uint64
+	}
+	cells := make([]cell, k)
+	for i := 0; i < k; i++ {
+		off := n.dirEntry(i)
+		keyCopy := append([]byte(nil), n.cellKey(off)...)
+		cells[i] = cell{key: keyCopy, value: n.cellValue(off)}
+	}
+	top := len(n.data) - nodeFooterSize
+	for i := k - 1; i >= 0; i-- {
+		c := cells[i]
+		top -= cellSize(len(c.key))
+		binary.LittleEndian.PutUint16(n.data[top:], uint16(len(c.key)))
+		copy(n.data[top+cellHeaderSize:], c.key)
+		binary.LittleEndian.PutUint64(n.data[top+cellHeaderSize+len(c.key):], c.value)
+		n.setDirEntry(i, top)
+	}
+	for i := n.dirEnd(); i < top; i++ {
+		n.data[i] = 0
+	}
+	n.setKeyStart(top)
+}
+
+// usableBytes returns the page capacity available for directory+cells.
+func (n node) usableBytes() int {
+	return len(n.data) - nodeHeaderSize - nodeFooterSize
+}
+
+// usedBytes returns directory plus live cell bytes.
+func (n node) usedBytes() int {
+	used := n.nKeys() * dirEntrySize
+	for i := 0; i < n.nKeys(); i++ {
+		used += cellSize(len(n.key(i)))
+	}
+	return used
+}
+
+// fill returns the node's fill factor: used / usable.
+func (n node) fill() float64 {
+	return float64(n.usedBytes()) / float64(n.usableBytes())
+}

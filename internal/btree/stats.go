@@ -1,0 +1,231 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// Stats describes the physical shape of the tree. LeafFreeBytes is the
+// headline number for the paper: the total free space across leaf pages
+// that the index cache can colonize.
+type Stats struct {
+	Height        int
+	Pages         int
+	LeafPages     int
+	InternalPages int
+	Keys          int64
+	// KeyBytes is the total key payload stored in leaves (the paper's
+	// "360 MB of key data" for Wikipedia's name_title index).
+	KeyBytes int64
+	// UsedBytes counts directory + cell bytes across all nodes.
+	UsedBytes int64
+	// UsableBytes counts page capacity (excluding headers/footers).
+	UsableBytes int64
+	// LeafFreeBytes is free space across leaves only: the cache budget.
+	LeafFreeBytes int64
+	// MeanLeafFill is the average per-leaf fill factor.
+	MeanLeafFill float64
+	// SizeBytes is Pages × page size: the index's total footprint
+	// (what must fit in RAM for the Section 3.1 partition argument).
+	SizeBytes int64
+}
+
+// Stats walks the whole tree. It takes the tree lock shared.
+func (t *Tree) Stats() (Stats, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var st Stats
+	st.Height = t.height
+	pageSize := t.pool.Disk().PageSize()
+	var leafFillSum float64
+	err := t.walk(t.root, func(id storage.PageID, n node) error {
+		st.Pages++
+		st.UsedBytes += int64(n.usedBytes())
+		st.UsableBytes += int64(n.usableBytes())
+		if n.isLeaf() {
+			st.LeafPages++
+			st.Keys += int64(n.nKeys())
+			for i := 0; i < n.nKeys(); i++ {
+				st.KeyBytes += int64(len(n.key(i)))
+			}
+			st.LeafFreeBytes += int64(n.freeSpace())
+			leafFillSum += n.fill()
+		} else {
+			st.InternalPages++
+		}
+		return nil
+	})
+	if err != nil {
+		return Stats{}, err
+	}
+	if st.LeafPages > 0 {
+		st.MeanLeafFill = leafFillSum / float64(st.LeafPages)
+	}
+	st.SizeBytes = int64(st.Pages) * int64(pageSize)
+	return st, nil
+}
+
+// walk visits every node reachable from id, depth first.
+func (t *Tree) walk(id storage.PageID, fn func(id storage.PageID, n node) error) error {
+	fr, err := t.pool.Fetch(id)
+	if err != nil {
+		return err
+	}
+	fr.Latch.RLock()
+	n := asNode(fr.Data())
+	if err := fn(id, n); err != nil {
+		fr.Latch.RUnlock()
+		t.pool.Unpin(fr, false)
+		return err
+	}
+	var children []storage.PageID
+	if !n.isLeaf() {
+		children = append(children, storage.PageID(n.leftmostChild()))
+		for i := 0; i < n.nKeys(); i++ {
+			children = append(children, storage.PageID(n.value(i)))
+		}
+	}
+	fr.Latch.RUnlock()
+	t.pool.Unpin(fr, false)
+	for _, c := range children {
+		if err := t.walk(c, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckIntegrity validates structural invariants and returns the first
+// violation found:
+//
+//   - every page footer magic intact (cache writes stayed in bounds)
+//   - keys strictly increasing within every node
+//   - directory offsets inside the key-cell region
+//   - child separators consistent with parent keys
+//   - leaf sibling chain strictly increasing
+//
+// Tests call it after hostile interleavings of index inserts and cache
+// writes.
+func (t *Tree) CheckIntegrity() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if err := t.checkNode(t.root, nil, nil); err != nil {
+		return err
+	}
+	return t.checkLeafChain()
+}
+
+func (t *Tree) checkNode(id storage.PageID, lower, upper []byte) error {
+	fr, err := t.pool.Fetch(id)
+	if err != nil {
+		return err
+	}
+	fr.Latch.RLock()
+	n := asNode(fr.Data())
+	defer func() {
+		fr.Latch.RUnlock()
+		t.pool.Unpin(fr, false)
+	}()
+	if !n.footerOK() {
+		return fmt.Errorf("btree: %v footer magic destroyed", id)
+	}
+	if n.dirEnd() < nodeHeaderSize || n.dirEnd() > n.keyStart() || n.keyStart() > len(n.data)-nodeFooterSize {
+		return fmt.Errorf("btree: %v region bounds corrupt: dirEnd=%d keyStart=%d", id, n.dirEnd(), n.keyStart())
+	}
+	if n.dirEnd() != nodeHeaderSize+n.nKeys()*dirEntrySize {
+		return fmt.Errorf("btree: %v dirEnd inconsistent with nKeys", id)
+	}
+	var prev []byte
+	for i := 0; i < n.nKeys(); i++ {
+		off := n.dirEntry(i)
+		if off < n.keyStart() || off+cellSize(len(n.cellKey(off))) > len(n.data)-nodeFooterSize {
+			return fmt.Errorf("btree: %v directory entry %d points outside cell region", id, i)
+		}
+		k := n.key(i)
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			return fmt.Errorf("btree: %v keys out of order at %d", id, i)
+		}
+		if lower != nil && bytes.Compare(k, lower) < 0 {
+			return fmt.Errorf("btree: %v key %d below subtree lower bound", id, i)
+		}
+		if upper != nil && bytes.Compare(k, upper) >= 0 {
+			return fmt.Errorf("btree: %v key %d at/above subtree upper bound", id, i)
+		}
+		prev = append(prev[:0], k...)
+	}
+	if n.isLeaf() {
+		return nil
+	}
+	// Recurse into children with refined bounds. Copy keys out before
+	// releasing the latch is unnecessary — we hold it for the duration.
+	type childSpan struct {
+		id           storage.PageID
+		lower, upper []byte
+	}
+	spans := make([]childSpan, 0, n.nKeys()+1)
+	var firstUpper []byte
+	if n.nKeys() > 0 {
+		firstUpper = append([]byte(nil), n.key(0)...)
+	}
+	spans = append(spans, childSpan{storage.PageID(n.leftmostChild()), copyBytes(lower), firstUpper})
+	for i := 0; i < n.nKeys(); i++ {
+		lo := append([]byte(nil), n.key(i)...)
+		var hi []byte
+		if i+1 < n.nKeys() {
+			hi = append([]byte(nil), n.key(i+1)...)
+		} else {
+			hi = copyBytes(upper)
+		}
+		spans = append(spans, childSpan{storage.PageID(n.value(i)), lo, hi})
+	}
+	for _, s := range spans {
+		if err := t.checkNode(s.id, s.lower, s.upper); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func copyBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+func (t *Tree) checkLeafChain() error {
+	id, err := t.leftmostLeaf()
+	if err != nil {
+		return err
+	}
+	var prevLast []byte
+	var count int64
+	for id != storage.InvalidPageID {
+		fr, err := t.pool.Fetch(id)
+		if err != nil {
+			return err
+		}
+		fr.Latch.RLock()
+		n := asNode(fr.Data())
+		if n.nKeys() > 0 {
+			first := n.key(0)
+			if prevLast != nil && bytes.Compare(prevLast, first) >= 0 {
+				fr.Latch.RUnlock()
+				t.pool.Unpin(fr, false)
+				return fmt.Errorf("btree: leaf chain out of order at %v", id)
+			}
+			prevLast = append(prevLast[:0], n.key(n.nKeys()-1)...)
+		}
+		count += int64(n.nKeys())
+		next := storage.PageID(n.rightSibling())
+		fr.Latch.RUnlock()
+		t.pool.Unpin(fr, false)
+		id = next
+	}
+	if count != t.numKeys {
+		return fmt.Errorf("btree: leaf chain holds %d keys, tree believes %d", count, t.numKeys)
+	}
+	return nil
+}

@@ -1,0 +1,461 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"repro/internal/buffer"
+	"repro/internal/storage"
+)
+
+// Tree is a B+Tree mapping memcomparable keys to 8-byte values (packed
+// RIDs). Structural operations (Insert, Delete) serialize on an
+// internal lock; Search and VisitLeaf take it shared. Page data is
+// additionally guarded by per-frame latches so the index cache can
+// mutate leaf free space under a shared tree lock.
+//
+// Deletes do not merge or rebalance nodes — matching the systems the
+// paper measures, where deletes and updates erode fill factor over time
+// (the CarTel database sat at 45%). That erosion is precisely the waste
+// the index cache recycles, so preserving it is a feature.
+type Tree struct {
+	pool *buffer.Pool
+
+	mu      sync.RWMutex
+	root    storage.PageID
+	height  int // 1 = root is a leaf
+	numKeys int64
+}
+
+// New creates an empty tree whose root is a fresh leaf.
+func New(pool *buffer.Pool) (*Tree, error) {
+	fr, err := pool.NewPage()
+	if err != nil {
+		return nil, fmt.Errorf("btree: allocating root: %w", err)
+	}
+	initNode(fr.Data(), nodeLeaf)
+	root := fr.ID()
+	pool.Unpin(fr, true)
+	return &Tree{pool: pool, root: root, height: 1}, nil
+}
+
+// Open re-attaches to an existing tree given its root (for reopening
+// file-backed trees). height and numKeys are recomputed lazily by Stats;
+// operations only need the root.
+func Open(pool *buffer.Pool, root storage.PageID, height int, numKeys int64) *Tree {
+	return &Tree{pool: pool, root: root, height: height, numKeys: numKeys}
+}
+
+// Root returns the current root page id.
+func (t *Tree) Root() storage.PageID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.root
+}
+
+// Height returns the number of levels (1 = just a leaf).
+func (t *Tree) Height() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.height
+}
+
+// Len returns the number of keys.
+func (t *Tree) Len() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.numKeys
+}
+
+// Pool returns the buffer pool the tree runs on.
+func (t *Tree) Pool() *buffer.Pool { return t.pool }
+
+// maxKeyLen bounds keys so a handful of cells always fit per page.
+func (t *Tree) maxKeyLen() int {
+	return (t.pool.Disk().PageSize() - nodeHeaderSize - nodeFooterSize) / 4
+}
+
+// descendToLeaf walks from the root to the leaf covering key, returning
+// the path of internal page ids (root first) and the leaf id. Caller
+// must hold t.mu (any mode).
+func (t *Tree) descendToLeaf(key []byte) (path []storage.PageID, leaf storage.PageID, err error) {
+	id := t.root
+	for {
+		fr, err := t.pool.Fetch(id)
+		if err != nil {
+			return nil, storage.InvalidPageID, err
+		}
+		fr.Latch.RLock()
+		n := asNode(fr.Data())
+		if n.isLeaf() {
+			fr.Latch.RUnlock()
+			t.pool.Unpin(fr, false)
+			return path, id, nil
+		}
+		child := storage.PageID(n.childFor(key))
+		fr.Latch.RUnlock()
+		t.pool.Unpin(fr, false)
+		path = append(path, id)
+		id = child
+	}
+}
+
+// Search returns the value stored under key.
+func (t *Tree) Search(key []byte) (uint64, bool, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, leafID, err := t.descendToLeaf(key)
+	if err != nil {
+		return 0, false, err
+	}
+	fr, err := t.pool.Fetch(leafID)
+	if err != nil {
+		return 0, false, err
+	}
+	fr.Latch.RLock()
+	n := asNode(fr.Data())
+	pos, found := n.search(key)
+	var v uint64
+	if found {
+		v = n.value(pos)
+	}
+	fr.Latch.RUnlock()
+	t.pool.Unpin(fr, false)
+	return v, found, nil
+}
+
+// Insert stores value under key, replacing any existing value (upsert).
+// It reports whether the key was newly inserted.
+func (t *Tree) Insert(key []byte, value uint64) (bool, error) {
+	if len(key) == 0 {
+		return false, fmt.Errorf("btree: empty key")
+	}
+	if len(key) > t.maxKeyLen() {
+		return false, fmt.Errorf("btree: key of %d bytes exceeds max %d", len(key), t.maxKeyLen())
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	path, leafID, err := t.descendToLeaf(key)
+	if err != nil {
+		return false, err
+	}
+	fr, err := t.pool.Fetch(leafID)
+	if err != nil {
+		return false, err
+	}
+	fr.Latch.Lock()
+	n := asNode(fr.Data())
+	pos, found := n.search(key)
+	if found {
+		n.setCellValue(n.dirEntry(pos), value)
+		fr.Latch.Unlock()
+		t.pool.Unpin(fr, true)
+		return false, nil
+	}
+	if err := n.insertAt(pos, key, value); err == nil {
+		fr.Latch.Unlock()
+		t.pool.Unpin(fr, true)
+		t.numKeys++
+		return true, nil
+	}
+	// Leaf full: split, then insert into the proper half.
+	sepKey, rightID, err := t.splitLeaf(fr, n)
+	if err != nil {
+		fr.Latch.Unlock()
+		t.pool.Unpin(fr, false)
+		return false, err
+	}
+	target := fr
+	targetIsLeft := bytes.Compare(key, sepKey) < 0
+	if targetIsLeft {
+		n := asNode(target.Data())
+		pos, _ := n.search(key)
+		if err := n.insertAt(pos, key, value); err != nil {
+			fr.Latch.Unlock()
+			t.pool.Unpin(fr, false)
+			return false, fmt.Errorf("btree: insert after split failed: %w", err)
+		}
+		fr.Latch.Unlock()
+		t.pool.Unpin(fr, true)
+	} else {
+		fr.Latch.Unlock()
+		t.pool.Unpin(fr, true)
+		rfr, err := t.pool.Fetch(rightID)
+		if err != nil {
+			return false, err
+		}
+		rfr.Latch.Lock()
+		rn := asNode(rfr.Data())
+		pos, _ := rn.search(key)
+		if err := rn.insertAt(pos, key, value); err != nil {
+			rfr.Latch.Unlock()
+			t.pool.Unpin(rfr, false)
+			return false, fmt.Errorf("btree: insert after split failed: %w", err)
+		}
+		rfr.Latch.Unlock()
+		t.pool.Unpin(rfr, true)
+	}
+	if err := t.insertIntoParent(path, leafID, sepKey, rightID); err != nil {
+		return false, err
+	}
+	t.numKeys++
+	return true, nil
+}
+
+// splitLeaf moves the upper half (by bytes) of fr's cells into a new
+// right sibling. It returns the separator key (first key of the right
+// node, copied) and the new page id. Caller holds fr's latch and keeps
+// it; fr must be unpinned dirty afterwards.
+func (t *Tree) splitLeaf(fr *buffer.Frame, n node) ([]byte, storage.PageID, error) {
+	rfr, err := t.pool.NewPage()
+	if err != nil {
+		return nil, storage.InvalidPageID, err
+	}
+	rn := initNode(rfr.Data(), nodeLeaf)
+	k := n.nKeys()
+	// Find the split position: first index where the running byte count
+	// exceeds half the used bytes.
+	half := n.usedBytes() / 2
+	run, splitPos := 0, k/2
+	for i := 0; i < k; i++ {
+		run += cellSize(len(n.key(i))) + dirEntrySize
+		if run > half {
+			splitPos = i + 1
+			break
+		}
+	}
+	if splitPos >= k {
+		splitPos = k - 1
+	}
+	if splitPos < 1 {
+		splitPos = 1
+	}
+	for i := splitPos; i < k; i++ {
+		pos := i - splitPos
+		if err := rn.insertAt(pos, n.key(i), n.value(i)); err != nil {
+			t.pool.Unpin(rfr, false)
+			return nil, storage.InvalidPageID, fmt.Errorf("btree: split copy: %w", err)
+		}
+	}
+	// Truncate the left node to splitPos keys and compact.
+	n.setNKeys(splitPos)
+	n.setDirEnd(nodeHeaderSize + splitPos*dirEntrySize)
+	n.compactCells()
+	// Chain siblings.
+	rn.setRightSibling(n.rightSibling())
+	n.setRightSibling(uint64(rfr.ID()))
+	sep := append([]byte(nil), rn.key(0)...)
+	rightID := rfr.ID()
+	t.pool.Unpin(rfr, true)
+	return sep, rightID, nil
+}
+
+// splitInternal splits a full internal node: the middle key moves up.
+// Returns the separator and new right node id. Caller holds fr's latch.
+func (t *Tree) splitInternal(fr *buffer.Frame, n node) ([]byte, storage.PageID, error) {
+	rfr, err := t.pool.NewPage()
+	if err != nil {
+		return nil, storage.InvalidPageID, err
+	}
+	rn := initNode(rfr.Data(), nodeInternal)
+	k := n.nKeys()
+	mid := k / 2
+	if mid < 1 {
+		mid = 1
+	}
+	sep := append([]byte(nil), n.key(mid)...)
+	rn.setLeftmostChild(n.value(mid))
+	for i := mid + 1; i < k; i++ {
+		if err := rn.insertAt(i-mid-1, n.key(i), n.value(i)); err != nil {
+			t.pool.Unpin(rfr, false)
+			return nil, storage.InvalidPageID, fmt.Errorf("btree: split copy: %w", err)
+		}
+	}
+	n.setNKeys(mid)
+	n.setDirEnd(nodeHeaderSize + mid*dirEntrySize)
+	n.compactCells()
+	rightID := rfr.ID()
+	t.pool.Unpin(rfr, true)
+	return sep, rightID, nil
+}
+
+// insertIntoParent inserts (sepKey → rightID) into the parent of
+// leftID, splitting upward as needed. path holds the internal nodes
+// from root to the parent of leftID.
+func (t *Tree) insertIntoParent(path []storage.PageID, leftID storage.PageID, sepKey []byte, rightID storage.PageID) error {
+	if len(path) == 0 {
+		// leftID was the root: grow a new root.
+		fr, err := t.pool.NewPage()
+		if err != nil {
+			return err
+		}
+		n := initNode(fr.Data(), nodeInternal)
+		n.setLeftmostChild(uint64(leftID))
+		if err := n.insertAt(0, sepKey, uint64(rightID)); err != nil {
+			t.pool.Unpin(fr, false)
+			return fmt.Errorf("btree: new root insert: %w", err)
+		}
+		t.root = fr.ID()
+		t.height++
+		t.pool.Unpin(fr, true)
+		return nil
+	}
+	parentID := path[len(path)-1]
+	fr, err := t.pool.Fetch(parentID)
+	if err != nil {
+		return err
+	}
+	fr.Latch.Lock()
+	n := asNode(fr.Data())
+	pos, found := n.search(sepKey)
+	if found {
+		fr.Latch.Unlock()
+		t.pool.Unpin(fr, false)
+		return fmt.Errorf("btree: separator key already in parent")
+	}
+	if err := n.insertAt(pos, sepKey, uint64(rightID)); err == nil {
+		fr.Latch.Unlock()
+		t.pool.Unpin(fr, true)
+		return nil
+	}
+	// Parent full: split it and retry on the correct half.
+	parentSep, parentRight, err := t.splitInternal(fr, n)
+	if err != nil {
+		fr.Latch.Unlock()
+		t.pool.Unpin(fr, false)
+		return err
+	}
+	if bytes.Compare(sepKey, parentSep) < 0 {
+		pos, _ := n.search(sepKey)
+		if err := n.insertAt(pos, sepKey, uint64(rightID)); err != nil {
+			fr.Latch.Unlock()
+			t.pool.Unpin(fr, false)
+			return fmt.Errorf("btree: insert after internal split: %w", err)
+		}
+		fr.Latch.Unlock()
+		t.pool.Unpin(fr, true)
+	} else {
+		fr.Latch.Unlock()
+		t.pool.Unpin(fr, true)
+		rfr, err := t.pool.Fetch(parentRight)
+		if err != nil {
+			return err
+		}
+		rfr.Latch.Lock()
+		rn := asNode(rfr.Data())
+		pos, _ := rn.search(sepKey)
+		if err := rn.insertAt(pos, sepKey, uint64(rightID)); err != nil {
+			rfr.Latch.Unlock()
+			t.pool.Unpin(rfr, false)
+			return fmt.Errorf("btree: insert after internal split: %w", err)
+		}
+		rfr.Latch.Unlock()
+		t.pool.Unpin(rfr, true)
+	}
+	return t.insertIntoParent(path[:len(path)-1], parentID, parentSep, parentRight)
+}
+
+// Delete removes key and reports whether it was present. Nodes are not
+// merged (see the type comment).
+func (t *Tree) Delete(key []byte) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, leafID, err := t.descendToLeaf(key)
+	if err != nil {
+		return false, err
+	}
+	fr, err := t.pool.Fetch(leafID)
+	if err != nil {
+		return false, err
+	}
+	fr.Latch.Lock()
+	n := asNode(fr.Data())
+	pos, found := n.search(key)
+	if found {
+		n.deleteAt(pos)
+	}
+	fr.Latch.Unlock()
+	t.pool.Unpin(fr, found)
+	if found {
+		t.numKeys--
+	}
+	return found, nil
+}
+
+// Scan calls fn for every (key, value) with start ≤ key < end in order.
+// A nil start begins at the first key; a nil end scans to the last.
+// fn's key slice is only valid during the call. Returning false stops.
+func (t *Tree) Scan(start, end []byte, fn func(key []byte, value uint64) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var leafID storage.PageID
+	if start == nil {
+		id, err := t.leftmostLeaf()
+		if err != nil {
+			return err
+		}
+		leafID = id
+	} else {
+		_, id, err := t.descendToLeaf(start)
+		if err != nil {
+			return err
+		}
+		leafID = id
+	}
+	for leafID != storage.InvalidPageID {
+		fr, err := t.pool.Fetch(leafID)
+		if err != nil {
+			return err
+		}
+		fr.Latch.RLock()
+		n := asNode(fr.Data())
+		pos := 0
+		if start != nil {
+			pos, _ = n.search(start)
+		}
+		stop := false
+		for ; pos < n.nKeys(); pos++ {
+			k := n.key(pos)
+			if end != nil && bytes.Compare(k, end) >= 0 {
+				stop = true
+				break
+			}
+			if !fn(k, n.value(pos)) {
+				stop = true
+				break
+			}
+		}
+		next := storage.PageID(n.rightSibling())
+		fr.Latch.RUnlock()
+		t.pool.Unpin(fr, false)
+		if stop {
+			return nil
+		}
+		start = nil // only filter within the first leaf
+		leafID = next
+	}
+	return nil
+}
+
+// leftmostLeaf descends to the first leaf. Caller holds t.mu.
+func (t *Tree) leftmostLeaf() (storage.PageID, error) {
+	id := t.root
+	for {
+		fr, err := t.pool.Fetch(id)
+		if err != nil {
+			return storage.InvalidPageID, err
+		}
+		fr.Latch.RLock()
+		n := asNode(fr.Data())
+		if n.isLeaf() {
+			fr.Latch.RUnlock()
+			t.pool.Unpin(fr, false)
+			return id, nil
+		}
+		child := storage.PageID(n.leftmostChild())
+		fr.Latch.RUnlock()
+		t.pool.Unpin(fr, false)
+		id = child
+	}
+}

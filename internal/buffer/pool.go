@@ -1,0 +1,287 @@
+// Package buffer implements the buffer pool: a fixed set of in-memory
+// page frames over a storage.DiskManager with clock eviction, pin
+// counts, and dirty tracking.
+//
+// One property matters specially for the paper's index cache
+// (Section 2.1): a page can be *mutated in memory without being marked
+// dirty*. Such mutations are volatile — eviction of a clean frame drops
+// them silently, and no write-back I/O ever happens for them. That is
+// exactly the contract index-cache writes need ("cache modifications do
+// not dirty the page"), and the CSN invalidation scheme makes losing
+// them safe.
+package buffer
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/latch"
+	"repro/internal/storage"
+)
+
+// Frame is an in-memory copy of one page, plus bookkeeping.
+type Frame struct {
+	id    storage.PageID
+	data  []byte
+	pins  int
+	dirty bool
+	ref   bool // clock reference bit
+	// Latch guards the frame's data. The buffer pool hands out frames
+	// without holding it; callers latch around their accesses. Cache
+	// writes use Latch.TryLock per the paper's give-up protocol.
+	Latch latch.Latch
+}
+
+// ID returns the page id held by this frame.
+func (f *Frame) ID() storage.PageID { return f.id }
+
+// Data returns the page buffer. Mutating it without a subsequent
+// MarkDirty produces a volatile, cache-style change.
+func (f *Frame) Data() []byte { return f.data }
+
+// Stats is a snapshot of pool counters.
+type Stats struct {
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	Writebacks int64
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 when no fetches happened.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Pool is a buffer pool of fixed capacity.
+type Pool struct {
+	disk storage.DiskManager
+
+	mu     sync.Mutex
+	frames []*Frame
+	table  map[storage.PageID]int // page id -> frame index
+	hand   int                    // clock hand
+	stats  Stats
+	maxCap int
+}
+
+// NewPool creates a pool holding up to capacity pages.
+func NewPool(disk storage.DiskManager, capacity int) (*Pool, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("buffer: capacity must be at least 1, got %d", capacity)
+	}
+	return &Pool{
+		disk:   disk,
+		table:  make(map[storage.PageID]int, capacity),
+		maxCap: capacity,
+	}, nil
+}
+
+// Capacity returns the maximum number of resident pages.
+func (p *Pool) Capacity() int { return p.maxCap }
+
+// Disk returns the underlying disk manager.
+func (p *Pool) Disk() storage.DiskManager { return p.disk }
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats zeroes the pool counters.
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = Stats{}
+}
+
+// Fetch pins the page into a frame, reading it from disk on a miss.
+// Callers must Unpin exactly once per Fetch.
+func (p *Pool) Fetch(id storage.PageID) (*Frame, error) {
+	if id == storage.InvalidPageID {
+		return nil, fmt.Errorf("buffer: fetch of invalid page id")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if idx, ok := p.table[id]; ok {
+		f := p.frames[idx]
+		f.pins++
+		f.ref = true
+		p.stats.Hits++
+		return f, nil
+	}
+	p.stats.Misses++
+	f, err := p.victimLocked()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.disk.ReadPage(id, f.data); err != nil {
+		p.freeFrameLocked(f)
+		return nil, err
+	}
+	p.installLocked(f, id)
+	return f, nil
+}
+
+// NewPage allocates a fresh page on disk and pins it in a zeroed frame.
+func (p *Pool) NewPage() (*Frame, error) {
+	id, err := p.disk.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, err := p.victimLocked()
+	if err != nil {
+		return nil, err
+	}
+	for i := range f.data {
+		f.data[i] = 0
+	}
+	p.installLocked(f, id)
+	f.dirty = true // a new page must eventually reach disk
+	return f, nil
+}
+
+// installLocked binds a free frame to a page id and pins it.
+func (p *Pool) installLocked(f *Frame, id storage.PageID) {
+	f.id = id
+	f.pins = 1
+	f.ref = true
+	f.dirty = false
+	idx := p.frameIndexLocked(f)
+	p.table[id] = idx
+}
+
+func (p *Pool) frameIndexLocked(f *Frame) int {
+	for i, other := range p.frames {
+		if other == f {
+			return i
+		}
+	}
+	p.frames = append(p.frames, f)
+	return len(p.frames) - 1
+}
+
+// freeFrameLocked detaches a frame after a failed install.
+func (p *Pool) freeFrameLocked(f *Frame) {
+	f.id = storage.InvalidPageID
+	f.pins = 0
+	f.dirty = false
+}
+
+// victimLocked returns an unbound frame, growing the pool if below
+// capacity or evicting a victim via the clock algorithm otherwise.
+func (p *Pool) victimLocked() (*Frame, error) {
+	// Reuse a detached frame if one exists (failed install).
+	for _, f := range p.frames {
+		if f.id == storage.InvalidPageID && f.pins == 0 {
+			return f, nil
+		}
+	}
+	if len(p.frames) < p.maxCap {
+		f := &Frame{data: make([]byte, p.disk.PageSize())}
+		return f, nil
+	}
+	// Clock sweep: two full passes; a frame with ref bit gets a second
+	// chance, pinned frames are skipped.
+	n := len(p.frames)
+	for pass := 0; pass < 2*n; pass++ {
+		f := p.frames[p.hand]
+		p.hand = (p.hand + 1) % n
+		if f.pins > 0 {
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			continue
+		}
+		if err := p.evictLocked(f); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	return nil, fmt.Errorf("buffer: all %d frames pinned; cannot evict", n)
+}
+
+// evictLocked detaches the (unpinned) frame's page, writing it back only
+// if dirty. Clean frames are dropped without I/O — this is the moment
+// volatile index-cache contents disappear.
+func (p *Pool) evictLocked(f *Frame) error {
+	if f.dirty {
+		if err := p.disk.WritePage(f.id, f.data); err != nil {
+			return fmt.Errorf("buffer: write back %v: %w", f.id, err)
+		}
+		p.stats.Writebacks++
+	}
+	delete(p.table, f.id)
+	p.stats.Evictions++
+	f.id = storage.InvalidPageID
+	f.dirty = false
+	return nil
+}
+
+// Unpin releases one pin. If dirty is true the page will be written
+// back before eviction; if false, any in-memory mutations remain
+// volatile (the index-cache write path).
+func (p *Pool) Unpin(f *Frame, dirty bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("buffer: unpin of unpinned %v", f.id))
+	}
+	f.pins--
+	if dirty {
+		f.dirty = true
+	}
+}
+
+// FlushAll writes every dirty resident page to disk. Clean pages
+// (including those with volatile cache writes) are not touched.
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if f.id == storage.InvalidPageID || !f.dirty {
+			continue
+		}
+		if err := p.disk.WritePage(f.id, f.data); err != nil {
+			return fmt.Errorf("buffer: flush %v: %w", f.id, err)
+		}
+		f.dirty = false
+		p.stats.Writebacks++
+	}
+	return nil
+}
+
+// Resident reports whether the page is currently in the pool (used by
+// tests and the partition experiment's "does the index fit in RAM"
+// accounting).
+func (p *Pool) Resident(id storage.PageID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.table[id]
+	return ok
+}
+
+// EvictAll force-evicts every unpinned page (dirty ones are written
+// back). Tests use it to simulate a cold restart, which must drop all
+// volatile index-cache contents.
+func (p *Pool) EvictAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if f.id == storage.InvalidPageID || f.pins > 0 {
+			continue
+		}
+		if err := p.evictLocked(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+// TestConcurrentLookupsAndUpdates hammers a cached index from multiple
+// goroutines while rows are updated, checking that served values are
+// always one of the values ever written for that row (no torn or stale
+// reads across invalidation).
+func TestConcurrentLookupsAndUpdates(t *testing.T) {
+	e := newTestEngine(t)
+	tb, err := e.CreateTable("page", pagesSchema())
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	const rows = 200
+	rids := make([]tupleRID, rows)
+	for i := 0; i < rows; i++ {
+		rid, err := tb.Insert(pageRow(i))
+		if err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		rids[i] = tupleRID{i: i, rid: rid}
+	}
+	ix, err := tb.CreateIndex("name_title", []string{"namespace", "title"},
+		WithCache("latest_rev"), WithCacheSeed(1))
+	if err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 16)
+
+	// Readers.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i := (g*37 + n) % rows
+				n++
+				key := []tuple.Value{tuple.Int32(0), tuple.String(fmt.Sprintf("Title_%05d", i))}
+				row, res, err := ix.Lookup([]string{"latest_rev"}, key...)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !res.Found {
+					errs <- fmt.Errorf("row %d vanished", i)
+					return
+				}
+				// latest_rev is only ever i*10 (initial) or i*10+1 (updated).
+				v := row[0].Int
+				if v != int64(i*10) && v != int64(i*10+1) {
+					errs <- fmt.Errorf("row %d served impossible value %d", i, v)
+					return
+				}
+			}
+		}(g)
+	}
+	// Writer: bumps latest_rev on a rotating subset.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 50; round++ {
+			i := (round * 13) % rows
+			key := []tuple.Value{tuple.Int32(0), tuple.String(fmt.Sprintf("Title_%05d", i))}
+			rid, found, err := ix.LookupRID(key...)
+			if err != nil || !found {
+				errs <- fmt.Errorf("writer lookup %d: %v", i, err)
+				return
+			}
+			row, err := tb.Get(rid)
+			if err != nil {
+				errs <- err
+				return
+			}
+			row[4] = tuple.Int64(int64(i*10 + 1))
+			if _, err := tb.Update(rid, row); err != nil {
+				errs <- err
+				return
+			}
+		}
+		close(stop)
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := ix.Tree().CheckIntegrity(); err != nil {
+		t.Fatalf("integrity after concurrent churn: %v", err)
+	}
+}
+
+type tupleRID struct {
+	i   int
+	rid interface{ Valid() bool }
+}
+
+// TestConcurrentInsertsDisjointTables checks engine-level isolation:
+// goroutines inserting into separate tables share the pool safely.
+func TestConcurrentInsertsDisjointTables(t *testing.T) {
+	e := newTestEngine(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		tb, err := e.CreateTable(fmt.Sprintf("t%d", g), pagesSchema())
+		if err != nil {
+			t.Fatalf("CreateTable: %v", err)
+		}
+		wg.Add(1)
+		go func(tb *Table) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, err := tb.Insert(pageRow(i)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(tb)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for g := 0; g < 4; g++ {
+		tb, _ := e.Table(fmt.Sprintf("t%d", g))
+		if tb.Rows() != 200 {
+			t.Errorf("table t%d has %d rows", g, tb.Rows())
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package core is the storage engine tying the substrates together:
+// tables on heap files, B+Tree indexes with the Section 2.1 index cache,
+// point lookups answered from the index when possible, and updates that
+// keep cache consistency via the predicate log.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/buffer"
+	"repro/internal/storage"
+	"repro/internal/tuple"
+)
+
+// Options configure an Engine.
+type Options struct {
+	// PageSize in bytes. Defaults to storage.DefaultPageSize.
+	PageSize int
+	// BufferPoolPages is the pool capacity in pages. Defaults to 4096.
+	BufferPoolPages int
+	// Path, when non-empty, backs the engine with a file on disk;
+	// otherwise an in-memory disk is used.
+	Path string
+	// CountIO wraps the disk in a storage.CountingDisk so experiments
+	// can convert I/O counts into simulated time.
+	CountIO bool
+}
+
+// Engine is an embedded storage engine instance.
+type Engine struct {
+	pool    *buffer.Pool
+	disk    storage.DiskManager
+	counter *storage.CountingDisk // nil unless Options.CountIO
+
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewEngine creates an engine with the given options.
+func NewEngine(opts Options) (*Engine, error) {
+	if opts.PageSize == 0 {
+		opts.PageSize = storage.DefaultPageSize
+	}
+	if opts.BufferPoolPages == 0 {
+		opts.BufferPoolPages = 4096
+	}
+	var (
+		disk storage.DiskManager
+		err  error
+	)
+	if opts.Path != "" {
+		disk, err = storage.NewFileDisk(opts.Path, opts.PageSize)
+	} else {
+		disk, err = storage.NewMemDisk(opts.PageSize)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{tables: make(map[string]*Table)}
+	if opts.CountIO {
+		e.counter = storage.NewCountingDisk(disk)
+		disk = e.counter
+	}
+	e.disk = disk
+	e.pool, err = buffer.NewPool(disk, opts.BufferPoolPages)
+	if err != nil {
+		disk.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// Pool exposes the buffer pool (stats, experiments).
+func (e *Engine) Pool() *buffer.Pool { return e.pool }
+
+// IOCounter returns the counting disk wrapper, or nil when CountIO was
+// not requested.
+func (e *Engine) IOCounter() *storage.CountingDisk { return e.counter }
+
+// CreateTable registers a new table with the given schema.
+func (e *Engine) CreateTable(name string, schema *tuple.Schema, opts ...TableOption) (*Table, error) {
+	if name == "" {
+		return nil, fmt.Errorf("core: table name must not be empty")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, exists := e.tables[name]; exists {
+		return nil, fmt.Errorf("core: table %q already exists", name)
+	}
+	t, err := newTable(e, name, schema, opts...)
+	if err != nil {
+		return nil, err
+	}
+	e.tables[name] = t
+	return t, nil
+}
+
+// Table returns the named table, or an error.
+func (e *Engine) Table(name string) (*Table, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t, ok := e.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("core: no table %q", name)
+	}
+	return t, nil
+}
+
+// Tables returns the table names in sorted order.
+func (e *Engine) Tables() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	names := make([]string, 0, len(e.tables))
+	for n := range e.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DropTable removes a table and its indexes from the catalog. Pages are
+// not reclaimed (the engine has no free-page list; dropped data is
+// simply unreachable), which is fine for experiment lifetimes.
+func (e *Engine) DropTable(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.tables[name]; !ok {
+		return fmt.Errorf("core: no table %q", name)
+	}
+	delete(e.tables, name)
+	return nil
+}
+
+// Restart simulates a crash/restart cycle for cache-consistency tests:
+// all dirty pages flush, every frame is evicted, and each table's
+// cached indexes bump their CSNidx so persisted stale cache bytes can
+// never be served (the Section 2.1.2 full-invalidation path).
+func (e *Engine) Restart() error {
+	if err := e.pool.FlushAll(); err != nil {
+		return err
+	}
+	if err := e.pool.EvictAll(); err != nil {
+		return err
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, t := range e.tables {
+		for _, ix := range t.indexes {
+			if ix.cache != nil {
+				ix.cache.InvalidateAll()
+			}
+		}
+	}
+	return nil
+}
+
+// Close flushes and releases the engine.
+func (e *Engine) Close() error {
+	if err := e.pool.FlushAll(); err != nil {
+		return err
+	}
+	return e.disk.Close()
+}

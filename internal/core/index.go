@@ -1,0 +1,369 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/btree"
+	"repro/internal/idxcache"
+	"repro/internal/storage"
+	"repro/internal/tuple"
+)
+
+// IndexOption configures index creation.
+type IndexOption func(*indexConfig)
+
+type indexConfig struct {
+	cachedFields []string
+	bucketN      int
+	predLogLimit int
+	cacheSeed    int64
+	fillFactor   float64
+	nonUnique    bool
+}
+
+// WithCache enables the Section 2.1 index cache on this index, caching
+// the named non-key fields in leaf free space. All cached fields must
+// be fixed width, and an index with a cache must be unique.
+func WithCache(fields ...string) IndexOption {
+	return func(c *indexConfig) { c.cachedFields = fields }
+}
+
+// WithCacheBucket sets the swap-policy bucket size N (default 4).
+func WithCacheBucket(n int) IndexOption {
+	return func(c *indexConfig) { c.bucketN = n }
+}
+
+// WithPredLogLimit sets the predicate-log escalation threshold.
+func WithPredLogLimit(n int) IndexOption {
+	return func(c *indexConfig) { c.predLogLimit = n }
+}
+
+// WithCacheSeed fixes the cache's placement randomness.
+func WithCacheSeed(seed int64) IndexOption {
+	return func(c *indexConfig) { c.cacheSeed = seed }
+}
+
+// WithFillFactor sets the bulk-build fill factor used when the index is
+// created over an already-populated table (default 0.68, the canonical
+// B+Tree steady state the paper cites).
+func WithFillFactor(ff float64) IndexOption {
+	return func(c *indexConfig) { c.fillFactor = ff }
+}
+
+// NonUnique permits duplicate keys (entries are disambiguated by RID).
+// Non-unique indexes cannot carry a cache.
+func NonUnique() IndexOption {
+	return func(c *indexConfig) { c.nonUnique = true }
+}
+
+// Index is a B+Tree over one or more fields of a table, optionally with
+// an index cache living in its leaves' free space.
+type Index struct {
+	table     *Table
+	name      string
+	keyFields []int
+	unique    bool
+	tree      *btree.Tree
+
+	cache        *idxcache.Cache
+	cachedFields []int
+	payloadWidth int
+	// payloadOff[i] is the byte offset of cachedFields[i]'s value within
+	// the cache payload (after the null-bitmap byte).
+	payloadOff []int
+
+	// Projection memo: resolving names to positions on every lookup
+	// costs an allocation; point-lookup workloads reuse one projection.
+	projMu   sync.Mutex
+	projLast []string
+	projIdx  []int
+	projAll  []int // identity projection for nil
+}
+
+// CreateIndex builds an index over the named fields. If the table
+// already holds rows, the index is bulk-loaded at the configured fill
+// factor; otherwise it starts empty and fills via normal inserts.
+func (t *Table) CreateIndex(name string, fields []string, opts ...IndexOption) (*Index, error) {
+	cfg := indexConfig{fillFactor: 0.68, bucketN: 4, predLogLimit: 1024, cacheSeed: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if name == "" {
+		return nil, fmt.Errorf("core: index name must not be empty")
+	}
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("core: index %q needs at least one key field", name)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, exists := t.indexes[name]; exists {
+		return nil, fmt.Errorf("core: index %q already exists on %q", name, t.name)
+	}
+	ix := &Index{table: t, name: name, unique: !cfg.nonUnique}
+	for _, f := range fields {
+		pos := t.schema.Index(f)
+		if pos < 0 {
+			return nil, fmt.Errorf("core: index %q: no field %q in %s", name, f, t.schema)
+		}
+		ix.keyFields = append(ix.keyFields, pos)
+	}
+	if len(cfg.cachedFields) > 0 {
+		if cfg.nonUnique {
+			return nil, fmt.Errorf("core: index %q: cache requires a unique index", name)
+		}
+		if len(cfg.cachedFields) > 8 {
+			return nil, fmt.Errorf("core: index %q: at most 8 cached fields (null bitmap is one byte)", name)
+		}
+		width := 1 // null bitmap byte
+		for _, f := range cfg.cachedFields {
+			pos := t.schema.Index(f)
+			if pos < 0 {
+				return nil, fmt.Errorf("core: index %q: no cached field %q", name, f)
+			}
+			w := fixedValueWidth(t.schema.Field(pos))
+			if w < 0 {
+				return nil, fmt.Errorf("core: index %q: cached field %q is not fixed width", name, f)
+			}
+			ix.cachedFields = append(ix.cachedFields, pos)
+			ix.payloadOff = append(ix.payloadOff, width)
+			width += w
+		}
+		ix.payloadWidth = width
+		cache, err := idxcache.New(idxcache.Config{
+			PayloadSize:  width,
+			BucketN:      cfg.bucketN,
+			PredLogLimit: cfg.predLogLimit,
+			Seed:         cfg.cacheSeed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ix.cache = cache
+	}
+	if err := ix.build(cfg.fillFactor); err != nil {
+		return nil, err
+	}
+	t.indexes[name] = ix
+	return ix, nil
+}
+
+// build constructs the tree: bulk-loaded from a sorted scan when the
+// table has rows, empty otherwise.
+func (ix *Index) build(ff float64) error {
+	t := ix.table
+	if t.rows.Load() == 0 {
+		tree, err := btree.New(t.engine.pool)
+		if err != nil {
+			return err
+		}
+		ix.tree = tree
+		return nil
+	}
+	type entry struct {
+		key []byte
+		rid uint64
+	}
+	var (
+		entries []entry
+		keyErr  error
+	)
+	err := t.Scan(func(rid storage.RID, row tuple.Row) bool {
+		key, kerr := ix.entryKey(row, rid)
+		if kerr != nil {
+			keyErr = kerr
+			return false
+		}
+		entries = append(entries, entry{key: key, rid: rid.Pack()})
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if keyErr != nil {
+		return keyErr
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		return bytes.Compare(entries[i].key, entries[j].key) < 0
+	})
+	for i := 1; i < len(entries); i++ {
+		if bytes.Equal(entries[i-1].key, entries[i].key) {
+			return fmt.Errorf("core: index %q: duplicate key in unique index", ix.name)
+		}
+	}
+	i := 0
+	tree, err := btree.BulkLoad(t.engine.pool, ff, func() ([]byte, uint64, bool) {
+		if i >= len(entries) {
+			return nil, 0, false
+		}
+		e := entries[i]
+		i++
+		return e.key, e.rid, true
+	})
+	if err != nil {
+		return err
+	}
+	ix.tree = tree
+	return nil
+}
+
+// Name returns the index name.
+func (ix *Index) Name() string { return ix.name }
+
+// Tree exposes the underlying B+Tree (stats, experiments).
+func (ix *Index) Tree() *btree.Tree { return ix.tree }
+
+// Cache exposes the index cache, or nil when caching is disabled.
+func (ix *Index) Cache() *idxcache.Cache { return ix.cache }
+
+// Unique reports whether the index enforces unique keys.
+func (ix *Index) Unique() bool { return ix.unique }
+
+// KeyFieldNames returns the names of the key fields in order.
+func (ix *Index) KeyFieldNames() []string {
+	names := make([]string, len(ix.keyFields))
+	for i, pos := range ix.keyFields {
+		names[i] = ix.table.schema.Field(pos).Name
+	}
+	return names
+}
+
+// CachedFieldNames returns the names of the cached fields in order.
+func (ix *Index) CachedFieldNames() []string {
+	names := make([]string, len(ix.cachedFields))
+	for i, pos := range ix.cachedFields {
+		names[i] = ix.table.schema.Field(pos).Name
+	}
+	return names
+}
+
+// entryKey builds the stored key for a row: the encoded key fields,
+// plus the packed RID for non-unique indexes (disambiguation suffix).
+func (ix *Index) entryKey(row tuple.Row, rid storage.RID) ([]byte, error) {
+	vals := make([]tuple.Value, len(ix.keyFields))
+	for i, pos := range ix.keyFields {
+		vals[i] = row[pos]
+	}
+	key, err := tuple.EncodeKey(nil, vals...)
+	if err != nil {
+		return nil, err
+	}
+	if !ix.unique {
+		key = appendRIDSuffix(key, rid)
+	}
+	return key, nil
+}
+
+// searchKey builds the lookup key from caller-supplied key values.
+func (ix *Index) searchKey(keyVals []tuple.Value) ([]byte, error) {
+	if len(keyVals) != len(ix.keyFields) {
+		return nil, fmt.Errorf("core: index %q wants %d key values, got %d", ix.name, len(ix.keyFields), len(keyVals))
+	}
+	for i, v := range keyVals {
+		want := ix.table.schema.Field(ix.keyFields[i]).Kind
+		if v.Kind != want {
+			return nil, fmt.Errorf("core: index %q key field %d: kind %v, want %v", ix.name, i, v.Kind, want)
+		}
+	}
+	return tuple.EncodeKey(nil, keyVals...)
+}
+
+func appendRIDSuffix(key []byte, rid storage.RID) []byte {
+	packed := rid.Pack()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(packed >> (56 - 8*i))
+	}
+	return append(key, buf[:]...)
+}
+
+// insertEntry adds the row's index entry. For cached indexes there is
+// nothing else to do: entries are cached lazily on lookup misses.
+func (ix *Index) insertEntry(row tuple.Row, rid storage.RID) error {
+	key, err := ix.entryKey(row, rid)
+	if err != nil {
+		return err
+	}
+	inserted, err := ix.tree.Insert(key, rid.Pack())
+	if err != nil {
+		return err
+	}
+	if !inserted && ix.unique {
+		return fmt.Errorf("core: index %q: duplicate key", ix.name)
+	}
+	return nil
+}
+
+// deleteEntry removes the row's index entry and invalidates any cache
+// entry for it via the predicate log.
+func (ix *Index) deleteEntry(row tuple.Row, rid storage.RID) error {
+	key, err := ix.entryKey(row, rid)
+	if err != nil {
+		return err
+	}
+	if _, err := ix.tree.Delete(key); err != nil {
+		return err
+	}
+	if ix.cache != nil {
+		ix.cache.NotifyUpdate(key)
+	}
+	return nil
+}
+
+// updateEntry maintains the index across a row update.
+func (ix *Index) updateEntry(oldRow, newRow tuple.Row, oldRID, newRID storage.RID, moved bool) error {
+	oldKey, err := ix.entryKey(oldRow, oldRID)
+	if err != nil {
+		return err
+	}
+	newKey, err := ix.entryKey(newRow, newRID)
+	if err != nil {
+		return err
+	}
+	keyChanged := string(oldKey) != string(newKey)
+	if keyChanged {
+		if _, err := ix.tree.Delete(oldKey); err != nil {
+			return err
+		}
+		if _, err := ix.tree.Insert(newKey, newRID.Pack()); err != nil {
+			return err
+		}
+	} else if moved {
+		if _, err := ix.tree.Insert(newKey, newRID.Pack()); err != nil { // upsert new RID
+			return err
+		}
+	}
+	if ix.cache == nil {
+		return nil
+	}
+	// Invalidate when the entry's cached payload could be stale: the row
+	// moved (RID reuse hazard), the key changed (entry now lives under a
+	// dead key), or a cached field changed value.
+	if moved || keyChanged || ix.cachedFieldsChanged(oldRow, newRow) {
+		ix.cache.NotifyUpdate(oldKey)
+		if keyChanged {
+			ix.cache.NotifyUpdate(newKey)
+		}
+	}
+	return nil
+}
+
+func (ix *Index) cachedFieldsChanged(oldRow, newRow tuple.Row) bool {
+	for _, pos := range ix.cachedFields {
+		if !oldRow[pos].Equal(newRow[pos]) {
+			return true
+		}
+	}
+	return false
+}
+
+// fixedValueWidth returns the bytes needed to cache a value of the
+// field, or -1 for variable-width fields.
+func fixedValueWidth(f tuple.Field) int {
+	if f.Kind == tuple.KindChar {
+		return f.Size
+	}
+	return f.Kind.FixedSize()
+}

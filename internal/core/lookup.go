@@ -1,0 +1,409 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/btree"
+	"repro/internal/storage"
+	"repro/internal/tuple"
+)
+
+// LookupResult describes how a point lookup was answered — the paper's
+// three-tier hierarchy made observable.
+type LookupResult struct {
+	Found bool
+	// CacheHit means the query was answered entirely from the index
+	// leaf (key fields + cached fields); no heap page was touched.
+	CacheHit bool
+	// HeapAccess means the heap page was fetched (through the buffer
+	// pool, possibly from disk).
+	HeapAccess bool
+	// CacheFilled means a miss installed a fresh cache entry.
+	CacheFilled bool
+	// RID is the matched row's location (valid when Found).
+	RID storage.RID
+}
+
+// Lookup performs a point query on a unique index, projecting the named
+// fields (nil projects the full row).
+//
+// The flow is the paper's Section 2.1.1 verbatim: descend to the leaf;
+// on finding the key, scan the leaf's cache slots for the RID. If the
+// cached payload plus the key fields cover the projection, answer
+// without touching the heap. Otherwise fetch the heap row while the
+// leaf is still pinned and install the missing cache entry (a volatile
+// write that never dirties the page).
+func (ix *Index) Lookup(project []string, keyVals ...tuple.Value) (tuple.Row, LookupResult, error) {
+	if !ix.unique {
+		return nil, LookupResult{}, fmt.Errorf("core: Lookup requires a unique index; use LookupAll on %q", ix.name)
+	}
+	key, err := ix.searchKey(keyVals)
+	if err != nil {
+		return nil, LookupResult{}, err
+	}
+	projIdx, err := ix.resolveProjection(project)
+	if err != nil {
+		return nil, LookupResult{}, err
+	}
+	var (
+		res    LookupResult
+		outRow tuple.Row
+		visErr error
+	)
+	err = ix.tree.VisitLeaf(key, func(l *btree.Leaf) {
+		packed, found := l.Find(key)
+		if !found {
+			return
+		}
+		res.Found = true
+		res.RID = storage.UnpackRID(packed)
+		if ix.cache != nil && ix.cache.Prepare(l) {
+			if payload, ok := ix.cache.Lookup(l, packed); ok {
+				if row, ok := ix.assembleFromCache(keyVals, payload, projIdx); ok {
+					res.CacheHit = true
+					outRow = row
+					return
+				}
+			}
+		}
+		// Cache miss (or projection not coverable): fetch the heap row
+		// while the leaf is pinned, then fill the cache.
+		res.HeapAccess = true
+		row, gerr := ix.table.Get(res.RID)
+		if gerr != nil {
+			visErr = gerr
+			return
+		}
+		if ix.cache != nil && l.Exclusive() {
+			if payload, ok := ix.encodePayload(row); ok {
+				if ix.cache.Insert(l, packed, payload) {
+					res.CacheFilled = true
+				}
+			}
+		}
+		outRow = projectRow(row, projIdx)
+	})
+	if err != nil {
+		return nil, LookupResult{}, err
+	}
+	if visErr != nil {
+		return nil, LookupResult{}, visErr
+	}
+	if !res.Found {
+		return nil, res, nil
+	}
+	return outRow, res, nil
+}
+
+// LookupRID returns just the RID for a key, touching neither cache nor
+// heap (the plain B+Tree lookup every engine has).
+func (ix *Index) LookupRID(keyVals ...tuple.Value) (storage.RID, bool, error) {
+	key, err := ix.searchKey(keyVals)
+	if err != nil {
+		return storage.InvalidRID, false, err
+	}
+	packed, found, err := ix.tree.Search(key)
+	if err != nil || !found {
+		return storage.InvalidRID, false, err
+	}
+	return storage.UnpackRID(packed), true, nil
+}
+
+// LookupAll returns every row matching the key values on a non-unique
+// index (or the single match on a unique one).
+func (ix *Index) LookupAll(keyVals ...tuple.Value) ([]tuple.Row, error) {
+	prefix, err := ix.searchKey(keyVals)
+	if err != nil {
+		return nil, err
+	}
+	end := prefixSuccessor(prefix)
+	var rids []storage.RID
+	err = ix.tree.Scan(prefix, end, func(k []byte, v uint64) bool {
+		rids = append(rids, storage.UnpackRID(v))
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]tuple.Row, 0, len(rids))
+	for _, rid := range rids {
+		row, err := ix.table.Get(rid)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WarmCache fills every leaf's cache with the rows its keys point at,
+// hottest-first ordering being the caller's responsibility. It is the
+// bulk version of the lazy fill path, used to set up experiments.
+// Returns the number of entries installed.
+func (ix *Index) WarmCache() (int, error) {
+	if ix.cache == nil {
+		return 0, fmt.Errorf("core: index %q has no cache", ix.name)
+	}
+	installed := 0
+	var visErr error
+	err := ix.tree.VisitAllLeaves(func(l *btree.Leaf) bool {
+		if !ix.cache.Prepare(l) {
+			return true
+		}
+		// Stop at the page's slot capacity: inserting beyond it would
+		// evict entries installed moments ago.
+		budget := ix.cache.SlotsIn(l)
+		for i := 0; i < l.NumKeys() && budget > 0; i++ {
+			packed := l.ValueAt(i)
+			rid := storage.UnpackRID(packed)
+			row, gerr := ix.table.Get(rid)
+			if gerr != nil {
+				visErr = gerr
+				return false
+			}
+			payload, ok := ix.encodePayload(row)
+			if !ok {
+				continue
+			}
+			if ix.cache.Insert(l, packed, payload) {
+				installed++
+				budget--
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return installed, err
+	}
+	return installed, visErr
+}
+
+// resolveProjection maps projected names to schema positions. nil
+// projects every field. Results are memoized (the returned slice must
+// be treated as read-only).
+func (ix *Index) resolveProjection(project []string) ([]int, error) {
+	ix.projMu.Lock()
+	defer ix.projMu.Unlock()
+	if project == nil {
+		if ix.projAll == nil {
+			ix.projAll = make([]int, ix.table.schema.NumFields())
+			for i := range ix.projAll {
+				ix.projAll[i] = i
+			}
+		}
+		return ix.projAll, nil
+	}
+	if sameStrings(project, ix.projLast) {
+		return ix.projIdx, nil
+	}
+	idx := make([]int, len(project))
+	for i, name := range project {
+		pos := ix.table.schema.Index(name)
+		if pos < 0 {
+			return nil, fmt.Errorf("core: projection field %q not in %s", name, ix.table.schema)
+		}
+		idx[i] = pos
+	}
+	ix.projLast = append([]string(nil), project...)
+	ix.projIdx = idx
+	return idx, nil
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) || b == nil {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// assembleFromCache builds the projected row from key values and the
+// cached payload, if they cover the projection. Cached fields decode
+// directly at their precomputed payload offsets — no intermediate
+// slice.
+func (ix *Index) assembleFromCache(keyVals []tuple.Value, payload []byte, projIdx []int) (tuple.Row, bool) {
+	if len(payload) != ix.payloadWidth {
+		return nil, false
+	}
+	row := make(tuple.Row, len(projIdx))
+	for i, pos := range projIdx {
+		if kv, ok := fieldFromKey(ix.keyFields, keyVals, pos); ok {
+			row[i] = kv
+			continue
+		}
+		found := false
+		for ci, cpos := range ix.cachedFields {
+			if cpos == pos {
+				v, ok := ix.decodePayloadField(payload, ci)
+				if !ok {
+					return nil, false
+				}
+				row[i] = v
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, false // projection needs an uncovered field
+		}
+	}
+	return row, true
+}
+
+// decodePayloadField extracts the ci-th cached field from a payload.
+func (ix *Index) decodePayloadField(payload []byte, ci int) (tuple.Value, bool) {
+	f := ix.table.schema.Field(ix.cachedFields[ci])
+	if payload[0]&(1<<ci) != 0 {
+		return tuple.Value{Kind: f.Kind, Null: true}, true
+	}
+	off := ix.payloadOff[ci]
+	v := tuple.Value{Kind: f.Kind}
+	switch f.Kind {
+	case tuple.KindInt64, tuple.KindTimestamp:
+		v.Int = int64(binary.LittleEndian.Uint64(payload[off:]))
+	case tuple.KindFloat64:
+		v.Float = math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
+	case tuple.KindInt32:
+		v.Int = int64(int32(binary.LittleEndian.Uint32(payload[off:])))
+	case tuple.KindInt16:
+		v.Int = int64(int16(binary.LittleEndian.Uint16(payload[off:])))
+	case tuple.KindInt8:
+		v.Int = int64(int8(payload[off]))
+	case tuple.KindBool:
+		if payload[off] != 0 {
+			v.Int = 1
+		}
+	case tuple.KindChar:
+		end := off + fixedValueWidth(f)
+		b := payload[off:end]
+		for len(b) > 0 && b[len(b)-1] == 0 {
+			b = b[:len(b)-1]
+		}
+		v.Str = string(b)
+	default:
+		return tuple.Value{}, false
+	}
+	return v, true
+}
+
+func fieldFromKey(keyFields []int, keyVals []tuple.Value, pos int) (tuple.Value, bool) {
+	for i, kpos := range keyFields {
+		if kpos == pos {
+			return keyVals[i], true
+		}
+	}
+	return tuple.Value{}, false
+}
+
+func projectRow(row tuple.Row, projIdx []int) tuple.Row {
+	out := make(tuple.Row, len(projIdx))
+	for i, pos := range projIdx {
+		out[i] = row[pos]
+	}
+	return out
+}
+
+// encodePayload serializes the cached fields of a row into the fixed
+// payload layout: one null-bitmap byte, then each field's fixed bytes.
+func (ix *Index) encodePayload(row tuple.Row) ([]byte, bool) {
+	buf := make([]byte, ix.payloadWidth)
+	off := 1
+	for i, pos := range ix.cachedFields {
+		v := row[pos]
+		f := ix.table.schema.Field(pos)
+		w := fixedValueWidth(f)
+		if v.Null {
+			buf[0] |= 1 << i
+			off += w
+			continue
+		}
+		switch f.Kind {
+		case tuple.KindInt64, tuple.KindTimestamp:
+			binary.LittleEndian.PutUint64(buf[off:], uint64(v.Int))
+		case tuple.KindFloat64:
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v.Float))
+		case tuple.KindInt32:
+			binary.LittleEndian.PutUint32(buf[off:], uint32(int32(v.Int)))
+		case tuple.KindInt16:
+			binary.LittleEndian.PutUint16(buf[off:], uint16(int16(v.Int)))
+		case tuple.KindInt8:
+			buf[off] = byte(int8(v.Int))
+		case tuple.KindBool:
+			if v.Int != 0 {
+				buf[off] = 1
+			}
+		case tuple.KindChar:
+			copy(buf[off:off+w], v.Str)
+		default:
+			return nil, false
+		}
+		off += w
+	}
+	return buf, true
+}
+
+// decodePayload inverts encodePayload.
+func (ix *Index) decodePayload(payload []byte) ([]tuple.Value, bool) {
+	if len(payload) != ix.payloadWidth {
+		return nil, false
+	}
+	vals := make([]tuple.Value, len(ix.cachedFields))
+	off := 1
+	for i, pos := range ix.cachedFields {
+		f := ix.table.schema.Field(pos)
+		w := fixedValueWidth(f)
+		if payload[0]&(1<<i) != 0 {
+			vals[i] = tuple.Value{Kind: f.Kind, Null: true}
+			off += w
+			continue
+		}
+		v := tuple.Value{Kind: f.Kind}
+		switch f.Kind {
+		case tuple.KindInt64, tuple.KindTimestamp:
+			v.Int = int64(binary.LittleEndian.Uint64(payload[off:]))
+		case tuple.KindFloat64:
+			v.Float = math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
+		case tuple.KindInt32:
+			v.Int = int64(int32(binary.LittleEndian.Uint32(payload[off:])))
+		case tuple.KindInt16:
+			v.Int = int64(int16(binary.LittleEndian.Uint16(payload[off:])))
+		case tuple.KindInt8:
+			v.Int = int64(int8(payload[off]))
+		case tuple.KindBool:
+			if payload[off] != 0 {
+				v.Int = 1
+			}
+		case tuple.KindChar:
+			end := off + w
+			b := payload[off:end]
+			for len(b) > 0 && b[len(b)-1] == 0 {
+				b = b[:len(b)-1]
+			}
+			v.Str = string(b)
+		default:
+			return nil, false
+		}
+		vals[i] = v
+		off += w
+	}
+	return vals, true
+}
+
+// prefixSuccessor returns the smallest byte string greater than every
+// string with the given prefix, or nil if none exists (all 0xFF).
+func prefixSuccessor(prefix []byte) []byte {
+	end := append([]byte(nil), prefix...)
+	for i := len(end) - 1; i >= 0; i-- {
+		if end[i] != 0xFF {
+			end[i]++
+			return end[:i+1]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+// Cache entries are volatile, but when a leaf page gets dirtied for a
+// legitimate reason (a key insert) while holding cache entries, those
+// entries ride along to disk and come back on the next fetch. The CSN /
+// predicate-log protocol must decide correctly in both directions:
+// resurrected-but-valid entries MAY be served; resurrected-but-stale
+// entries MUST NOT be.
+
+// resurrectSetup builds a small engine whose pool is tiny, so pages
+// evict constantly, with a cached index on the page table.
+func resurrectSetup(t *testing.T) (*Engine, *Table, *Index) {
+	t.Helper()
+	e, err := NewEngine(Options{PageSize: 1024, BufferPoolPages: 8})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	t.Cleanup(func() { e.Close() })
+	tb, err := e.CreateTable("page", pagesSchema())
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	for i := 0; i < 60; i++ {
+		if _, err := tb.Insert(pageRow(i)); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	ix, err := tb.CreateIndex("name_title", []string{"namespace", "title"},
+		WithCache("latest_rev"), WithCacheSeed(5))
+	if err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+	return e, tb, ix
+}
+
+func resurrectKey(i int) []tuple.Value {
+	return []tuple.Value{tuple.Int32(0), tuple.String(fmt.Sprintf("Title_%05d", i))}
+}
+
+func TestResurrectedCacheServedWhenStillValid(t *testing.T) {
+	e, tb, ix := resurrectSetup(t)
+	// Fill the cache entry for row 10 and dirty its leaf legitimately by
+	// inserting more rows (index inserts dirty leaf pages).
+	if _, _, err := ix.Lookup([]string{"latest_rev"}, resurrectKey(10)...); err != nil {
+		t.Fatalf("fill lookup: %v", err)
+	}
+	for i := 60; i < 80; i++ {
+		if _, err := tb.Insert(pageRow(i)); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	// Flush and evict everything: the leaf (with any surviving cache
+	// bytes) round-trips through disk.
+	if err := e.Pool().FlushAll(); err != nil {
+		t.Fatalf("FlushAll: %v", err)
+	}
+	if err := e.Pool().EvictAll(); err != nil {
+		t.Fatalf("EvictAll: %v", err)
+	}
+	// No updates happened: whatever cache survives is valid. Whether
+	// this lookup hits depends on whether index growth overwrote the
+	// entry — both outcomes are legal — but the value must be right.
+	row, res, err := ix.Lookup([]string{"latest_rev"}, resurrectKey(10)...)
+	if err != nil || !res.Found {
+		t.Fatalf("lookup after eviction: %+v %v", res, err)
+	}
+	if row[0].Int != 100 {
+		t.Fatalf("wrong value after resurrection: %d (cacheHit=%v)", row[0].Int, res.CacheHit)
+	}
+}
+
+func TestResurrectedCacheInvalidatedByInterveningUpdate(t *testing.T) {
+	e, tb, ix := resurrectSetup(t)
+	key := resurrectKey(10)
+	if _, _, err := ix.Lookup([]string{"latest_rev"}, key...); err != nil {
+		t.Fatalf("fill lookup: %v", err)
+	}
+	// Dirty the leaf legitimately, flush, evict: stale-capable bytes on disk.
+	for i := 60; i < 70; i++ {
+		if _, err := tb.Insert(pageRow(i)); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	if err := e.Pool().FlushAll(); err != nil {
+		t.Fatalf("FlushAll: %v", err)
+	}
+	if err := e.Pool().EvictAll(); err != nil {
+		t.Fatalf("EvictAll: %v", err)
+	}
+	// Update the cached field while the page is cold on disk.
+	rid, found, err := ix.LookupRID(key...)
+	if err != nil || !found {
+		t.Fatalf("LookupRID: %v %v", found, err)
+	}
+	newRow := pageRow(10)
+	newRow[4] = tuple.Int64(4242)
+	if _, err := tb.Update(rid, newRow); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	// Evict again so the update's own page traffic can't mask anything.
+	if err := e.Pool().EvictAll(); err != nil {
+		t.Fatalf("EvictAll: %v", err)
+	}
+	// The resurrected cache entry for row 10 is stale; the predicate log
+	// (or CSN escalation) must prevent it from being served.
+	row, res, err := ix.Lookup([]string{"latest_rev"}, key...)
+	if err != nil || !res.Found {
+		t.Fatalf("lookup after update: %+v %v", res, err)
+	}
+	if row[0].Int != 4242 {
+		t.Fatalf("stale resurrected cache served: got %d, want 4242 (cacheHit=%v)", row[0].Int, res.CacheHit)
+	}
+}
+
+func TestEvictionChurnKeepsLookupsCorrect(t *testing.T) {
+	_, tb, ix := resurrectSetup(t)
+	// Interleave lookups, updates, and inserts on a pool far smaller
+	// than the working set; every lookup must return the current value.
+	current := map[int]int64{}
+	for i := 0; i < 60; i++ {
+		current[i] = int64(i * 10)
+	}
+	for round := 0; round < 30; round++ {
+		u := (round * 7) % 60
+		key := resurrectKey(u)
+		rid, found, err := ix.LookupRID(key...)
+		if err != nil || !found {
+			t.Fatalf("LookupRID(%d): %v %v", u, found, err)
+		}
+		newRow := pageRow(u)
+		newRow[4] = tuple.Int64(current[u] + 1)
+		if _, err := tb.Update(rid, newRow); err != nil {
+			t.Fatalf("Update: %v", err)
+		}
+		current[u]++
+		for q := 0; q < 10; q++ {
+			i := (round*13 + q*3) % 60
+			row, res, err := ix.Lookup([]string{"latest_rev"}, resurrectKey(i)...)
+			if err != nil || !res.Found {
+				t.Fatalf("Lookup(%d): %+v %v", i, res, err)
+			}
+			if row[0].Int != current[i] {
+				t.Fatalf("round %d: row %d served %d, want %d (cacheHit=%v)",
+					round, i, row[0].Int, current[i], res.CacheHit)
+			}
+		}
+	}
+}

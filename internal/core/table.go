@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/heap"
+	"repro/internal/storage"
+	"repro/internal/tuple"
+)
+
+// TableOption configures table creation.
+type TableOption func(*tableConfig)
+
+type tableConfig struct {
+	appendOnly     bool
+	heapFillFactor float64
+}
+
+// WithAppendOnlyHeap forces inserts to always extend the tail page,
+// never refilling older pages' free space — the placement policy whose
+// locality waste Section 3.1 measures.
+func WithAppendOnlyHeap() TableOption {
+	return func(c *tableConfig) { c.appendOnly = true }
+}
+
+// WithHeapFillFactor reserves 1−ff of each heap page for update
+// headroom and the Section 2.2 join cache.
+func WithHeapFillFactor(ff float64) TableOption {
+	return func(c *tableConfig) { c.heapFillFactor = ff }
+}
+
+// Table is a heap-backed table plus its indexes.
+type Table struct {
+	engine *Engine
+	name   string
+	schema *tuple.Schema
+	file   *heap.File
+
+	mu      sync.RWMutex
+	indexes map[string]*Index
+	rows    atomic.Int64
+}
+
+func newTable(e *Engine, name string, schema *tuple.Schema, opts ...TableOption) (*Table, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("core: table %q needs a schema", name)
+	}
+	var cfg tableConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var hopts []heap.Option
+	if cfg.appendOnly {
+		hopts = append(hopts, heap.AppendOnly())
+	}
+	if cfg.heapFillFactor != 0 {
+		hopts = append(hopts, heap.WithFillFactor(cfg.heapFillFactor))
+	}
+	f, err := heap.NewFile(e.pool, hopts...)
+	if err != nil {
+		return nil, fmt.Errorf("core: creating heap for %q: %w", name, err)
+	}
+	return &Table{
+		engine:  e,
+		name:    name,
+		schema:  schema,
+		file:    f,
+		indexes: make(map[string]*Index),
+	}, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *tuple.Schema { return t.schema }
+
+// Heap exposes the underlying heap file (stats, partition experiments).
+func (t *Table) Heap() *heap.File { return t.file }
+
+// Rows returns the live row count.
+func (t *Table) Rows() int64 { return t.rows.Load() }
+
+// Indexes returns the table's indexes by name.
+func (t *Table) Indexes() map[string]*Index {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make(map[string]*Index, len(t.indexes))
+	for k, v := range t.indexes {
+		out[k] = v
+	}
+	return out
+}
+
+// Index returns the named index, or an error.
+func (t *Table) Index(name string) (*Index, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ix, ok := t.indexes[name]
+	if !ok {
+		return nil, fmt.Errorf("core: table %q has no index %q", t.name, name)
+	}
+	return ix, nil
+}
+
+// Insert adds a row, maintaining all indexes, and returns its RID.
+func (t *Table) Insert(row tuple.Row) (storage.RID, error) {
+	rec, err := tuple.Encode(t.schema, row, nil)
+	if err != nil {
+		return storage.InvalidRID, fmt.Errorf("core: encoding row for %q: %w", t.name, err)
+	}
+	rid, err := t.file.Insert(rec)
+	if err != nil {
+		return storage.InvalidRID, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, ix := range t.indexes {
+		if err := ix.insertEntry(row, rid); err != nil {
+			return storage.InvalidRID, fmt.Errorf("core: maintaining index %q: %w", ix.name, err)
+		}
+	}
+	t.rows.Add(1)
+	return rid, nil
+}
+
+// Get fetches and decodes the row at rid.
+func (t *Table) Get(rid storage.RID) (tuple.Row, error) {
+	rec, err := t.file.Get(rid)
+	if err != nil {
+		return nil, err
+	}
+	row, _, err := tuple.Decode(t.schema, rec)
+	return row, err
+}
+
+// Update replaces the row at rid with newRow, returning the row's RID
+// afterwards (it changes when the row no longer fits its page). Index
+// entries follow, and every cached index is notified so stale cache
+// entries are invalidated via the predicate log.
+func (t *Table) Update(rid storage.RID, newRow tuple.Row) (storage.RID, error) {
+	oldRow, err := t.Get(rid)
+	if err != nil {
+		return storage.InvalidRID, fmt.Errorf("core: update of %v: %w", rid, err)
+	}
+	rec, err := tuple.Encode(t.schema, newRow, nil)
+	if err != nil {
+		return storage.InvalidRID, err
+	}
+	newRID, err := t.file.Update(rid, rec)
+	if err != nil {
+		return storage.InvalidRID, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	moved := newRID != rid
+	for _, ix := range t.indexes {
+		if err := ix.updateEntry(oldRow, newRow, rid, newRID, moved); err != nil {
+			return storage.InvalidRID, fmt.Errorf("core: maintaining index %q: %w", ix.name, err)
+		}
+	}
+	return newRID, nil
+}
+
+// Delete removes the row at rid, maintaining indexes and invalidating
+// affected cache entries. Heap slot reuse makes invalidation mandatory:
+// a future tuple could receive the same RID, and a stale cache entry
+// keyed by that RID would otherwise serve the old tuple's bytes.
+func (t *Table) Delete(rid storage.RID) error {
+	row, err := t.Get(rid)
+	if err != nil {
+		return fmt.Errorf("core: delete of %v: %w", rid, err)
+	}
+	if err := t.file.Delete(rid); err != nil {
+		return err
+	}
+	t.rows.Add(-1)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, ix := range t.indexes {
+		if err := ix.deleteEntry(row, rid); err != nil {
+			return fmt.Errorf("core: maintaining index %q: %w", ix.name, err)
+		}
+	}
+	return nil
+}
+
+// Relocate moves the row at rid by deleting and reinserting it — the
+// paper's Section 3.1 clustering primitive ("relocates hot tuples by
+// deleting then appending them to the end of the table" when the heap
+// is append-only). Indexes are updated to the new RID and cached
+// indexes invalidated (RID reuse hazard). Returns the new RID.
+func (t *Table) Relocate(rid storage.RID) (storage.RID, error) {
+	row, err := t.Get(rid)
+	if err != nil {
+		return storage.InvalidRID, fmt.Errorf("core: relocate of %v: %w", rid, err)
+	}
+	rec, err := tuple.Encode(t.schema, row, nil)
+	if err != nil {
+		return storage.InvalidRID, err
+	}
+	if err := t.file.Delete(rid); err != nil {
+		return storage.InvalidRID, err
+	}
+	newRID, err := t.file.Insert(rec)
+	if err != nil {
+		return storage.InvalidRID, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, ix := range t.indexes {
+		if err := ix.updateEntry(row, row, rid, newRID, true); err != nil {
+			return storage.InvalidRID, fmt.Errorf("core: maintaining index %q: %w", ix.name, err)
+		}
+	}
+	return newRID, nil
+}
+
+// Scan iterates over all rows in heap order.
+func (t *Table) Scan(fn func(rid storage.RID, row tuple.Row) bool) error {
+	var decodeErr error
+	err := t.file.Scan(func(rid storage.RID, rec []byte) bool {
+		row, _, err := tuple.Decode(t.schema, rec)
+		if err != nil {
+			decodeErr = fmt.Errorf("core: decoding %v: %w", rid, err)
+			return false
+		}
+		return fn(rid, row)
+	})
+	if decodeErr != nil {
+		return decodeErr
+	}
+	return err
+}

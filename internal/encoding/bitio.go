@@ -1,0 +1,126 @@
+// Package encoding implements Section 4.1's automated schema
+// optimization: column analysis that treats declared types as hints,
+// per-column minimal-encoding recommendations (down to single bits),
+// a waste report, and a bit-packed row codec that realizes the
+// recommendations.
+package encoding
+
+import "fmt"
+
+// BitWriter packs values MSB-first into a byte slice.
+type BitWriter struct {
+	buf  []byte
+	nbit int // bits written so far
+}
+
+// NewBitWriter returns an empty writer.
+func NewBitWriter() *BitWriter { return &BitWriter{} }
+
+// WriteBits appends the low n bits of v, most significant first.
+// n must be in [0, 64].
+func (w *BitWriter) WriteBits(v uint64, n int) {
+	if n < 0 || n > 64 {
+		panic(fmt.Sprintf("encoding: WriteBits n=%d out of range", n))
+	}
+	for i := n - 1; i >= 0; i-- {
+		bit := (v >> uint(i)) & 1
+		byteIdx := w.nbit / 8
+		if byteIdx == len(w.buf) {
+			w.buf = append(w.buf, 0)
+		}
+		if bit == 1 {
+			w.buf[byteIdx] |= 1 << uint(7-w.nbit%8)
+		}
+		w.nbit++
+	}
+}
+
+// WriteBool appends one bit.
+func (w *BitWriter) WriteBool(b bool) {
+	if b {
+		w.WriteBits(1, 1)
+	} else {
+		w.WriteBits(0, 1)
+	}
+}
+
+// WriteBytes appends whole bytes (8 bits each, preserving order).
+func (w *BitWriter) WriteBytes(p []byte) {
+	for _, b := range p {
+		w.WriteBits(uint64(b), 8)
+	}
+}
+
+// Len returns the number of bits written.
+func (w *BitWriter) Len() int { return w.nbit }
+
+// Bytes returns the packed buffer (the final partial byte zero-padded).
+func (w *BitWriter) Bytes() []byte { return w.buf }
+
+// Reset clears the writer for reuse.
+func (w *BitWriter) Reset() {
+	w.buf = w.buf[:0]
+	w.nbit = 0
+}
+
+// BitReader unpacks values written by BitWriter.
+type BitReader struct {
+	buf []byte
+	pos int // bit position
+}
+
+// NewBitReader reads from buf.
+func NewBitReader(buf []byte) *BitReader { return &BitReader{buf: buf} }
+
+// ReadBits extracts the next n bits as a uint64 (MSB-first).
+func (r *BitReader) ReadBits(n int) (uint64, error) {
+	if n < 0 || n > 64 {
+		return 0, fmt.Errorf("encoding: ReadBits n=%d out of range", n)
+	}
+	if r.pos+n > len(r.buf)*8 {
+		return 0, fmt.Errorf("encoding: bit stream exhausted at %d+%d of %d", r.pos, n, len(r.buf)*8)
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		byteIdx := r.pos / 8
+		bit := (r.buf[byteIdx] >> uint(7-r.pos%8)) & 1
+		v = v<<1 | uint64(bit)
+		r.pos++
+	}
+	return v, nil
+}
+
+// ReadBool extracts one bit.
+func (r *BitReader) ReadBool() (bool, error) {
+	v, err := r.ReadBits(1)
+	return v == 1, err
+}
+
+// ReadBytes extracts n whole bytes.
+func (r *BitReader) ReadBytes(n int) ([]byte, error) {
+	out := make([]byte, n)
+	for i := range out {
+		v, err := r.ReadBits(8)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = byte(v)
+	}
+	return out, nil
+}
+
+// Pos returns the current bit position.
+func (r *BitReader) Pos() int { return r.pos }
+
+// BitsFor returns the minimum number of bits representing values in
+// [0, n-1]; BitsFor(1) is 0 (a constant needs no bits), BitsFor(2) is 1.
+func BitsFor(n uint64) int {
+	if n <= 1 {
+		return 0
+	}
+	bits := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		bits++
+	}
+	return bits
+}

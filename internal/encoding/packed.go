@@ -1,0 +1,259 @@
+package encoding
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/tuple"
+)
+
+// PackedCodec encodes rows under the advisor's recommendations: every
+// value takes exactly its recommended bit width, nulls take one bit,
+// and the row has no padding between fields. This is what "removing
+// these unused bits increases the data density" (Section 4.1) looks
+// like in practice.
+type PackedCodec struct {
+	schema *tuple.Schema
+	recs   []Recommendation
+	dicts  []map[string]uint64 // value -> index, per EncDict column
+}
+
+// NewPackedCodec builds a codec from per-column recommendations (one
+// per schema field, as produced by Advise/AnalyzeRows).
+func NewPackedCodec(schema *tuple.Schema, recs []Recommendation) (*PackedCodec, error) {
+	if schema.NumFields() != len(recs) {
+		return nil, fmt.Errorf("encoding: %d recommendations for %d fields", len(recs), schema.NumFields())
+	}
+	c := &PackedCodec{schema: schema, recs: recs, dicts: make([]map[string]uint64, len(recs))}
+	for i, r := range recs {
+		if r.Enc == EncDict {
+			if !sort.StringsAreSorted(r.Dict) {
+				return nil, fmt.Errorf("encoding: field %q dictionary not sorted", r.Field.Name)
+			}
+			m := make(map[string]uint64, len(r.Dict))
+			for idx, v := range r.Dict {
+				m[v] = uint64(idx)
+			}
+			c.dicts[i] = m
+		}
+	}
+	return c, nil
+}
+
+// Encode packs a row into bytes.
+func (c *PackedCodec) Encode(row tuple.Row, w *BitWriter) error {
+	if len(row) != len(c.recs) {
+		return fmt.Errorf("encoding: row has %d values, codec has %d", len(row), len(c.recs))
+	}
+	for i, v := range row {
+		r := c.recs[i]
+		if r.Nullable {
+			w.WriteBool(v.Null)
+		} else if v.Null {
+			return fmt.Errorf("encoding: field %q: NULL in non-nullable column", r.Field.Name)
+		}
+		if v.Null {
+			continue
+		}
+		switch r.Enc {
+		case EncBool:
+			w.WriteBool(v.Int != 0)
+		case EncInt:
+			var x int64
+			if v.Kind == tuple.KindFloat64 {
+				x = int64(v.Float)
+			} else {
+				x = v.Int
+			}
+			if x < r.Offset || uint64(x-r.Offset) >= 1<<uint(r.Bits) && r.Bits < 64 {
+				return fmt.Errorf("encoding: field %q: value %d outside profiled range", r.Field.Name, x)
+			}
+			w.WriteBits(uint64(x-r.Offset), r.Bits)
+		case EncFloat:
+			w.WriteBits(floatBits(v.Float), 64)
+		case EncEpoch32:
+			var epoch int64
+			if v.Kind == tuple.KindTimestamp {
+				epoch = v.Int
+			} else {
+				e, ok := ParseTS14(v.Str)
+				if !ok {
+					return fmt.Errorf("encoding: field %q: %q is not a timestamp14", r.Field.Name, v.Str)
+				}
+				epoch = e
+			}
+			if epoch < 0 || epoch > 0xFFFFFFFF {
+				return fmt.Errorf("encoding: field %q: epoch %d outside 32 bits", r.Field.Name, epoch)
+			}
+			w.WriteBits(uint64(epoch), 32)
+		case EncNumericString:
+			n := int64(0)
+			for j := 0; j < len(v.Str); j++ {
+				n = n*10 + int64(v.Str[j]-'0')
+			}
+			if n < r.Offset || (r.Bits < 64 && uint64(n-r.Offset) >= 1<<uint(r.Bits)) {
+				return fmt.Errorf("encoding: field %q: %q outside profiled range", r.Field.Name, v.Str)
+			}
+			w.WriteBits(uint64(len(v.Str)), 5)
+			w.WriteBits(uint64(n-r.Offset), r.Bits)
+		case EncDict:
+			idx, ok := c.dicts[i][v.Str]
+			if !ok {
+				return fmt.Errorf("encoding: field %q: %q not in dictionary", r.Field.Name, v.Str)
+			}
+			w.WriteBits(idx, r.Bits)
+		case EncRaw:
+			raw := valueBytes(v)
+			if len(raw) > 0xFFFF {
+				return fmt.Errorf("encoding: field %q: value too long", r.Field.Name)
+			}
+			w.WriteBits(uint64(len(raw)), 16)
+			w.WriteBytes(raw)
+		default:
+			return fmt.Errorf("encoding: field %q: unknown encoding", r.Field.Name)
+		}
+	}
+	return nil
+}
+
+// Decode unpacks one row from the reader.
+func (c *PackedCodec) Decode(rd *BitReader) (tuple.Row, error) {
+	row := make(tuple.Row, len(c.recs))
+	for i, r := range c.recs {
+		f := r.Field
+		if r.Nullable {
+			null, err := rd.ReadBool()
+			if err != nil {
+				return nil, err
+			}
+			if null {
+				row[i] = tuple.Null(f.Kind)
+				continue
+			}
+		}
+		v := tuple.Value{Kind: f.Kind}
+		switch r.Enc {
+		case EncBool:
+			b, err := rd.ReadBool()
+			if err != nil {
+				return nil, err
+			}
+			if b {
+				v.Int = 1
+			}
+		case EncInt:
+			bits, err := rd.ReadBits(r.Bits)
+			if err != nil {
+				return nil, err
+			}
+			x := int64(bits) + r.Offset
+			if f.Kind == tuple.KindFloat64 {
+				v.Float = float64(x)
+			} else {
+				v.Int = x
+			}
+		case EncFloat:
+			bits, err := rd.ReadBits(64)
+			if err != nil {
+				return nil, err
+			}
+			v.Float = floatFromBits(bits)
+		case EncEpoch32:
+			bits, err := rd.ReadBits(32)
+			if err != nil {
+				return nil, err
+			}
+			if f.Kind == tuple.KindTimestamp {
+				v.Int = int64(bits)
+			} else {
+				v.Str = FormatTS14(int64(bits))
+			}
+		case EncNumericString:
+			strLen, err := rd.ReadBits(5)
+			if err != nil {
+				return nil, err
+			}
+			bits, err := rd.ReadBits(r.Bits)
+			if err != nil {
+				return nil, err
+			}
+			s := fmt.Sprintf("%d", int64(bits)+r.Offset)
+			if len(s) < int(strLen) {
+				s = strings.Repeat("0", int(strLen)-len(s)) + s
+			}
+			v.Str = s
+		case EncDict:
+			idx, err := rd.ReadBits(r.Bits)
+			if err != nil {
+				return nil, err
+			}
+			if idx >= uint64(len(r.Dict)) {
+				return nil, fmt.Errorf("encoding: field %q: dictionary index %d out of range", f.Name, idx)
+			}
+			v.Str = r.Dict[idx]
+		case EncRaw:
+			n, err := rd.ReadBits(16)
+			if err != nil {
+				return nil, err
+			}
+			raw, err := rd.ReadBytes(int(n))
+			if err != nil {
+				return nil, err
+			}
+			if f.Kind == tuple.KindBytes {
+				v.Raw = raw
+			} else {
+				v.Str = string(raw)
+			}
+		default:
+			return nil, fmt.Errorf("encoding: field %q: unknown encoding", f.Name)
+		}
+		row[i] = v
+	}
+	return row, nil
+}
+
+// EncodeRows packs a batch of rows back to back and returns the buffer.
+func (c *PackedCodec) EncodeRows(rows []tuple.Row) ([]byte, error) {
+	w := NewBitWriter()
+	for _, row := range rows {
+		if err := c.Encode(row, w); err != nil {
+			return nil, err
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// DecodeRows unpacks n rows from buf.
+func (c *PackedCodec) DecodeRows(buf []byte, n int) ([]tuple.Row, error) {
+	rd := NewBitReader(buf)
+	rows := make([]tuple.Row, 0, n)
+	for i := 0; i < n; i++ {
+		row, err := c.Decode(rd)
+		if err != nil {
+			return nil, fmt.Errorf("encoding: row %d: %w", i, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// DeclaredSize returns the bytes the declared-width row codec
+// (tuple.Encode) uses for a row — the baseline the packed codec is
+// measured against.
+func DeclaredSize(s *tuple.Schema, r tuple.Row) (int, error) {
+	return tuple.EncodedSize(s, r)
+}
+
+func valueBytes(v tuple.Value) []byte {
+	if v.Kind == tuple.KindBytes {
+		return v.Raw
+	}
+	return []byte(v.Str)
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

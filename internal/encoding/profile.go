@@ -1,0 +1,210 @@
+package encoding
+
+import (
+	"math"
+
+	"repro/internal/tuple"
+)
+
+// distinctCap bounds the per-column distinct-value set kept during
+// profiling; beyond it dictionary encoding is off the table anyway.
+const distinctCap = 4096
+
+// ColumnProfile accumulates value statistics for one column — the raw
+// material for an encoding recommendation. Observe is called once per
+// row; the profile never stores more than distinctCap values.
+type ColumnProfile struct {
+	Field tuple.Field
+	Rows  int64
+	Nulls int64
+
+	// Numeric statistics (Int*, Bool, Timestamp kinds and numeric
+	// strings).
+	MinInt, MaxInt int64
+	intSeen        bool
+
+	// Float statistics.
+	AllIntegralFloats bool
+	floatSeen         bool
+
+	// String/char statistics.
+	MaxLen         int
+	TotalLen       int64
+	AllDigits      bool
+	AllTimestamp14 bool
+	AllNumeric     bool // parseable as int64
+	strSeen        bool
+
+	distinct         map[string]struct{}
+	distinctBytes    int64 // total bytes across distinct values
+	DistinctOverflow bool
+}
+
+// NewColumnProfile starts an empty profile for the field.
+func NewColumnProfile(f tuple.Field) *ColumnProfile {
+	return &ColumnProfile{
+		Field:             f,
+		AllDigits:         true,
+		AllTimestamp14:    true,
+		AllNumeric:        true,
+		AllIntegralFloats: true,
+		distinct:          make(map[string]struct{}),
+	}
+}
+
+// Distinct returns the number of distinct non-null values seen, valid
+// only when DistinctOverflow is false.
+func (p *ColumnProfile) Distinct() int { return len(p.distinct) }
+
+// Observe feeds one value into the profile.
+func (p *ColumnProfile) Observe(v tuple.Value) {
+	p.Rows++
+	if v.Null {
+		p.Nulls++
+		return
+	}
+	switch v.Kind {
+	case tuple.KindInt64, tuple.KindInt32, tuple.KindInt16, tuple.KindInt8,
+		tuple.KindBool, tuple.KindTimestamp:
+		p.observeInt(v.Int)
+		p.observeDistinct(string(intKeyBytes(v.Int)))
+	case tuple.KindFloat64:
+		p.floatSeen = true
+		if v.Float != math.Trunc(v.Float) || math.Abs(v.Float) > 1e15 {
+			p.AllIntegralFloats = false
+		} else {
+			p.observeInt(int64(v.Float))
+		}
+		p.observeDistinct(string(intKeyBytes(int64(math.Float64bits(v.Float)))))
+	case tuple.KindChar, tuple.KindString:
+		p.observeString(v.Str)
+	case tuple.KindBytes:
+		p.strSeen = true
+		p.AllDigits = false
+		p.AllTimestamp14 = false
+		p.AllNumeric = false
+		if len(v.Raw) > p.MaxLen {
+			p.MaxLen = len(v.Raw)
+		}
+		p.TotalLen += int64(len(v.Raw))
+		p.observeDistinct(string(v.Raw))
+	}
+}
+
+func (p *ColumnProfile) observeInt(x int64) {
+	if !p.intSeen {
+		p.MinInt, p.MaxInt = x, x
+		p.intSeen = true
+		return
+	}
+	if x < p.MinInt {
+		p.MinInt = x
+	}
+	if x > p.MaxInt {
+		p.MaxInt = x
+	}
+}
+
+func (p *ColumnProfile) observeString(s string) {
+	p.strSeen = true
+	if len(s) > p.MaxLen {
+		p.MaxLen = len(s)
+	}
+	p.TotalLen += int64(len(s))
+	digits := len(s) > 0
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			digits = false
+			break
+		}
+	}
+	if !digits {
+		p.AllDigits = false
+		p.AllTimestamp14 = false
+		p.AllNumeric = false
+	} else {
+		if _, ok := ParseTS14(s); !ok {
+			p.AllTimestamp14 = false
+		}
+		// Fits in int64? 18 digits always do.
+		if len(s) > 18 {
+			p.AllNumeric = false
+		} else {
+			n := int64(0)
+			for i := 0; i < len(s); i++ {
+				n = n*10 + int64(s[i]-'0')
+			}
+			p.observeInt(n)
+		}
+	}
+	p.observeDistinct(s)
+}
+
+func (p *ColumnProfile) observeDistinct(key string) {
+	if p.DistinctOverflow {
+		return
+	}
+	if _, ok := p.distinct[key]; ok {
+		return
+	}
+	if len(p.distinct) >= distinctCap {
+		p.DistinctOverflow = true
+		return
+	}
+	p.distinct[key] = struct{}{}
+	p.distinctBytes += int64(len(key))
+}
+
+// DistinctBytes returns the total payload bytes across distinct values
+// — the size of the dictionary a dictionary encoding would need.
+func (p *ColumnProfile) DistinctBytes() int64 { return p.distinctBytes }
+
+// DistinctStrings returns the observed distinct string values in
+// arbitrary order (dictionary building). Only meaningful for string
+// columns without overflow.
+func (p *ColumnProfile) DistinctStrings() []string {
+	out := make([]string, 0, len(p.distinct))
+	for s := range p.distinct {
+		out = append(out, s)
+	}
+	return out
+}
+
+// HasNulls reports whether any NULL was observed.
+func (p *ColumnProfile) HasNulls() bool { return p.Nulls > 0 }
+
+// AvgLen returns the mean byte length of non-null string values.
+func (p *ColumnProfile) AvgLen() float64 {
+	n := p.Rows - p.Nulls
+	if n <= 0 {
+		return 0
+	}
+	return float64(p.TotalLen) / float64(n)
+}
+
+func intKeyBytes(x int64) []byte {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(x >> (8 * i))
+	}
+	return b[:]
+}
+
+// ProfileRows profiles every column of a row stream. next returns
+// (row, true) until exhausted.
+func ProfileRows(schema *tuple.Schema, next func() (tuple.Row, bool)) []*ColumnProfile {
+	profiles := make([]*ColumnProfile, schema.NumFields())
+	for i := range profiles {
+		profiles[i] = NewColumnProfile(schema.Field(i))
+	}
+	for {
+		row, ok := next()
+		if !ok {
+			break
+		}
+		for i, v := range row {
+			profiles[i].Observe(v)
+		}
+	}
+	return profiles
+}

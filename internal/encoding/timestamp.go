@@ -1,0 +1,58 @@
+package encoding
+
+import "fmt"
+
+// MediaWiki stores timestamps as 14-character digit strings
+// ("20110104123456") — the paper's flagship encoding-waste example: 14
+// bytes for a value a 4-byte integer holds. FormatTS14 and ParseTS14
+// are exact inverses over the supported range, so the packed codec can
+// store the 32-bit epoch and regenerate the string losslessly.
+//
+// The calendar mapping is a simplified proleptic one (365-day years,
+// 31-day months); experiments only need digits-in/digits-out fidelity,
+// not calendar correctness.
+
+// FormatTS14 renders epoch seconds as a 14-digit string.
+func FormatTS14(epoch int64) string {
+	days := epoch / 86400
+	secs := epoch % 86400
+	year := 1970 + days/365
+	doy := days % 365
+	month := doy/31 + 1
+	day := doy%31 + 1
+	return fmt.Sprintf("%04d%02d%02d%02d%02d%02d",
+		year, month, day, secs/3600, (secs%3600)/60, secs%60)
+}
+
+// ParseTS14 parses a 14-digit string back to epoch seconds. It returns
+// ok=false when the string is not a well-formed timestamp14 (wrong
+// length, non-digits, or fields outside the ranges FormatTS14 emits).
+func ParseTS14(s string) (int64, bool) {
+	if len(s) != 14 {
+		return 0, false
+	}
+	for i := 0; i < 14; i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, false
+		}
+	}
+	num := func(a, b int) int {
+		n := 0
+		for _, c := range s[a:b] {
+			n = n*10 + int(c-'0')
+		}
+		return n
+	}
+	year, month, day := num(0, 4), num(4, 6), num(6, 8)
+	hh, mm, ss := num(8, 10), num(10, 12), num(12, 14)
+	if year < 1970 || month < 1 || month > 12 || day < 1 || day > 31 ||
+		hh > 23 || mm > 59 || ss > 59 {
+		return 0, false
+	}
+	doy := (month-1)*31 + (day - 1)
+	if doy >= 365 {
+		return 0, false
+	}
+	days := int64(year-1970)*365 + int64(doy)
+	return days*86400 + int64(hh)*3600 + int64(mm)*60 + int64(ss), true
+}

@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/idxcache"
+	"repro/internal/tuple"
+	"repro/internal/wiki"
+	"repro/internal/workload"
+)
+
+// --- A1/A3: placement-policy and bucket-size ablations -----------------
+
+// AblatePlacementConfig parameterizes the placement ablation.
+type AblatePlacementConfig struct {
+	Items    int
+	Lookups  int
+	Alpha    float64
+	SizePct  int // cache size as % of items
+	Seed     int64
+	BucketNs []int // bucket sizes to sweep (A3)
+}
+
+// DefaultAblatePlacementConfig uses Figure 2(a)'s setup at 25% size
+// with a shrink phase, where placement policy matters most.
+func DefaultAblatePlacementConfig() AblatePlacementConfig {
+	return AblatePlacementConfig{
+		Items: 10000, Lookups: 100000, Alpha: 0.5, SizePct: 25, Seed: 1,
+		BucketNs: []int{1, 2, 4, 8, 16, 64},
+	}
+}
+
+// AblatePlacementRow is one policy/bucket configuration's outcome.
+type AblatePlacementRow struct {
+	Policy    string
+	BucketN   int
+	HitSteady float64 // constant-capacity hit rate
+	HitShrink float64 // hit rate while the cache halves
+}
+
+// AblatePlacementResult is the sweep.
+type AblatePlacementResult struct {
+	Config AblatePlacementConfig
+	Rows   []AblatePlacementRow
+}
+
+// RunAblatePlacement compares swap-toward-center against no-promotion
+// random placement (A1), and sweeps the bucket size N (A3). The paper's
+// design claim is that swapping matters specifically under shrink —
+// hot entries must migrate inward before the periphery is overwritten.
+func RunAblatePlacement(cfg AblatePlacementConfig) (AblatePlacementResult, error) {
+	res := AblatePlacementResult{Config: cfg}
+	capacity := cfg.Items * cfg.SizePct / 100
+	run := func(bucketN int, noPromote, shrink bool) (float64, error) {
+		zipf := workload.NewZipf(workload.NewRand(cfg.Seed+3), cfg.Items, cfg.Alpha)
+		sim, err := idxcache.NewSim(workload.NewRand(cfg.Seed+11), capacity, bucketN)
+		if err != nil {
+			return 0, err
+		}
+		sim.NoPromote = noPromote
+		// Warm phase at constant capacity, so the measured phase starts
+		// from the policy's steady-state layout (promotion matters when
+		// the periphery is about to be overwritten, not during fill).
+		for i := 0; i < cfg.Lookups; i++ {
+			sim.Lookup(zipf.Next())
+		}
+		sim.ResetStats()
+		shrinkTotal := capacity / 2
+		shrinkEvery := 0
+		if shrink && shrinkTotal > 0 {
+			shrinkEvery = cfg.Lookups / shrinkTotal
+			if shrinkEvery == 0 {
+				shrinkEvery = 1
+			}
+		}
+		for i := 0; i < cfg.Lookups; i++ {
+			sim.Lookup(zipf.Next())
+			if shrinkEvery > 0 && i%shrinkEvery == shrinkEvery-1 && sim.Capacity() > capacity-shrinkTotal {
+				sim.Shrink(1)
+			}
+		}
+		return sim.HitRate(), nil
+	}
+	// A1: policy comparison at the default bucket size.
+	for _, p := range []struct {
+		name      string
+		noPromote bool
+	}{{"swap-toward-center", false}, {"no-promotion", true}} {
+		steady, err := run(4, p.noPromote, false)
+		if err != nil {
+			return AblatePlacementResult{}, err
+		}
+		shrunk, err := run(4, p.noPromote, true)
+		if err != nil {
+			return AblatePlacementResult{}, err
+		}
+		res.Rows = append(res.Rows, AblatePlacementRow{
+			Policy: p.name, BucketN: 4, HitSteady: steady, HitShrink: shrunk,
+		})
+	}
+	// A3: bucket-size sweep with swapping on.
+	for _, n := range cfg.BucketNs {
+		steady, err := run(n, false, false)
+		if err != nil {
+			return AblatePlacementResult{}, err
+		}
+		shrunk, err := run(n, false, true)
+		if err != nil {
+			return AblatePlacementResult{}, err
+		}
+		res.Rows = append(res.Rows, AblatePlacementRow{
+			Policy: "swap", BucketN: n, HitSteady: steady, HitShrink: shrunk,
+		})
+	}
+	return res, nil
+}
+
+// Print renders the sweep.
+func (r AblatePlacementResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Ablation A1/A3: cache placement policy and bucket size (cache=%d%% of %d items)\n",
+		r.Config.SizePct, r.Config.Items)
+	fmt.Fprintf(w, "%-20s %8s %10s %10s\n", "policy", "bucketN", "steady", "shrink")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-20s %8d %10.3f %10.3f\n", row.Policy, row.BucketN, row.HitSteady, row.HitShrink)
+	}
+}
+
+// --- A2: predicate-log threshold ablation ------------------------------
+
+// AblatePredLogConfig parameterizes the invalidation ablation.
+type AblatePredLogConfig struct {
+	Rows      int
+	Ops       int
+	UpdatePct int // percentage of operations that are updates
+	Seed      int64
+	Limits    []int // predicate-log thresholds; 0 = always escalate
+}
+
+// DefaultAblatePredLogConfig mixes 10% updates into lookups.
+func DefaultAblatePredLogConfig() AblatePredLogConfig {
+	return AblatePredLogConfig{
+		Rows: 5000, Ops: 30000, UpdatePct: 10, Seed: 1,
+		Limits: []int{0, 16, 256, 4096},
+	}
+}
+
+// AblatePredLogRow is one threshold's outcome.
+type AblatePredLogRow struct {
+	Limit             int
+	CacheHitRate      float64
+	FullInvalidations int64
+	PageInvalidations int64
+}
+
+// AblatePredLogResult is the sweep.
+type AblatePredLogResult struct {
+	Config AblatePredLogConfig
+	Rows   []AblatePredLogRow
+}
+
+// RunAblatePredLog measures how the predicate-log threshold trades
+// invalidation granularity against cache hit rate under a read/update
+// mix. Limit 0 escalates every update to a full CSN bump (the paper's
+// naive baseline); higher limits confine invalidation to the pages the
+// updated keys actually live on.
+func RunAblatePredLog(cfg AblatePredLogConfig) (AblatePredLogResult, error) {
+	res := AblatePredLogResult{Config: cfg}
+	for _, limit := range cfg.Limits {
+		row, err := runPredLogOnce(cfg, limit)
+		if err != nil {
+			return AblatePredLogResult{}, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func runPredLogOnce(cfg AblatePredLogConfig, limit int) (AblatePredLogRow, error) {
+	e, err := core.NewEngine(core.Options{PageSize: 8192, BufferPoolPages: 1 << 14})
+	if err != nil {
+		return AblatePredLogRow{}, err
+	}
+	defer e.Close()
+	tb, err := e.CreateTable("page", wiki.PageSchema())
+	if err != nil {
+		return AblatePredLogRow{}, err
+	}
+	gen := wiki.NewGenerator(wiki.Config{Pages: cfg.Rows, RevisionsPerPage: 1, Alpha: 0.5, Seed: cfg.Seed})
+	for i := 0; i < cfg.Rows; i++ {
+		if _, err := tb.Insert(gen.PageRow(i, int64(i))); err != nil {
+			return AblatePredLogRow{}, err
+		}
+	}
+	opts := []core.IndexOption{
+		core.WithFillFactor(0.68),
+		core.WithCache(wiki.CachedPageFields()...),
+		core.WithCacheSeed(cfg.Seed),
+	}
+	if limit > 0 {
+		opts = append(opts, core.WithPredLogLimit(limit))
+	} else {
+		opts = append(opts, core.WithPredLogLimit(-1)) // negative: escalate on every append
+	}
+	ix, err := tb.CreateIndex("name_title", []string{"page_namespace", "page_title"}, opts...)
+	if err != nil {
+		return AblatePredLogRow{}, err
+	}
+	if _, err := ix.WarmCache(); err != nil {
+		return AblatePredLogRow{}, err
+	}
+	rng := workload.NewRand(cfg.Seed + 77)
+	zipf := workload.NewZipf(workload.NewRand(cfg.Seed+78), cfg.Rows, 0.8)
+	proj := []string{"page_latest", "page_len"}
+	for op := 0; op < cfg.Ops; op++ {
+		i := zipf.Next()
+		key := fig2cKey(i)
+		if rng.Intn(100) < cfg.UpdatePct {
+			rid, found, err := ix.LookupRID(key...)
+			if err != nil || !found {
+				return AblatePredLogRow{}, fmt.Errorf("experiments: update target missing: %v", err)
+			}
+			row, err := tb.Get(rid)
+			if err != nil {
+				return AblatePredLogRow{}, err
+			}
+			row[4] = tuple.Int64(row[4].Int + 1) // bump page_latest (a cached field)
+			if _, err := tb.Update(rid, row); err != nil {
+				return AblatePredLogRow{}, err
+			}
+			continue
+		}
+		if _, _, err := ix.Lookup(proj, key...); err != nil {
+			return AblatePredLogRow{}, err
+		}
+	}
+	st := ix.Cache().Stats()
+	return AblatePredLogRow{
+		Limit:             limit,
+		CacheHitRate:      st.HitRate(),
+		FullInvalidations: st.FullInvalidations,
+		PageInvalidations: st.PageInvalidations,
+	}, nil
+}
+
+// Print renders the sweep.
+func (r AblatePredLogResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Ablation A2: predicate-log threshold (%d%% updates in %d ops over %d rows)\n",
+		r.Config.UpdatePct, r.Config.Ops, r.Config.Rows)
+	fmt.Fprintf(w, "%8s %12s %12s %12s\n", "limit", "hit rate", "full inval", "page inval")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%8d %12.3f %12d %12d\n", row.Limit, row.CacheHitRate, row.FullInvalidations, row.PageInvalidations)
+	}
+}

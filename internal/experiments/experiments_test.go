@@ -1,0 +1,358 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The experiment tests run reduced configurations and assert the
+// qualitative shapes the paper reports — who wins, in which direction,
+// and by roughly what structure — not absolute numbers.
+
+func TestFig2aShapes(t *testing.T) {
+	cfg := DefaultFig2aConfig()
+	cfg.Items, cfg.Lookups = 2000, 30000
+	cfg.Sizes = []int{10, 25, 50, 100}
+	res, err := RunFig2a(cfg)
+	if err != nil {
+		t.Fatalf("RunFig2a: %v", err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	for i, p := range res.Points {
+		// Monotone in cache size.
+		if i > 0 && p.Swap < res.Points[i-1].Swap-0.02 {
+			t.Errorf("Swap not monotone at %d%%", p.SizePct)
+		}
+		// Swap ≥ Shrink (less cache can't help).
+		if p.Shrink > p.Swap+0.02 {
+			t.Errorf("Shrink beats Swap at %d%%", p.SizePct)
+		}
+		// Nothing beats the clairvoyant bound (cold-start misses keep the
+		// average strictly below it).
+		if p.Swap > p.Ideal+0.02 {
+			t.Errorf("Swap exceeds ideal at %d%%", p.SizePct)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Figure 2(a)") {
+		t.Error("Print output missing header")
+	}
+}
+
+func TestFig2bShapes(t *testing.T) {
+	cfg := DefaultFig2bConfig()
+	cfg.Lookups = 20000
+	res := RunFig2b(cfg)
+	if len(res.MsPerLookup) != len(cfg.BufferPoolRates) {
+		t.Fatalf("series count %d", len(res.MsPerLookup))
+	}
+	// Higher buffer pool hit rate is strictly cheaper at cache rate 0.
+	for i := 1; i < len(cfg.BufferPoolRates); i++ {
+		if res.MsPerLookup[i][0] >= res.MsPerLookup[i-1][0] {
+			t.Errorf("bp=%.2f not cheaper than bp=%.2f", cfg.BufferPoolRates[i], cfg.BufferPoolRates[i-1])
+		}
+	}
+	// Cache hit rate 100% collapses every series to the same floor.
+	last := len(cfg.CacheRates) - 1
+	floor := res.MsPerLookup[0][last]
+	for i := range cfg.BufferPoolRates {
+		if res.MsPerLookup[i][last] != floor {
+			t.Errorf("series %d floor %f != %f", i, res.MsPerLookup[i][last], floor)
+		}
+	}
+	// The paper's headline: ~4 orders of magnitude between bp=0% at
+	// cache=0 and the all-hit floor.
+	if res.MsPerLookup[0][0] < 1000*floor {
+		t.Errorf("dynamic range too small: %f vs floor %f", res.MsPerLookup[0][0], floor)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "bp=96%") {
+		t.Error("Print output missing series")
+	}
+}
+
+func TestFig2cShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	cfg := DefaultFig2cConfig()
+	cfg.Pages, cfg.Lookups = 4000, 20000
+	// Wall-clock measurements jitter; accept the shape if any of three
+	// attempts shows it cleanly.
+	var res Fig2cResult
+	var err error
+	ok := false
+	for attempt := 0; attempt < 3 && !ok; attempt++ {
+		cfg.Seed = int64(attempt + 1)
+		res, err = RunFig2c(cfg)
+		if err != nil {
+			t.Fatalf("RunFig2c: %v", err)
+		}
+		ok = res.HitNs < res.MissNs && res.OverheadNs > 0 && res.SpeedupAtFull > 1.0
+	}
+	// A hit must beat a miss; the miss must cost more than nocache
+	// (probe + fill overhead); a hit avoids the heap so it undercuts
+	// the no-cache baseline.
+	if res.HitNs >= res.MissNs {
+		t.Errorf("hit %.0fns not cheaper than miss %.0fns", res.HitNs, res.MissNs)
+	}
+	if res.OverheadNs <= 0 {
+		t.Errorf("cache overhead %.0fns should be positive", res.OverheadNs)
+	}
+	if res.SpeedupAtFull <= 1.0 {
+		t.Errorf("speedup at full hit rate %.2f, want > 1", res.SpeedupAtFull)
+	}
+	if len(res.Points) != 11 {
+		t.Errorf("%d curve points", len(res.Points))
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "break-even") {
+		t.Error("Print output missing break-even")
+	}
+}
+
+func TestFig3Shapes(t *testing.T) {
+	// The partition's advantage needs the paper's regime: the full
+	// index must not fit the buffer pool while the hot partition's
+	// (index + heap) does.
+	cfg := DefaultFig3Config()
+	cfg.Pages, cfg.Queries = 1500, 3000
+	cfg.RevisionsPerPage = 15
+	cfg.BufferPoolPages = 80
+	res, err := RunFig3(cfg)
+	if err != nil {
+		t.Fatalf("RunFig3: %v", err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	base, c54, c100, part := res.Points[0], res.Points[1], res.Points[2], res.Points[3]
+	// Clustering monotonically improves; partitioning wins outright.
+	if c54.MsPerQuery >= base.MsPerQuery {
+		t.Errorf("54%% clustering (%.3f) no better than baseline (%.3f)", c54.MsPerQuery, base.MsPerQuery)
+	}
+	if c100.MsPerQuery >= c54.MsPerQuery {
+		t.Errorf("100%% clustering (%.3f) no better than 54%% (%.3f)", c100.MsPerQuery, c54.MsPerQuery)
+	}
+	if part.MsPerQuery >= c100.MsPerQuery {
+		t.Errorf("partition (%.3f) no better than full clustering (%.3f)", part.MsPerQuery, c100.MsPerQuery)
+	}
+	// The hot partition's index must be much smaller than the full one.
+	if res.IndexShrinkFactor < 3 {
+		t.Errorf("index shrink factor %.1f too small", res.IndexShrinkFactor)
+	}
+	// Baseline diagnosis: hot tuples scattered over most pages.
+	if res.BaselineHotScatter < 0.3 {
+		t.Errorf("hot scatter %.2f suspiciously low", res.BaselineHotScatter)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "Partition") {
+		t.Error("Print output missing Partition row")
+	}
+}
+
+func TestEncWasteShapes(t *testing.T) {
+	cfg := DefaultEncWasteConfig()
+	cfg.Rows = 2500
+	res, err := RunEncWaste(cfg)
+	if err != nil {
+		t.Fatalf("RunEncWaste: %v", err)
+	}
+	if len(res.Reports) != 4 {
+		t.Fatalf("%d reports", len(res.Reports))
+	}
+	byName := map[string]float64{}
+	for _, rep := range res.Reports {
+		byName[rep.Name] = rep.WastePct()
+	}
+	// Metadata tables waste a lot; the text table wastes almost nothing.
+	for _, name := range []string{"revision", "page", "cartel"} {
+		if byName[name] < 30 {
+			t.Errorf("%s waste %.1f%% too low", name, byName[name])
+		}
+	}
+	if byName["text"] > 15 {
+		t.Errorf("text waste %.1f%% too high for blob data", byName["text"])
+	}
+	// Aggregate near the paper's ~20%.
+	if agg := res.AggregateWastePct(); agg < 10 || agg > 45 {
+		t.Errorf("aggregate waste %.1f%% outside plausible band", agg)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "flagship") {
+		t.Error("Print output missing the timestamp14 case")
+	}
+}
+
+func TestCapacityShapes(t *testing.T) {
+	cfg := DefaultCapacityConfig()
+	cfg.Pages = 3000
+	res, err := RunCapacity(cfg)
+	if err != nil {
+		t.Fatalf("RunCapacity: %v", err)
+	}
+	if res.MeasuredFill < 0.55 || res.MeasuredFill > 0.75 {
+		t.Errorf("measured fill %.2f far from configured 0.68", res.MeasuredFill)
+	}
+	if res.MeasuredSlots == 0 {
+		t.Error("no cache slots measured")
+	}
+	if res.MeasuredCoverage <= 0.2 {
+		t.Errorf("coverage %.2f too low", res.MeasuredCoverage)
+	}
+	// Closed form with the paper's inputs must land near their 7.9M.
+	items := res.PaperEstimate.Items()
+	if items < 5_000_000 || items > 10_000_000 {
+		t.Errorf("paper-input estimate %d items, want ≈7.9M", items)
+	}
+}
+
+func TestSemIDShapes(t *testing.T) {
+	cfg := DefaultSemIDConfig()
+	cfg.Tuples, cfg.Lookups = 50000, 100000
+	res, err := RunSemID(cfg)
+	if err != nil {
+		t.Fatalf("RunSemID: %v", err)
+	}
+	if res.TableBytes <= 1000*res.EmbeddedBytes {
+		t.Errorf("routing table %d bytes not ≫ embedded %d", res.TableBytes, res.EmbeddedBytes)
+	}
+	if res.EmbeddedNsOp >= res.TableNsOp {
+		t.Errorf("embedded routing (%.1fns) not faster than table (%.1fns)", res.EmbeddedNsOp, res.TableNsOp)
+	}
+	if len(res.Reductions) != 2 {
+		t.Errorf("%d reductions", len(res.Reductions))
+	}
+}
+
+func TestVPartShapes(t *testing.T) {
+	cfg := DefaultVPartConfig()
+	cfg.Rows, cfg.Queries = 2000, 4000
+	res, err := RunVPart(cfg)
+	if err != nil {
+		t.Fatalf("RunVPart: %v", err)
+	}
+	if len(res.Split.Groups) < 2 {
+		t.Fatalf("advisor did not split: %v", res.Split.Groups)
+	}
+	if res.Split.Gain() <= 0 {
+		t.Errorf("split gain %.2f not positive", res.Split.Gain())
+	}
+	// Narrow reads and updates touch one group; full reads pay the merge.
+	if res.HotReadTouches > 1.01 {
+		t.Errorf("hot reads touch %.2f groups", res.HotReadTouches)
+	}
+	if res.UpdateTouches > 1.01 {
+		t.Errorf("updates touch %.2f groups", res.UpdateTouches)
+	}
+	if res.FullReadTouches < 1.9 {
+		t.Errorf("full reads touch %.2f groups; merge cost missing", res.FullReadTouches)
+	}
+}
+
+func TestCoveringShapes(t *testing.T) {
+	cfg := DefaultCoveringConfig()
+	cfg.Pages = 3000
+	res, err := RunCovering(cfg)
+	if err != nil {
+		t.Fatalf("RunCovering: %v", err)
+	}
+	// The cache adds zero index bytes; the covering index bloats.
+	if res.CachedIndexBytes != res.PlainIndexBytes {
+		t.Errorf("cache changed index size: %d vs %d", res.CachedIndexBytes, res.PlainIndexBytes)
+	}
+	if res.Bloat() < 1.2 {
+		t.Errorf("covering index bloat %.2f suspiciously low", res.Bloat())
+	}
+	if res.CacheCoverage <= 0.2 {
+		t.Errorf("cache coverage %.2f too low", res.CacheCoverage)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "bloat") {
+		t.Error("Print output missing bloat")
+	}
+}
+
+func TestJoinCacheShapes(t *testing.T) {
+	cfg := DefaultJoinCacheConfig()
+	cfg.Pages, cfg.Queries = 300, 8000
+	res, err := RunJoinCache(cfg)
+	if err != nil {
+		t.Fatalf("RunJoinCache: %v", err)
+	}
+	// The join cache must eliminate a substantial share of dimension
+	// lookups under a skewed workload.
+	if res.HitRate < 0.3 {
+		t.Errorf("join-cache hit rate %.2f too low", res.HitRate)
+	}
+	if res.Saved() < 0.3 {
+		t.Errorf("only %.1f%% of dimension lookups eliminated", 100*res.Saved())
+	}
+	if res.DimLookupsCached >= res.DimLookupsBaseline {
+		t.Error("cached run did not reduce dimension lookups")
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "eliminated") {
+		t.Error("Print output missing summary")
+	}
+}
+
+func TestAblatePlacementShapes(t *testing.T) {
+	cfg := DefaultAblatePlacementConfig()
+	cfg.Items, cfg.Lookups = 3000, 40000
+	cfg.BucketNs = []int{2, 8}
+	res, err := RunAblatePlacement(cfg)
+	if err != nil {
+		t.Fatalf("RunAblatePlacement: %v", err)
+	}
+	var swap, noPromote *AblatePlacementRow
+	for i := range res.Rows {
+		switch res.Rows[i].Policy {
+		case "swap-toward-center":
+			swap = &res.Rows[i]
+		case "no-promotion":
+			noPromote = &res.Rows[i]
+		}
+	}
+	if swap == nil || noPromote == nil {
+		t.Fatal("policy rows missing")
+	}
+	// The design claim: swapping matters under shrink.
+	if swap.HitShrink <= noPromote.HitShrink {
+		t.Errorf("swap (%.3f) should beat no-promotion (%.3f) under shrink",
+			swap.HitShrink, noPromote.HitShrink)
+	}
+}
+
+func TestAblatePredLogShapes(t *testing.T) {
+	cfg := DefaultAblatePredLogConfig()
+	cfg.Rows, cfg.Ops = 800, 6000
+	res, err := RunAblatePredLog(cfg)
+	if err != nil {
+		t.Fatalf("RunAblatePredLog: %v", err)
+	}
+	if len(res.Rows) != len(cfg.Limits) {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	// Fine-grained invalidation must beat always-escalate on hit rate
+	// and full invalidations.
+	if last.CacheHitRate <= first.CacheHitRate {
+		t.Errorf("limit %d hit rate %.3f not above limit %d's %.3f",
+			last.Limit, last.CacheHitRate, first.Limit, first.CacheHitRate)
+	}
+	if last.FullInvalidations >= first.FullInvalidations {
+		t.Errorf("full invalidations did not drop: %d vs %d",
+			last.FullInvalidations, first.FullInvalidations)
+	}
+}

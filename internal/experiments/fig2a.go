@@ -1,0 +1,120 @@
+// Package experiments contains the harnesses that regenerate every
+// figure and in-text quantitative analysis of the paper. Each Run*
+// function returns a structured result with a Print method producing
+// the rows/series the paper reports; cmd/nblb-bench drives them and
+// bench_test.go runs reduced versions under testing.B.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/idxcache"
+	"repro/internal/workload"
+)
+
+// Fig2aConfig parameterizes the Figure 2(a) simulation: hit rate vs
+// cache size under the Swap and Shrink regimes.
+type Fig2aConfig struct {
+	Items   int     // distinct tuples (the table)
+	Lookups int     // accesses per point (paper: 100k)
+	Alpha   float64 // zipf skew (paper: 0.5)
+	BucketN int     // slots per bucket
+	Seed    int64
+	// Sizes are the cache sizes as a percentage of Items. Defaults to
+	// 5..100 step 5.
+	Sizes []int
+}
+
+// DefaultFig2aConfig mirrors the paper's parameters at laptop scale.
+func DefaultFig2aConfig() Fig2aConfig {
+	return Fig2aConfig{Items: 10000, Lookups: 100000, Alpha: 0.5, BucketN: 4, Seed: 1}
+}
+
+// Fig2aPoint is one x position of the figure.
+type Fig2aPoint struct {
+	SizePct int     // cache size as % of items
+	Swap    float64 // read-only workload hit rate
+	Shrink  float64 // hit rate while half the cache is overwritten
+	Ideal   float64 // clairvoyant top-k hit rate (upper bound)
+}
+
+// Fig2aResult is the full curve set.
+type Fig2aResult struct {
+	Config Fig2aConfig
+	Points []Fig2aPoint
+}
+
+// RunFig2a runs the simulation. Each point replays the same zipfian
+// trace against a fresh cache: Swap keeps capacity constant; Shrink
+// removes peripheral slots at a constant rate until half the cache is
+// gone, modelling index inserts stealing the free space.
+func RunFig2a(cfg Fig2aConfig) (Fig2aResult, error) {
+	if len(cfg.Sizes) == 0 {
+		for p := 5; p <= 100; p += 5 {
+			cfg.Sizes = append(cfg.Sizes, p)
+		}
+	}
+	res := Fig2aResult{Config: cfg}
+	// Precompute the ideal curve from the exact distribution.
+	probe := workload.NewZipf(workload.NewRand(cfg.Seed), cfg.Items, cfg.Alpha)
+	cum := make([]float64, cfg.Items+1)
+	for i := 0; i < cfg.Items; i++ {
+		cum[i+1] = cum[i] + probe.Probability(i)
+	}
+	for _, pct := range cfg.Sizes {
+		capacity := cfg.Items * pct / 100
+		if capacity < 1 {
+			capacity = 1
+		}
+		swap, err := runFig2aOnce(cfg, capacity, false)
+		if err != nil {
+			return Fig2aResult{}, err
+		}
+		shrink, err := runFig2aOnce(cfg, capacity, true)
+		if err != nil {
+			return Fig2aResult{}, err
+		}
+		ideal := 1.0
+		if capacity <= cfg.Items {
+			ideal = cum[capacity]
+		}
+		res.Points = append(res.Points, Fig2aPoint{
+			SizePct: pct, Swap: swap, Shrink: shrink, Ideal: ideal,
+		})
+	}
+	return res, nil
+}
+
+func runFig2aOnce(cfg Fig2aConfig, capacity int, shrink bool) (float64, error) {
+	zipf := workload.NewZipf(workload.NewRand(cfg.Seed+7), cfg.Items, cfg.Alpha)
+	sim, err := idxcache.NewSim(workload.NewRand(cfg.Seed+13), capacity, cfg.BucketN)
+	if err != nil {
+		return 0, err
+	}
+	shrinkTotal := capacity / 2
+	shrinkEvery := 0
+	if shrink && shrinkTotal > 0 {
+		shrinkEvery = cfg.Lookups / shrinkTotal
+		if shrinkEvery == 0 {
+			shrinkEvery = 1
+		}
+	}
+	for i := 0; i < cfg.Lookups; i++ {
+		sim.Lookup(zipf.Next())
+		if shrinkEvery > 0 && i%shrinkEvery == shrinkEvery-1 && sim.Capacity() > capacity-shrinkTotal {
+			sim.Shrink(1)
+		}
+	}
+	return sim.HitRate(), nil
+}
+
+// Print renders the curves as aligned columns.
+func (r Fig2aResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 2(a): hit rate vs cache size — zipf(α=%.2f), %d items, %d lookups\n",
+		r.Config.Alpha, r.Config.Items, r.Config.Lookups)
+	fmt.Fprintf(w, "%8s %8s %8s %8s\n", "size%", "Swap", "Shrink", "Ideal")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%8d %8.3f %8.3f %8.3f\n", p.SizePct, p.Swap, p.Shrink, p.Ideal)
+	}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Fig2bConfig parameterizes the Figure 2(b) cost simulation: lookup
+// cost as the index-cache hit rate and buffer-pool hit rate vary.
+type Fig2bConfig struct {
+	Lookups int
+	// BufferPoolRates are the line series (paper: 0, 60, 90, 96, 100%).
+	BufferPoolRates []float64
+	// CacheRates are the x positions (paper: 0..100%).
+	CacheRates []float64
+	Cost       metrics.CostModel
+	Seed       int64
+}
+
+// DefaultFig2bConfig mirrors the paper's setup.
+func DefaultFig2bConfig() Fig2bConfig {
+	return Fig2bConfig{
+		Lookups:         200000,
+		BufferPoolRates: []float64{0, 0.60, 0.90, 0.96, 1.00},
+		CacheRates:      []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+		Cost:            metrics.DefaultCostModel(),
+		Seed:            1,
+	}
+}
+
+// Fig2bResult holds cost-per-lookup in milliseconds indexed by
+// [bufferPoolRate][cacheRate].
+type Fig2bResult struct {
+	Config Fig2bConfig
+	// MsPerLookup[i][j] is the mean cost for BufferPoolRates[i] and
+	// CacheRates[j], in milliseconds (the paper's y axis, log scale).
+	MsPerLookup [][]float64
+}
+
+// RunFig2b Monte-Carlo-samples the three-tier cost model, mirroring the
+// paper's micro-benchmark: an index cache hit answers immediately; a
+// miss touches a random buffer-pool page; a buffer-pool miss reads a
+// page from disk.
+func RunFig2b(cfg Fig2bConfig) Fig2bResult {
+	rng := workload.NewRand(cfg.Seed)
+	res := Fig2bResult{Config: cfg}
+	for _, bp := range cfg.BufferPoolRates {
+		row := make([]float64, 0, len(cfg.CacheRates))
+		for _, cr := range cfg.CacheRates {
+			var total float64
+			for i := 0; i < cfg.Lookups; i++ {
+				cacheHit := rng.Float64() < cr
+				bpHit := rng.Float64() < bp
+				total += cfg.Cost.LookupSeconds(true, cacheHit, bpHit)
+			}
+			row = append(row, total/float64(cfg.Lookups)*1000) // → ms
+		}
+		res.MsPerLookup = append(res.MsPerLookup, row)
+	}
+	return res
+}
+
+// Print renders the series with buffer-pool rates as line labels.
+func (r Fig2bResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 2(b): cost/lookup (ms) vs index cache hit rate, by buffer pool hit rate\n")
+	fmt.Fprintf(w, "%8s", "cache%")
+	for _, bp := range r.Config.BufferPoolRates {
+		fmt.Fprintf(w, " %10s", fmt.Sprintf("bp=%.0f%%", bp*100))
+	}
+	fmt.Fprintln(w)
+	for j, cr := range r.Config.CacheRates {
+		fmt.Fprintf(w, "%8.0f", cr*100)
+		for i := range r.Config.BufferPoolRates {
+			fmt.Fprintf(w, " %10.5f", r.MsPerLookup[i][j])
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,343 @@
+// Package heap implements heap files: unordered collections of records
+// stored in slotted pages, addressed by RID, with an in-memory
+// free-space map for insert placement.
+//
+// The default placement policy is append-biased ("append to table"),
+// matching the behaviour the paper criticizes in Section 3.1: tuple
+// placement follows insertion order, not access pattern, so hot tuples
+// end up scattered. internal/partition implements the paper's fix on
+// top of this layer (delete + re-append clustering and hot/cold
+// partitions).
+package heap
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/buffer"
+	"repro/internal/storage"
+)
+
+// pageFlagHeap tags heap pages in the slotted-page flags word.
+const pageFlagHeap uint16 = 0x48 // 'H'
+
+// File is a heap file. It is safe for concurrent use.
+type File struct {
+	pool *buffer.Pool
+
+	mu    sync.Mutex
+	pages []storage.PageID // all pages of this file, in allocation order
+	// freeBytes mirrors each page's free space so inserts can pick a
+	// page without fetching them all. Values are advisory; the slotted
+	// page is the source of truth at insert time.
+	freeBytes map[storage.PageID]int
+	// appendOnly forces inserts to ignore free space in earlier pages
+	// and always fill the last page, the paper's "append to table".
+	appendOnly bool
+	// fillFactor caps how full inserts pack a page (1.0 = to the brim).
+	// Reserved space serves in-place update headroom and, per the
+	// paper's Section 2.2, the data-page join cache.
+	fillFactor float64
+}
+
+// Option configures a heap file.
+type Option func(*File)
+
+// AppendOnly makes inserts always go to the tail page, even when older
+// pages have free space. Clustering experiments rely on this to get the
+// paper's "relocate hot tuples by deleting then appending them to the
+// end of the table" semantics.
+func AppendOnly() Option {
+	return func(f *File) { f.appendOnly = true }
+}
+
+// WithFillFactor makes inserts leave 1−ff of each page's usable space
+// free (like PostgreSQL's fillfactor). ff must be in (0, 1]; values
+// outside are clamped. The reserved space absorbs in-place updates and
+// hosts the Section 2.2 join cache.
+func WithFillFactor(ff float64) Option {
+	return func(f *File) {
+		if ff <= 0 || ff > 1 {
+			ff = 1
+		}
+		f.fillFactor = ff
+	}
+}
+
+// NewFile creates an empty heap file in the pool's disk.
+func NewFile(pool *buffer.Pool, opts ...Option) (*File, error) {
+	f := &File{
+		pool:       pool,
+		freeBytes:  make(map[storage.PageID]int),
+		fillFactor: 1.0,
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	if _, err := f.addPageLocked(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// addPageLocked allocates and formats a fresh heap page. Caller may hold
+// f.mu or call during construction.
+func (f *File) addPageLocked() (storage.PageID, error) {
+	fr, err := f.pool.NewPage()
+	if err != nil {
+		return storage.InvalidPageID, err
+	}
+	sp := storage.AsSlotted(fr.Data())
+	sp.Init()
+	sp.SetFlags(pageFlagHeap)
+	id := fr.ID()
+	f.pages = append(f.pages, id)
+	f.freeBytes[id] = sp.AvailableBytes()
+	f.pool.Unpin(fr, true)
+	return id, nil
+}
+
+// NumPages returns the number of pages in the file.
+func (f *File) NumPages() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.pages)
+}
+
+// Pages returns a copy of the file's page ids in order.
+func (f *File) Pages() []storage.PageID {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]storage.PageID(nil), f.pages...)
+}
+
+// Insert stores rec and returns its RID.
+func (f *File) Insert(rec []byte) (storage.RID, error) {
+	if len(rec) == 0 {
+		return storage.InvalidRID, fmt.Errorf("heap: cannot insert empty record")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	target := f.pickPageLocked(len(rec))
+	budget := int(f.fillFactor * float64(f.pool.Disk().PageSize()))
+	for attempt := 0; attempt < 2; attempt++ {
+		fr, err := f.pool.Fetch(target)
+		if err != nil {
+			return storage.InvalidRID, err
+		}
+		fr.Latch.Lock()
+		sp := storage.AsSlotted(fr.Data())
+		var slot uint16
+		// Honor the fill factor: a page holding records already at its
+		// budget refuses further inserts (still below 100% physically).
+		if f.fillFactor < 1 && sp.LiveRecords() > 0 && sp.UsedBytes()+len(rec) > budget {
+			err = storage.ErrNoSpace
+		} else {
+			slot, err = sp.Insert(rec)
+		}
+		free := sp.AvailableBytes()
+		// The advisory must reflect remaining *budget*, not physical
+		// space, or budget-full pages would be picked forever.
+		if f.fillFactor < 1 {
+			if rem := budget - sp.UsedBytes(); rem < free {
+				free = rem
+				if free < 0 {
+					free = 0
+				}
+			}
+		}
+		fr.Latch.Unlock()
+		if err == nil {
+			f.freeBytes[target] = free
+			f.pool.Unpin(fr, true)
+			return storage.RID{Page: target, Slot: slot}, nil
+		}
+		f.pool.Unpin(fr, false)
+		if err != storage.ErrNoSpace {
+			return storage.InvalidRID, err
+		}
+		// The advisory map was stale or the record simply doesn't fit:
+		// extend the file and retry once on the fresh page.
+		f.freeBytes[target] = free
+		target, err = f.addPageLocked()
+		if err != nil {
+			return storage.InvalidRID, err
+		}
+	}
+	return storage.InvalidRID, fmt.Errorf("heap: record of %d bytes does not fit in an empty page", len(rec))
+}
+
+// pickPageLocked chooses the insert target: the tail page in append-only
+// mode, otherwise the first page whose advisory free space fits.
+func (f *File) pickPageLocked(need int) storage.PageID {
+	tail := f.pages[len(f.pages)-1]
+	if f.appendOnly {
+		return tail
+	}
+	for _, id := range f.pages {
+		if f.freeBytes[id] >= need+8 { // 8 = slot entry + slack
+			return id
+		}
+	}
+	return tail
+}
+
+// Get returns a copy of the record at rid.
+func (f *File) Get(rid storage.RID) ([]byte, error) {
+	fr, err := f.pool.Fetch(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	fr.Latch.RLock()
+	sp := storage.AsSlotted(fr.Data())
+	rec, err := sp.Get(rid.Slot)
+	var out []byte
+	if err == nil {
+		out = append([]byte(nil), rec...)
+	}
+	fr.Latch.RUnlock()
+	f.pool.Unpin(fr, false)
+	return out, err
+}
+
+// Delete removes the record at rid.
+func (f *File) Delete(rid storage.RID) error {
+	fr, err := f.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	fr.Latch.Lock()
+	sp := storage.AsSlotted(fr.Data())
+	err = sp.Delete(rid.Slot)
+	free := sp.AvailableBytes()
+	fr.Latch.Unlock()
+	dirty := err == nil
+	f.pool.Unpin(fr, dirty)
+	if err == nil {
+		f.mu.Lock()
+		f.freeBytes[rid.Page] = free
+		f.mu.Unlock()
+	}
+	return err
+}
+
+// Update replaces the record at rid in place. If the new payload no
+// longer fits in its page, the record is moved: it is deleted and
+// reinserted elsewhere, and the new RID is returned. Callers that
+// maintain indexes must compare the returned RID with the argument.
+func (f *File) Update(rid storage.RID, rec []byte) (storage.RID, error) {
+	fr, err := f.pool.Fetch(rid.Page)
+	if err != nil {
+		return storage.InvalidRID, err
+	}
+	fr.Latch.Lock()
+	sp := storage.AsSlotted(fr.Data())
+	err = sp.Update(rid.Slot, rec)
+	free := sp.AvailableBytes()
+	fr.Latch.Unlock()
+	if err == nil {
+		f.pool.Unpin(fr, true)
+		f.mu.Lock()
+		f.freeBytes[rid.Page] = free
+		f.mu.Unlock()
+		return rid, nil
+	}
+	f.pool.Unpin(fr, false)
+	if err != storage.ErrNoSpace {
+		return storage.InvalidRID, err
+	}
+	if err := f.Delete(rid); err != nil {
+		return storage.InvalidRID, fmt.Errorf("heap: relocating update: %w", err)
+	}
+	return f.Insert(rec)
+}
+
+// VisitPage pins the page and runs fn over its slotted view. The frame
+// latch is taken exclusively when that succeeds without blocking
+// (enabling volatile cache writes in the page's free space, Section 2.2
+// of the paper), shared otherwise; fn receives which. The page is
+// unpinned clean — mutations made under fn are volatile unless the
+// caller arranges otherwise, exactly like index-cache writes.
+func (f *File) VisitPage(id storage.PageID, fn func(sp *storage.SlottedPage, exclusive bool)) error {
+	fr, err := f.pool.Fetch(id)
+	if err != nil {
+		return err
+	}
+	exclusive := fr.Latch.TryLock()
+	if !exclusive {
+		fr.Latch.RLock()
+	}
+	fn(storage.AsSlotted(fr.Data()), exclusive)
+	if exclusive {
+		fr.Latch.Unlock()
+	} else {
+		fr.Latch.RUnlock()
+	}
+	f.pool.Unpin(fr, false)
+	return nil
+}
+
+// Scan iterates over every live record in file order. fn receives the
+// RID and the raw record (aliasing the page; copy to retain) and
+// returns false to stop early.
+func (f *File) Scan(fn func(rid storage.RID, rec []byte) bool) error {
+	for _, id := range f.Pages() {
+		fr, err := f.pool.Fetch(id)
+		if err != nil {
+			return err
+		}
+		fr.Latch.RLock()
+		sp := storage.AsSlotted(fr.Data())
+		stop := false
+		sp.Records(func(slot uint16, rec []byte) bool {
+			if !fn(storage.RID{Page: id, Slot: slot}, rec) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		fr.Latch.RUnlock()
+		f.pool.Unpin(fr, false)
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Stats describes physical occupancy of the file.
+type Stats struct {
+	Pages       int
+	LiveRecords int
+	UsedBytes   int
+	TotalBytes  int
+	// MeanUtilization is the average per-page fraction of usable bytes
+	// holding live records (the paper's Section 3.1 metric).
+	MeanUtilization float64
+}
+
+// Stats scans the file's pages and reports occupancy.
+func (f *File) Stats() (Stats, error) {
+	var st Stats
+	pages := f.Pages()
+	st.Pages = len(pages)
+	sumUtil := 0.0
+	for _, id := range pages {
+		fr, err := f.pool.Fetch(id)
+		if err != nil {
+			return Stats{}, err
+		}
+		fr.Latch.RLock()
+		sp := storage.AsSlotted(fr.Data())
+		st.LiveRecords += sp.LiveRecords()
+		st.UsedBytes += sp.UsedBytes()
+		sumUtil += sp.Utilization()
+		fr.Latch.RUnlock()
+		f.pool.Unpin(fr, false)
+		st.TotalBytes += f.pool.Disk().PageSize()
+	}
+	if st.Pages > 0 {
+		st.MeanUtilization = sumUtil / float64(st.Pages)
+	}
+	return st, nil
+}

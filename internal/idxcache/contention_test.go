@@ -1,0 +1,90 @@
+package idxcache
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+
+	"repro/internal/btree"
+)
+
+// TestCacheContentionNeverCorrupts hammers one leaf from many
+// goroutines doing the full cache protocol (Prepare, Lookup, Insert)
+// concurrently with index churn. The §2.1.3 give-up rule means some
+// visits run with only a shared latch — those must skip cache writes,
+// and nothing may ever corrupt the index or return a payload for the
+// wrong rid.
+func TestCacheContentionNeverCorrupts(t *testing.T) {
+	tr := newCacheTree(t, 4096)
+	c := mustCache(t, Config{PayloadSize: 16, PredLogLimit: 128, Seed: 1})
+	for i := 0; i < 50; i++ {
+		if _, err := tr.Insert(k64(i), uint64(i+1)); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for n := 0; n < 2000; n++ {
+				i := (g*31 + n) % 50
+				rid := uint64(i + 1)
+				err := tr.VisitLeaf(k64(i), func(l *btree.Leaf) {
+					if !c.Prepare(l) {
+						return // non-exclusive visit over invalid cache: skip
+					}
+					if got, ok := c.Lookup(l, rid); ok {
+						if binary.LittleEndian.Uint64(got) != rid {
+							errCh <- errWrongPayload
+							return
+						}
+						return
+					}
+					p := make([]byte, c.PayloadSize())
+					binary.LittleEndian.PutUint64(p, rid)
+					c.Insert(l, rid, p)
+				})
+				if err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(g)
+	}
+	// Concurrent index churn: inserts shrink the free region, updates
+	// push predicates through the log.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for n := 0; n < 300; n++ {
+			if _, err := tr.Insert(k64(1000+n), uint64(1000+n)); err != nil {
+				errCh <- err
+				return
+			}
+			if n%5 == 0 {
+				c.NotifyUpdate(k64(n % 50))
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if err := tr.CheckIntegrity(); err != nil {
+		t.Fatalf("integrity after contention: %v", err)
+	}
+	st := c.Stats()
+	t.Logf("contention stats: %+v", st)
+	if st.Lookups == 0 || st.Inserts == 0 {
+		t.Error("stress test exercised nothing")
+	}
+}
+
+type contentionErr string
+
+func (e contentionErr) Error() string { return string(e) }
+
+const errWrongPayload = contentionErr("cache returned payload for wrong rid")

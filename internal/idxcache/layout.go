@@ -1,0 +1,92 @@
+// Package idxcache implements the paper's Section 2.1 index cache: the
+// free space of B+Tree leaf pages is recycled as a volatile cache of
+// hot tuples' field values.
+//
+// Key properties, all from the paper:
+//
+//   - Slots are aligned to absolute page offsets that are multiples of
+//     the entry size, so slot boundaries are stable as the free region
+//     grows and shrinks around them.
+//   - Index key inserts overwrite the periphery of the region freely;
+//     the cache keeps hot items near the stable point S where they are
+//     overwritten last.
+//   - Slots are grouped into buckets of N; a newly inserted item lands
+//     in a random free slot (evicting a random peripheral item when
+//     full), and a lookup hit swaps the item with a random entry in the
+//     adjacent bucket closer to S.
+//   - Cache writes never dirty the page: contents are volatile and
+//     protected by the CSNp/CSNidx scheme plus a predicate log.
+//
+// Entry layout within a slot: 8-byte packed RID (nonzero; zero marks an
+// empty slot) followed by the fixed-width cached payload.
+package idxcache
+
+// ridBytes is the slot header: the packed RID identifying the entry.
+const ridBytes = 8
+
+// slotRank enumerates the cache slots of a free region [lo, hi) with
+// entry size e, ordered by distance from the stable point s (closest
+// first). The returned offsets are absolute page offsets, each a
+// multiple of e, with off ≥ lo and off+e ≤ hi.
+//
+// The ordering is what gives the cache its "hot in the middle" shape:
+// rank 0 is the last slot index growth will overwrite.
+func slotRank(lo, hi, e, s int, out []int) []int {
+	out = out[:0]
+	if e <= 0 || hi-lo < e {
+		return out
+	}
+	first := (lo + e - 1) / e * e // first aligned offset ≥ lo
+	if first+e > hi {
+		return out
+	}
+	last := (hi - e) / e * e // last aligned offset with room for a slot
+	n := (last-first)/e + 1
+
+	// Index of the slot whose start is nearest S.
+	i0 := (s - first + e/2) / e
+	if i0 < 0 {
+		i0 = 0
+	}
+	if i0 >= n {
+		i0 = n - 1
+	}
+	dist := func(i int) int {
+		d := first + i*e - s
+		if d < 0 {
+			return -d
+		}
+		return d
+	}
+	l, r := i0, i0+1
+	for l >= 0 || r < n {
+		switch {
+		case l < 0:
+			out = append(out, first+r*e)
+			r++
+		case r >= n:
+			out = append(out, first+l*e)
+			l--
+		case dist(l) <= dist(r):
+			out = append(out, first+l*e)
+			l--
+		default:
+			out = append(out, first+r*e)
+			r++
+		}
+	}
+	return out
+}
+
+// numSlots returns how many aligned slots fit in [lo, hi).
+func numSlots(lo, hi, e int) int {
+	if e <= 0 || hi-lo < e {
+		return 0
+	}
+	first := (lo + e - 1) / e * e
+	if first+e > hi {
+		return 0
+	}
+	last := (hi - e) / e * e
+	return (last-first)/e + 1
+}

@@ -1,0 +1,108 @@
+package idxcache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSlotRankBasics(t *testing.T) {
+	// Region [100, 200), entry 25: aligned slots at 100, 125, 150, 175.
+	ranks := slotRank(100, 200, 25, 150, nil)
+	if len(ranks) != 4 {
+		t.Fatalf("got %d slots, want 4", len(ranks))
+	}
+	if ranks[0] != 150 {
+		t.Errorf("nearest slot to S=150 is %d, want 150", ranks[0])
+	}
+	// All offsets aligned and in bounds.
+	seen := map[int]bool{}
+	for _, off := range ranks {
+		if off%25 != 0 {
+			t.Errorf("offset %d not aligned", off)
+		}
+		if off < 100 || off+25 > 200 {
+			t.Errorf("offset %d out of bounds", off)
+		}
+		if seen[off] {
+			t.Errorf("offset %d duplicated", off)
+		}
+		seen[off] = true
+	}
+}
+
+func TestSlotRankDistancesNonDecreasing(t *testing.T) {
+	ranks := slotRank(40, 400, 25, 210, nil)
+	prev := -1
+	for _, off := range ranks {
+		d := off - 210
+		if d < 0 {
+			d = -d
+		}
+		if prev >= 0 && d < prev {
+			t.Fatalf("distance decreased: %d after %d", d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestSlotRankUnalignedBounds(t *testing.T) {
+	// lo=101 → first aligned slot is 125.
+	ranks := slotRank(101, 200, 25, 0, nil)
+	for _, off := range ranks {
+		if off < 101 {
+			t.Errorf("slot %d starts before region", off)
+		}
+	}
+	if len(ranks) != 2 { // 125, 150 (175+25=200 fits too)
+		// 125,150,175 all have off+25 <= 200 → 3 slots.
+		if len(ranks) != 3 {
+			t.Errorf("got %d slots", len(ranks))
+		}
+	}
+}
+
+func TestSlotRankDegenerate(t *testing.T) {
+	if got := slotRank(100, 110, 25, 0, nil); len(got) != 0 {
+		t.Errorf("region smaller than entry should have 0 slots, got %d", len(got))
+	}
+	if got := slotRank(100, 100, 25, 0, nil); len(got) != 0 {
+		t.Errorf("empty region should have 0 slots, got %d", len(got))
+	}
+	if got := slotRank(100, 200, 0, 0, nil); len(got) != 0 {
+		t.Errorf("zero entry size should have 0 slots, got %d", len(got))
+	}
+}
+
+func TestPropertySlotRankCompleteAndStable(t *testing.T) {
+	f := func(loRaw, sizeRaw, eRaw, sRaw uint16) bool {
+		lo := int(loRaw%500) + 10
+		hi := lo + int(sizeRaw%1000)
+		e := int(eRaw%64) + 8
+		s := int(sRaw % 1200)
+		ranks := slotRank(lo, hi, e, s, nil)
+		if len(ranks) != numSlots(lo, hi, e) {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, off := range ranks {
+			if off%e != 0 || off < lo || off+e > hi || seen[off] {
+				return false
+			}
+			seen[off] = true
+		}
+		// Stability: shrinking the region keeps surviving slot offsets
+		// identical (alignment is absolute, not relative).
+		if hi-e > lo {
+			shrunk := slotRank(lo, hi-e, e, s, nil)
+			for _, off := range shrunk {
+				if !seen[off] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

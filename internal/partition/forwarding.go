@@ -1,0 +1,62 @@
+package partition
+
+import (
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// Forwarding maps the old RIDs of relocated tuples to their current
+// locations. The paper notes clustering "does require updating foreign
+// key pointers and/or using forwarding tables to redirect queries using
+// old ids"; this is that table, with path compression so chains of
+// moves stay O(1) to chase.
+type Forwarding struct {
+	mu   sync.Mutex
+	next map[storage.RID]storage.RID
+}
+
+// NewForwarding returns an empty forwarding table.
+func NewForwarding() *Forwarding {
+	return &Forwarding{next: make(map[storage.RID]storage.RID)}
+}
+
+// Record notes that the tuple at old now lives at new.
+func (f *Forwarding) Record(old, new storage.RID) {
+	if old == new {
+		return
+	}
+	f.mu.Lock()
+	f.next[old] = new
+	f.mu.Unlock()
+}
+
+// Resolve chases old through the forwarding chain to the live RID,
+// compressing the path as it goes. RIDs that never moved resolve to
+// themselves.
+func (f *Forwarding) Resolve(rid storage.RID) storage.RID {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cur := rid
+	var visited []storage.RID
+	for {
+		next, ok := f.next[cur]
+		if !ok {
+			break
+		}
+		visited = append(visited, cur)
+		cur = next
+	}
+	// Path compression: everything on the chain points at the end.
+	for _, v := range visited {
+		f.next[v] = cur
+	}
+	return cur
+}
+
+// Len returns the number of forwarding entries.
+func (f *Forwarding) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.next)
+}

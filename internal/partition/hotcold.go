@@ -1,0 +1,196 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/tuple"
+)
+
+// HotCold manages a table split into a hot partition and a cold
+// partition with identical schemas. The hot partition holds the tuples
+// that receive nearly all accesses; because it is a small fraction of
+// the data, *its index fits in RAM*, which is where the paper's 8.4×
+// improvement comes from (27.1 GB → 1.4 GB in their Wikipedia
+// instance).
+//
+// Lookups try the hot partition's index first and fall back to cold.
+// MoveToHot/MoveToCold implement the paper's revision-table policy:
+// when a new revision arrives it enters hot and displaces the page's
+// previous latest revision to cold.
+type HotCold struct {
+	hot, cold     *core.Table
+	hotIx, coldIx *core.Index
+	fwd           *Forwarding
+	keyFields     []string
+}
+
+// Config for a hot/cold split.
+type Config struct {
+	// Engine hosts both partitions.
+	Engine *core.Engine
+	// Name prefixes the partition tables ("<name>_hot", "<name>_cold").
+	Name string
+	// Schema is shared by both partitions.
+	Schema *tuple.Schema
+	// KeyFields define the unique lookup index built on each partition.
+	KeyFields []string
+	// FillFactor for partition indexes (0 = default 0.68).
+	FillFactor float64
+}
+
+// New creates an empty hot/cold pair with lookup indexes.
+func New(cfg Config) (*HotCold, error) {
+	if cfg.Engine == nil || cfg.Schema == nil || len(cfg.KeyFields) == 0 {
+		return nil, fmt.Errorf("partition: incomplete config")
+	}
+	ff := cfg.FillFactor
+	if ff == 0 {
+		ff = 0.68
+	}
+	hot, err := cfg.Engine.CreateTable(cfg.Name+"_hot", cfg.Schema, core.WithAppendOnlyHeap())
+	if err != nil {
+		return nil, err
+	}
+	cold, err := cfg.Engine.CreateTable(cfg.Name+"_cold", cfg.Schema, core.WithAppendOnlyHeap())
+	if err != nil {
+		return nil, err
+	}
+	hotIx, err := hot.CreateIndex("lookup", cfg.KeyFields, core.WithFillFactor(ff))
+	if err != nil {
+		return nil, err
+	}
+	coldIx, err := cold.CreateIndex("lookup", cfg.KeyFields, core.WithFillFactor(ff))
+	if err != nil {
+		return nil, err
+	}
+	return &HotCold{
+		hot: hot, cold: cold,
+		hotIx: hotIx, coldIx: coldIx,
+		fwd:       NewForwarding(),
+		keyFields: cfg.KeyFields,
+	}, nil
+}
+
+// Hot returns the hot partition table.
+func (hc *HotCold) Hot() *core.Table { return hc.hot }
+
+// Cold returns the cold partition table.
+func (hc *HotCold) Cold() *core.Table { return hc.cold }
+
+// HotIndex returns the hot partition's lookup index.
+func (hc *HotCold) HotIndex() *core.Index { return hc.hotIx }
+
+// ColdIndex returns the cold partition's lookup index.
+func (hc *HotCold) ColdIndex() *core.Index { return hc.coldIx }
+
+// Forwarding returns the forwarding table for relocated tuples.
+func (hc *HotCold) Forwarding() *Forwarding { return hc.fwd }
+
+// InsertHot adds a row to the hot partition.
+func (hc *HotCold) InsertHot(row tuple.Row) (storage.RID, error) {
+	return hc.hot.Insert(row)
+}
+
+// InsertCold adds a row to the cold partition.
+func (hc *HotCold) InsertCold(row tuple.Row) (storage.RID, error) {
+	return hc.cold.Insert(row)
+}
+
+// Lookup finds a row by key, trying hot first. The second return
+// reports whether it was found in the hot partition.
+func (hc *HotCold) Lookup(keyVals ...tuple.Value) (tuple.Row, bool, error) {
+	row, res, err := hc.hotIx.Lookup(nil, keyVals...)
+	if err != nil {
+		return nil, false, err
+	}
+	if res.Found {
+		return row, true, nil
+	}
+	row, res, err = hc.coldIx.Lookup(nil, keyVals...)
+	if err != nil {
+		return nil, false, err
+	}
+	if !res.Found {
+		return nil, false, nil
+	}
+	return row, false, nil
+}
+
+// Demote moves the row with the given key from hot to cold — the
+// paper's policy when a newly inserted revision replaces the previously
+// hot one. Returns the row's new RID in the cold partition.
+func (hc *HotCold) Demote(keyVals ...tuple.Value) (storage.RID, error) {
+	rid, found, err := hc.hotIx.LookupRID(keyVals...)
+	if err != nil {
+		return storage.InvalidRID, err
+	}
+	if !found {
+		return storage.InvalidRID, fmt.Errorf("partition: demote: key not in hot partition")
+	}
+	row, err := hc.hot.Get(rid)
+	if err != nil {
+		return storage.InvalidRID, err
+	}
+	if err := hc.hot.Delete(rid); err != nil {
+		return storage.InvalidRID, err
+	}
+	newRID, err := hc.cold.Insert(row)
+	if err != nil {
+		return storage.InvalidRID, err
+	}
+	hc.fwd.Record(rid, newRID)
+	return newRID, nil
+}
+
+// Promote moves the row with the given key from cold to hot.
+func (hc *HotCold) Promote(keyVals ...tuple.Value) (storage.RID, error) {
+	rid, found, err := hc.coldIx.LookupRID(keyVals...)
+	if err != nil {
+		return storage.InvalidRID, err
+	}
+	if !found {
+		return storage.InvalidRID, fmt.Errorf("partition: promote: key not in cold partition")
+	}
+	row, err := hc.cold.Get(rid)
+	if err != nil {
+		return storage.InvalidRID, err
+	}
+	if err := hc.cold.Delete(rid); err != nil {
+		return storage.InvalidRID, err
+	}
+	newRID, err := hc.hot.Insert(row)
+	if err != nil {
+		return storage.InvalidRID, err
+	}
+	hc.fwd.Record(rid, newRID)
+	return newRID, nil
+}
+
+// Stats reports the size asymmetry the technique creates.
+type Stats struct {
+	HotRows, ColdRows             int64
+	HotIndexBytes, ColdIndexBytes int64
+	HotHeapPages, ColdHeapPages   int
+}
+
+// Stats collects partition sizes.
+func (hc *HotCold) Stats() (Stats, error) {
+	var st Stats
+	st.HotRows = hc.hot.Rows()
+	st.ColdRows = hc.cold.Rows()
+	hts, err := hc.hotIx.Tree().Stats()
+	if err != nil {
+		return st, err
+	}
+	cts, err := hc.coldIx.Tree().Stats()
+	if err != nil {
+		return st, err
+	}
+	st.HotIndexBytes = hts.SizeBytes
+	st.ColdIndexBytes = cts.SizeBytes
+	st.HotHeapPages = hc.hot.Heap().NumPages()
+	st.ColdHeapPages = hc.cold.Heap().NumPages()
+	return st, nil
+}

@@ -1,0 +1,135 @@
+package storage
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestMemDiskBasics(t *testing.T) {
+	d, err := NewMemDisk(256)
+	if err != nil {
+		t.Fatalf("NewMemDisk: %v", err)
+	}
+	defer d.Close()
+	if d.NumPages() != 1 {
+		t.Errorf("fresh disk has %d pages, want 1 (reserved page 0)", d.NumPages())
+	}
+	id, err := d.Allocate()
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	buf := make([]byte, 256)
+	copy(buf, "hello")
+	if err := d.WritePage(id, buf); err != nil {
+		t.Fatalf("WritePage: %v", err)
+	}
+	got := make([]byte, 256)
+	if err := d.ReadPage(id, got); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	if !bytes.Equal(buf, got) {
+		t.Error("read back mismatch")
+	}
+}
+
+func TestMemDiskErrors(t *testing.T) {
+	if _, err := NewMemDisk(16); err == nil {
+		t.Error("page size below minimum should fail")
+	}
+	d, _ := NewMemDisk(256)
+	if err := d.ReadPage(99, make([]byte, 256)); err == nil {
+		t.Error("read of unallocated page should fail")
+	}
+	if err := d.WritePage(0, make([]byte, 128)); err == nil {
+		t.Error("short buffer should fail")
+	}
+	d.Close()
+	if _, err := d.Allocate(); err == nil {
+		t.Error("allocate after close should fail")
+	}
+}
+
+func TestFileDiskPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	d, err := NewFileDisk(path, 256)
+	if err != nil {
+		t.Fatalf("NewFileDisk: %v", err)
+	}
+	id, err := d.Allocate()
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	buf := make([]byte, 256)
+	copy(buf, "persistent")
+	if err := d.WritePage(id, buf); err != nil {
+		t.Fatalf("WritePage: %v", err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Reopen and read back.
+	d2, err := NewFileDisk(path, 256)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer d2.Close()
+	if d2.NumPages() != 2 {
+		t.Errorf("reopened disk has %d pages, want 2", d2.NumPages())
+	}
+	got := make([]byte, 256)
+	if err := d2.ReadPage(id, got); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	if !bytes.Equal(buf, got) {
+		t.Error("persisted page mismatch")
+	}
+}
+
+func TestCountingDisk(t *testing.T) {
+	inner, _ := NewMemDisk(256)
+	d := NewCountingDisk(inner)
+	defer d.Close()
+	id, _ := d.Allocate()
+	buf := make([]byte, 256)
+	for i := 0; i < 3; i++ {
+		if err := d.WritePage(id, buf); err != nil {
+			t.Fatalf("WritePage: %v", err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := d.ReadPage(id, buf); err != nil {
+			t.Fatalf("ReadPage: %v", err)
+		}
+	}
+	if d.Writes() != 3 || d.Reads() != 5 {
+		t.Errorf("counts = %d writes / %d reads, want 3/5", d.Writes(), d.Reads())
+	}
+	d.ResetCounts()
+	if d.Writes() != 0 || d.Reads() != 0 {
+		t.Error("ResetCounts did not zero")
+	}
+}
+
+func TestRIDPackUnpack(t *testing.T) {
+	cases := []RID{
+		{Page: 1, Slot: 0},
+		{Page: 12345, Slot: 678},
+		{Page: 1 << 40, Slot: 65535},
+	}
+	for _, r := range cases {
+		got := UnpackRID(r.Pack())
+		if got != r {
+			t.Errorf("Pack/Unpack %v -> %v", r, got)
+		}
+	}
+	if InvalidRID.Valid() {
+		t.Error("InvalidRID should not be valid")
+	}
+	if !(RID{Page: 3, Slot: 1}).Valid() {
+		t.Error("real RID should be valid")
+	}
+}

@@ -1,0 +1,201 @@
+package tuple
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Order-preserving ("memcomparable") key encoding: bytes.Compare over
+// two encoded keys agrees with lexicographic Value.Compare over the
+// source values. The B+Tree stores and compares keys in this form, so
+// composite keys (e.g. Wikipedia's (namespace, title) name_title index)
+// need no schema at comparison time.
+//
+// Per-kind encodings:
+//
+//	ints/timestamps  8/4/2/1 bytes big-endian with the sign bit flipped
+//	bool             1 byte
+//	float64          IEEE bits; negative values bit-flipped, positive
+//	                 values sign-flipped (standard total-order trick)
+//	strings/bytes    0x00 escaped as 0x00 0xFF, terminated by 0x00 0x00
+//
+// NULL sorts first: each value is prefixed by 0x00 for NULL / 0x01 for
+// non-NULL.
+
+// EncodeKey appends the order-preserving encoding of vals to dst.
+func EncodeKey(dst []byte, vals ...Value) ([]byte, error) {
+	for _, v := range vals {
+		if v.Null {
+			dst = append(dst, 0x00)
+			continue
+		}
+		dst = append(dst, 0x01)
+		switch v.Kind {
+		case KindInt64, KindTimestamp:
+			var buf [8]byte
+			binary.BigEndian.PutUint64(buf[:], uint64(v.Int)^(1<<63))
+			dst = append(dst, buf[:]...)
+		case KindInt32:
+			var buf [4]byte
+			binary.BigEndian.PutUint32(buf[:], uint32(int32(v.Int))^(1<<31))
+			dst = append(dst, buf[:]...)
+		case KindInt16:
+			var buf [2]byte
+			binary.BigEndian.PutUint16(buf[:], uint16(int16(v.Int))^(1<<15))
+			dst = append(dst, buf[:]...)
+		case KindInt8:
+			dst = append(dst, byte(int8(v.Int))^0x80)
+		case KindBool:
+			if v.Int != 0 {
+				dst = append(dst, 1)
+			} else {
+				dst = append(dst, 0)
+			}
+		case KindFloat64:
+			bits := math.Float64bits(v.Float)
+			if bits&(1<<63) != 0 {
+				bits = ^bits
+			} else {
+				bits ^= 1 << 63
+			}
+			var buf [8]byte
+			binary.BigEndian.PutUint64(buf[:], bits)
+			dst = append(dst, buf[:]...)
+		case KindChar, KindString:
+			dst = appendEscapedBytes(dst, []byte(v.Str))
+		case KindBytes:
+			dst = appendEscapedBytes(dst, v.Raw)
+		default:
+			return nil, fmt.Errorf("tuple: cannot key-encode kind %v", v.Kind)
+		}
+	}
+	return dst, nil
+}
+
+// MustEncodeKey is EncodeKey that panics on error, for keys built from
+// trusted literals.
+func MustEncodeKey(vals ...Value) []byte {
+	k, err := EncodeKey(nil, vals...)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+func appendEscapedBytes(dst, raw []byte) []byte {
+	// Bulk-copy between zero bytes: most strings contain none, making
+	// this a straight append plus terminator.
+	for {
+		i := bytes.IndexByte(raw, 0x00)
+		if i < 0 {
+			dst = append(dst, raw...)
+			break
+		}
+		dst = append(dst, raw[:i]...)
+		dst = append(dst, 0x00, 0xFF)
+		raw = raw[i+1:]
+	}
+	return append(dst, 0x00, 0x00)
+}
+
+// DecodeKey parses an encoded key back into values, given the kinds in
+// order. It is the inverse of EncodeKey.
+func DecodeKey(data []byte, kinds ...Kind) ([]Value, error) {
+	vals := make([]Value, 0, len(kinds))
+	off := 0
+	for _, k := range kinds {
+		if off >= len(data) {
+			return nil, fmt.Errorf("tuple: key truncated")
+		}
+		marker := data[off]
+		off++
+		if marker == 0x00 {
+			vals = append(vals, Value{Kind: k, Null: true})
+			continue
+		}
+		v := Value{Kind: k}
+		switch k {
+		case KindInt64, KindTimestamp:
+			if len(data)-off < 8 {
+				return nil, fmt.Errorf("tuple: key truncated")
+			}
+			v.Int = int64(binary.BigEndian.Uint64(data[off:]) ^ (1 << 63))
+			off += 8
+		case KindInt32:
+			if len(data)-off < 4 {
+				return nil, fmt.Errorf("tuple: key truncated")
+			}
+			v.Int = int64(int32(binary.BigEndian.Uint32(data[off:]) ^ (1 << 31)))
+			off += 4
+		case KindInt16:
+			if len(data)-off < 2 {
+				return nil, fmt.Errorf("tuple: key truncated")
+			}
+			v.Int = int64(int16(binary.BigEndian.Uint16(data[off:]) ^ (1 << 15)))
+			off += 2
+		case KindInt8:
+			v.Int = int64(int8(data[off] ^ 0x80))
+			off++
+		case KindBool:
+			if data[off] != 0 {
+				v.Int = 1
+			}
+			off++
+		case KindFloat64:
+			if len(data)-off < 8 {
+				return nil, fmt.Errorf("tuple: key truncated")
+			}
+			bits := binary.BigEndian.Uint64(data[off:])
+			if bits&(1<<63) != 0 {
+				bits ^= 1 << 63
+			} else {
+				bits = ^bits
+			}
+			v.Float = math.Float64frombits(bits)
+			off += 8
+		case KindChar, KindString, KindBytes:
+			raw, n, err := decodeEscapedBytes(data[off:])
+			if err != nil {
+				return nil, err
+			}
+			off += n
+			if k == KindBytes {
+				v.Raw = raw
+			} else {
+				v.Str = string(raw)
+			}
+		default:
+			return nil, fmt.Errorf("tuple: cannot key-decode kind %v", k)
+		}
+		vals = append(vals, v)
+	}
+	return vals, nil
+}
+
+func decodeEscapedBytes(data []byte) ([]byte, int, error) {
+	var out []byte
+	i := 0
+	for i < len(data) {
+		b := data[i]
+		if b != 0x00 {
+			out = append(out, b)
+			i++
+			continue
+		}
+		if i+1 >= len(data) {
+			return nil, 0, fmt.Errorf("tuple: key string truncated mid-escape")
+		}
+		switch data[i+1] {
+		case 0x00:
+			return out, i + 2, nil
+		case 0xFF:
+			out = append(out, 0x00)
+			i += 2
+		default:
+			return nil, 0, fmt.Errorf("tuple: invalid key string escape 0x00 0x%02x", data[i+1])
+		}
+	}
+	return nil, 0, fmt.Errorf("tuple: unterminated key string")
+}

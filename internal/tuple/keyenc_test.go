@@ -1,0 +1,168 @@
+package tuple
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyEncodeOrderPreservingInts(t *testing.T) {
+	vals := []int64{-1 << 62, -100, -1, 0, 1, 7, 1 << 40, 1<<62 - 1}
+	var prev []byte
+	for _, v := range vals {
+		k := MustEncodeKey(Int64(v))
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Errorf("encoding not order preserving at %d", v)
+		}
+		prev = k
+	}
+}
+
+func TestKeyEncodeOrderPreservingFloats(t *testing.T) {
+	vals := []float64{-1e300, -3.5, -0.0001, 0, 0.0001, 1, 2.5, 1e300}
+	var prev []byte
+	for _, v := range vals {
+		k := MustEncodeKey(Float64(v))
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Errorf("encoding not order preserving at %g", v)
+		}
+		prev = k
+	}
+}
+
+func TestKeyEncodeStringsWithZeros(t *testing.T) {
+	// "ab" < "ab\x00" < "ab\x00c" < "abc"
+	vals := []string{"ab", "ab\x00", "ab\x00c", "abc"}
+	var prev []byte
+	for _, v := range vals {
+		k := MustEncodeKey(String(v))
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Errorf("encoding not order preserving at %q", v)
+		}
+		prev = k
+	}
+}
+
+func TestKeyEncodeNullSortsFirst(t *testing.T) {
+	null := MustEncodeKey(Null(KindInt64))
+	small := MustEncodeKey(Int64(-1 << 62))
+	if bytes.Compare(null, small) >= 0 {
+		t.Error("NULL should sort before the smallest value")
+	}
+}
+
+func TestKeyEncodeComposite(t *testing.T) {
+	// (1, "b") < (2, "a"): the first field dominates.
+	k1 := MustEncodeKey(Int32(1), String("b"))
+	k2 := MustEncodeKey(Int32(2), String("a"))
+	if bytes.Compare(k1, k2) >= 0 {
+		t.Error("composite ordering wrong")
+	}
+	// (1, "a") < (1, "b"): tie broken by the second field.
+	k3 := MustEncodeKey(Int32(1), String("a"))
+	if bytes.Compare(k3, k1) >= 0 {
+		t.Error("composite tie-break wrong")
+	}
+}
+
+func TestKeyDecodeRoundTrip(t *testing.T) {
+	vals := []Value{
+		Int64(-5), Int32(9), Int16(-3), Int8(100), Bool(true),
+		Float64(-2.5), String("hi\x00there"), Char("ab"),
+		Bytes([]byte{0, 0xFF, 0}), TimestampUnix(999),
+	}
+	kinds := make([]Kind, len(vals))
+	for i, v := range vals {
+		kinds[i] = v.Kind
+	}
+	enc, err := EncodeKey(nil, vals...)
+	if err != nil {
+		t.Fatalf("EncodeKey: %v", err)
+	}
+	dec, err := DecodeKey(enc, kinds...)
+	if err != nil {
+		t.Fatalf("DecodeKey: %v", err)
+	}
+	for i := range vals {
+		want := vals[i]
+		if want.Kind == KindChar {
+			// Char round-trips through the string encoding.
+			want.Kind = KindChar
+		}
+		if !dec[i].Equal(want) {
+			t.Errorf("field %d: got %v, want %v", i, dec[i], vals[i])
+		}
+	}
+}
+
+func TestPropertyKeyOrderMatchesValueOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	f := func(a, b int64, sa, sb string) bool {
+		va := []Value{Int64(a), String(sa)}
+		vb := []Value{Int64(b), String(sb)}
+		ka := MustEncodeKey(va...)
+		kb := MustEncodeKey(vb...)
+		// Compare values lexicographically.
+		cmp := va[0].Compare(vb[0])
+		if cmp == 0 {
+			cmp = va[1].Compare(vb[1])
+		}
+		return bytes.Compare(ka, kb) == cmp
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyKeyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	f := func(i int64, s string, bs []byte, fl float64) bool {
+		vals := []Value{Int64(i), String(s), Bytes(bs), Float64(fl)}
+		enc, err := EncodeKey(nil, vals...)
+		if err != nil {
+			return false
+		}
+		dec, err := DecodeKey(enc, KindInt64, KindString, KindBytes, KindFloat64)
+		if err != nil {
+			return false
+		}
+		for j := range vals {
+			want := vals[j]
+			got := dec[j]
+			if want.Kind == KindBytes && len(want.Raw) == 0 {
+				// nil and empty both decode as empty.
+				if len(got.Raw) != 0 {
+					return false
+				}
+				continue
+			}
+			if !got.Equal(want) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueCompareNullOrdering(t *testing.T) {
+	n := Null(KindInt64)
+	v := Int64(0)
+	if n.Compare(v) != -1 || v.Compare(n) != 1 || n.Compare(Null(KindInt64)) != 0 {
+		t.Error("NULL comparison ordering wrong")
+	}
+}
+
+func TestValueEqualAcrossKinds(t *testing.T) {
+	if Int64(1).Equal(Int32(1)) {
+		t.Error("values of different kinds must not be equal")
+	}
+	if !Bytes([]byte{1, 2}).Equal(Bytes([]byte{1, 2})) {
+		t.Error("equal byte values should compare equal")
+	}
+}

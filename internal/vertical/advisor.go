@@ -1,0 +1,180 @@
+// Package vertical implements the Section 3.2 sketch: vertical
+// partitioning that separates cached from uncached fields (so queries
+// missing the index cache read less redundant data) and splits columns
+// by update rate (increasing write density per page). It provides a
+// cost-model-driven advisor and a physical VerticalTable that stores
+// each column group in its own heap with a shared primary key.
+package vertical
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/tuple"
+)
+
+// FieldStats describes one column's workload profile, the advisor's
+// input. Frequencies are per-query probabilities in [0, 1].
+type FieldStats struct {
+	Name string
+	// WidthBytes is the column's average physical width.
+	WidthBytes int
+	// ReadFreq is the fraction of point queries that project the field.
+	ReadFreq float64
+	// UpdateFreq is the fraction of write operations that modify it.
+	UpdateFreq float64
+	// Cached marks fields served by the index cache (Section 2.1), which
+	// queries read without touching the heap at all.
+	Cached bool
+}
+
+// Split is a proposed vertical partitioning: each group becomes its own
+// physical table keyed by the primary key.
+type Split struct {
+	Groups [][]string
+	// ReadCost and WriteCost are model costs per 1000 operations
+	// (arbitrary units: bytes touched + per-group seek overhead).
+	ReadCost, WriteCost float64
+	// BaselineReadCost / BaselineWriteCost are the unsplit costs.
+	BaselineReadCost, BaselineWriteCost float64
+	Note                                string
+}
+
+// Gain returns the relative cost reduction of the split, averaged over
+// reads and writes (positive = split wins).
+func (s Split) Gain() float64 {
+	base := s.BaselineReadCost + s.BaselineWriteCost
+	if base == 0 {
+		return 0
+	}
+	return (base - s.ReadCost - s.WriteCost) / base
+}
+
+// CostModel weights the two competing effects the paper calls out:
+// reading fewer bytes per group vs paying a per-group access (merge)
+// cost when a query spans groups.
+type CostModel struct {
+	// SeekCost is the fixed cost of touching one group's page per
+	// operation (the "cost of merging the partitions together").
+	SeekCost float64
+	// ByteCost is the cost per byte read or written.
+	ByteCost float64
+}
+
+// DefaultCostModel uses a seek:byte ratio typical of page-based stores:
+// touching an extra page costs as much as ~200 bytes of transfer.
+func DefaultCostModel() CostModel {
+	return CostModel{SeekCost: 200, ByteCost: 1}
+}
+
+// Advise proposes a split of the fields (excluding the primary key,
+// which every group carries implicitly). The heuristic follows the
+// paper's two motifs:
+//
+//  1. cache-complement: fields served by the index cache go together,
+//     so heap reads triggered by cache misses fetch only what the cache
+//     doesn't already cover;
+//  2. update-rate: frequently updated fields are segregated from
+//     read-mostly ones, raising write density per page.
+//
+// The returned split is compared against the unsplit baseline under the
+// cost model; when splitting loses, the baseline single group returns.
+func Advise(schema *tuple.Schema, stats []FieldStats, m CostModel) (Split, error) {
+	if len(stats) == 0 {
+		return Split{}, fmt.Errorf("vertical: no field stats")
+	}
+	byName := make(map[string]FieldStats, len(stats))
+	for _, s := range stats {
+		if schema.Index(s.Name) < 0 {
+			return Split{}, fmt.Errorf("vertical: field %q not in schema", s.Name)
+		}
+		byName[s.Name] = s
+	}
+	// Partition into three candidate groups.
+	var cached, hotWrite, rest []string
+	for _, s := range stats {
+		switch {
+		case s.Cached:
+			cached = append(cached, s.Name)
+		case s.UpdateFreq > 2*s.ReadFreq && s.UpdateFreq > 0.05:
+			hotWrite = append(hotWrite, s.Name)
+		default:
+			rest = append(rest, s.Name)
+		}
+	}
+	var groups [][]string
+	for _, g := range [][]string{cached, hotWrite, rest} {
+		if len(g) > 0 {
+			sort.Strings(g)
+			groups = append(groups, g)
+		}
+	}
+	if len(groups) == 0 {
+		return Split{}, fmt.Errorf("vertical: empty grouping")
+	}
+	all := make([]string, 0, len(stats))
+	for _, s := range stats {
+		all = append(all, s.Name)
+	}
+	baselineRead, baselineWrite := cost(m, [][]string{all}, byName)
+	readCost, writeCost := cost(m, groups, byName)
+	split := Split{
+		Groups:            groups,
+		ReadCost:          readCost,
+		WriteCost:         writeCost,
+		BaselineReadCost:  baselineRead,
+		BaselineWriteCost: baselineWrite,
+	}
+	if split.Gain() <= 0 {
+		return Split{
+			Groups:            [][]string{all},
+			ReadCost:          baselineRead,
+			WriteCost:         baselineWrite,
+			BaselineReadCost:  baselineRead,
+			BaselineWriteCost: baselineWrite,
+			Note:              "splitting loses under the cost model; staying unsplit",
+		}, nil
+	}
+	split.Note = fmt.Sprintf("split into %d groups (cache-complement + update-rate)", len(groups))
+	return split, nil
+}
+
+// cost evaluates expected read and write cost per 1000 operations for a
+// grouping: each operation touches a group iff it needs at least one of
+// the group's fields (probability approximated by the max field
+// frequency; fields in a group are co-accessed by construction), paying
+// the seek cost plus the bytes of the whole group.
+func cost(m CostModel, groups [][]string, byName map[string]FieldStats) (read, write float64) {
+	for _, g := range groups {
+		var groupBytes int
+		var maxRead, maxWrite float64
+		for _, name := range g {
+			s := byName[name]
+			groupBytes += s.WidthBytes
+			if s.ReadFreq > maxRead {
+				maxRead = s.ReadFreq
+			}
+			if s.UpdateFreq > maxWrite {
+				maxWrite = s.UpdateFreq
+			}
+		}
+		// Cached fields are answered from the index on most reads; only
+		// cache misses (assumed 20%) reach the heap group.
+		cacheDamp := 1.0
+		if allCached(g, byName) {
+			cacheDamp = 0.2
+		}
+		read += 1000 * maxRead * cacheDamp * (m.SeekCost + m.ByteCost*float64(groupBytes))
+		write += 1000 * maxWrite * (m.SeekCost + m.ByteCost*float64(groupBytes))
+	}
+	return read, write
+}
+
+func allCached(g []string, byName map[string]FieldStats) bool {
+	for _, name := range g {
+		if !byName[name].Cached {
+			return false
+		}
+	}
+	return len(g) > 0
+}

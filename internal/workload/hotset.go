@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// HotSet draws item indexes in [0, n) where a fraction hotFrac of the
+// items receives a fraction hotProb of the accesses, uniformly within
+// each class. This models the paper's Section 3.1 observation that
+// "99.9% of page requests access the 5% of the tuples that represent
+// the most recent revisions".
+//
+// The hot items themselves are a pseudo-random subset, mirroring the
+// paper's point that hot tuples are "scattered throughout the table"
+// and unrelated to any field value (so hash/range partitioning cannot
+// isolate them).
+type HotSet struct {
+	rng     *rand.Rand
+	n       int
+	hotProb float64
+	hot     []int // item ids in the hot class
+	cold    []int // item ids in the cold class
+	isHot   []bool
+}
+
+// NewHotSet builds a hot-set generator. hotFrac and hotProb must lie in
+// (0, 1]. It panics on invalid parameters.
+func NewHotSet(rng *rand.Rand, n int, hotFrac, hotProb float64) *HotSet {
+	if n <= 0 {
+		panic(fmt.Sprintf("workload: NewHotSet n must be positive, got %d", n))
+	}
+	if hotFrac <= 0 || hotFrac > 1 {
+		panic(fmt.Sprintf("workload: NewHotSet hotFrac out of (0,1]: %g", hotFrac))
+	}
+	if hotProb <= 0 || hotProb > 1 {
+		panic(fmt.Sprintf("workload: NewHotSet hotProb out of (0,1]: %g", hotProb))
+	}
+	nHot := int(float64(n) * hotFrac)
+	if nHot < 1 {
+		nHot = 1
+	}
+	if nHot > n {
+		nHot = n
+	}
+	perm := rng.Perm(n)
+	h := &HotSet{
+		rng:     rng,
+		n:       n,
+		hotProb: hotProb,
+		hot:     perm[:nHot],
+		cold:    perm[nHot:],
+		isHot:   make([]bool, n),
+	}
+	for _, id := range h.hot {
+		h.isHot[id] = true
+	}
+	return h
+}
+
+// N returns the number of items.
+func (h *HotSet) N() int { return h.n }
+
+// Hot returns the item ids in the hot class (do not modify).
+func (h *HotSet) Hot() []int { return h.hot }
+
+// IsHot reports whether item i belongs to the hot class.
+func (h *HotSet) IsHot(i int) bool { return h.isHot[i] }
+
+// Next draws the next item id.
+func (h *HotSet) Next() int {
+	if len(h.cold) == 0 || h.rng.Float64() < h.hotProb {
+		return h.hot[h.rng.Intn(len(h.hot))]
+	}
+	return h.cold[h.rng.Intn(len(h.cold))]
+}
+
+// Uniform draws item indexes in [0, n) uniformly.
+type Uniform struct {
+	rng *rand.Rand
+	n   int
+}
+
+// NewUniform builds a uniform generator over [0, n). Panics if n <= 0.
+func NewUniform(rng *rand.Rand, n int) *Uniform {
+	if n <= 0 {
+		panic(fmt.Sprintf("workload: NewUniform n must be positive, got %d", n))
+	}
+	return &Uniform{rng: rng, n: n}
+}
+
+// N returns the number of items.
+func (u *Uniform) N() int { return u.n }
+
+// Next draws the next item id.
+func (u *Uniform) Next() int { return u.rng.Intn(u.n) }
+
+// Generator is the common interface over access-pattern generators.
+type Generator interface {
+	// Next returns the next item id in [0, N()).
+	Next() int
+	// N returns the number of distinct items.
+	N() int
+}
+
+var (
+	_ Generator = (*Zipf)(nil)
+	_ Generator = (*HotSet)(nil)
+	_ Generator = (*Uniform)(nil)
+)

@@ -1,0 +1,21 @@
+// Package workload provides the deterministic access-pattern generators
+// used by the paper's experiments: zipfian popularity (Figure 2(a) uses
+// α = 0.5), the 99.9%-hot/0.1%-cold revision pattern of Section 3.1, and
+// uniform baselines. All generators take an explicit seed so experiments
+// are reproducible run-to-run.
+package workload
+
+import "math/rand"
+
+// NewRand returns a rand.Rand seeded deterministically. Every generator
+// in this package derives its randomness from one of these, so a fixed
+// seed yields a fixed access sequence.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Shuffle returns a pseudo-random permutation of [0, n) driven by rng.
+func Shuffle(rng *rand.Rand, n int) []int {
+	p := rng.Perm(n)
+	return p
+}

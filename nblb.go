@@ -1,0 +1,118 @@
+// Package nblb ("no bits left behind") is a storage engine that
+// implements the waste-reclaiming techniques of Wu, Curino and Madden,
+// "No Bits Left Behind" (CIDR 2011):
+//
+//   - Index caching (§2.1): the free space of B+Tree leaf pages —
+//     typically 32% of every page at the canonical 68% fill factor —
+//     doubles as a volatile cache of hot tuples' field values, answering
+//     point queries without touching the heap. Consistency comes from a
+//     CSN scheme plus a predicate log; cache writes never add I/O.
+//   - Access-based horizontal partitioning (§3.1): hot tuples are
+//     clustered by delete+append or split into a hot partition whose
+//     index fits in RAM.
+//   - Vertical partitioning (§3.2): a cost-model advisor splits columns
+//     by cache membership and update rate.
+//   - Automated schema optimization (§4.1): declared types are hints; an
+//     analyzer infers minimal encodings (down to single bits) and a
+//     bit-packed codec realizes them.
+//   - Semantic IDs (§4.2): partition bits embedded in identifiers
+//     replace per-tuple routing tables; uniqueness-only IDs reduce to
+//     the tuple's physical address.
+//
+// The package re-exports the engine API; subsystems live in internal/
+// packages. See the examples/ directory for runnable walkthroughs and
+// cmd/nblb-bench for the harness that regenerates the paper's figures.
+package nblb
+
+import (
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/tuple"
+)
+
+// Options configure an engine instance.
+type Options = core.Options
+
+// Engine is an embedded storage engine.
+type Engine = core.Engine
+
+// Table is a heap-backed table with indexes.
+type Table = core.Table
+
+// Index is a B+Tree index, optionally carrying an index cache.
+type Index = core.Index
+
+// LookupResult reports how a point lookup was answered (index cache vs
+// heap).
+type LookupResult = core.LookupResult
+
+// RID is a record's physical address.
+type RID = storage.RID
+
+// Schema, Field, Kind, Value and Row describe and hold table data.
+type (
+	Schema = tuple.Schema
+	Field  = tuple.Field
+	Kind   = tuple.Kind
+	Value  = tuple.Value
+	Row    = tuple.Row
+)
+
+// Field kinds (declared types — hints, per §4.1).
+const (
+	KindInt64     = tuple.KindInt64
+	KindInt32     = tuple.KindInt32
+	KindInt16     = tuple.KindInt16
+	KindInt8      = tuple.KindInt8
+	KindBool      = tuple.KindBool
+	KindFloat64   = tuple.KindFloat64
+	KindChar      = tuple.KindChar
+	KindString    = tuple.KindString
+	KindBytes     = tuple.KindBytes
+	KindTimestamp = tuple.KindTimestamp
+)
+
+// Open creates an engine. A zero Options value yields an in-memory
+// engine with 8 KiB pages and a 4096-page buffer pool.
+func Open(opts Options) (*Engine, error) { return core.NewEngine(opts) }
+
+// NewSchema builds a table schema.
+func NewSchema(fields ...Field) (*Schema, error) { return tuple.NewSchema(fields...) }
+
+// MustSchema is NewSchema that panics on error.
+func MustSchema(fields ...Field) *Schema { return tuple.MustSchema(fields...) }
+
+// Value constructors, re-exported for convenience.
+var (
+	Int64         = tuple.Int64
+	Int32         = tuple.Int32
+	Int16         = tuple.Int16
+	Int8          = tuple.Int8
+	Bool          = tuple.Bool
+	Float64       = tuple.Float64
+	Char          = tuple.Char
+	String        = tuple.String
+	Bytes         = tuple.Bytes
+	Timestamp     = tuple.Timestamp
+	TimestampUnix = tuple.TimestampUnix
+	NullValue     = tuple.Null
+)
+
+// Index options.
+var (
+	// WithCache enables the §2.1 index cache over the named fields.
+	WithCache = core.WithCache
+	// WithCacheBucket sets the swap-policy bucket size.
+	WithCacheBucket = core.WithCacheBucket
+	// WithPredLogLimit sets the predicate-log escalation threshold.
+	WithPredLogLimit = core.WithPredLogLimit
+	// WithCacheSeed fixes cache placement randomness.
+	WithCacheSeed = core.WithCacheSeed
+	// WithFillFactor sets the bulk-build fill factor (default 0.68).
+	WithFillFactor = core.WithFillFactor
+	// NonUnique permits duplicate keys.
+	NonUnique = core.NonUnique
+	// WithAppendOnlyHeap gives a table the append-at-tail placement
+	// policy §3.1 critiques (and its clustering exploits).
+	WithAppendOnlyHeap = core.WithAppendOnlyHeap
+)
