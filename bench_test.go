@@ -7,6 +7,7 @@ package nblb
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -133,6 +134,41 @@ func BenchmarkFig2cCacheHit(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkFig2cCacheHitParallel is the cache-hit path under parallel
+// load — the configuration the sharded buffer pool and lock-free
+// projection cache exist for. Run with -cpu 8 to see scaling.
+func BenchmarkFig2cCacheHitParallel(b *testing.B) {
+	ix, keys := fig2cEngine(b, true)
+	if _, err := ix.WarmCache(); err != nil {
+		b.Fatal(err)
+	}
+	var hot [][]tuple.Value
+	for _, k := range keys {
+		if _, res, err := ix.Lookup(fig2cProj, k...); err == nil && res.CacheHit {
+			hot = append(hot, k)
+		}
+	}
+	if len(hot) == 0 {
+		b.Fatal("no cache-resident keys")
+	}
+	var seq atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		n := seq.Add(1) * 0x9E3779B9
+		buf := make(tuple.Row, 0, len(fig2cProj))
+		for pb.Next() {
+			n = n*1103515245 + 12345
+			row, _, err := ix.LookupInto(buf, fig2cProj, hot[n%uint64(len(hot))]...)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			buf = row
+		}
+	})
 }
 
 func BenchmarkFig2cNoCache(b *testing.B) {

@@ -14,8 +14,11 @@
 //	nblb-bench -exp vpart          # §3.2 vertical partitioning
 //	nblb-bench -exp ablate-place   # A1/A3 placement & bucket ablations
 //	nblb-bench -exp ablate-predlog # A2 predicate-log ablation
+//	nblb-bench -exp throughput     # parallel lookup scaling, 1-shard vs sharded pool
 //
-// -quick shrinks every experiment for a fast smoke run.
+// -quick shrinks every experiment for a fast smoke run. The throughput
+// experiment also writes a BENCH_throughput.json summary (see -json) so
+// the perf trajectory is tracked PR-over-PR.
 package main
 
 import (
@@ -28,9 +31,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (comma separated): all, fig2a, fig2b, fig2c, fig3, enc, capacity, semid, vpart, ablate-place, ablate-predlog")
+	exp := flag.String("exp", "all", "experiment to run (comma separated): all, fig2a, fig2b, fig2c, fig3, enc, capacity, semid, vpart, ablate-place, ablate-predlog, throughput")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 	seed := flag.Int64("seed", 1, "random seed for all generators")
+	jsonPath := flag.String("json", "BENCH_throughput.json", "path for the throughput experiment's JSON summary (empty disables)")
 	flag.Parse()
 
 	selected := map[string]bool{}
@@ -223,6 +227,28 @@ func main() {
 			fail("ablate-predlog", err)
 		}
 		res.Print(os.Stdout)
+	}
+
+	if want("throughput") {
+		ran++
+		section("throughput")
+		cfg := experiments.DefaultThroughputConfig()
+		cfg.Seed = *seed
+		if *quick {
+			cfg.Rows, cfg.Lookups = 4000, 40000
+			cfg.Goroutines = []int{1, 4, 8}
+		}
+		res, err := experiments.RunThroughput(cfg)
+		if err != nil {
+			fail("throughput", err)
+		}
+		res.Print(os.Stdout)
+		if *jsonPath != "" {
+			if err := res.WriteJSON(*jsonPath); err != nil {
+				fail("throughput", err)
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
 	}
 
 	if ran == 0 {

@@ -1,6 +1,8 @@
 package btree
 
 import (
+	"sync"
+
 	"repro/internal/buffer"
 	"repro/internal/storage"
 )
@@ -109,19 +111,20 @@ func (l *Leaf) KeyRange() (min, max []byte, ok bool) {
 // uses it; cache operations never do.
 func (l *Leaf) MarkDirty() { l.dirty = true }
 
+// leafPool recycles Leaf views: &Leaf{} escapes to the heap via the
+// visitor closure, and VisitLeaf runs once per point lookup.
+var leafPool = sync.Pool{New: func() any { return new(Leaf) }}
+
 // VisitLeaf pins the leaf covering key and runs fn over it. The frame
 // latch is acquired exclusively if that succeeds without blocking
 // (enabling cache writes), otherwise shared — fn must check
 // Leaf.Exclusive before mutating. The page is unpinned dirty only if fn
-// called MarkDirty.
+// called MarkDirty. The Leaf is recycled after fn returns; fn must not
+// retain it.
 func (t *Tree) VisitLeaf(key []byte, fn func(l *Leaf)) error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	_, leafID, err := t.descendToLeaf(key)
-	if err != nil {
-		return err
-	}
-	fr, err := t.pool.Fetch(leafID)
+	fr, err := t.leafFrame(key)
 	if err != nil {
 		return err
 	}
@@ -129,14 +132,18 @@ func (t *Tree) VisitLeaf(key []byte, fn func(l *Leaf)) error {
 	if !exclusive {
 		fr.Latch.RLock()
 	}
-	l := &Leaf{fr: fr, n: asNode(fr.Data()), exclusive: exclusive}
+	l := leafPool.Get().(*Leaf)
+	*l = Leaf{fr: fr, n: asNode(fr.Data()), exclusive: exclusive}
 	fn(l)
 	if exclusive {
 		fr.Latch.Unlock()
 	} else {
 		fr.Latch.RUnlock()
 	}
-	t.pool.Unpin(fr, l.dirty)
+	dirty := l.dirty
+	*l = Leaf{}
+	leafPool.Put(l)
+	t.pool.Unpin(fr, dirty)
 	return nil
 }
 

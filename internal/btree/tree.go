@@ -101,15 +101,51 @@ func (t *Tree) descendToLeaf(key []byte) (path []storage.PageID, leaf storage.Pa
 	}
 }
 
+// findLeaf is descendToLeaf without recording the internal path — the
+// read paths (Search, VisitLeaf, Scan) never use it, and skipping it
+// keeps point lookups allocation-free. Caller must hold t.mu (any
+// mode).
+func (t *Tree) findLeaf(key []byte) (storage.PageID, error) {
+	fr, err := t.leafFrame(key)
+	if err != nil {
+		return storage.InvalidPageID, err
+	}
+	id := fr.ID()
+	t.pool.Unpin(fr, false)
+	return id, nil
+}
+
+// leafFrame descends to the leaf covering key and returns its frame
+// STILL PINNED (no latch held), so point lookups pay one buffer-pool
+// round-trip for the leaf instead of a find-unpin-refetch pair. The
+// caller must Unpin exactly once and must hold t.mu (any mode; holding
+// it keeps the structure stable between the latch drop here and the
+// caller's re-latch).
+func (t *Tree) leafFrame(key []byte) (*buffer.Frame, error) {
+	id := t.root
+	for {
+		fr, err := t.pool.Fetch(id)
+		if err != nil {
+			return nil, err
+		}
+		fr.Latch.RLock()
+		n := asNode(fr.Data())
+		if n.isLeaf() {
+			fr.Latch.RUnlock()
+			return fr, nil
+		}
+		child := storage.PageID(n.childFor(key))
+		fr.Latch.RUnlock()
+		t.pool.Unpin(fr, false)
+		id = child
+	}
+}
+
 // Search returns the value stored under key.
 func (t *Tree) Search(key []byte) (uint64, bool, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	_, leafID, err := t.descendToLeaf(key)
-	if err != nil {
-		return 0, false, err
-	}
-	fr, err := t.pool.Fetch(leafID)
+	fr, err := t.leafFrame(key)
 	if err != nil {
 		return 0, false, err
 	}
@@ -397,7 +433,7 @@ func (t *Tree) Scan(start, end []byte, fn func(key []byte, value uint64) bool) e
 		}
 		leafID = id
 	} else {
-		_, id, err := t.descendToLeaf(start)
+		id, err := t.findLeaf(start)
 		if err != nil {
 			return err
 		}

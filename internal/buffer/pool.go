@@ -9,23 +9,41 @@
 // exactly the contract index-cache writes need ("cache modifications do
 // not dirty the page"), and the CSN invalidation scheme makes losing
 // them safe.
+//
+// The pool is sharded: page ids hash to one of a power-of-two number of
+// shards, each with its own frame table, clock hand, free list, and
+// mutex, so concurrent fetches of unrelated pages never contend. Total
+// capacity is accounted globally — a hot shard may hold more frames
+// than an idle one, and a shard whose frames are all pinned steals a
+// victim from a sibling rather than failing. Unpin is lock-free (atomic
+// pin count and dirty bit), which matters because every page access
+// pays it.
 package buffer
 
 import (
 	"fmt"
-	"sync"
+	"runtime"
+	"sync/atomic"
 
 	"repro/internal/latch"
 	"repro/internal/storage"
 )
 
 // Frame is an in-memory copy of one page, plus bookkeeping.
+//
+// pins and dirty are atomic so Unpin never takes a shard lock; the
+// clock reference bit and id are only touched under the owning shard's
+// mutex (a frame with pins > 0 is never evicted or re-bound, so reading
+// id from a pinned frame is safe without it).
 type Frame struct {
-	id    storage.PageID
-	data  []byte
-	pins  int
-	dirty bool
-	ref   bool // clock reference bit
+	id   storage.PageID
+	data []byte
+	slot int // index within the owning shard's frames slice
+
+	pins  atomic.Int32
+	dirty atomic.Bool
+	ref   bool // clock reference bit; shard lock only
+
 	// Latch guards the frame's data. The buffer pool hands out frames
 	// without holding it; callers latch around their accesses. Cache
 	// writes use Latch.TryLock per the paper's give-up protocol.
@@ -56,48 +74,116 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// Pool is a buffer pool of fixed capacity.
+// Pool is a buffer pool of fixed total capacity, sharded by page id.
 type Pool struct {
-	disk storage.DiskManager
-
-	mu     sync.Mutex
-	frames []*Frame
-	table  map[storage.PageID]int // page id -> frame index
-	hand   int                    // clock hand
-	stats  Stats
-	maxCap int
+	disk     storage.DiskManager
+	pageSize int
+	maxCap   int
+	nframes  atomic.Int64 // frames allocated across all shards, ≤ maxCap
+	mask     uint64
+	shards   []shard
 }
 
-// NewPool creates a pool holding up to capacity pages.
+// maxShards caps the shard count; beyond this, shard selection noise
+// outweighs any contention win.
+const maxShards = 64
+
+// minFramesPerShard keeps tiny pools coarse: a pool is only split while
+// each shard can expect at least this many frames, so single-digit
+// capacities behave exactly like the classic single-mutex pool.
+const minFramesPerShard = 8
+
+// defaultShardCount is the largest power of two ≤ min(maxShards,
+// 4·GOMAXPROCS, capacity/minFramesPerShard), and at least 1.
+func defaultShardCount(capacity int) int {
+	limit := 4 * runtime.GOMAXPROCS(0)
+	if limit > maxShards {
+		limit = maxShards
+	}
+	if byCap := capacity / minFramesPerShard; byCap < limit {
+		limit = byCap
+	}
+	n := 1
+	for n*2 <= limit {
+		n *= 2
+	}
+	return n
+}
+
+// NewPool creates a pool holding up to capacity pages, with an
+// automatically chosen shard count.
 func NewPool(disk storage.DiskManager, capacity int) (*Pool, error) {
 	if capacity < 1 {
 		return nil, fmt.Errorf("buffer: capacity must be at least 1, got %d", capacity)
 	}
-	return &Pool{
-		disk:   disk,
-		table:  make(map[storage.PageID]int, capacity),
-		maxCap: capacity,
-	}, nil
+	return NewPoolShards(disk, capacity, defaultShardCount(capacity))
+}
+
+// NewPoolShards creates a pool with an explicit shard count, which must
+// be a power of two. Capacity is shared globally across shards; a shard
+// count above the capacity merely leaves some shards borrowing frames
+// from siblings. Benchmarks use shards == 1 to reproduce the classic
+// single-mutex pool.
+func NewPoolShards(disk storage.DiskManager, capacity, shards int) (*Pool, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("buffer: capacity must be at least 1, got %d", capacity)
+	}
+	if shards < 1 || shards&(shards-1) != 0 {
+		return nil, fmt.Errorf("buffer: shard count must be a power of two, got %d", shards)
+	}
+	p := &Pool{
+		disk:     disk,
+		pageSize: disk.PageSize(),
+		maxCap:   capacity,
+		mask:     uint64(shards - 1),
+		shards:   make([]shard, shards),
+	}
+	perShard := capacity/shards + 1
+	for i := range p.shards {
+		p.shards[i].table = make(map[storage.PageID]*Frame, perShard)
+	}
+	return p, nil
+}
+
+// shardOf routes a page id to its shard via a Fibonacci hash of the id.
+func (p *Pool) shardOf(id storage.PageID) *shard {
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return &p.shards[(h>>33)&p.mask]
 }
 
 // Capacity returns the maximum number of resident pages.
 func (p *Pool) Capacity() int { return p.maxCap }
 
+// NumShards returns the number of shards the pool routes across.
+func (p *Pool) NumShards() int { return len(p.shards) }
+
 // Disk returns the underlying disk manager.
 func (p *Pool) Disk() storage.DiskManager { return p.disk }
 
-// Stats returns a snapshot of the pool counters.
+// Stats returns a snapshot aggregated across shards. Shards are read
+// without their locks (counters are atomic), so a snapshot taken during
+// concurrent traffic is approximate; quiescent snapshots are exact.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	var st Stats
+	for i := range p.shards {
+		s := &p.shards[i]
+		st.Hits += s.hits.Value()
+		st.Misses += s.misses.Value()
+		st.Evictions += s.evictions.Value()
+		st.Writebacks += s.writebacks.Value()
+	}
+	return st
 }
 
 // ResetStats zeroes the pool counters.
 func (p *Pool) ResetStats() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats = Stats{}
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.hits.Reset()
+		s.misses.Reset()
+		s.evictions.Reset()
+		s.writebacks.Reset()
+	}
 }
 
 // Fetch pins the page into a frame, reading it from disk on a miss.
@@ -106,25 +192,37 @@ func (p *Pool) Fetch(id storage.PageID) (*Frame, error) {
 	if id == storage.InvalidPageID {
 		return nil, fmt.Errorf("buffer: fetch of invalid page id")
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if idx, ok := p.table[id]; ok {
-		f := p.frames[idx]
-		f.pins++
+	s := p.shardOf(id)
+	s.mu.Lock()
+	if f, ok := s.table[id]; ok {
+		f.pins.Add(1)
 		f.ref = true
-		p.stats.Hits++
+		s.mu.Unlock()
+		s.hits.Inc()
 		return f, nil
 	}
-	p.stats.Misses++
-	f, err := p.victimLocked()
+	s.misses.Inc()
+	f, err := p.frameFor(s)
 	if err != nil {
+		s.mu.Unlock()
 		return nil, err
+	}
+	// frameFor may have dropped s.mu to steal from a sibling; another
+	// goroutine could have installed the page meanwhile.
+	if g, ok := s.table[id]; ok {
+		s.releaseFrame(f)
+		g.pins.Add(1)
+		g.ref = true
+		s.mu.Unlock()
+		return g, nil
 	}
 	if err := p.disk.ReadPage(id, f.data); err != nil {
-		p.freeFrameLocked(f)
+		s.releaseFrame(f)
+		s.mu.Unlock()
 		return nil, err
 	}
-	p.installLocked(f, id)
+	s.install(f, id)
+	s.mu.Unlock()
 	return f, nil
 }
 
@@ -134,127 +232,134 @@ func (p *Pool) NewPage() (*Frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, err := p.victimLocked()
+	s := p.shardOf(id)
+	s.mu.Lock()
+	f, err := p.frameFor(s)
 	if err != nil {
+		s.mu.Unlock()
 		return nil, err
 	}
 	for i := range f.data {
 		f.data[i] = 0
 	}
-	p.installLocked(f, id)
-	f.dirty = true // a new page must eventually reach disk
+	s.install(f, id)
+	f.dirty.Store(true) // a new page must eventually reach disk
+	s.mu.Unlock()
 	return f, nil
 }
 
-// installLocked binds a free frame to a page id and pins it.
-func (p *Pool) installLocked(f *Frame, id storage.PageID) {
-	f.id = id
-	f.pins = 1
-	f.ref = true
-	f.dirty = false
-	idx := p.frameIndexLocked(f)
-	p.table[id] = idx
-}
-
-func (p *Pool) frameIndexLocked(f *Frame) int {
-	for i, other := range p.frames {
-		if other == f {
-			return i
-		}
+// frameFor returns a detached frame for s to install into, in order of
+// preference: s's free list, pool growth (global capacity permitting),
+// a clock victim within s, or a frame stolen from a sibling shard.
+// Caller holds s.mu; when stealing, s.mu is dropped and re-acquired, so
+// the caller must re-check its table lookup afterwards.
+func (p *Pool) frameFor(s *shard) (*Frame, error) {
+	if n := len(s.free); n > 0 {
+		f := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return f, nil
 	}
-	p.frames = append(p.frames, f)
-	return len(p.frames) - 1
-}
-
-// freeFrameLocked detaches a frame after a failed install.
-func (p *Pool) freeFrameLocked(f *Frame) {
-	f.id = storage.InvalidPageID
-	f.pins = 0
-	f.dirty = false
-}
-
-// victimLocked returns an unbound frame, growing the pool if below
-// capacity or evicting a victim via the clock algorithm otherwise.
-func (p *Pool) victimLocked() (*Frame, error) {
-	// Reuse a detached frame if one exists (failed install).
-	for _, f := range p.frames {
-		if f.id == storage.InvalidPageID && f.pins == 0 {
+	for {
+		n := p.nframes.Load()
+		if n >= int64(p.maxCap) {
+			break
+		}
+		if p.nframes.CompareAndSwap(n, n+1) {
+			f := &Frame{data: make([]byte, p.pageSize), slot: len(s.frames)}
+			s.frames = append(s.frames, f)
 			return f, nil
 		}
 	}
-	if len(p.frames) < p.maxCap {
-		f := &Frame{data: make([]byte, p.disk.PageSize())}
+	f, err := s.clockVictim(p.disk)
+	if err != nil {
+		return nil, err
+	}
+	if f != nil {
 		return f, nil
 	}
-	// Clock sweep: two full passes; a frame with ref bit gets a second
-	// chance, pinned frames are skipped.
-	n := len(p.frames)
-	for pass := 0; pass < 2*n; pass++ {
-		f := p.frames[p.hand]
-		p.hand = (p.hand + 1) % n
-		if f.pins > 0 {
-			continue
-		}
-		if f.ref {
-			f.ref = false
-			continue
-		}
-		if err := p.evictLocked(f); err != nil {
-			return nil, err
-		}
-		return f, nil
+	// Every local frame is pinned: borrow a victim from a sibling. The
+	// two shard locks are never held together (no ordering, no deadlock).
+	s.mu.Unlock()
+	f, err = p.steal(s)
+	s.mu.Lock()
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("buffer: all %d frames pinned; cannot evict", n)
+	f.slot = len(s.frames)
+	s.frames = append(s.frames, f)
+	return f, nil
 }
 
-// evictLocked detaches the (unpinned) frame's page, writing it back only
-// if dirty. Clean frames are dropped without I/O — this is the moment
-// volatile index-cache contents disappear.
-func (p *Pool) evictLocked(f *Frame) error {
-	if f.dirty {
-		if err := p.disk.WritePage(f.id, f.data); err != nil {
-			return fmt.Errorf("buffer: write back %v: %w", f.id, err)
+// steal detaches a frame from some other shard — a parked free frame
+// if it has one, else a clock victim — and transfers ownership to the
+// caller. Called with no shard locks held.
+func (p *Pool) steal(self *shard) (*Frame, error) {
+	for i := range p.shards {
+		o := &p.shards[i]
+		if o == self {
+			continue
 		}
-		p.stats.Writebacks++
+		o.mu.Lock()
+		var f *Frame
+		var err error
+		if n := len(o.free); n > 0 {
+			f = o.free[n-1]
+			o.free[n-1] = nil
+			o.free = o.free[:n-1]
+		} else {
+			f, err = o.clockVictim(p.disk)
+		}
+		if err == nil && f != nil {
+			o.removeFrame(f)
+		}
+		o.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		if f != nil {
+			return f, nil
+		}
 	}
-	delete(p.table, f.id)
-	p.stats.Evictions++
-	f.id = storage.InvalidPageID
-	f.dirty = false
-	return nil
+	return nil, fmt.Errorf("buffer: all %d frames pinned; cannot evict", p.nframes.Load())
 }
 
 // Unpin releases one pin. If dirty is true the page will be written
 // back before eviction; if false, any in-memory mutations remain
-// volatile (the index-cache write path).
+// volatile (the index-cache write path). Unpin is lock-free.
 func (p *Pool) Unpin(f *Frame, dirty bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if f.pins <= 0 {
-		panic(fmt.Sprintf("buffer: unpin of unpinned %v", f.id))
-	}
-	f.pins--
 	if dirty {
-		f.dirty = true
+		f.dirty.Store(true)
+	}
+	if n := f.pins.Add(-1); n < 0 {
+		panic(fmt.Sprintf("buffer: unpin of unpinned %v", f.id))
 	}
 }
 
 // FlushAll writes every dirty resident page to disk. Clean pages
 // (including those with volatile cache writes) are not touched.
+//
+// The dirty bit is claimed with a CAS *before* the write: Unpin sets it
+// without the shard lock, so clearing it after the write could erase a
+// concurrent Unpin(dirty) and silently lose that mutation's write-back.
+// Claiming first means a mutation landing mid-flush re-dirties the
+// frame and reaches disk on the next flush or eviction.
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, f := range p.frames {
-		if f.id == storage.InvalidPageID || !f.dirty {
-			continue
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		for _, f := range s.frames {
+			if f.id == storage.InvalidPageID || !f.dirty.CompareAndSwap(true, false) {
+				continue
+			}
+			if err := p.disk.WritePage(f.id, f.data); err != nil {
+				f.dirty.Store(true)
+				s.mu.Unlock()
+				return fmt.Errorf("buffer: flush %v: %w", f.id, err)
+			}
+			s.writebacks.Inc()
 		}
-		if err := p.disk.WritePage(f.id, f.data); err != nil {
-			return fmt.Errorf("buffer: flush %v: %w", f.id, err)
-		}
-		f.dirty = false
-		p.stats.Writebacks++
+		s.mu.Unlock()
 	}
 	return nil
 }
@@ -263,25 +368,44 @@ func (p *Pool) FlushAll() error {
 // tests and the partition experiment's "does the index fit in RAM"
 // accounting).
 func (p *Pool) Resident(id storage.PageID) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	_, ok := p.table[id]
+	s := p.shardOf(id)
+	s.mu.Lock()
+	_, ok := s.table[id]
+	s.mu.Unlock()
 	return ok
+}
+
+// ResidentPages returns the number of pages currently held across all
+// shards.
+func (p *Pool) ResidentPages() int {
+	n := 0
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		n += len(s.table)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // EvictAll force-evicts every unpinned page (dirty ones are written
 // back). Tests use it to simulate a cold restart, which must drop all
 // volatile index-cache contents.
 func (p *Pool) EvictAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, f := range p.frames {
-		if f.id == storage.InvalidPageID || f.pins > 0 {
-			continue
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		for _, f := range s.frames {
+			if f.id == storage.InvalidPageID || f.pins.Load() > 0 {
+				continue
+			}
+			if err := s.evict(f, p.disk); err != nil {
+				s.mu.Unlock()
+				return err
+			}
+			s.free = append(s.free, f)
 		}
-		if err := p.evictLocked(f); err != nil {
-			return err
-		}
+		s.mu.Unlock()
 	}
 	return nil
 }

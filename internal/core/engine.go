@@ -20,6 +20,10 @@ type Options struct {
 	PageSize int
 	// BufferPoolPages is the pool capacity in pages. Defaults to 4096.
 	BufferPoolPages int
+	// PoolShards overrides the buffer pool's shard count (must be a
+	// power of two). 0 picks automatically from GOMAXPROCS and the
+	// capacity. Benchmarks use 1 to reproduce the single-mutex pool.
+	PoolShards int
 	// Path, when non-empty, backs the engine with a file on disk;
 	// otherwise an in-memory disk is used.
 	Path string
@@ -64,7 +68,11 @@ func NewEngine(opts Options) (*Engine, error) {
 		disk = e.counter
 	}
 	e.disk = disk
-	e.pool, err = buffer.NewPool(disk, opts.BufferPoolPages)
+	if opts.PoolShards > 0 {
+		e.pool, err = buffer.NewPoolShards(disk, opts.BufferPoolPages, opts.PoolShards)
+	} else {
+		e.pool, err = buffer.NewPool(disk, opts.BufferPoolPages)
+	}
 	if err != nil {
 		disk.Close()
 		return nil, err

@@ -4,7 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/btree"
 	"repro/internal/idxcache"
@@ -75,13 +75,70 @@ type Index struct {
 	// the cache payload (after the null-bitmap byte).
 	payloadOff []int
 
-	// Projection memo: resolving names to positions on every lookup
-	// costs an allocation; point-lookup workloads reuse one projection.
-	projMu   sync.Mutex
-	projLast []string
-	projIdx  []int
-	projAll  []int // identity projection for nil
+	// Projection-plan cache: an immutable slice of resolved plans behind
+	// an atomic pointer, grown copy-on-write. Point lookups resolve
+	// their projection with a lock-free, allocation-free scan; the slice
+	// is tiny in practice (a workload uses a handful of projections).
+	projPlans atomic.Pointer[[]projPlan]
+	projAll   *projPlan // identity projection for nil, built at creation
 }
+
+// projPlan memoizes one resolved projection, including the assembly
+// recipe for answering it straight from a leaf (key fields + cached
+// payload). Everything is immutable after publication.
+type projPlan struct {
+	names []string
+	idx   []int // schema positions, one per projected field
+	// coverable reports whether every projected field is a key field or
+	// a cached field — the precondition for a cache hit. Checked once at
+	// plan build instead of being rediscovered on every lookup.
+	coverable bool
+	// steps drive assembleInto when coverable: one source per projected
+	// field.
+	steps []asmStep
+}
+
+// asmStep says where projected field i comes from on the cache-hit
+// path.
+type asmStep struct {
+	fromKey bool
+	src     int // keyVals index or cachedFields index
+}
+
+// buildProjPlan resolves idx (schema positions) into a plan. Callers
+// pass an immutable names slice.
+func (ix *Index) buildProjPlan(names []string, idx []int) projPlan {
+	p := projPlan{names: names, idx: idx, coverable: true}
+	p.steps = make([]asmStep, len(idx))
+	for i, pos := range idx {
+		if ki := indexOf(ix.keyFields, pos); ki >= 0 {
+			p.steps[i] = asmStep{fromKey: true, src: ki}
+			continue
+		}
+		if ci := indexOf(ix.cachedFields, pos); ci >= 0 {
+			p.steps[i] = asmStep{src: ci}
+			continue
+		}
+		p.coverable = false
+		p.steps = nil
+		break
+	}
+	return p
+}
+
+func indexOf(s []int, v int) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// maxProjPlans bounds the plan cache; projections beyond it are
+// resolved per call instead of cached (no workload legitimately uses
+// this many distinct projections against one index).
+const maxProjPlans = 64
 
 // CreateIndex builds an index over the named fields. If the table
 // already holds rows, the index is bulk-loaded at the configured fill
@@ -143,6 +200,12 @@ func (t *Table) CreateIndex(name string, fields []string, opts ...IndexOption) (
 		}
 		ix.cache = cache
 	}
+	allIdx := make([]int, t.schema.NumFields())
+	for i := range allIdx {
+		allIdx[i] = i
+	}
+	allPlan := ix.buildProjPlan(nil, allIdx)
+	ix.projAll = &allPlan
 	if err := ix.build(cfg.fillFactor); err != nil {
 		return nil, err
 	}
@@ -258,6 +321,12 @@ func (ix *Index) entryKey(row tuple.Row, rid storage.RID) ([]byte, error) {
 
 // searchKey builds the lookup key from caller-supplied key values.
 func (ix *Index) searchKey(keyVals []tuple.Value) ([]byte, error) {
+	return ix.searchKeyInto(nil, keyVals)
+}
+
+// searchKeyInto is searchKey appending into dst — the hot path passes a
+// pooled scratch buffer so key encoding is allocation-free.
+func (ix *Index) searchKeyInto(dst []byte, keyVals []tuple.Value) ([]byte, error) {
 	if len(keyVals) != len(ix.keyFields) {
 		return nil, fmt.Errorf("core: index %q wants %d key values, got %d", ix.name, len(ix.keyFields), len(keyVals))
 	}
@@ -267,7 +336,7 @@ func (ix *Index) searchKey(keyVals []tuple.Value) ([]byte, error) {
 			return nil, fmt.Errorf("core: index %q key field %d: kind %v, want %v", ix.name, i, v.Kind, want)
 		}
 	}
-	return tuple.EncodeKey(nil, keyVals...)
+	return tuple.EncodeKey(dst, keyVals...)
 }
 
 func appendRIDSuffix(key []byte, rid storage.RID) []byte {

@@ -1,14 +1,27 @@
 package core
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
+	"sync"
 
 	"repro/internal/btree"
 	"repro/internal/storage"
 	"repro/internal/tuple"
 )
+
+// lookupScratch bundles the byte buffers a point lookup needs — the
+// encoded search key and the cache payload — so the hot path reuses
+// them via a sync.Pool instead of allocating per call.
+type lookupScratch struct {
+	key     []byte
+	payload []byte
+}
+
+var lookupScratchPool = sync.Pool{New: func() any { return new(lookupScratch) }}
 
 // LookupResult describes how a point lookup was answered — the paper's
 // three-tier hierarchy made observable.
@@ -36,54 +49,39 @@ type LookupResult struct {
 // leaf is still pinned and install the missing cache entry (a volatile
 // write that never dirties the page).
 func (ix *Index) Lookup(project []string, keyVals ...tuple.Value) (tuple.Row, LookupResult, error) {
+	return ix.LookupInto(nil, project, keyVals...)
+}
+
+// LookupInto is Lookup writing the projected row into dst when its
+// capacity suffices (the returned row may still be a fresh slice when
+// dst was too small). Together with the pooled key/payload scratch this
+// makes a cache-hit lookup allocation-free: callers that reuse the
+// returned row across calls pay zero heap allocations per hit.
+//
+// The returned row aliases dst's backing array; it is only valid until
+// the next LookupInto with the same dst.
+func (ix *Index) LookupInto(dst tuple.Row, project []string, keyVals ...tuple.Value) (tuple.Row, LookupResult, error) {
 	if !ix.unique {
 		return nil, LookupResult{}, fmt.Errorf("core: Lookup requires a unique index; use LookupAll on %q", ix.name)
 	}
-	key, err := ix.searchKey(keyVals)
+	plan, err := ix.resolveProjection(project)
 	if err != nil {
 		return nil, LookupResult{}, err
 	}
-	projIdx, err := ix.resolveProjection(project)
+	sc := lookupScratchPool.Get().(*lookupScratch)
+	defer lookupScratchPool.Put(sc)
+	key, err := ix.searchKeyInto(sc.key[:0], keyVals)
 	if err != nil {
 		return nil, LookupResult{}, err
 	}
+	sc.key = key
 	var (
 		res    LookupResult
 		outRow tuple.Row
 		visErr error
 	)
 	err = ix.tree.VisitLeaf(key, func(l *btree.Leaf) {
-		packed, found := l.Find(key)
-		if !found {
-			return
-		}
-		res.Found = true
-		res.RID = storage.UnpackRID(packed)
-		if ix.cache != nil && ix.cache.Prepare(l) {
-			if payload, ok := ix.cache.Lookup(l, packed); ok {
-				if row, ok := ix.assembleFromCache(keyVals, payload, projIdx); ok {
-					res.CacheHit = true
-					outRow = row
-					return
-				}
-			}
-		}
-		// Cache miss (or projection not coverable): fetch the heap row
-		// while the leaf is pinned, then fill the cache.
-		res.HeapAccess = true
-		row, gerr := ix.table.Get(res.RID)
-		if gerr != nil {
-			visErr = gerr
-			return
-		}
-		if ix.cache != nil && l.Exclusive() {
-			if payload, ok := ix.encodePayload(row); ok {
-				if ix.cache.Insert(l, packed, payload) {
-					res.CacheFilled = true
-				}
-			}
-		}
-		outRow = projectRow(row, projIdx)
+		outRow, res, visErr = ix.lookupInLeaf(l, key, keyVals, plan, dst, sc)
 	})
 	if err != nil {
 		return nil, LookupResult{}, err
@@ -95,6 +93,122 @@ func (ix *Index) Lookup(project []string, keyVals ...tuple.Value) (tuple.Row, Lo
 		return nil, res, nil
 	}
 	return outRow, res, nil
+}
+
+// lookupInLeaf answers one point lookup against an already-pinned leaf:
+// the Section 2.1.1 flow of Lookup, factored out so LookupMany can run
+// it for every key that lands on the same leaf under a single visit.
+func (ix *Index) lookupInLeaf(l *btree.Leaf, key []byte, keyVals []tuple.Value, plan *projPlan, dst tuple.Row, sc *lookupScratch) (tuple.Row, LookupResult, error) {
+	var res LookupResult
+	packed, found := l.Find(key)
+	if !found {
+		return nil, res, nil
+	}
+	res.Found = true
+	res.RID = storage.UnpackRID(packed)
+	// Only probe the cache when the plan can be answered from it — an
+	// uncoverable projection would scan the slots just to throw the
+	// payload away.
+	prepared := false
+	if ix.cache != nil && plan.coverable {
+		prepared = ix.cache.Prepare(l)
+		if prepared {
+			if payload, ok := ix.cache.LookupInto(sc.payload[:0], l, packed); ok {
+				sc.payload = payload[:0]
+				if row, ok := ix.assembleInto(dst, keyVals, payload, plan); ok {
+					res.CacheHit = true
+					return row, res, nil
+				}
+			}
+		}
+	}
+	// Cache miss (or projection not coverable): fetch the heap row
+	// while the leaf is pinned, then fill the cache.
+	res.HeapAccess = true
+	row, gerr := ix.table.Get(res.RID)
+	if gerr != nil {
+		return nil, res, gerr
+	}
+	if ix.cache != nil && l.Exclusive() && (prepared || ix.cache.Prepare(l)) {
+		if payload, ok := ix.encodePayloadInto(sc.payload[:0], row); ok {
+			sc.payload = payload[:0]
+			if ix.cache.Insert(l, packed, payload) {
+				res.CacheFilled = true
+			}
+		}
+	}
+	return projectRowInto(dst, row, plan.idx), res, nil
+}
+
+// LookupMany answers a batch of point lookups on a unique index. The
+// encoded keys are sorted so every key falling on the same B+Tree leaf
+// is answered under one descent and one pin (per-leaf key groups),
+// instead of paying a root-to-leaf walk per key. rows and results are
+// returned in input order; rows[i] is nil when keys[i] has no match.
+func (ix *Index) LookupMany(project []string, keys [][]tuple.Value) ([]tuple.Row, []LookupResult, error) {
+	if !ix.unique {
+		return nil, nil, fmt.Errorf("core: LookupMany requires a unique index; use LookupAll on %q", ix.name)
+	}
+	plan, err := ix.resolveProjection(project)
+	if err != nil {
+		return nil, nil, err
+	}
+	type searchEntry struct {
+		enc []byte
+		pos int
+	}
+	entries := make([]searchEntry, len(keys))
+	for i, kv := range keys {
+		enc, err := ix.searchKeyInto(nil, kv)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: LookupMany key %d: %w", i, err)
+		}
+		entries[i] = searchEntry{enc: enc, pos: i}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		return bytes.Compare(entries[i].enc, entries[j].enc) < 0
+	})
+	rows := make([]tuple.Row, len(keys))
+	results := make([]LookupResult, len(keys))
+	sc := lookupScratchPool.Get().(*lookupScratch)
+	defer lookupScratchPool.Put(sc)
+	i := 0
+	for i < len(entries) {
+		start := i
+		var visErr error
+		err := ix.tree.VisitLeaf(entries[i].enc, func(l *btree.Leaf) {
+			// The leaf covers every sorted key ≤ its last key: answer
+			// them all while the leaf is pinned. Keys beyond it descend
+			// again on the next outer iteration.
+			var maxKey []byte
+			if nk := l.NumKeys(); nk > 0 {
+				maxKey = l.KeyAt(nk - 1)
+			}
+			for ; i < len(entries); i++ {
+				e := entries[i]
+				if i > start && (maxKey == nil || bytes.Compare(e.enc, maxKey) > 0) {
+					return
+				}
+				row, res, lerr := ix.lookupInLeaf(l, e.enc, keys[e.pos], plan, nil, sc)
+				if lerr != nil {
+					visErr = lerr
+					return
+				}
+				rows[e.pos] = row
+				results[e.pos] = res
+			}
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if visErr != nil {
+			return nil, nil, visErr
+		}
+		if i == start {
+			i++ // defensive: guarantee progress
+		}
+	}
+	return rows, results, nil
 }
 
 // LookupRID returns just the RID for a key, touching neither cache nor
@@ -181,22 +295,21 @@ func (ix *Index) WarmCache() (int, error) {
 }
 
 // resolveProjection maps projected names to schema positions. nil
-// projects every field. Results are memoized (the returned slice must
-// be treated as read-only).
-func (ix *Index) resolveProjection(project []string) ([]int, error) {
-	ix.projMu.Lock()
-	defer ix.projMu.Unlock()
+// projects every field. Resolved plans are cached in an immutable
+// copy-on-write slice behind an atomic pointer, so the common case — a
+// projection seen before — is a lock-free, allocation-free scan over a
+// handful of entries. The returned slice must be treated as read-only.
+func (ix *Index) resolveProjection(project []string) (*projPlan, error) {
 	if project == nil {
-		if ix.projAll == nil {
-			ix.projAll = make([]int, ix.table.schema.NumFields())
-			for i := range ix.projAll {
-				ix.projAll[i] = i
-			}
-		}
 		return ix.projAll, nil
 	}
-	if sameStrings(project, ix.projLast) {
-		return ix.projIdx, nil
+	if plans := ix.projPlans.Load(); plans != nil {
+		for i := range *plans {
+			p := &(*plans)[i]
+			if sameStrings(project, p.names) {
+				return p, nil
+			}
+		}
 	}
 	idx := make([]int, len(project))
 	for i, name := range project {
@@ -206,9 +319,32 @@ func (ix *Index) resolveProjection(project []string) ([]int, error) {
 		}
 		idx[i] = pos
 	}
-	ix.projLast = append([]string(nil), project...)
-	ix.projIdx = idx
-	return idx, nil
+	plan := ix.buildProjPlan(append([]string(nil), project...), idx)
+	for {
+		old := ix.projPlans.Load()
+		var next []projPlan
+		if old != nil {
+			// Another goroutine may have published this plan meanwhile.
+			for i := range *old {
+				p := &(*old)[i]
+				if sameStrings(project, p.names) {
+					return p, nil
+				}
+			}
+			if len(*old) >= maxProjPlans {
+				return &plan, nil // cache full: resolve without caching
+			}
+			next = make([]projPlan, len(*old)+1)
+			copy(next, *old)
+			next[len(*old)] = plan
+		} else {
+			next = []projPlan{plan}
+		}
+		if ix.projPlans.CompareAndSwap(old, &next) {
+			// Return the published copy: it is immutable from here on.
+			return &next[len(next)-1], nil
+		}
+	}
 }
 
 func sameStrings(a, b []string) bool {
@@ -223,35 +359,35 @@ func sameStrings(a, b []string) bool {
 	return true
 }
 
-// assembleFromCache builds the projected row from key values and the
-// cached payload, if they cover the projection. Cached fields decode
-// directly at their precomputed payload offsets — no intermediate
-// slice.
-func (ix *Index) assembleFromCache(keyVals []tuple.Value, payload []byte, projIdx []int) (tuple.Row, bool) {
-	if len(payload) != ix.payloadWidth {
+// growRow returns dst resized to n values, reusing its backing array
+// when the capacity suffices.
+func growRow(dst tuple.Row, n int) tuple.Row {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make(tuple.Row, n)
+}
+
+// assembleInto builds the projected row from key values and the cached
+// payload by walking the plan's precomputed assembly steps, reusing
+// dst's backing array when possible. Cached fields decode directly at
+// their precomputed payload offsets — no intermediate slice, no
+// per-call coverage discovery.
+func (ix *Index) assembleInto(dst tuple.Row, keyVals []tuple.Value, payload []byte, plan *projPlan) (tuple.Row, bool) {
+	if !plan.coverable || len(payload) != ix.payloadWidth {
 		return nil, false
 	}
-	row := make(tuple.Row, len(projIdx))
-	for i, pos := range projIdx {
-		if kv, ok := fieldFromKey(ix.keyFields, keyVals, pos); ok {
-			row[i] = kv
+	row := growRow(dst, len(plan.steps))
+	for i, st := range plan.steps {
+		if st.fromKey {
+			row[i] = keyVals[st.src]
 			continue
 		}
-		found := false
-		for ci, cpos := range ix.cachedFields {
-			if cpos == pos {
-				v, ok := ix.decodePayloadField(payload, ci)
-				if !ok {
-					return nil, false
-				}
-				row[i] = v
-				found = true
-				break
-			}
+		v, ok := ix.decodePayloadField(payload, st.src)
+		if !ok {
+			return nil, false
 		}
-		if !found {
-			return nil, false // projection needs an uncovered field
-		}
+		row[i] = v
 	}
 	return row, true
 }
@@ -292,17 +428,10 @@ func (ix *Index) decodePayloadField(payload []byte, ci int) (tuple.Value, bool) 
 	return v, true
 }
 
-func fieldFromKey(keyFields []int, keyVals []tuple.Value, pos int) (tuple.Value, bool) {
-	for i, kpos := range keyFields {
-		if kpos == pos {
-			return keyVals[i], true
-		}
-	}
-	return tuple.Value{}, false
-}
-
-func projectRow(row tuple.Row, projIdx []int) tuple.Row {
-	out := make(tuple.Row, len(projIdx))
+// projectRowInto projects row through projIdx, reusing dst's backing
+// array when its capacity suffices.
+func projectRowInto(dst tuple.Row, row tuple.Row, projIdx []int) tuple.Row {
+	out := growRow(dst, len(projIdx))
 	for i, pos := range projIdx {
 		out[i] = row[pos]
 	}
@@ -312,7 +441,22 @@ func projectRow(row tuple.Row, projIdx []int) tuple.Row {
 // encodePayload serializes the cached fields of a row into the fixed
 // payload layout: one null-bitmap byte, then each field's fixed bytes.
 func (ix *Index) encodePayload(row tuple.Row) ([]byte, bool) {
-	buf := make([]byte, ix.payloadWidth)
+	return ix.encodePayloadInto(nil, row)
+}
+
+// encodePayloadInto is encodePayload appending into dst (the hot path
+// passes pooled scratch; idxcache.Insert copies the payload into the
+// page, so the buffer is immediately reusable).
+func (ix *Index) encodePayloadInto(dst []byte, row tuple.Row) ([]byte, bool) {
+	var buf []byte
+	if cap(dst) >= ix.payloadWidth {
+		buf = dst[:ix.payloadWidth]
+		for i := range buf {
+			buf[i] = 0
+		}
+	} else {
+		buf = make([]byte, ix.payloadWidth)
+	}
 	off := 1
 	for i, pos := range ix.cachedFields {
 		v := row[pos]

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+func lookupManyFixture(t *testing.T, rows int, cached bool) (*Table, *Index) {
+	t.Helper()
+	e := newTestEngine(t)
+	tb, err := e.CreateTable("page", pagesSchema())
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	for i := 0; i < rows; i++ {
+		if _, err := tb.Insert(pageRow(i)); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	opts := []IndexOption{}
+	if cached {
+		opts = append(opts, WithCache("latest_rev", "len"), WithCacheSeed(1))
+	}
+	ix, err := tb.CreateIndex("name_title", []string{"namespace", "title"}, opts...)
+	if err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+	return tb, ix
+}
+
+func pageKey(i int) []tuple.Value {
+	return []tuple.Value{tuple.Int32(0), tuple.String(fmt.Sprintf("Title_%05d", i))}
+}
+
+// TestLookupManyMatchesSingleLookups answers a scrambled batch (present
+// and absent keys) and checks every row and result against the
+// one-at-a-time path.
+func TestLookupManyMatchesSingleLookups(t *testing.T) {
+	const rows = 500
+	_, ix := lookupManyFixture(t, rows, true)
+	proj := []string{"latest_rev", "title"}
+	keys := make([][]tuple.Value, 0, 64)
+	for _, i := range []int{499, 0, 17, 18, 19, 250, 9999, 3, 251, 499, 777, 42} {
+		keys = append(keys, pageKey(i))
+	}
+	gotRows, gotRes, err := ix.LookupMany(proj, keys)
+	if err != nil {
+		t.Fatalf("LookupMany: %v", err)
+	}
+	if len(gotRows) != len(keys) || len(gotRes) != len(keys) {
+		t.Fatalf("got %d rows / %d results for %d keys", len(gotRows), len(gotRes), len(keys))
+	}
+	for k, key := range keys {
+		wantRow, wantRes, err := ix.Lookup(proj, key...)
+		if err != nil {
+			t.Fatalf("Lookup key %d: %v", k, err)
+		}
+		if gotRes[k].Found != wantRes.Found || gotRes[k].RID != wantRes.RID {
+			t.Errorf("key %d: result %+v, want found=%v rid=%v", k, gotRes[k], wantRes.Found, wantRes.RID)
+		}
+		if !wantRes.Found {
+			if gotRows[k] != nil {
+				t.Errorf("key %d: absent key returned row %v", k, gotRows[k])
+			}
+			continue
+		}
+		if len(gotRows[k]) != len(wantRow) {
+			t.Fatalf("key %d: row width %d, want %d", k, len(gotRows[k]), len(wantRow))
+		}
+		for c := range wantRow {
+			if !gotRows[k][c].Equal(wantRow[c]) {
+				t.Errorf("key %d col %d: %v, want %v", k, c, gotRows[k][c], wantRow[c])
+			}
+		}
+	}
+}
+
+// TestLookupManyGroupsLeafVisits verifies the batch path answers from
+// the cache (leaf-only) once warmed, i.e. grouping does not bypass the
+// Section 2.1.1 flow.
+func TestLookupManyCacheHits(t *testing.T) {
+	const rows = 400
+	_, ix := lookupManyFixture(t, rows, true)
+	if _, err := ix.WarmCache(); err != nil {
+		t.Fatalf("WarmCache: %v", err)
+	}
+	proj := []string{"namespace", "title", "latest_rev", "len"}
+	keys := make([][]tuple.Value, rows)
+	for i := range keys {
+		keys[i] = pageKey(i)
+	}
+	_, res, err := ix.LookupMany(proj, keys)
+	if err != nil {
+		t.Fatalf("LookupMany: %v", err)
+	}
+	hits := 0
+	for i, r := range res {
+		if !r.Found {
+			t.Fatalf("key %d not found", i)
+		}
+		if r.CacheHit {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Error("warmed cache served zero hits through LookupMany")
+	}
+}
+
+// TestLookupIntoReusesBuffer checks the caller-buffer variant returns
+// correct values and actually reuses the provided backing array.
+func TestLookupIntoReusesBuffer(t *testing.T) {
+	const rows = 100
+	_, ix := lookupManyFixture(t, rows, true)
+	if _, err := ix.WarmCache(); err != nil {
+		t.Fatalf("WarmCache: %v", err)
+	}
+	proj := []string{"latest_rev", "len"}
+	buf := make(tuple.Row, 0, len(proj))
+	for i := 0; i < rows; i++ {
+		row, res, err := ix.LookupInto(buf, proj, pageKey(i)...)
+		if err != nil {
+			t.Fatalf("LookupInto: %v", err)
+		}
+		if !res.Found {
+			t.Fatalf("row %d not found", i)
+		}
+		if got, want := row[0].Int, int64(i*10); got != want {
+			t.Errorf("row %d latest_rev = %d, want %d", i, got, want)
+		}
+		if got, want := row[1].Int, int64(100+i); got != want {
+			t.Errorf("row %d len = %d, want %d", i, got, want)
+		}
+		if cap(row) == len(proj) && len(buf) == 0 {
+			// Reuse contract: same backing array handed back.
+			if &row[:1][0] != &buf[:1][0] {
+				t.Fatal("LookupInto did not reuse the caller buffer")
+			}
+		}
+		buf = row
+	}
+}
+
+// TestProjectionPlanCacheConcurrent exercises the copy-on-write
+// projection-plan cache from many goroutines using distinct and
+// repeated projections (run with -race).
+func TestProjectionPlanCacheConcurrent(t *testing.T) {
+	_, ix := lookupManyFixture(t, 50, false)
+	projs := [][]string{
+		nil,
+		{"latest_rev"},
+		{"len", "latest_rev"},
+		{"title"},
+		{"namespace", "title", "latest_rev", "len"},
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for n := 0; n < 200; n++ {
+				p := projs[(g+n)%len(projs)]
+				row, res, err := ix.Lookup(p, pageKey(n%50)...)
+				if err != nil {
+					done <- err
+					return
+				}
+				if !res.Found {
+					done <- fmt.Errorf("row %d vanished", n%50)
+					return
+				}
+				want := len(p)
+				if p == nil {
+					want = ix.table.schema.NumFields()
+				}
+				if len(row) != want {
+					done <- fmt.Errorf("projection %v returned %d fields", p, len(row))
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := ix.Lookup([]string{"no_such_field"}, pageKey(0)...); err == nil {
+		t.Error("unknown projection field should error")
+	}
+}

@@ -1,6 +1,7 @@
 package encoding
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -313,6 +314,45 @@ func TestPackedCodecRejectsOutOfRange(t *testing.T) {
 	}
 	if err := codec.Encode(tuple.Row{tuple.Null(tuple.KindInt64)}, w); err == nil {
 		t.Error("NULL in non-nullable column must be rejected")
+	}
+}
+
+// TestPackedCodecFullWidthInt covers the Bits == 64 degenerate case of
+// the EncInt range check: `1 << 64` is 0 for a uint64, so without the
+// Bits < 64 guard (grouped exactly as in EncNumericString) every value
+// would be rejected as out of range. Extreme int64 values must round-
+// trip.
+func TestPackedCodecFullWidthInt(t *testing.T) {
+	schema := tuple.MustSchema(tuple.Field{Name: "x", Kind: tuple.KindInt64})
+	rec := Recommendation{Field: schema.Field(0), Enc: EncInt, Bits: 64, Offset: math.MinInt64}
+	codec, err := NewPackedCodec(schema, []Recommendation{rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []int64{math.MinInt64, -1, 0, 1, math.MaxInt64} {
+		w := NewBitWriter()
+		if err := codec.Encode(tuple.Row{tuple.Int64(x)}, w); err != nil {
+			t.Fatalf("Encode(%d) with Bits=64: %v", x, err)
+		}
+		row, err := codec.Decode(NewBitReader(w.Bytes()))
+		if err != nil {
+			t.Fatalf("Decode(%d): %v", x, err)
+		}
+		if row[0].Int != x {
+			t.Errorf("round trip %d -> %d", x, row[0].Int)
+		}
+	}
+	// The in-range rejection must still fire for narrower widths.
+	narrow := Recommendation{Field: schema.Field(0), Enc: EncInt, Bits: 4, Offset: 0}
+	codec, err = NewPackedCodec(schema, []Recommendation{narrow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := codec.Encode(tuple.Row{tuple.Int64(16)}, NewBitWriter()); err == nil {
+		t.Error("16 must not fit in 4 bits")
+	}
+	if err := codec.Encode(tuple.Row{tuple.Int64(-1)}, NewBitWriter()); err == nil {
+		t.Error("below-offset value must be rejected")
 	}
 }
 

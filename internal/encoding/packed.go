@@ -67,7 +67,7 @@ func (c *PackedCodec) Encode(row tuple.Row, w *BitWriter) error {
 			} else {
 				x = v.Int
 			}
-			if x < r.Offset || uint64(x-r.Offset) >= 1<<uint(r.Bits) && r.Bits < 64 {
+			if x < r.Offset || (r.Bits < 64 && uint64(x-r.Offset) >= 1<<uint(r.Bits)) {
 				return fmt.Errorf("encoding: field %q: value %d outside profiled range", r.Field.Name, x)
 			}
 			w.WriteBits(uint64(x-r.Offset), r.Bits)

@@ -80,6 +80,9 @@ func TestFig2cShapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing-sensitive")
 	}
+	if raceEnabled {
+		t.Skip("wall-clock shapes are skewed by race instrumentation")
+	}
 	cfg := DefaultFig2cConfig()
 	cfg.Pages, cfg.Lookups = 4000, 20000
 	// Wall-clock measurements jitter; accept the shape if any of three

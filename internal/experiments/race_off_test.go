@@ -1,0 +1,7 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build.
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. Wall-clock shape tests skip under it: instrumentation skews
+// the relative cost of the measured paths (synchronization-heavy code
+// slows far more than plain loads), inverting timing-derived ratios.
+const raceEnabled = true

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tuple"
+	"repro/internal/wiki"
+	"repro/internal/workload"
+)
+
+// ThroughputConfig parameterizes the parallel point-lookup throughput
+// experiment: the same warmed cache-hit workload driven by increasing
+// goroutine counts against a single-mutex (shards=1) pool and the
+// sharded pool, so the scaling curve of the PR-over-PR perf trajectory
+// is reproducible from the CLI.
+type ThroughputConfig struct {
+	Rows       int   // table rows
+	Lookups    int   // lookups per goroutine count (split across goroutines)
+	Goroutines []int // goroutine counts to sweep
+	Shards     int   // sharded-pool shard count (0 = automatic)
+	Seed       int64
+}
+
+// DefaultThroughputConfig sweeps 1..8 goroutines over a fully resident
+// table.
+func DefaultThroughputConfig() ThroughputConfig {
+	return ThroughputConfig{
+		Rows:       20000,
+		Lookups:    200000,
+		Goroutines: []int{1, 2, 4, 8},
+		Seed:       1,
+	}
+}
+
+// ThroughputPoint is one goroutine count of the sweep.
+type ThroughputPoint struct {
+	Goroutines       int     `json:"goroutines"`
+	SingleOpsPerSec  float64 `json:"single_shard_ops_per_sec"`
+	ShardedOpsPerSec float64 `json:"sharded_ops_per_sec"`
+	Speedup          float64 `json:"speedup"`
+}
+
+// ThroughputResult is the measured sweep plus environment facts that
+// matter when comparing JSON summaries across machines and PRs.
+type ThroughputResult struct {
+	Rows       int               `json:"rows"`
+	Shards     int               `json:"shards"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Points     []ThroughputPoint `json:"points"`
+}
+
+// RunThroughput measures parallel cache-hit lookup throughput against
+// a shards=1 pool (the classic single-mutex design) and the sharded
+// pool.
+func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
+	eSingle, single, err := buildThroughputIndex(cfg, 1)
+	if err != nil {
+		return ThroughputResult{}, err
+	}
+	defer eSingle.Close()
+	eSharded, sharded, err := buildThroughputIndex(cfg, cfg.Shards)
+	if err != nil {
+		return ThroughputResult{}, err
+	}
+	defer eSharded.Close()
+
+	res := ThroughputResult{
+		Rows:       cfg.Rows,
+		Shards:     eSharded.Pool().NumShards(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	keys := make([][]tuple.Value, cfg.Rows)
+	for i := range keys {
+		keys[i] = fig2cKey(i)
+	}
+	for _, g := range cfg.Goroutines {
+		sOps, err := measureParallelLookups(single, keys, cfg, g)
+		if err != nil {
+			return ThroughputResult{}, err
+		}
+		hOps, err := measureParallelLookups(sharded, keys, cfg, g)
+		if err != nil {
+			return ThroughputResult{}, err
+		}
+		pt := ThroughputPoint{Goroutines: g, SingleOpsPerSec: sOps, ShardedOpsPerSec: hOps}
+		if sOps > 0 {
+			pt.Speedup = hOps / sOps
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+func buildThroughputIndex(cfg ThroughputConfig, shards int) (*core.Engine, *core.Index, error) {
+	e, err := core.NewEngine(core.Options{PageSize: 8192, BufferPoolPages: 1 << 16, PoolShards: shards})
+	if err != nil {
+		return nil, nil, err
+	}
+	tb, err := e.CreateTable("page", wiki.PageSchema())
+	if err != nil {
+		return nil, nil, err
+	}
+	gen := wiki.NewGenerator(wiki.Config{Pages: cfg.Rows, RevisionsPerPage: 1, Alpha: 0.5, Seed: cfg.Seed})
+	for i := 0; i < cfg.Rows; i++ {
+		if _, err := tb.Insert(gen.PageRow(i, int64(i*10))); err != nil {
+			return nil, nil, err
+		}
+	}
+	ix, err := tb.CreateIndex("name_title", []string{"page_namespace", "page_title"},
+		core.WithFillFactor(0.68), core.WithCache(wiki.CachedPageFields()...), core.WithCacheSeed(cfg.Seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := ix.WarmCache(); err != nil {
+		return nil, nil, err
+	}
+	return e, ix, nil
+}
+
+// measureParallelLookups runs cfg.Lookups lookups split across g
+// goroutines and returns aggregate lookups/second.
+func measureParallelLookups(ix *core.Index, keys [][]tuple.Value, cfg ThroughputConfig, g int) (float64, error) {
+	proj := []string{"page_namespace", "page_title", "page_latest", "page_len"}
+	perG := cfg.Lookups / g
+	var wg sync.WaitGroup
+	errCh := make(chan error, g)
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := workload.NewRand(cfg.Seed + int64(w)*7919)
+			buf := make(tuple.Row, 0, len(proj))
+			for n := 0; n < perG; n++ {
+				row, res, err := ix.LookupInto(buf, proj, keys[rng.Intn(len(keys))]...)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if !res.Found {
+					errCh <- fmt.Errorf("experiments: throughput key vanished")
+					return
+				}
+				buf = row
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		return 0, err
+	}
+	return float64(perG*g) / elapsed.Seconds(), nil
+}
+
+// Print renders the sweep as a table.
+func (r ThroughputResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Parallel cache-hit lookup throughput, %d rows, GOMAXPROCS=%d, sharded pool = %d shards\n",
+		r.Rows, r.GOMAXPROCS, r.Shards)
+	fmt.Fprintf(w, "%12s %18s %18s %10s\n", "goroutines", "1-shard ops/s", "sharded ops/s", "speedup")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%12d %18.0f %18.0f %9.2f×\n", p.Goroutines, p.SingleOpsPerSec, p.ShardedOpsPerSec, p.Speedup)
+	}
+}
+
+// WriteJSON writes the result as a BENCH_*.json throughput summary so
+// the perf trajectory can be tracked PR-over-PR.
+func (r ThroughputResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -3,7 +3,6 @@ package idxcache
 import (
 	"encoding/binary"
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 
@@ -42,8 +41,10 @@ type Cache struct {
 	csnIdx atomic.Uint32
 	log    *PredLog
 
-	mu  sync.Mutex // guards rng
-	rng *rand.Rand
+	// rngState drives placement randomness: each draw is one atomic add
+	// plus a splitmix64 mix, so the hit path's promotion never takes a
+	// lock. Deterministic for a given seed and draw order.
+	rngState atomic.Uint64
 
 	scratch sync.Pool // *[]int rank buffers
 
@@ -89,8 +90,8 @@ func New(cfg Config) (*Cache, error) {
 		entrySize:   ridBytes + cfg.PayloadSize,
 		bucketN:     cfg.BucketN,
 		log:         NewPredLog(cfg.PredLogLimit),
-		rng:         rand.New(rand.NewSource(cfg.Seed)),
 	}
+	c.rngState.Store(uint64(cfg.Seed))
 	c.scratch.New = func() any { s := make([]int, 0, 512); return &s }
 	// Start CSNidx at 1 so freshly formatted pages (CSNp = 0) are
 	// treated as invalid and zeroed before first use.
@@ -196,11 +197,19 @@ func (c *Cache) zeroRegion(l *btree.Leaf) {
 // copy of the payload and, when the visit holds the exclusive latch,
 // promotes the entry by swapping it with a random entry in the adjacent
 // bucket closer to the stable point.
+func (c *Cache) Lookup(l *btree.Leaf, rid uint64) ([]byte, bool) {
+	return c.LookupInto(nil, l, rid)
+}
+
+// LookupInto is Lookup appending the payload to dst instead of
+// allocating — the point-lookup hot path passes a pooled scratch buffer
+// so cache hits cost zero heap allocations. The copy is taken before
+// any promotion swap, so dst never aliases moving page bytes.
 //
 // The scan walks slots in address order (sequential memory access); the
 // distance-from-S ranking is only computed on a hit, when promotion
 // needs it.
-func (c *Cache) Lookup(l *btree.Leaf, rid uint64) ([]byte, bool) {
+func (c *Cache) LookupInto(dst []byte, l *btree.Leaf, rid uint64) ([]byte, bool) {
 	c.lookups.Add(1)
 	if rid == 0 {
 		c.misses.Add(1)
@@ -214,7 +223,7 @@ func (c *Cache) Lookup(l *btree.Leaf, rid uint64) ([]byte, bool) {
 		if binary.LittleEndian.Uint64(data[off:]) != rid {
 			continue
 		}
-		payload := append([]byte(nil), data[off+ridBytes:off+e]...)
+		payload := append(dst, data[off+ridBytes:off+e]...)
 		if l.Exclusive() {
 			c.promoteAt(l, data, off, lo, hi)
 		}
@@ -227,18 +236,13 @@ func (c *Cache) Lookup(l *btree.Leaf, rid uint64) ([]byte, bool) {
 
 // promoteAt swaps the entry at absolute offset off with a random slot
 // in the adjacent bucket closer to the stable point (the Section 2.1.1
-// policy). Computes the distance ranking lazily.
+// policy). The distance ranking is generated lazily and only up to
+// off's own rank — the promotion target always ranks better, so the
+// peripheral remainder is never materialized on the hit path.
 func (c *Cache) promoteAt(l *btree.Leaf, data []byte, off, lo, hi int) {
 	rankPtr := c.scratch.Get().(*[]int)
-	ranks := slotRank(lo, hi, c.entrySize, l.StablePoint(), *rankPtr)
+	ranks, rank := slotRankTo(lo, hi, c.entrySize, l.StablePoint(), off, *rankPtr)
 	defer func() { *rankPtr = ranks; c.scratch.Put(rankPtr) }()
-	rank := -1
-	for i, o := range ranks {
-		if o == off {
-			rank = i
-			break
-		}
-	}
 	if rank < 0 {
 		return
 	}
@@ -246,9 +250,7 @@ func (c *Cache) promoteAt(l *btree.Leaf, data []byte, off, lo, hi int) {
 	if bucket == 0 {
 		return
 	}
-	c.mu.Lock()
-	target := (bucket-1)*c.bucketN + c.rng.Intn(c.bucketN)
-	c.mu.Unlock()
+	target := (bucket-1)*c.bucketN + c.randIntn(c.bucketN)
 	c.swapSlots(data, ranks[rank], ranks[target])
 	c.swaps.Add(1)
 }
@@ -287,23 +289,20 @@ func (c *Cache) Insert(l *btree.Leaf, rid uint64, payload []byte) bool {
 	// One sequential pass: refresh in place if the rid is already
 	// cached, and reservoir-sample a random free slot along the way.
 	freeOff, freeSeen := -1, 0
-	c.mu.Lock()
 	for off := first; off+e <= hi; off += e {
 		v := binary.LittleEndian.Uint64(data[off:])
 		if v == rid {
-			c.mu.Unlock()
 			copy(data[off+ridBytes:], payload)
 			c.inserts.Add(1)
 			return true
 		}
 		if v == 0 {
 			freeSeen++
-			if c.rng.Intn(freeSeen) == 0 {
+			if c.randIntn(freeSeen) == 0 {
 				freeOff = off
 			}
 		}
 	}
-	c.mu.Unlock()
 	off := freeOff
 	if off < 0 {
 		// No free slot: evict a random item from the most peripheral
@@ -316,9 +315,7 @@ func (c *Cache) Insert(l *btree.Leaf, rid uint64, payload []byte) bool {
 			return false
 		}
 		lastBucketStart := (len(ranks) - 1) / c.bucketN * c.bucketN
-		c.mu.Lock()
-		off = ranks[lastBucketStart+c.rng.Intn(len(ranks)-lastBucketStart)]
-		c.mu.Unlock()
+		off = ranks[lastBucketStart+c.randIntn(len(ranks)-lastBucketStart)]
 		*rankPtr = ranks
 		c.scratch.Put(rankPtr)
 		c.evictions.Add(1)
@@ -327,6 +324,19 @@ func (c *Cache) Insert(l *btree.Leaf, rid uint64, payload []byte) bool {
 	copy(data[off+ridBytes:], payload)
 	c.inserts.Add(1)
 	return true
+}
+
+// randIntn returns a pseudo-random int in [0, n): one atomic add into
+// the splitmix64 state plus the mix, so concurrent placement decisions
+// never serialize on a lock.
+func (c *Cache) randIntn(n int) int {
+	x := c.rngState.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int(x % uint64(n))
 }
 
 // SlotsIn returns how many cache slots the page currently offers — the

@@ -78,6 +78,63 @@ func slotRank(lo, hi, e, s int, out []int) []int {
 	return out
 }
 
+// slotRankTo is slotRank stopping as soon as the slot at absolute
+// offset target has been emitted: it returns the rank prefix and
+// target's rank index, or -1 when target is not an aligned slot of the
+// region. The prefix is identical to slotRank's first rank+1 entries,
+// so promotion — which only ever swaps toward better ranks — never
+// needs the rest.
+func slotRankTo(lo, hi, e, s, target int, out []int) ([]int, int) {
+	out = out[:0]
+	if e <= 0 || hi-lo < e {
+		return out, -1
+	}
+	first := (lo + e - 1) / e * e
+	if first+e > hi {
+		return out, -1
+	}
+	last := (hi - e) / e * e
+	n := (last-first)/e + 1
+
+	i0 := (s - first + e/2) / e
+	if i0 < 0 {
+		i0 = 0
+	}
+	if i0 >= n {
+		i0 = n - 1
+	}
+	dist := func(i int) int {
+		d := first + i*e - s
+		if d < 0 {
+			return -d
+		}
+		return d
+	}
+	l, r := i0, i0+1
+	for l >= 0 || r < n {
+		var off int
+		switch {
+		case l < 0:
+			off = first + r*e
+			r++
+		case r >= n:
+			off = first + l*e
+			l--
+		case dist(l) <= dist(r):
+			off = first + l*e
+			l--
+		default:
+			off = first + r*e
+			r++
+		}
+		out = append(out, off)
+		if off == target {
+			return out, len(out) - 1
+		}
+	}
+	return out, -1
+}
+
 // numSlots returns how many aligned slots fit in [lo, hi).
 func numSlots(lo, hi, e int) int {
 	if e <= 0 || hi-lo < e {

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"strings"
 )
 
 // Order-preserving ("memcomparable") key encoding: bytes.Compare over
@@ -64,7 +65,7 @@ func EncodeKey(dst []byte, vals ...Value) ([]byte, error) {
 			binary.BigEndian.PutUint64(buf[:], bits)
 			dst = append(dst, buf[:]...)
 		case KindChar, KindString:
-			dst = appendEscapedBytes(dst, []byte(v.Str))
+			dst = appendEscapedString(dst, v.Str)
 		case KindBytes:
 			dst = appendEscapedBytes(dst, v.Raw)
 		default:
@@ -82,6 +83,23 @@ func MustEncodeKey(vals ...Value) []byte {
 		panic(err)
 	}
 	return k
+}
+
+// appendEscapedString is appendEscapedBytes over a string, avoiding the
+// []byte(s) copy the conversion would allocate (point-lookup keys are
+// encoded on every lookup, so this is hot).
+func appendEscapedString(dst []byte, s string) []byte {
+	for {
+		i := strings.IndexByte(s, 0x00)
+		if i < 0 {
+			dst = append(dst, s...)
+			break
+		}
+		dst = append(dst, s[:i]...)
+		dst = append(dst, 0x00, 0xFF)
+		s = s[i+1:]
+	}
+	return append(dst, 0x00, 0x00)
 }
 
 func appendEscapedBytes(dst, raw []byte) []byte {
