@@ -15,10 +15,12 @@
 //	nblb-bench -exp ablate-place   # A1/A3 placement & bucket ablations
 //	nblb-bench -exp ablate-predlog # A2 predicate-log ablation
 //	nblb-bench -exp throughput     # parallel lookup scaling, 1-shard vs sharded pool
+//	nblb-bench -exp scan           # full-table scan: callback vs cursor, cache vs heap
 //
 // -quick shrinks every experiment for a fast smoke run. The throughput
-// experiment also writes a BENCH_throughput.json summary (see -json) so
-// the perf trajectory is tracked PR-over-PR.
+// and scan experiments also write BENCH_throughput.json / BENCH_scan.json
+// summaries (see -json / -scanjson) so the perf trajectory is tracked
+// PR-over-PR.
 package main
 
 import (
@@ -31,10 +33,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (comma separated): all, fig2a, fig2b, fig2c, fig3, enc, capacity, semid, vpart, ablate-place, ablate-predlog, throughput")
+	exp := flag.String("exp", "all", "experiment to run (comma separated): all, fig2a, fig2b, fig2c, fig3, enc, capacity, semid, vpart, ablate-place, ablate-predlog, throughput, scan")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 	seed := flag.Int64("seed", 1, "random seed for all generators")
 	jsonPath := flag.String("json", "BENCH_throughput.json", "path for the throughput experiment's JSON summary (empty disables)")
+	scanJSONPath := flag.String("scanjson", "BENCH_scan.json", "path for the scan experiment's JSON summary (empty disables)")
 	flag.Parse()
 
 	selected := map[string]bool{}
@@ -248,6 +251,27 @@ func main() {
 				fail("throughput", err)
 			}
 			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+	}
+
+	if want("scan") {
+		ran++
+		section("scan")
+		cfg := experiments.DefaultScanConfig()
+		cfg.Seed = *seed
+		if *quick {
+			cfg.Rows, cfg.Passes = 10000, 2
+		}
+		res, err := experiments.RunScan(cfg)
+		if err != nil {
+			fail("scan", err)
+		}
+		res.Print(os.Stdout)
+		if *scanJSONPath != "" {
+			if err := res.WriteJSON(*scanJSONPath); err != nil {
+				fail("scan", err)
+			}
+			fmt.Printf("wrote %s\n", *scanJSONPath)
 		}
 	}
 

@@ -78,4 +78,49 @@ func main() {
 	st := byID.Cache().Stats()
 	fmt.Printf("cache stats:   lookups=%d hits=%d inserts=%d\n",
 		st.Lookups, st.Hits, st.Inserts)
+
+	// Range reads go through the same unified Query/Cursor API: one
+	// pinned leaf at a time, sibling links instead of re-descents, and
+	// coverable projections answered from the index cache per row.
+	// (The old callback users.Scan(func(...) bool) still works but is
+	// deprecated — it is a thin wrapper over this cursor.)
+	// Warm the cache first so the scan can answer from leaf free space;
+	// entries beyond each leaf's slot budget still fall back per row.
+	if _, err := byID.WarmCache(); err != nil {
+		log.Fatal(err)
+	}
+	cur, err := users.Query(
+		nblb.WithIndex("by_id"),
+		nblb.WithKeyRange(
+			[]nblb.Value{nblb.Int64(100)},
+			[]nblb.Value{nblb.Int64(110)},
+		),
+		nblb.WithProjection("id", "karma", "active"),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cur.Close()
+	for cur.Next() {
+		r := cur.Row() // cursor scratch: Clone to retain
+		fmt.Printf("range row:     id=%d karma=%d active=%v\n",
+			r[0].Int, r[1].Int, r[2].Int != 0)
+	}
+	if err := cur.Err(); err != nil {
+		log.Fatal(err)
+	}
+	qs := cur.Stats()
+	fmt.Printf("range scan:    rows=%d cacheHits=%d heapReads=%d\n",
+		qs.Rows, qs.CacheHits, qs.HeapReads)
+
+	// Go 1.23 range-over-func, with a limit. The cursor closes itself
+	// when the loop ends.
+	top, err := users.Query(nblb.WithIndex("by_id"), nblb.WithReverse(),
+		nblb.WithLimit(3), nblb.WithProjection("id"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range top.All() {
+		fmt.Printf("top id:        %d\n", r[0].Int)
+	}
 }

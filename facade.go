@@ -4,7 +4,6 @@ import (
 	"repro/internal/encoding"
 	"repro/internal/partition"
 	"repro/internal/semid"
-	"repro/internal/storage"
 	"repro/internal/tuple"
 	"repro/internal/vertical"
 )
@@ -26,6 +25,10 @@ func NewForwarding() *Forwarding { return partition.NewForwarding() }
 // HotCold is a table split into hot and cold partitions with per-
 // partition lookup indexes.
 type HotCold = partition.HotCold
+
+// HotColdCursor is a merged key-ordered cursor over both partitions
+// (from HotCold.Query); Hot reports which partition served each row.
+type HotColdCursor = partition.Cursor
 
 // HotColdConfig configures NewHotCold.
 type HotColdConfig = partition.Config
@@ -66,6 +69,10 @@ func DefaultVerticalCostModel() VerticalCostModel { return vertical.DefaultCostM
 // VerticalTable stores a logical table as multiple column-group tables.
 type VerticalTable = vertical.VerticalTable
 
+// VerticalCursor streams logical rows in pk order from a
+// VerticalTable.Query, merging column groups per row.
+type VerticalCursor = vertical.Cursor
+
 // NewVerticalTable materializes a split on the engine.
 func NewVerticalTable(e *Engine, name string, schema *Schema, pkField string, groups [][]string) (*VerticalTable, error) {
 	return vertical.NewVerticalTable(e, name, schema, pkField, groups)
@@ -86,25 +93,24 @@ type TableReport = encoding.TableReport
 type PackedCodec = encoding.PackedCodec
 
 // AnalyzeTable profiles every row of a table and reports the encoding
-// waste its declared types hide — §4.1's automated analysis.
+// waste its declared types hide — §4.1's automated analysis. The
+// profiler pulls rows straight off a streaming cursor, so the analysis
+// runs in O(1) memory instead of cloning the table into a slice.
 func AnalyzeTable(t *Table) (TableReport, error) {
-	rows := make([]tuple.Row, 0, t.Rows())
-	err := t.Scan(func(_ storage.RID, row tuple.Row) bool {
-		rows = append(rows, row.Clone())
-		return true
-	})
+	cur, err := t.Query()
 	if err != nil {
 		return TableReport{}, err
 	}
-	i := 0
+	defer cur.Close()
 	report := encoding.AnalyzeRows(t.Name(), t.Schema(), func() (tuple.Row, bool) {
-		if i >= len(rows) {
+		if !cur.Next() {
 			return nil, false
 		}
-		r := rows[i]
-		i++
-		return r, true
+		return cur.Row(), true
 	})
+	if err := cur.Err(); err != nil {
+		return TableReport{}, err
+	}
 	return report, nil
 }
 

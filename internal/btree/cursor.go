@@ -1,0 +1,396 @@
+package btree
+
+import (
+	"bytes"
+
+	"repro/internal/buffer"
+	"repro/internal/storage"
+)
+
+// Cursor is a pinned-frame range iterator over the tree. It holds at
+// most one leaf frame pinned between Next calls and follows sibling
+// links instead of re-descending, so a full scan costs exactly one leaf
+// fetch per leaf (the descent counts as the first leaf's fetch). The
+// frame latch is only held inside Next, and the tree lock is only held
+// during descents, so writers make progress while a scan is open.
+//
+// Concurrent mutation is handled by re-validation rather than blocking:
+// every leaf carries a version counter bumped on directory reshuffles,
+// and Next re-derives its position from the last served key whenever the
+// version moved or a sibling boundary was crossed. A leaf split between
+// two Next calls therefore never skips keys — the upper half is reached
+// through the (unchanged) sibling chain, and already-served keys that a
+// split copied rightward are skipped by the bound check.
+//
+// Key and value are copied into cursor-owned scratch that is reused
+// across calls, so iteration allocates nothing per row once the scratch
+// has grown to the largest key. Key() is valid until the next Next,
+// Close, or tree mutation by the same goroutine.
+//
+// Close releases the pin but keeps the resume point: a closed cursor's
+// Next re-seeks from the last served key and continues, which lets
+// callers drop the pin across long pauses.
+type Cursor struct {
+	t       *Tree
+	start   []byte // inclusive lower bound, nil = first key; copied
+	end     []byte // exclusive upper bound, nil = past the last key; copied
+	reverse bool
+	onEntry func(l *Leaf, pos int)
+
+	fr      *buffer.Frame // current leaf, pinned across Next calls
+	leaf    Leaf          // reusable view handed to onEntry
+	pos     int           // next directory position to serve (forward only)
+	ver     uint32        // leaf version pos was derived against
+	stale   bool          // pos must be re-derived before use
+	key     []byte        // scratch: last served key, the resume point
+	val     uint64
+	started bool // at least one key served; key is valid
+	done    bool
+	err     error
+	fetches int64
+}
+
+// CursorOption configures NewCursor.
+type CursorOption func(*Cursor)
+
+// Reverse makes the cursor iterate from the last key in range down to
+// the first. Leaves only chain rightward, so reverse iteration pays one
+// descent per leaf instead of one sibling fetch — correct but slower;
+// forward is the fast path.
+func Reverse() CursorOption {
+	return func(c *Cursor) { c.reverse = true }
+}
+
+// WithEntryVisitor registers fn to run for every served entry while the
+// leaf is still latched (shared) and pinned — the hook the index cache
+// uses to probe leaf free space during range scans without a second
+// latch acquisition. fn must not retain l, must not mutate the page, and
+// sees Exclusive() == false.
+func WithEntryVisitor(fn func(l *Leaf, pos int)) CursorOption {
+	return func(c *Cursor) { c.onEntry = fn }
+}
+
+// NewCursor opens a cursor over start ≤ key < end (nil bounds are
+// unbounded). The first Next performs the descent; constructing a
+// cursor does no I/O.
+func (t *Tree) NewCursor(start, end []byte, opts ...CursorOption) *Cursor {
+	c := &Cursor{t: t}
+	if start != nil {
+		c.start = append([]byte(nil), start...)
+	}
+	if end != nil {
+		c.end = append([]byte(nil), end...)
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Key returns the current key. It aliases cursor scratch: valid until
+// the next Next or Close; copy to retain.
+func (c *Cursor) Key() []byte { return c.key }
+
+// Value returns the current value (a packed RID in index leaves).
+func (c *Cursor) Value() uint64 { return c.val }
+
+// Err returns the first error the cursor hit, if any.
+func (c *Cursor) Err() error { return c.err }
+
+// LeafFetches returns how many leaf pages the cursor has fetched from
+// the buffer pool — the "one fetch per leaf" invariant tests assert.
+func (c *Cursor) LeafFetches() int64 { return c.fetches }
+
+// Close releases the cursor's leaf pin. It is safe to call multiple
+// times and safe to call mid-scan; the cursor stays resumable — a
+// subsequent Next re-descends from the last served key.
+func (c *Cursor) Close() {
+	if c.fr != nil {
+		c.t.pool.Unpin(c.fr, false)
+		c.fr = nil
+	}
+}
+
+// finish releases the pin and marks iteration complete.
+func (c *Cursor) finish() {
+	c.Close()
+	c.done = true
+}
+
+// Next advances to the next key in range, returning false at the end of
+// the range or on error (check Err).
+func (c *Cursor) Next() bool {
+	if c.done || c.err != nil {
+		return false
+	}
+	if c.reverse {
+		return c.nextReverse()
+	}
+	return c.nextForward()
+}
+
+// fail records err and terminates iteration.
+func (c *Cursor) fail(err error) bool {
+	c.err = err
+	c.finish()
+	return false
+}
+
+// --- forward ------------------------------------------------------------
+
+func (c *Cursor) nextForward() bool {
+	if c.fr == nil && !c.seekForward() {
+		return false
+	}
+	for {
+		c.fr.Latch.RLock()
+		n := asNode(c.fr.Data())
+		if v := n.version(); c.stale || v != c.ver {
+			c.pos = c.reposForward(n)
+			c.ver = v
+			c.stale = false
+		}
+		if c.pos < n.nKeys() {
+			k := n.key(c.pos)
+			if c.end != nil && bytes.Compare(k, c.end) >= 0 {
+				c.fr.Latch.RUnlock()
+				c.finish()
+				return false
+			}
+			c.serveLocked(n, c.pos)
+			c.pos++
+			c.fr.Latch.RUnlock()
+			return true
+		}
+		next := storage.PageID(n.rightSibling())
+		c.fr.Latch.RUnlock()
+		c.t.pool.Unpin(c.fr, false)
+		c.fr = nil
+		if next == storage.InvalidPageID {
+			c.done = true
+			return false
+		}
+		fr, err := c.t.pool.Fetch(next)
+		if err != nil {
+			return c.fail(err)
+		}
+		c.fetches++
+		c.fr = fr
+		// A split may have copied already-served keys into this sibling;
+		// re-derive the position from the resume point.
+		c.stale = true
+	}
+}
+
+// serveLocked copies out the entry at pos and runs the entry visitor.
+// Caller holds the frame latch (shared).
+func (c *Cursor) serveLocked(n node, pos int) {
+	c.key = append(c.key[:0], n.key(pos)...)
+	c.val = n.value(pos)
+	c.started = true
+	if c.onEntry != nil {
+		c.leaf = Leaf{fr: c.fr, n: n}
+		c.onEntry(&c.leaf, pos)
+		c.leaf = Leaf{}
+	}
+}
+
+// seekForward descends to the leaf covering the resume point (or the
+// range start) and pins it.
+func (c *Cursor) seekForward() bool {
+	c.t.mu.RLock()
+	var (
+		fr  *buffer.Frame
+		err error
+	)
+	switch {
+	case c.started:
+		fr, err = c.t.leafFrame(c.key)
+	case c.start != nil:
+		fr, err = c.t.leafFrame(c.start)
+	default:
+		fr, _, err = c.t.leftmostFrame()
+	}
+	c.t.mu.RUnlock()
+	if err != nil {
+		return c.fail(err)
+	}
+	c.fetches++
+	c.fr = fr
+	c.stale = true
+	return true
+}
+
+// reposForward derives the first directory position strictly past the
+// resume point (or at the range start). Caller holds the frame latch.
+func (c *Cursor) reposForward(n node) int {
+	switch {
+	case c.started:
+		pos, found := n.search(c.key)
+		if found {
+			pos++
+		}
+		return pos
+	case c.start != nil:
+		pos, _ := n.search(c.start)
+		return pos
+	default:
+		return 0
+	}
+}
+
+// --- reverse ------------------------------------------------------------
+
+// bound returns the current exclusive upper bound for reverse iteration:
+// the last served key once started, else the range end (nil = +∞).
+func (c *Cursor) bound() []byte {
+	if c.started {
+		return c.key
+	}
+	return c.end
+}
+
+func (c *Cursor) nextReverse() bool {
+	fresh := c.fr == nil
+	if fresh && !c.seekReverse() {
+		return false
+	}
+	for {
+		c.fr.Latch.RLock()
+		n := asNode(c.fr.Data())
+		if n.version() != c.ver {
+			// The leaf changed since it was positioned (or since the
+			// descent observed it): a split may have moved our
+			// predecessors to a right sibling this cursor can't reach
+			// going left. Unlike the forward path — where the sibling
+			// chain still leads to relocated keys — the only safe move
+			// is a fresh descent against the current separators.
+			c.fr.Latch.RUnlock()
+			c.t.pool.Unpin(c.fr, false)
+			c.fr = nil
+			if !c.seekReverse() {
+				return false
+			}
+			fresh = true
+			continue
+		}
+		pos := c.reposReverse(n)
+		if pos >= 0 {
+			k := n.key(pos)
+			if c.start != nil && bytes.Compare(k, c.start) < 0 {
+				c.fr.Latch.RUnlock()
+				c.finish()
+				return false
+			}
+			c.serveLocked(n, pos)
+			c.fr.Latch.RUnlock()
+			return true
+		}
+		c.fr.Latch.RUnlock()
+		c.t.pool.Unpin(c.fr, false)
+		c.fr = nil
+		if fresh {
+			// A fresh descent landed on a leaf with nothing below the
+			// bound — possible when deletes emptied leaves (no merging).
+			// Fall back to a sibling-chain walk to find the predecessor.
+			if !c.seekReverseByChain() {
+				return false
+			}
+		} else if !c.seekReverse() {
+			return false
+		}
+		fresh = true
+	}
+}
+
+// reposReverse derives the last directory position strictly below the
+// bound, or -1 when the leaf holds none. Caller holds the frame latch.
+func (c *Cursor) reposReverse(n node) int {
+	b := c.bound()
+	if b == nil {
+		return n.nKeys() - 1
+	}
+	pos, _ := n.search(b)
+	return pos - 1
+}
+
+// seekReverse descends to the leaf expected to hold the largest key
+// strictly below the bound and pins it, recording the leaf version the
+// descent observed so the serving latch can detect an intervening
+// split.
+func (c *Cursor) seekReverse() bool {
+	b := c.bound()
+	c.t.mu.RLock()
+	var (
+		fr  *buffer.Frame
+		ver uint32
+		err error
+	)
+	if b == nil {
+		fr, ver, err = c.t.rightmostFrame()
+	} else {
+		fr, ver, err = c.t.leafFrameBefore(b)
+	}
+	c.t.mu.RUnlock()
+	if err != nil {
+		return c.fail(err)
+	}
+	c.fetches++
+	c.fr = fr
+	c.ver = ver
+	return true
+}
+
+// seekReverseByChain walks the leaf chain from the left, remembering the
+// last leaf holding a key below the bound, and pins it. O(leaves), only
+// used when delete-emptied leaves defeat the targeted descent.
+func (c *Cursor) seekReverseByChain() bool {
+	b := c.bound()
+	c.t.mu.RLock()
+	id, err := c.t.leftmostLeaf()
+	c.t.mu.RUnlock()
+	if err != nil {
+		return c.fail(err)
+	}
+	candidate := storage.InvalidPageID
+	var candVer uint32
+	for id != storage.InvalidPageID {
+		fr, err := c.t.pool.Fetch(id)
+		if err != nil {
+			return c.fail(err)
+		}
+		fr.Latch.RLock()
+		n := asNode(fr.Data())
+		var minKey []byte
+		if n.nKeys() > 0 {
+			minKey = n.key(0)
+		}
+		next := storage.PageID(n.rightSibling())
+		ver := n.version()
+		pastBound := minKey != nil && b != nil && bytes.Compare(minKey, b) >= 0
+		hasBelow := minKey != nil && (b == nil || bytes.Compare(minKey, b) < 0)
+		fr.Latch.RUnlock()
+		c.t.pool.Unpin(fr, false)
+		if pastBound {
+			break
+		}
+		if hasBelow {
+			candidate, candVer = id, ver
+		}
+		id = next
+	}
+	if candidate == storage.InvalidPageID {
+		c.finish()
+		return false
+	}
+	fr, err := c.t.pool.Fetch(candidate)
+	if err != nil {
+		return c.fail(err)
+	}
+	c.fetches++
+	c.fr = fr
+	// The version observed during the walk: if the candidate mutated
+	// before the serving latch, the version check forces a re-seek.
+	c.ver = candVer
+	return true
+}

@@ -32,7 +32,11 @@ import (
 //	[24:28) CSNp — the page cache sequence number (Section 2.1.2)
 //	[28:32) appliedSeq — predicate-log position applied to this page
 //	[32:34) cacheEntrySize — slot width the cache last used on this page
-//	[34:40) reserved
+//	[34:38) version — bumped on every directory reshuffle (insert,
+//	        delete, compaction); cursors use it to detect concurrent
+//	        mutation and re-validate their position instead of trusting
+//	        a stale directory index
+//	[38:40) reserved
 //
 // Footer: 4-byte magic at the very end of the page. Cache writes and key
 // inserts must never touch it; integrity checks verify that.
@@ -49,6 +53,7 @@ const (
 	offCSN         = 24
 	offAppliedSeq  = 28
 	offCacheEntry  = 32
+	offVersion     = 34
 	dirEntrySize   = 2
 	cellHeaderSize = 2 // uint16 key length
 	valueSize      = 8
@@ -125,6 +130,16 @@ func (n node) cacheEntrySize() int {
 }
 func (n node) setCacheEntrySize(v int) {
 	binary.LittleEndian.PutUint16(n.data[offCacheEntry:], uint16(v))
+}
+
+// version counts directory reshuffles. A cursor holding a cached
+// directory position may keep using it only while the version is
+// unchanged; any mutation that moves entries bumps it. Wrap-around is
+// harmless: equality is all that is checked, and a cursor cannot miss
+// 2³² bumps between two latch acquisitions of the same leaf.
+func (n node) version() uint32 { return binary.LittleEndian.Uint32(n.data[offVersion:]) }
+func (n node) bumpVersion() {
+	binary.LittleEndian.PutUint32(n.data[offVersion:], n.version()+1)
 }
 
 // footerOK verifies the footer magic survived.
@@ -232,6 +247,7 @@ func (n node) insertAt(pos int, key []byte, value uint64) error {
 	n.setDirEntry(pos, newStart)
 	n.setNKeys(k + 1)
 	n.setDirEnd(nodeHeaderSize + (k+1)*dirEntrySize)
+	n.bumpVersion()
 	return nil
 }
 
@@ -251,6 +267,7 @@ func (n node) deleteAt(pos int) {
 	}
 	n.setDirEnd(newDirEnd)
 	n.compactCells()
+	n.bumpVersion()
 }
 
 // compactCells rewrites the key-cell region without holes, preserving
@@ -281,6 +298,7 @@ func (n node) compactCells() {
 		n.data[i] = 0
 	}
 	n.setKeyStart(top)
+	n.bumpVersion()
 }
 
 // usableBytes returns the page capacity available for directory+cells.

@@ -101,44 +101,19 @@ func (t *Tree) descendToLeaf(key []byte) (path []storage.PageID, leaf storage.Pa
 	}
 }
 
-// findLeaf is descendToLeaf without recording the internal path — the
-// read paths (Search, VisitLeaf, Scan) never use it, and skipping it
-// keeps point lookups allocation-free. Caller must hold t.mu (any
-// mode).
-func (t *Tree) findLeaf(key []byte) (storage.PageID, error) {
-	fr, err := t.leafFrame(key)
-	if err != nil {
-		return storage.InvalidPageID, err
-	}
-	id := fr.ID()
-	t.pool.Unpin(fr, false)
-	return id, nil
-}
-
 // leafFrame descends to the leaf covering key and returns its frame
 // STILL PINNED (no latch held), so point lookups pay one buffer-pool
 // round-trip for the leaf instead of a find-unpin-refetch pair. The
 // caller must Unpin exactly once and must hold t.mu (any mode; holding
 // it keeps the structure stable between the latch drop here and the
-// caller's re-latch).
+// caller's re-latch). The pick closure stays on the stack (descendFrame
+// never retains it), so the point-lookup hot path remains
+// allocation-free.
 func (t *Tree) leafFrame(key []byte) (*buffer.Frame, error) {
-	id := t.root
-	for {
-		fr, err := t.pool.Fetch(id)
-		if err != nil {
-			return nil, err
-		}
-		fr.Latch.RLock()
-		n := asNode(fr.Data())
-		if n.isLeaf() {
-			fr.Latch.RUnlock()
-			return fr, nil
-		}
-		child := storage.PageID(n.childFor(key))
-		fr.Latch.RUnlock()
-		t.pool.Unpin(fr, false)
-		id = child
-	}
+	fr, _, err := t.descendFrame(func(n node) storage.PageID {
+		return storage.PageID(n.childFor(key))
+	})
+	return fr, err
 }
 
 // Search returns the value stored under key.
@@ -422,74 +397,93 @@ func (t *Tree) Delete(key []byte) (bool, error) {
 // Scan calls fn for every (key, value) with start ≤ key < end in order.
 // A nil start begins at the first key; a nil end scans to the last.
 // fn's key slice is only valid during the call. Returning false stops.
+//
+// Deprecated: Scan is a thin wrapper over the pinned-frame Cursor; new
+// code should use NewCursor directly (it exposes errors mid-iteration,
+// reverse order, and resumption). Unlike the pre-cursor implementation,
+// Scan no longer holds the tree lock for its whole duration: writers
+// proceed concurrently and fn may observe their effects.
 func (t *Tree) Scan(start, end []byte, fn func(key []byte, value uint64) bool) error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	var leafID storage.PageID
-	if start == nil {
-		id, err := t.leftmostLeaf()
-		if err != nil {
-			return err
-		}
-		leafID = id
-	} else {
-		id, err := t.findLeaf(start)
-		if err != nil {
-			return err
-		}
-		leafID = id
-	}
-	for leafID != storage.InvalidPageID {
-		fr, err := t.pool.Fetch(leafID)
-		if err != nil {
-			return err
-		}
-		fr.Latch.RLock()
-		n := asNode(fr.Data())
-		pos := 0
-		if start != nil {
-			pos, _ = n.search(start)
-		}
-		stop := false
-		for ; pos < n.nKeys(); pos++ {
-			k := n.key(pos)
-			if end != nil && bytes.Compare(k, end) >= 0 {
-				stop = true
-				break
-			}
-			if !fn(k, n.value(pos)) {
-				stop = true
-				break
-			}
-		}
-		next := storage.PageID(n.rightSibling())
-		fr.Latch.RUnlock()
-		t.pool.Unpin(fr, false)
-		if stop {
+	c := t.NewCursor(start, end)
+	defer c.Close()
+	for c.Next() {
+		if !fn(c.Key(), c.Value()) {
 			return nil
 		}
-		start = nil // only filter within the first leaf
-		leafID = next
 	}
-	return nil
+	return c.Err()
 }
 
 // leftmostLeaf descends to the first leaf. Caller holds t.mu.
 func (t *Tree) leftmostLeaf() (storage.PageID, error) {
+	fr, _, err := t.leftmostFrame()
+	if err != nil {
+		return storage.InvalidPageID, err
+	}
+	id := fr.ID()
+	t.pool.Unpin(fr, false)
+	return id, nil
+}
+
+// leftmostFrame descends to the first leaf and returns it STILL PINNED
+// (no latch held) plus the leaf version observed under the descent's
+// latch. Caller must Unpin exactly once and hold t.mu.
+func (t *Tree) leftmostFrame() (*buffer.Frame, uint32, error) {
+	return t.descendFrame(func(n node) storage.PageID {
+		return storage.PageID(n.leftmostChild())
+	})
+}
+
+// rightmostFrame descends to the last leaf and returns it STILL PINNED
+// (no latch held) plus the observed leaf version. Caller must Unpin
+// exactly once and hold t.mu.
+func (t *Tree) rightmostFrame() (*buffer.Frame, uint32, error) {
+	return t.descendFrame(func(n node) storage.PageID {
+		if k := n.nKeys(); k > 0 {
+			return storage.PageID(n.value(k - 1))
+		}
+		return storage.PageID(n.leftmostChild())
+	})
+}
+
+// leafFrameBefore descends to the leaf covering the largest key
+// strictly less than bound and returns it STILL PINNED (no latch held)
+// plus the observed leaf version. Caller must Unpin exactly once and
+// hold t.mu. When no key below bound exists the returned leaf simply
+// yields no position; callers handle that (reverse cursors fall back
+// to a chain walk).
+func (t *Tree) leafFrameBefore(bound []byte) (*buffer.Frame, uint32, error) {
+	return t.descendFrame(func(n node) storage.PageID {
+		pos, _ := n.search(bound)
+		if pos == 0 {
+			return storage.PageID(n.leftmostChild())
+		}
+		return storage.PageID(n.value(pos - 1))
+	})
+}
+
+// descendFrame walks from the root to a leaf, choosing the child via
+// pick at each internal node, and returns the leaf pinned together
+// with its version as observed under the descent's latch. A caller
+// holding t.mu that later re-latches the leaf and sees the same
+// version knows the leaf is exactly what this descent targeted —
+// reverse cursors use that to detect splits sneaking in between the
+// descent and the first read.
+func (t *Tree) descendFrame(pick func(n node) storage.PageID) (*buffer.Frame, uint32, error) {
 	id := t.root
 	for {
 		fr, err := t.pool.Fetch(id)
 		if err != nil {
-			return storage.InvalidPageID, err
+			return nil, 0, err
 		}
 		fr.Latch.RLock()
 		n := asNode(fr.Data())
 		if n.isLeaf() {
+			ver := n.version()
 			fr.Latch.RUnlock()
-			t.pool.Unpin(fr, false)
-			return id, nil
+			return fr, ver, nil
 		}
-		child := storage.PageID(n.leftmostChild())
+		child := pick(n)
 		fr.Latch.RUnlock()
 		t.pool.Unpin(fr, false)
 		id = child

@@ -375,6 +375,24 @@ func (p *Pool) Resident(id storage.PageID) bool {
 	return ok
 }
 
+// PinnedFrames returns the number of frames with a nonzero pin count.
+// Tests use it to assert that cursors and lookups release every pin
+// they take (a quiescent pool must report 0).
+func (p *Pool) PinnedFrames() int {
+	n := 0
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		for _, f := range s.frames {
+			if f.pins.Load() > 0 {
+				n++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
 // ResidentPages returns the number of pages currently held across all
 // shards.
 func (p *Pool) ResidentPages() int {

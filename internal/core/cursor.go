@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+	"iter"
+
+	"repro/internal/btree"
+	"repro/internal/storage"
+	"repro/internal/tuple"
+)
+
+// Cursor streams rows from a Query. The iteration contract:
+//
+//	cur, err := tbl.Query(core.WithProjection("id", "karma"))
+//	if err != nil { ... }
+//	defer cur.Close()
+//	for cur.Next() {
+//	    use(cur.RID(), cur.Row())
+//	}
+//	if err := cur.Err(); err != nil { ... }
+//
+// or, with Go 1.23 range-over-func:
+//
+//	for rid, row := range cur.All() { ... }
+//
+// Row returns cursor-owned scratch that is overwritten by the next
+// Next: copy (Row.Clone) to retain. On the cache-resident path — an
+// index query whose projection is covered by key plus cached fields —
+// iteration performs zero heap allocations per row once the scratch
+// has grown. Cursors are not safe for concurrent use; the underlying
+// table is (writers proceed while a cursor is open).
+type Cursor struct {
+	src     rowSource
+	rid     storage.RID
+	row     tuple.Row
+	key     []byte
+	limit   int
+	served  int
+	reverse bool
+	stats   QueryStats
+	done    bool
+	err     error
+}
+
+// rowSource is one row-producing strategy behind a Cursor. step
+// advances and fills c.rid / c.row / c.key (or sets c.err); close
+// releases whatever the source holds (pins, child cursors).
+type rowSource interface {
+	step(c *Cursor) bool
+	close()
+}
+
+// QueryStats counts how a cursor's rows were answered — the paper's
+// cache-vs-heap hierarchy, observable per scan.
+type QueryStats struct {
+	// Rows served so far.
+	Rows int64
+	// CacheHits counts rows assembled from the index cache (no heap
+	// page touched).
+	CacheHits int64
+	// HeapReads counts rows fetched from the heap.
+	HeapReads int64
+	// LeafFetches counts index leaf pages fetched (index queries).
+	LeafFetches int64
+}
+
+// Next advances to the next row, returning false at the end of the
+// result set or on error (check Err). Exhaustion releases the cursor's
+// resources; Close is still safe afterwards.
+func (c *Cursor) Next() bool {
+	if c.done || c.err != nil {
+		return false
+	}
+	if c.limit > 0 && c.served >= c.limit {
+		c.finish()
+		return false
+	}
+	if !c.src.step(c) {
+		c.finish()
+		return false
+	}
+	c.served++
+	c.stats.Rows++
+	return true
+}
+
+// Row returns the current row. It aliases cursor scratch: valid until
+// the next Next or Close; Clone to retain.
+func (c *Cursor) Row() tuple.Row { return c.row }
+
+// RID returns the current row's physical address.
+func (c *Cursor) RID() storage.RID { return c.rid }
+
+// Key returns the current encoded index key for index-backed cursors
+// (nil for heap-order scans). Like Row it aliases scratch; copy to
+// retain. Merging iterators (hot/cold) order on it.
+func (c *Cursor) Key() []byte { return c.key }
+
+// Err returns the first error the cursor hit, if any.
+func (c *Cursor) Err() error { return c.err }
+
+// Reverse reports whether the cursor iterates in descending order.
+// Merging iterators (hot/cold) use it to orient their comparisons.
+func (c *Cursor) Reverse() bool { return c.reverse }
+
+// Stats returns the running answer-path counters.
+func (c *Cursor) Stats() QueryStats { return c.stats }
+
+// Close releases the cursor's resources (leaf pin included). It is
+// idempotent — double Close and Close after exhaustion are no-ops —
+// and returns the cursor's first error.
+func (c *Cursor) Close() error {
+	c.finish()
+	return c.err
+}
+
+func (c *Cursor) finish() {
+	if !c.done {
+		c.done = true
+		c.src.close()
+	}
+}
+
+// All adapts the cursor to a range-over-func iterator. The cursor is
+// closed when the loop ends, including on early break; check Err
+// afterwards for mid-iteration failures.
+func (c *Cursor) All() iter.Seq2[storage.RID, tuple.Row] {
+	return func(yield func(storage.RID, tuple.Row) bool) {
+		defer c.Close()
+		for c.Next() {
+			if !yield(c.rid, c.row) {
+				return
+			}
+		}
+	}
+}
+
+// --- index-order source --------------------------------------------------
+
+// indexSource drives a pinned-frame btree cursor and turns index
+// entries into rows: from the index cache when the projection is
+// covered and the entry is cached (hit set by the entry visitor wired
+// in query()), from the heap otherwise. All scratch is cursor-owned
+// and reused per row.
+type indexSource struct {
+	ix       *Index
+	bt       *btree.Cursor
+	plan     *projPlan
+	keyKinds []tuple.Kind
+	keyVals  []tuple.Value
+	payload  []byte
+	hit      bool
+	heapRow  tuple.Row
+	heapBuf  []byte
+}
+
+func (s *indexSource) step(c *Cursor) bool {
+	if !s.bt.Next() {
+		c.err = s.bt.Err()
+		return false
+	}
+	c.stats.LeafFetches = s.bt.LeafFetches()
+	c.rid = storage.UnpackRID(s.bt.Value())
+	c.key = s.bt.Key()
+	if s.hit {
+		kv, err := tuple.DecodeKeyInto(s.keyVals[:0], s.bt.Key(), s.keyKinds...)
+		if err == nil {
+			s.keyVals = kv
+			if row, ok := s.ix.assembleInto(c.row, kv, s.payload, s.plan); ok {
+				c.row = row
+				c.stats.CacheHits++
+				return true
+			}
+		}
+	}
+	rec, err := s.ix.table.file.GetInto(s.heapBuf[:0], c.rid)
+	if err != nil {
+		c.err = fmt.Errorf("core: fetching %v: %w", c.rid, err)
+		return false
+	}
+	s.heapBuf = rec[:0]
+	row, _, err := tuple.DecodeInto(s.heapRow, s.ix.table.schema, rec)
+	if err != nil {
+		c.err = fmt.Errorf("core: decoding %v: %w", c.rid, err)
+		return false
+	}
+	s.heapRow = row
+	c.stats.HeapReads++
+	c.row = projectRowInto(c.row, row, s.plan.idx)
+	return true
+}
+
+func (s *indexSource) close() { s.bt.Close() }
+
+// --- heap-order source ---------------------------------------------------
+
+// heapSource streams rows in heap order. It snapshots one page at a
+// time under the page latch — record bytes are copied into a reused
+// buffer, so no latch or pin is held while caller code runs — then
+// decodes lazily per Next into reused scratch. Pages appended after
+// the query opened are not visited.
+type heapSource struct {
+	t       *Table
+	pages   []storage.PageID
+	reverse bool
+	projIdx []int // nil = all fields
+
+	pi     int // next index into pages to load
+	recBuf []byte
+	offs   []int // prefix offsets into recBuf; record i = recBuf[offs[i]:offs[i+1]]
+	rids   []storage.RID
+	i      int // next record to serve within the snapshot
+	loaded bool
+	decRow tuple.Row
+}
+
+func (s *heapSource) step(c *Cursor) bool {
+	for {
+		if !s.loaded || s.i < 0 || s.i >= len(s.rids) {
+			if !s.loadNextPage(c) {
+				return false
+			}
+			continue
+		}
+		rec := s.recBuf[s.offs[s.i]:s.offs[s.i+1]]
+		c.rid = s.rids[s.i]
+		if s.reverse {
+			s.i--
+		} else {
+			s.i++
+		}
+		row, _, err := tuple.DecodeInto(s.decRow, s.t.schema, rec)
+		if err != nil {
+			c.err = fmt.Errorf("core: decoding %v: %w", c.rid, err)
+			return false
+		}
+		s.decRow = row
+		c.stats.HeapReads++
+		if s.projIdx == nil {
+			c.row = row
+		} else {
+			c.row = projectRowInto(c.row, row, s.projIdx)
+		}
+		return true
+	}
+}
+
+// loadNextPage snapshots the next page (in scan direction) that holds
+// live records. Returns false when the file is exhausted or on error.
+func (s *heapSource) loadNextPage(c *Cursor) bool {
+	for s.pi < len(s.pages) {
+		var id storage.PageID
+		if s.reverse {
+			id = s.pages[len(s.pages)-1-s.pi]
+		} else {
+			id = s.pages[s.pi]
+		}
+		s.pi++
+		s.recBuf = s.recBuf[:0]
+		s.offs = append(s.offs[:0], 0)
+		s.rids = s.rids[:0]
+		err := s.t.file.VisitPage(id, func(sp *storage.SlottedPage, _ bool) {
+			sp.Records(func(slot uint16, rec []byte) bool {
+				s.recBuf = append(s.recBuf, rec...)
+				s.offs = append(s.offs, len(s.recBuf))
+				s.rids = append(s.rids, storage.RID{Page: id, Slot: slot})
+				return true
+			})
+		})
+		if err != nil {
+			c.err = err
+			return false
+		}
+		if len(s.rids) == 0 {
+			continue
+		}
+		s.loaded = true
+		if s.reverse {
+			s.i = len(s.rids) - 1
+		} else {
+			s.i = 0
+		}
+		return true
+	}
+	return false
+}
+
+func (s *heapSource) close() {}

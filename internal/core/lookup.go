@@ -226,42 +226,41 @@ func (ix *Index) LookupRID(keyVals ...tuple.Value) (storage.RID, bool, error) {
 }
 
 // LookupAll returns every row matching the key values on a non-unique
-// index (or the single match on a unique one).
+// index (or the single match on a unique one). It is a convenience
+// wrapper over Query(WithPrefix(...)) that materializes the result;
+// large matches should iterate the cursor instead.
 func (ix *Index) LookupAll(keyVals ...tuple.Value) ([]tuple.Row, error) {
-	prefix, err := ix.searchKey(keyVals)
+	cur, err := ix.Query(WithPrefix(keyVals...))
 	if err != nil {
 		return nil, err
 	}
-	end := prefixSuccessor(prefix)
-	var rids []storage.RID
-	err = ix.tree.Scan(prefix, end, func(k []byte, v uint64) bool {
-		rids = append(rids, storage.UnpackRID(v))
-		return true
-	})
-	if err != nil {
-		return nil, err
+	defer cur.Close()
+	var rows []tuple.Row
+	for cur.Next() {
+		rows = append(rows, cur.Row().Clone())
 	}
-	rows := make([]tuple.Row, 0, len(rids))
-	for _, rid := range rids {
-		row, err := ix.table.Get(rid)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return rows, cur.Err()
 }
 
 // WarmCache fills every leaf's cache with the rows its keys point at,
 // hottest-first ordering being the caller's responsibility. It is the
 // bulk version of the lazy fill path, used to set up experiments.
 // Returns the number of entries installed.
+//
+// The bulk path reuses the point path's pooled scratch end to end —
+// raw record buffer, decoded row, and encoded payload — so warming N
+// entries costs O(1) allocations, not O(N).
 func (ix *Index) WarmCache() (int, error) {
 	if ix.cache == nil {
 		return 0, fmt.Errorf("core: index %q has no cache", ix.name)
 	}
 	installed := 0
-	var visErr error
+	sc := lookupScratchPool.Get().(*lookupScratch)
+	defer lookupScratchPool.Put(sc)
+	var (
+		rowBuf tuple.Row
+		visErr error
+	)
 	err := ix.tree.VisitAllLeaves(func(l *btree.Leaf) bool {
 		if !ix.cache.Prepare(l) {
 			return true
@@ -272,15 +271,17 @@ func (ix *Index) WarmCache() (int, error) {
 		for i := 0; i < l.NumKeys() && budget > 0; i++ {
 			packed := l.ValueAt(i)
 			rid := storage.UnpackRID(packed)
-			row, gerr := ix.table.Get(rid)
+			row, rec, gerr := ix.table.GetInto(rowBuf, sc.key, rid)
 			if gerr != nil {
 				visErr = gerr
 				return false
 			}
-			payload, ok := ix.encodePayload(row)
+			rowBuf, sc.key = row, rec
+			payload, ok := ix.encodePayloadInto(sc.payload[:0], row)
 			if !ok {
 				continue
 			}
+			sc.payload = payload[:0]
 			if ix.cache.Insert(l, packed, payload) {
 				installed++
 				budget--
@@ -438,13 +439,9 @@ func projectRowInto(dst tuple.Row, row tuple.Row, projIdx []int) tuple.Row {
 	return out
 }
 
-// encodePayload serializes the cached fields of a row into the fixed
-// payload layout: one null-bitmap byte, then each field's fixed bytes.
-func (ix *Index) encodePayload(row tuple.Row) ([]byte, bool) {
-	return ix.encodePayloadInto(nil, row)
-}
-
-// encodePayloadInto is encodePayload appending into dst (the hot path
+// encodePayloadInto serializes the cached fields of a row into the
+// fixed payload layout — one null-bitmap byte, then each field's fixed
+// bytes — appending into dst (the hot path
 // passes pooled scratch; idxcache.Insert copies the payload into the
 // page, so the buffer is immediately reusable).
 func (ix *Index) encodePayloadInto(dst []byte, row tuple.Row) ([]byte, bool) {
@@ -490,53 +487,6 @@ func (ix *Index) encodePayloadInto(dst []byte, row tuple.Row) ([]byte, bool) {
 		off += w
 	}
 	return buf, true
-}
-
-// decodePayload inverts encodePayload.
-func (ix *Index) decodePayload(payload []byte) ([]tuple.Value, bool) {
-	if len(payload) != ix.payloadWidth {
-		return nil, false
-	}
-	vals := make([]tuple.Value, len(ix.cachedFields))
-	off := 1
-	for i, pos := range ix.cachedFields {
-		f := ix.table.schema.Field(pos)
-		w := fixedValueWidth(f)
-		if payload[0]&(1<<i) != 0 {
-			vals[i] = tuple.Value{Kind: f.Kind, Null: true}
-			off += w
-			continue
-		}
-		v := tuple.Value{Kind: f.Kind}
-		switch f.Kind {
-		case tuple.KindInt64, tuple.KindTimestamp:
-			v.Int = int64(binary.LittleEndian.Uint64(payload[off:]))
-		case tuple.KindFloat64:
-			v.Float = math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
-		case tuple.KindInt32:
-			v.Int = int64(int32(binary.LittleEndian.Uint32(payload[off:])))
-		case tuple.KindInt16:
-			v.Int = int64(int16(binary.LittleEndian.Uint16(payload[off:])))
-		case tuple.KindInt8:
-			v.Int = int64(int8(payload[off]))
-		case tuple.KindBool:
-			if payload[off] != 0 {
-				v.Int = 1
-			}
-		case tuple.KindChar:
-			end := off + w
-			b := payload[off:end]
-			for len(b) > 0 && b[len(b)-1] == 0 {
-				b = b[:len(b)-1]
-			}
-			v.Str = string(b)
-		default:
-			return nil, false
-		}
-		vals[i] = v
-		off += w
-	}
-	return vals, true
 }
 
 // prefixSuccessor returns the smallest byte string greater than every

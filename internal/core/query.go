@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/tuple"
+)
+
+// CachePolicy selects how a query answers projections.
+type CachePolicy int
+
+const (
+	// CacheFirst (the default) answers coverable projections from the
+	// §2.1 index cache in leaf free space, falling back to the heap per
+	// row on cache misses. Range scans probe the cache but never fill
+	// it — filling on scans would flood the slots with cold tuples.
+	CacheFirst CachePolicy = iota
+	// HeapOnly bypasses the index cache entirely and fetches every row
+	// from the heap — the baseline the paper's measurements compare
+	// against, and the right choice when a scan must see heap bytes.
+	HeapOnly
+)
+
+// QueryOption configures Table.Query and Index.Query.
+type QueryOption func(*queryConfig)
+
+type queryConfig struct {
+	index   string
+	lo, hi  []tuple.Value
+	prefix  []tuple.Value
+	project []string
+	limit   int
+	reverse bool
+	policy  CachePolicy
+}
+
+// WithIndex routes a Table.Query through the named index, yielding rows
+// in key order and enabling key bounds. Invalid on Index.Query.
+func WithIndex(name string) QueryOption {
+	return func(c *queryConfig) { c.index = name }
+}
+
+// WithKeyRange bounds an index query to lo ≤ key < hi. Either side may
+// be nil (unbounded). Bounds may be a prefix of the index's key fields:
+// a one-field lo on a two-field index starts at the first key whose
+// leading field reaches lo.
+func WithKeyRange(lo, hi []tuple.Value) QueryOption {
+	return func(c *queryConfig) { c.lo, c.hi = lo, hi }
+}
+
+// WithPrefix bounds an index query to keys whose leading fields equal
+// vals exactly — the non-unique "all entries for this key" read.
+// Mutually exclusive with WithKeyRange.
+func WithPrefix(vals ...tuple.Value) QueryOption {
+	return func(c *queryConfig) { c.prefix = vals }
+}
+
+// WithProjection restricts rows to the named fields, in that order.
+// Index queries resolve the projection through the copy-on-write plan
+// cache, so a projection covered by key + cached fields is answered
+// from the index cache without touching the heap.
+func WithProjection(fields ...string) QueryOption {
+	return func(c *queryConfig) { c.project = fields }
+}
+
+// WithLimit stops the cursor after n rows (0 = unlimited).
+func WithLimit(n int) QueryOption {
+	return func(c *queryConfig) { c.limit = n }
+}
+
+// WithReverse iterates the range in descending key order (index
+// queries) or reverse heap order (table queries). Reverse index scans
+// pay one descent per leaf — leaves only chain rightward.
+func WithReverse() QueryOption {
+	return func(c *queryConfig) { c.reverse = true }
+}
+
+// WithCachePolicy selects CacheFirst (default) or HeapOnly.
+func WithCachePolicy(p CachePolicy) QueryOption {
+	return func(c *queryConfig) { c.policy = p }
+}
+
+// Query opens a cursor over the table. With no options it streams every
+// row in heap order; WithIndex switches to key order and enables key
+// bounds. See Cursor for the iteration contract.
+func (t *Table) Query(opts ...QueryOption) (*Cursor, error) {
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.index != "" {
+		ix, err := t.Index(cfg.index)
+		if err != nil {
+			return nil, err
+		}
+		return ix.query(cfg)
+	}
+	if cfg.lo != nil || cfg.hi != nil || cfg.prefix != nil {
+		return nil, fmt.Errorf("core: key bounds on %q require an index (add WithIndex)", t.name)
+	}
+	projIdx, err := t.projPositions(cfg.project)
+	if err != nil {
+		return nil, err
+	}
+	return &Cursor{
+		src:     &heapSource{t: t, pages: t.file.Pages(), reverse: cfg.reverse, projIdx: projIdx},
+		limit:   cfg.limit,
+		reverse: cfg.reverse,
+	}, nil
+}
+
+// Query opens a cursor over the index's key range. The default policy
+// answers coverable projections straight from the index cache.
+func (ix *Index) Query(opts ...QueryOption) (*Cursor, error) {
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.index != "" {
+		return nil, fmt.Errorf("core: WithIndex is only valid on Table.Query")
+	}
+	return ix.query(cfg)
+}
+
+func (ix *Index) query(cfg queryConfig) (*Cursor, error) {
+	if cfg.prefix != nil && (cfg.lo != nil || cfg.hi != nil) {
+		return nil, fmt.Errorf("core: WithPrefix and WithKeyRange are mutually exclusive")
+	}
+	plan, err := ix.resolveProjection(cfg.project)
+	if err != nil {
+		return nil, err
+	}
+	var start, end []byte
+	if cfg.prefix != nil {
+		p, err := ix.boundKey(cfg.prefix)
+		if err != nil {
+			return nil, err
+		}
+		start, end = p, prefixSuccessor(p)
+	} else {
+		if start, err = ix.boundKey(cfg.lo); err != nil {
+			return nil, err
+		}
+		if end, err = ix.boundKey(cfg.hi); err != nil {
+			return nil, err
+		}
+	}
+	s := &indexSource{ix: ix, plan: plan}
+	s.keyKinds = make([]tuple.Kind, len(ix.keyFields))
+	for i, pos := range ix.keyFields {
+		s.keyKinds[i] = ix.table.schema.Field(pos).Kind
+	}
+	var bopts []btree.CursorOption
+	if cfg.reverse {
+		bopts = append(bopts, btree.Reverse())
+	}
+	if cfg.policy == CacheFirst && ix.cache != nil && plan.coverable {
+		// Probe the cache under the latch the cursor already holds: the
+		// §2.1.1 leaf-answer flow, batched into the scan.
+		bopts = append(bopts, btree.WithEntryVisitor(func(l *btree.Leaf, pos int) {
+			s.hit = false
+			if !ix.cache.Prepare(l) {
+				return
+			}
+			if p, ok := ix.cache.LookupInto(s.payload[:0], l, l.ValueAt(pos)); ok {
+				s.payload = p
+				s.hit = true
+			}
+		}))
+	}
+	s.bt = ix.tree.NewCursor(start, end, bopts...)
+	return &Cursor{src: s, limit: cfg.limit, reverse: cfg.reverse}, nil
+}
+
+// boundKey encodes a (possibly partial) key bound, kind-checking each
+// value against the corresponding key field.
+func (ix *Index) boundKey(vals []tuple.Value) ([]byte, error) {
+	if len(vals) == 0 {
+		return nil, nil
+	}
+	if len(vals) > len(ix.keyFields) {
+		return nil, fmt.Errorf("core: index %q: bound has %d values, index has %d key fields",
+			ix.name, len(vals), len(ix.keyFields))
+	}
+	for i, v := range vals {
+		want := ix.table.schema.Field(ix.keyFields[i]).Kind
+		if v.Kind != want {
+			return nil, fmt.Errorf("core: index %q bound field %d: kind %v, want %v", ix.name, i, v.Kind, want)
+		}
+	}
+	return tuple.EncodeKey(nil, vals...)
+}
+
+// projPositions maps projected names to schema positions (nil = all
+// fields, signalled by a nil slice).
+func (t *Table) projPositions(project []string) ([]int, error) {
+	if project == nil {
+		return nil, nil
+	}
+	idx := make([]int, len(project))
+	for i, name := range project {
+		pos := t.schema.Index(name)
+		if pos < 0 {
+			return nil, fmt.Errorf("core: projection field %q not in %s", name, t.schema)
+		}
+		idx[i] = pos
+	}
+	return idx, nil
+}

@@ -218,19 +218,35 @@ func (t *Table) Relocate(rid storage.RID) (storage.RID, error) {
 	return newRID, nil
 }
 
-// Scan iterates over all rows in heap order.
-func (t *Table) Scan(fn func(rid storage.RID, row tuple.Row) bool) error {
-	var decodeErr error
-	err := t.file.Scan(func(rid storage.RID, rec []byte) bool {
-		row, _, err := tuple.Decode(t.schema, rec)
-		if err != nil {
-			decodeErr = fmt.Errorf("core: decoding %v: %w", rid, err)
-			return false
-		}
-		return fn(rid, row)
-	})
-	if decodeErr != nil {
-		return decodeErr
+// GetInto is Get decoding into dst when its capacity suffices, with
+// buf as reusable scratch for the raw record; it returns the row and
+// the grown scratch. Callers that thread both across calls fetch rows
+// without per-row allocation (modulo string fields).
+func (t *Table) GetInto(dst tuple.Row, buf []byte, rid storage.RID) (tuple.Row, []byte, error) {
+	rec, err := t.file.GetInto(buf[:0], rid)
+	if err != nil {
+		return nil, buf, err
 	}
-	return err
+	row, _, err := tuple.DecodeInto(dst, t.schema, rec)
+	return row, rec[:0], err
+}
+
+// Scan iterates over all rows in heap order. The row passed to fn is
+// only valid during the call (Clone to retain).
+//
+// Deprecated: Scan is a thin wrapper over Query; new code should use
+// Query, which adds projection, limits, reverse order, and index-order
+// iteration behind the same cursor.
+func (t *Table) Scan(fn func(rid storage.RID, row tuple.Row) bool) error {
+	c, err := t.Query()
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	for c.Next() {
+		if !fn(c.RID(), c.Row()) {
+			return nil
+		}
+	}
+	return c.Err()
 }

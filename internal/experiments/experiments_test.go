@@ -359,3 +359,37 @@ func TestAblatePredLogShapes(t *testing.T) {
 			last.FullInvalidations, first.FullInvalidations)
 	}
 }
+
+func TestScanShapes(t *testing.T) {
+	cfg := DefaultScanConfig()
+	cfg.Rows, cfg.Passes = 5000, 2
+	res, err := RunScan(cfg)
+	if err != nil {
+		t.Fatalf("RunScan: %v", err)
+	}
+	if res.Rows != cfg.Rows || res.LeafPages < 2 || len(res.Points) != 3 {
+		t.Fatalf("shape: rows=%d leaves=%d points=%d", res.Rows, res.LeafPages, len(res.Points))
+	}
+	byMode := map[string]ScanPoint{}
+	for _, p := range res.Points {
+		if p.RowsPerSec <= 0 {
+			t.Errorf("%s: rows/sec %.0f", p.Mode, p.RowsPerSec)
+		}
+		byMode[p.Mode] = p
+	}
+	cache := byMode["cursor-cache-first"]
+	if cache.CacheHitRate != 1.0 {
+		t.Errorf("cache-first hit rate %.2f, want 1.0 (warm, low fill factor)", cache.CacheHitRate)
+	}
+	// The acceptance criterion: cache-resident scans do ~0 allocs/row
+	// and fetch each leaf exactly once.
+	if cache.AllocsPerRow >= 0.05 {
+		t.Errorf("cache-first allocs/row %.3f, want ~0", cache.AllocsPerRow)
+	}
+	if cache.LeafFetches != int64(res.LeafPages) {
+		t.Errorf("cache-first leaf fetches %d, want %d (one per leaf)", cache.LeafFetches, res.LeafPages)
+	}
+	if heap := byMode["cursor-heap-only"]; heap.CacheHitRate != 0 {
+		t.Errorf("heap-only hit rate %.2f, want 0", heap.CacheHitRate)
+	}
+}

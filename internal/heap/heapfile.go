@@ -184,6 +184,13 @@ func (f *File) pickPageLocked(need int) storage.PageID {
 
 // Get returns a copy of the record at rid.
 func (f *File) Get(rid storage.RID) ([]byte, error) {
+	return f.GetInto(nil, rid)
+}
+
+// GetInto is Get appending the record into dst (pass a reused buffer's
+// [:0] slice to make repeated fetches allocation-free once the buffer
+// has grown to the largest record).
+func (f *File) GetInto(dst []byte, rid storage.RID) ([]byte, error) {
 	fr, err := f.pool.Fetch(rid.Page)
 	if err != nil {
 		return nil, err
@@ -193,7 +200,7 @@ func (f *File) Get(rid storage.RID) ([]byte, error) {
 	rec, err := sp.Get(rid.Slot)
 	var out []byte
 	if err == nil {
-		out = append([]byte(nil), rec...)
+		out = append(dst, rec...)
 	}
 	fr.Latch.RUnlock()
 	f.pool.Unpin(fr, false)

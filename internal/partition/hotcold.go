@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"bytes"
 	"fmt"
 
 	"repro/internal/core"
@@ -116,6 +117,114 @@ func (hc *HotCold) Lookup(keyVals ...tuple.Value) (tuple.Row, bool, error) {
 		return nil, false, nil
 	}
 	return row, false, nil
+}
+
+// Cursor merges the hot and cold partitions' index cursors into one
+// key-ordered stream. Each row reports which partition served it, so
+// callers can observe the paper's asymmetry (hot rows answered from a
+// RAM-resident index) without reassembling the split themselves.
+type Cursor struct {
+	hot, cold     *core.Cursor
+	hotOK, coldOK bool
+	primed        bool
+	fromHot       bool
+	err           error
+}
+
+// Query opens a merged key-ordered cursor over both partitions. The
+// options are applied to each partition's index query (so WithLimit
+// bounds each partition's contribution, not the merged total); key
+// bounds, projections, and WithReverse behave as on core.Cursor — a
+// reverse merge yields descending key order.
+func (hc *HotCold) Query(opts ...core.QueryOption) (*Cursor, error) {
+	// The forced index goes last so a stray WithIndex in opts cannot
+	// redirect the partition scans (later options win); the full-slice
+	// expression keeps the two appends from sharing a backing array.
+	hotCur, err := hc.hot.Query(append(opts[:len(opts):len(opts)], core.WithIndex("lookup"))...)
+	if err != nil {
+		return nil, err
+	}
+	coldCur, err := hc.cold.Query(append(opts[:len(opts):len(opts)], core.WithIndex("lookup"))...)
+	if err != nil {
+		hotCur.Close()
+		return nil, err
+	}
+	return &Cursor{hot: hotCur, cold: coldCur}, nil
+}
+
+// Next advances to the next row in merged key order.
+func (c *Cursor) Next() bool {
+	if c.err != nil {
+		return false
+	}
+	if !c.primed {
+		c.hotOK, c.coldOK = c.hot.Next(), c.cold.Next()
+		c.primed = true
+	} else if c.fromHot {
+		c.hotOK = c.hot.Next()
+	} else {
+		c.coldOK = c.cold.Next()
+	}
+	if err := c.hot.Err(); err != nil {
+		c.err = err
+		return false
+	}
+	if err := c.cold.Err(); err != nil {
+		c.err = err
+		return false
+	}
+	switch {
+	case c.hotOK && c.coldOK:
+		// Serve the smaller key first — the larger when both child
+		// cursors iterate descending.
+		cmp := bytes.Compare(c.hot.Key(), c.cold.Key())
+		if c.hot.Reverse() {
+			c.fromHot = cmp >= 0
+		} else {
+			c.fromHot = cmp <= 0
+		}
+	case c.hotOK:
+		c.fromHot = true
+	case c.coldOK:
+		c.fromHot = false
+	default:
+		return false
+	}
+	return true
+}
+
+// side returns the cursor currently serving.
+func (c *Cursor) side() *core.Cursor {
+	if c.fromHot {
+		return c.hot
+	}
+	return c.cold
+}
+
+// Row returns the current row (cursor scratch: Clone to retain).
+func (c *Cursor) Row() tuple.Row { return c.side().Row() }
+
+// RID returns the current row's address within its partition.
+func (c *Cursor) RID() storage.RID { return c.side().RID() }
+
+// Hot reports whether the current row came from the hot partition.
+func (c *Cursor) Hot() bool { return c.fromHot }
+
+// Err returns the first error either partition's cursor hit.
+func (c *Cursor) Err() error { return c.err }
+
+// Close releases both partitions' cursors. Idempotent.
+func (c *Cursor) Close() error {
+	herr := c.hot.Close()
+	cerr := c.cold.Close()
+	if c.err == nil {
+		if herr != nil {
+			c.err = herr
+		} else if cerr != nil {
+			c.err = cerr
+		}
+	}
+	return c.err
 }
 
 // Demote moves the row with the given key from hot to cold — the

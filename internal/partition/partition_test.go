@@ -241,3 +241,111 @@ func TestHotColdConfigValidation(t *testing.T) {
 		t.Error("incomplete config should fail")
 	}
 }
+
+func TestHotColdQueryMergesPartitionsInKeyOrder(t *testing.T) {
+	e := newEngine(t)
+	hc, err := New(Config{
+		Engine: e, Name: "revision", Schema: wiki.RevisionSchema(),
+		KeyFields: []string{"rev_id"},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	const n = 120
+	hotKeys := map[int64]bool{}
+	for i := 0; i < n; i++ {
+		row := revRowForTest(i)
+		if i%3 == 0 {
+			if _, err := hc.InsertHot(row); err != nil {
+				t.Fatalf("InsertHot: %v", err)
+			}
+			hotKeys[row[0].Int] = true
+		} else if _, err := hc.InsertCold(row); err != nil {
+			t.Fatalf("InsertCold: %v", err)
+		}
+	}
+	cur, err := hc.Query()
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	defer cur.Close()
+	var last int64
+	served := 0
+	for cur.Next() {
+		id := cur.Row()[0].Int
+		if served > 0 && id <= last {
+			t.Fatalf("merged order broken: %d after %d", id, last)
+		}
+		if cur.Hot() != hotKeys[id] {
+			t.Errorf("key %d: Hot()=%v, want %v", id, cur.Hot(), hotKeys[id])
+		}
+		last = id
+		served++
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatalf("Err: %v", err)
+	}
+	if served != n {
+		t.Fatalf("merged scan served %d rows, want %d", served, n)
+	}
+	if err := cur.Close(); err != nil { // double close
+		t.Fatalf("second Close: %v", err)
+	}
+	// Bounded merged scan: rev_id in [10, 40).
+	cur, err = hc.Query(core.WithKeyRange(
+		[]tuple.Value{tuple.Int64(10)}, []tuple.Value{tuple.Int64(40)}))
+	if err != nil {
+		t.Fatalf("bounded Query: %v", err)
+	}
+	defer cur.Close()
+	want := int64(10)
+	for cur.Next() {
+		if got := cur.Row()[0].Int; got != want {
+			t.Fatalf("bounded merge: got %d, want %d", got, want)
+		}
+		want++
+	}
+	if want != 40 {
+		t.Fatalf("bounded merge ended at %d", want)
+	}
+}
+
+func TestHotColdQueryReverseMerge(t *testing.T) {
+	e := newEngine(t)
+	hc, err := New(Config{
+		Engine: e, Name: "revision", Schema: wiki.RevisionSchema(),
+		KeyFields: []string{"rev_id"},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	const n = 80
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			_, err = hc.InsertHot(revRowForTest(i))
+		} else {
+			_, err = hc.InsertCold(revRowForTest(i))
+		}
+		if err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	cur, err := hc.Query(core.WithReverse())
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	defer cur.Close()
+	want := int64(n) // rev_id is i+1, so the largest is n
+	for cur.Next() {
+		if got := cur.Row()[0].Int; got != want {
+			t.Fatalf("reverse merge: got %d, want %d", got, want)
+		}
+		want--
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatalf("Err: %v", err)
+	}
+	if want != 0 {
+		t.Fatalf("reverse merge served %d rows, want %d", n-int(want), n)
+	}
+}

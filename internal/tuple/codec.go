@@ -101,13 +101,27 @@ func Encode(s *Schema, r Row, dst []byte) ([]byte, error) {
 // Decode parses an encoded row. It returns the row and the number of
 // bytes consumed, so callers can decode rows packed back to back.
 func Decode(s *Schema, data []byte) (Row, int, error) {
+	return DecodeInto(nil, s, data)
+}
+
+// DecodeInto is Decode writing into dst when its capacity suffices, so
+// scans that decode one row per record reuse a single Row's backing
+// array instead of allocating per row. The returned row may still be a
+// fresh slice when dst was too small; string and bytes values are
+// copied out of data either way (the result never aliases the page).
+func DecodeInto(dst Row, s *Schema, data []byte) (Row, int, error) {
 	bitmapLen := (s.NumFields() + 7) / 8
 	if len(data) < bitmapLen+s.FixedWidth() {
 		return nil, 0, fmt.Errorf("tuple: row truncated: %d bytes, need at least %d", len(data), bitmapLen+s.FixedWidth())
 	}
 	bitmap := data[:bitmapLen]
 	off := bitmapLen
-	r := make(Row, s.NumFields())
+	var r Row
+	if cap(dst) >= s.NumFields() {
+		r = dst[:s.NumFields()]
+	} else {
+		r = make(Row, s.NumFields())
+	}
 	for i := 0; i < s.NumFields(); i++ {
 		f := s.Field(i)
 		null := bitmap[i/8]&(1<<(i%8)) != 0

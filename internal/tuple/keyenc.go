@@ -119,9 +119,17 @@ func appendEscapedBytes(dst, raw []byte) []byte {
 }
 
 // DecodeKey parses an encoded key back into values, given the kinds in
-// order. It is the inverse of EncodeKey.
+// order. It is the inverse of EncodeKey. Trailing bytes past the last
+// kind are ignored (non-unique index entries carry a RID suffix).
 func DecodeKey(data []byte, kinds ...Kind) ([]Value, error) {
-	vals := make([]Value, 0, len(kinds))
+	return DecodeKeyInto(nil, data, kinds...)
+}
+
+// DecodeKeyInto is DecodeKey appending into dst, so range scans that
+// decode one key per row reuse a single Value slice. Fixed-width kinds
+// decode without allocating; string kinds still allocate their Str.
+func DecodeKeyInto(dst []Value, data []byte, kinds ...Kind) ([]Value, error) {
+	vals := dst
 	off := 0
 	for _, k := range kinds {
 		if off >= len(data) {

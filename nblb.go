@@ -46,6 +46,30 @@ type Index = core.Index
 // heap).
 type LookupResult = core.LookupResult
 
+// Cursor streams rows from a Table.Query or Index.Query: Next / Row /
+// RID / Err / Close, plus All for range-over-func iteration. Rows are
+// cursor scratch — Clone to retain.
+type Cursor = core.Cursor
+
+// QueryOption configures Query (key range, prefix, projection, limit,
+// reverse, cache policy).
+type QueryOption = core.QueryOption
+
+// QueryStats counts how a cursor's rows were answered (cache vs heap).
+type QueryStats = core.QueryStats
+
+// CachePolicy selects index-cache-first or heap-only reads.
+type CachePolicy = core.CachePolicy
+
+// Cache policies for WithCachePolicy.
+const (
+	// CacheFirst answers coverable projections from the §2.1 index
+	// cache, falling back to the heap per row (the default).
+	CacheFirst = core.CacheFirst
+	// HeapOnly bypasses the index cache and always reads the heap.
+	HeapOnly = core.HeapOnly
+)
+
 // RID is a record's physical address.
 type RID = storage.RID
 
@@ -115,4 +139,26 @@ var (
 	// WithAppendOnlyHeap gives a table the append-at-tail placement
 	// policy §3.1 critiques (and its clustering exploits).
 	WithAppendOnlyHeap = core.WithAppendOnlyHeap
+)
+
+// Query options (see Table.Query / Index.Query).
+var (
+	// WithIndex routes a Table.Query through the named index (key
+	// order, key bounds).
+	WithIndex = core.WithIndex
+	// WithKeyRange bounds an index query to lo ≤ key < hi (nil =
+	// unbounded; bounds may be key-field prefixes).
+	WithKeyRange = core.WithKeyRange
+	// WithPrefix bounds an index query to keys whose leading fields
+	// equal the given values.
+	WithPrefix = core.WithPrefix
+	// WithProjection restricts rows to the named fields; projections
+	// covered by key + cached fields are answered from the index cache.
+	WithProjection = core.WithProjection
+	// WithLimit stops the cursor after n rows.
+	WithLimit = core.WithLimit
+	// WithReverse iterates in descending key (or reverse heap) order.
+	WithReverse = core.WithReverse
+	// WithCachePolicy selects CacheFirst (default) or HeapOnly.
+	WithCachePolicy = core.WithCachePolicy
 )
