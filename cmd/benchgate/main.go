@@ -1,0 +1,301 @@
+// Command benchgate is the CI benchmark regression gate: it compares
+// freshly generated BENCH_*.json summaries against the committed
+// baselines and fails (exit 1) on a throughput regression beyond the
+// tolerance, so a PR cannot silently walk back the perf trajectory the
+// ROADMAP tracks.
+//
+//	benchgate -base . -fresh out            # gate out/BENCH_*.json against ./BENCH_*.json
+//	benchgate -base . -fresh out -skip "rewrite trades scan speed for write scaling"
+//
+// Rules:
+//
+//   - Throughput (BENCH_throughput.json): per goroutine count, the
+//     sharded pool's ops/sec must stay within -tolerance of baseline.
+//   - Scan (BENCH_scan.json): per mode, rows/sec within -tolerance;
+//     allocs/row and disk reads/pass must not grow materially (these
+//     are machine-independent, so they are held tighter).
+//   - Write (BENCH_write.json): per goroutine count, crabbed ops/sec
+//     within -tolerance of baseline. The fresh file must also satisfy
+//     the crabbing acceptance invariants on its own: no >10%
+//     single-writer regression versus the in-run mutex baseline, and
+//     multi-writer throughput above the mutex baseline at ≥2
+//     goroutines (relaxed to "no collapse" when the runner has only
+//     one CPU, where parallel scaling is physically impossible).
+//
+// A comparison pair is skipped (with a note) when the two files were
+// measured over different workload shapes — a config change is a
+// baseline refresh, not a regression. The -skip flag records a one-line
+// reason for intentional tradeoffs and turns the gate green; CI wires
+// it to a PR label so the reason lands in the logs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+var failures []string
+
+func failf(format string, args ...any) {
+	failures = append(failures, fmt.Sprintf(format, args...))
+}
+
+func okf(format string, args ...any) {
+	fmt.Printf("  ok: %s\n", fmt.Sprintf(format, args...))
+}
+
+func notef(format string, args ...any) {
+	fmt.Printf("  note: %s\n", fmt.Sprintf(format, args...))
+}
+
+func readJSON(path string, v any) (bool, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, json.Unmarshal(data, v)
+}
+
+func main() {
+	base := flag.String("base", ".", "directory holding the committed BENCH_*.json baselines")
+	fresh := flag.String("fresh", ".", "directory holding the freshly generated BENCH_*.json")
+	tol := flag.Float64("tolerance", 0.20, "allowed fractional throughput regression vs baseline")
+	skip := flag.String("skip", "", "skip the gate, recording this one-line reason (intentional tradeoff)")
+	flag.Parse()
+
+	if *skip != "" {
+		fmt.Printf("benchgate: SKIPPED — %s\n", *skip)
+		return
+	}
+
+	gateThroughput(*base, *fresh, *tol)
+	gateScan(*base, *fresh, *tol)
+	gateWrite(*base, *fresh, *tol)
+
+	if len(failures) > 0 {
+		fmt.Println("benchgate: FAIL")
+		for _, f := range failures {
+			fmt.Printf("  regression: %s\n", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: PASS")
+}
+
+// ratioOK reports whether fresh is within the regression tolerance of
+// base (base==0 passes vacuously: nothing to regress from).
+func ratioOK(freshV, baseV, tol float64) bool {
+	return baseV <= 0 || freshV >= baseV*(1-tol)
+}
+
+func gateThroughput(base, fresh string, tol float64) {
+	fmt.Println("throughput (BENCH_throughput.json):")
+	var b, f experiments.ThroughputResult
+	if !loadPair(base, fresh, "BENCH_throughput.json", &b, &f) {
+		return
+	}
+	if b.Rows != f.Rows {
+		notef("workload shape changed (%d vs %d rows) — comparison skipped; refresh the baseline", b.Rows, f.Rows)
+		return
+	}
+	if b.GOMAXPROCS != f.GOMAXPROCS {
+		// A parallel sweep's absolute ops/sec is a function of the CPU
+		// count; comparing across GOMAXPROCS legs would permanently
+		// redden whichever leg mismatches the committed baseline.
+		notef("baseline measured at GOMAXPROCS=%d, this run at %d — comparison skipped", b.GOMAXPROCS, f.GOMAXPROCS)
+		return
+	}
+	for _, fp := range f.Points {
+		bp, ok := pointForG(b.Points, fp.Goroutines)
+		if !ok {
+			continue
+		}
+		if !ratioOK(fp.ShardedOpsPerSec, bp.ShardedOpsPerSec, tol) {
+			failf("throughput g=%d: sharded %.0f ops/s vs baseline %.0f (>%.0f%% down)",
+				fp.Goroutines, fp.ShardedOpsPerSec, bp.ShardedOpsPerSec, tol*100)
+		} else {
+			okf("g=%d sharded %.0f ops/s (baseline %.0f)", fp.Goroutines, fp.ShardedOpsPerSec, bp.ShardedOpsPerSec)
+		}
+	}
+}
+
+func pointForG(pts []experiments.ThroughputPoint, g int) (experiments.ThroughputPoint, bool) {
+	for _, p := range pts {
+		if p.Goroutines == g {
+			return p, true
+		}
+	}
+	return experiments.ThroughputPoint{}, false
+}
+
+func gateScan(base, fresh string, tol float64) {
+	fmt.Println("scan (BENCH_scan.json):")
+	var b, f experiments.ScanResult
+	if !loadPair(base, fresh, "BENCH_scan.json", &b, &f) {
+		return
+	}
+	if b.Rows != f.Rows {
+		notef("workload shape changed (%d vs %d rows) — comparison skipped; refresh the baseline", b.Rows, f.Rows)
+		return
+	}
+	wallClockComparable := b.GOMAXPROCS == f.GOMAXPROCS
+	if !wallClockComparable {
+		notef("baseline measured at GOMAXPROCS=%d, this run at %d — wall-clock comparison skipped", b.GOMAXPROCS, f.GOMAXPROCS)
+	}
+	for _, fp := range f.Points {
+		var bp *experiments.ScanPoint
+		for i := range b.Points {
+			if b.Points[i].Mode == fp.Mode {
+				bp = &b.Points[i]
+				break
+			}
+		}
+		if bp == nil {
+			continue
+		}
+		if wallClockComparable {
+			if !ratioOK(fp.RowsPerSec, bp.RowsPerSec, tol) {
+				failf("scan %q: %.0f rows/s vs baseline %.0f (>%.0f%% down)",
+					fp.Mode, fp.RowsPerSec, bp.RowsPerSec, tol*100)
+			} else {
+				okf("%q %.0f rows/s (baseline %.0f)", fp.Mode, fp.RowsPerSec, bp.RowsPerSec)
+			}
+		}
+		// Machine-independent metrics are held tighter than wall clock.
+		if fp.AllocsPerRow > bp.AllocsPerRow+0.5 {
+			failf("scan %q: %.2f allocs/row vs baseline %.2f", fp.Mode, fp.AllocsPerRow, bp.AllocsPerRow)
+		}
+		if fp.DiskReadsPerPass > bp.DiskReadsPerPass*(1+tol)+1 {
+			failf("scan %q: %.1f disk reads/pass vs baseline %.1f", fp.Mode, fp.DiskReadsPerPass, bp.DiskReadsPerPass)
+		}
+	}
+	// Self-invariant of the fresh run: reverse scans must cost the same
+	// leaf fetches as forward ones (doubly linked leaves). Enforced here
+	// rather than inside the bench runner so the skip label covers it.
+	if fwd, rev := f.DirectionSymmetry(); fwd != nil && rev != nil {
+		if rev.LeafFetches != fwd.LeafFetches {
+			failf("scan: reverse fetched %d leaves, forward %d — direction symmetry regressed",
+				rev.LeafFetches, fwd.LeafFetches)
+		} else {
+			okf("reverse/forward leaf fetches symmetric (%d)", fwd.LeafFetches)
+		}
+	}
+}
+
+func gateWrite(base, fresh string, tol float64) {
+	fmt.Println("write (BENCH_write.json):")
+	var f experiments.WriteResult
+	found, err := readJSON(filepath.Join(fresh, "BENCH_write.json"), &f)
+	if err != nil {
+		failf("read fresh BENCH_write.json: %v", err)
+		return
+	}
+	if !found {
+		failf("fresh BENCH_write.json missing — the write bench must run on every PR")
+		return
+	}
+
+	// Self-invariants of the fresh run: these compare the crabbing tree
+	// with the in-run single-mutex baseline on the same machine, so
+	// they are valid regardless of where the committed baseline came
+	// from.
+	for _, p := range f.Points {
+		if p.Goroutines == 1 {
+			if p.MutexOpsPerSec > 0 && p.CrabbedOpsPerSec < p.MutexOpsPerSec*0.90 {
+				failf("write g=1: crabbed %.0f ops/s vs mutex %.0f — single-writer regression >10%%",
+					p.CrabbedOpsPerSec, p.MutexOpsPerSec)
+			} else {
+				okf("g=1 crabbed %.0f ops/s vs mutex %.0f (no single-writer regression)",
+					p.CrabbedOpsPerSec, p.MutexOpsPerSec)
+			}
+		}
+	}
+	bestMulti, haveMulti := 0.0, false
+	for _, p := range f.Points {
+		if p.Goroutines >= 2 && p.MutexOpsPerSec > 0 {
+			haveMulti = true
+			if s := p.CrabbedOpsPerSec / p.MutexOpsPerSec; s > bestMulti {
+				bestMulti = s
+			}
+		}
+	}
+	if haveMulti {
+		// One CPU cannot express parallel scaling; require no collapse
+		// there, strict superiority everywhere else.
+		need := 1.0
+		if f.GOMAXPROCS < 2 {
+			need = 0.95
+			notef("GOMAXPROCS=1 runner: multi-writer check relaxed to no-collapse (≥%.2f×)", need)
+		}
+		if bestMulti < need {
+			failf("write: best multi-writer speedup %.2f× vs mutex baseline, need ≥%.2f×", bestMulti, need)
+		} else {
+			okf("multi-writer speedup %.2f× over mutex baseline at ≥2 goroutines", bestMulti)
+		}
+	}
+
+	var b experiments.WriteResult
+	found, err = readJSON(filepath.Join(base, "BENCH_write.json"), &b)
+	if err != nil {
+		failf("read baseline BENCH_write.json: %v", err)
+		return
+	}
+	if !found {
+		notef("no committed BENCH_write.json baseline yet — self-invariants only")
+		return
+	}
+	if b.Preload != f.Preload || b.Ops != f.Ops || b.UpdateFrac != f.UpdateFrac {
+		notef("workload shape changed — comparison skipped; refresh the baseline")
+		return
+	}
+	if b.GOMAXPROCS != f.GOMAXPROCS {
+		notef("baseline measured at GOMAXPROCS=%d, this run at %d — comparison skipped (self-invariants above still gate)", b.GOMAXPROCS, f.GOMAXPROCS)
+		return
+	}
+	for _, fp := range f.Points {
+		for _, bp := range b.Points {
+			if bp.Goroutines != fp.Goroutines {
+				continue
+			}
+			if !ratioOK(fp.CrabbedOpsPerSec, bp.CrabbedOpsPerSec, tol) {
+				failf("write g=%d: crabbed %.0f ops/s vs baseline %.0f (>%.0f%% down)",
+					fp.Goroutines, fp.CrabbedOpsPerSec, bp.CrabbedOpsPerSec, tol*100)
+			} else {
+				okf("g=%d crabbed %.0f ops/s (baseline %.0f)", fp.Goroutines, fp.CrabbedOpsPerSec, bp.CrabbedOpsPerSec)
+			}
+		}
+	}
+}
+
+// loadPair reads base and fresh copies of name into b and f, reporting
+// whether both exist and parsed. Missing files are notes, not failures,
+// except that every gate handles its own "fresh must exist" policy.
+func loadPair(base, fresh, name string, b, f any) bool {
+	foundB, err := readJSON(filepath.Join(base, name), b)
+	if err != nil {
+		failf("read baseline %s: %v", name, err)
+		return false
+	}
+	foundF, err := readJSON(filepath.Join(fresh, name), f)
+	if err != nil {
+		failf("read fresh %s: %v", name, err)
+		return false
+	}
+	if !foundB {
+		notef("no committed %s baseline — comparison skipped", name)
+		return false
+	}
+	if !foundF {
+		failf("fresh %s missing — the bench must run on every PR", name)
+		return false
+	}
+	return true
+}

@@ -16,11 +16,12 @@
 //	nblb-bench -exp ablate-predlog # A2 predicate-log ablation
 //	nblb-bench -exp throughput     # parallel lookup scaling, 1-shard vs sharded pool
 //	nblb-bench -exp scan           # full-table scan: callback vs cursor, cache vs heap
+//	nblb-bench -exp write          # parallel ingest: latch crabbing vs one write mutex
 //
-// -quick shrinks every experiment for a fast smoke run. The throughput
-// and scan experiments also write BENCH_throughput.json / BENCH_scan.json
-// summaries (see -json / -scanjson) so the perf trajectory is tracked
-// PR-over-PR.
+// -quick shrinks every experiment for a fast smoke run. The throughput,
+// scan, and write experiments also write BENCH_throughput.json /
+// BENCH_scan.json / BENCH_write.json summaries (see -json / -scanjson /
+// -writejson) so the perf trajectory is tracked PR-over-PR.
 package main
 
 import (
@@ -33,11 +34,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (comma separated): all, fig2a, fig2b, fig2c, fig3, enc, capacity, semid, vpart, ablate-place, ablate-predlog, throughput, scan")
+	exp := flag.String("exp", "all", "experiment to run (comma separated): all, fig2a, fig2b, fig2c, fig3, enc, capacity, semid, vpart, ablate-place, ablate-predlog, throughput, scan, write")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 	seed := flag.Int64("seed", 1, "random seed for all generators")
 	jsonPath := flag.String("json", "BENCH_throughput.json", "path for the throughput experiment's JSON summary (empty disables)")
 	scanJSONPath := flag.String("scanjson", "BENCH_scan.json", "path for the scan experiment's JSON summary (empty disables)")
+	writeJSONPath := flag.String("writejson", "BENCH_write.json", "path for the write experiment's JSON summary (empty disables)")
 	flag.Parse()
 
 	selected := map[string]bool{}
@@ -272,6 +274,28 @@ func main() {
 				fail("scan", err)
 			}
 			fmt.Printf("wrote %s\n", *scanJSONPath)
+		}
+	}
+
+	if want("write") {
+		ran++
+		section("write")
+		cfg := experiments.DefaultWriteConfig()
+		cfg.Seed = *seed
+		if *quick {
+			cfg.Preload, cfg.Ops = 5000, 20000
+			cfg.Goroutines = []int{1, 2, 4}
+		}
+		res, err := experiments.RunWrite(cfg)
+		if err != nil {
+			fail("write", err)
+		}
+		res.Print(os.Stdout)
+		if *writeJSONPath != "" {
+			if err := res.WriteJSON(*writeJSONPath); err != nil {
+				fail("write", err)
+			}
+			fmt.Printf("wrote %s\n", *writeJSONPath)
 		}
 	}
 

@@ -34,6 +34,7 @@ func BulkLoad(pool *buffer.Pool, ff float64, next func() (key []byte, value uint
 		curNode node
 		prevKey []byte
 		count   int64
+		longest int
 	)
 	flush := func() {
 		if cur == nil {
@@ -50,6 +51,7 @@ func BulkLoad(pool *buffer.Pool, ff float64, next func() (key []byte, value uint
 		n := initNode(fr.Data(), nodeLeaf)
 		if cur != nil {
 			curNode.setRightSibling(uint64(fr.ID()))
+			n.setLeftSibling(uint64(cur.ID()))
 			flush()
 		}
 		cur, curNode = fr, n
@@ -70,6 +72,9 @@ func BulkLoad(pool *buffer.Pool, ff float64, next func() (key []byte, value uint
 			return nil, fmt.Errorf("btree: bulk load keys not strictly increasing at %q", key)
 		}
 		prevKey = append(prevKey[:0], key...)
+		if len(key) > longest {
+			longest = len(key)
+		}
 		need := cellSize(len(key)) + dirEntrySize
 		if cur == nil || curNode.usedBytes()+need > budget || !curNode.canInsert(len(key)) {
 			if cur != nil && curNode.nKeys() == 0 {
@@ -148,7 +153,12 @@ func BulkLoad(pool *buffer.Pool, ff float64, next func() (key []byte, value uint
 		height++
 	}
 
-	return &Tree{pool: pool, root: level[0].page, height: height, numKeys: count}, nil
+	t := &Tree{pool: pool, root: level[0].page, height: height}
+	t.numKeys.Store(count)
+	// Seed the safe-node separator bound with the longest loaded key, so
+	// post-load inserts get accurate safety checks from the start.
+	t.maxSepLen.Store(int64(longest))
+	return t, nil
 }
 
 // PairSource adapts a slice of (key, value) pairs into the iterator

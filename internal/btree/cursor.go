@@ -54,9 +54,9 @@ type Cursor struct {
 type CursorOption func(*Cursor)
 
 // Reverse makes the cursor iterate from the last key in range down to
-// the first. Leaves only chain rightward, so reverse iteration pays one
-// descent per leaf instead of one sibling fetch — correct but slower;
-// forward is the fast path.
+// the first. Leaves chain in both directions, so reverse iteration is
+// symmetric with forward: one sibling fetch per leaf, re-descending
+// only when a concurrent split invalidates the pinned leaf.
 func Reverse() CursorOption {
 	return func(c *Cursor) { c.reverse = true }
 }
@@ -198,20 +198,22 @@ func (c *Cursor) serveLocked(n node, pos int) {
 // seekForward descends to the leaf covering the resume point (or the
 // range start) and pins it.
 func (c *Cursor) seekForward() bool {
-	c.t.mu.RLock()
 	var (
 		fr  *buffer.Frame
 		err error
 	)
 	switch {
 	case c.started:
-		fr, err = c.t.leafFrame(c.key)
+		fr, _, err = c.t.descendFrame(func(n node) storage.PageID {
+			return storage.PageID(n.childFor(c.key))
+		})
 	case c.start != nil:
-		fr, err = c.t.leafFrame(c.start)
+		fr, _, err = c.t.descendFrame(func(n node) storage.PageID {
+			return storage.PageID(n.childFor(c.start))
+		})
 	default:
 		fr, _, err = c.t.leftmostFrame()
 	}
-	c.t.mu.RUnlock()
 	if err != nil {
 		return c.fail(err)
 	}
@@ -251,8 +253,7 @@ func (c *Cursor) bound() []byte {
 }
 
 func (c *Cursor) nextReverse() bool {
-	fresh := c.fr == nil
-	if fresh && !c.seekReverse() {
+	if c.fr == nil && !c.seekReverse() {
 		return false
 	}
 	for {
@@ -261,17 +262,16 @@ func (c *Cursor) nextReverse() bool {
 		if n.version() != c.ver {
 			// The leaf changed since it was positioned (or since the
 			// descent observed it): a split may have moved our
-			// predecessors to a right sibling this cursor can't reach
-			// going left. Unlike the forward path — where the sibling
-			// chain still leads to relocated keys — the only safe move
-			// is a fresh descent against the current separators.
+			// predecessors to a right sibling this cursor has already
+			// passed. Unlike the forward path — where the sibling chain
+			// still leads to relocated keys — the only safe move is a
+			// fresh descent against the current separators.
 			c.fr.Latch.RUnlock()
 			c.t.pool.Unpin(c.fr, false)
 			c.fr = nil
 			if !c.seekReverse() {
 				return false
 			}
-			fresh = true
 			continue
 		}
 		pos := c.reposReverse(n)
@@ -286,20 +286,43 @@ func (c *Cursor) nextReverse() bool {
 			c.fr.Latch.RUnlock()
 			return true
 		}
+		// Nothing below the bound here (exhausted leaf, or one emptied by
+		// deletes): step to the left sibling. The latch is dropped before
+		// the sibling is acquired — multi-latch holders only ever go
+		// left→right, so a reverse walk must not hold right while taking
+		// left — and the hop is validated by checking that the sibling
+		// still chains back to this leaf; a split in the gap fails the
+		// check and forces a fresh descent.
+		prevID := c.fr.ID()
+		left := storage.PageID(n.leftSibling())
 		c.fr.Latch.RUnlock()
 		c.t.pool.Unpin(c.fr, false)
 		c.fr = nil
-		if fresh {
-			// A fresh descent landed on a leaf with nothing below the
-			// bound — possible when deletes emptied leaves (no merging).
-			// Fall back to a sibling-chain walk to find the predecessor.
-			if !c.seekReverseByChain() {
-				return false
-			}
-		} else if !c.seekReverse() {
+		if left == storage.InvalidPageID {
+			c.finish()
 			return false
 		}
-		fresh = true
+		fr, err := c.t.pool.Fetch(left)
+		if err != nil {
+			return c.fail(err)
+		}
+		fr.Latch.RLock()
+		ln := asNode(fr.Data())
+		if storage.PageID(ln.rightSibling()) != prevID {
+			// The left sibling split (or the chain was rewired) between
+			// reading the pointer and latching the page.
+			fr.Latch.RUnlock()
+			c.t.pool.Unpin(fr, false)
+			if !c.seekReverse() {
+				return false
+			}
+			continue
+		}
+		ver := ln.version()
+		fr.Latch.RUnlock()
+		c.fetches++
+		c.fr = fr
+		c.ver = ver
 	}
 }
 
@@ -317,10 +340,11 @@ func (c *Cursor) reposReverse(n node) int {
 // seekReverse descends to the leaf expected to hold the largest key
 // strictly below the bound and pins it, recording the leaf version the
 // descent observed so the serving latch can detect an intervening
-// split.
+// split. When delete-emptied leaves leave nothing below the bound on
+// the landing leaf, nextReverse walks on through the left-sibling
+// chain.
 func (c *Cursor) seekReverse() bool {
 	b := c.bound()
-	c.t.mu.RLock()
 	var (
 		fr  *buffer.Frame
 		ver uint32
@@ -331,66 +355,11 @@ func (c *Cursor) seekReverse() bool {
 	} else {
 		fr, ver, err = c.t.leafFrameBefore(b)
 	}
-	c.t.mu.RUnlock()
 	if err != nil {
 		return c.fail(err)
 	}
 	c.fetches++
 	c.fr = fr
 	c.ver = ver
-	return true
-}
-
-// seekReverseByChain walks the leaf chain from the left, remembering the
-// last leaf holding a key below the bound, and pins it. O(leaves), only
-// used when delete-emptied leaves defeat the targeted descent.
-func (c *Cursor) seekReverseByChain() bool {
-	b := c.bound()
-	c.t.mu.RLock()
-	id, err := c.t.leftmostLeaf()
-	c.t.mu.RUnlock()
-	if err != nil {
-		return c.fail(err)
-	}
-	candidate := storage.InvalidPageID
-	var candVer uint32
-	for id != storage.InvalidPageID {
-		fr, err := c.t.pool.Fetch(id)
-		if err != nil {
-			return c.fail(err)
-		}
-		fr.Latch.RLock()
-		n := asNode(fr.Data())
-		var minKey []byte
-		if n.nKeys() > 0 {
-			minKey = n.key(0)
-		}
-		next := storage.PageID(n.rightSibling())
-		ver := n.version()
-		pastBound := minKey != nil && b != nil && bytes.Compare(minKey, b) >= 0
-		hasBelow := minKey != nil && (b == nil || bytes.Compare(minKey, b) < 0)
-		fr.Latch.RUnlock()
-		c.t.pool.Unpin(fr, false)
-		if pastBound {
-			break
-		}
-		if hasBelow {
-			candidate, candVer = id, ver
-		}
-		id = next
-	}
-	if candidate == storage.InvalidPageID {
-		c.finish()
-		return false
-	}
-	fr, err := c.t.pool.Fetch(candidate)
-	if err != nil {
-		return c.fail(err)
-	}
-	c.fetches++
-	c.fr = fr
-	// The version observed during the walk: if the candidate mutated
-	// before the serving latch, the version check forces a re-seek.
-	c.ver = candVer
 	return true
 }

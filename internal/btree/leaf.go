@@ -116,21 +116,18 @@ func (l *Leaf) MarkDirty() { l.dirty = true }
 var leafPool = sync.Pool{New: func() any { return new(Leaf) }}
 
 // VisitLeaf pins the leaf covering key and runs fn over it. The frame
-// latch is acquired exclusively if that succeeds without blocking
-// (enabling cache writes), otherwise shared — fn must check
+// latch is acquired — during the read-coupled descent, before the
+// parent's latch is dropped — exclusively if that succeeds without
+// blocking (enabling cache writes), otherwise shared; fn must check
 // Leaf.Exclusive before mutating. The page is unpinned dirty only if fn
 // called MarkDirty. The Leaf is recycled after fn returns; fn must not
-// retain it.
+// retain it. Writers to other leaves proceed concurrently with fn.
 func (t *Tree) VisitLeaf(key []byte, fn func(l *Leaf)) error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	fr, err := t.leafFrame(key)
+	fr, exclusive, err := t.descendLatched(func(n node) storage.PageID {
+		return storage.PageID(n.childFor(key))
+	}, leafVisit)
 	if err != nil {
 		return err
-	}
-	exclusive := fr.Latch.TryLock()
-	if !exclusive {
-		fr.Latch.RLock()
 	}
 	l := leafPool.Get().(*Leaf)
 	*l = Leaf{fr: fr, n: asNode(fr.Data()), exclusive: exclusive}
@@ -149,10 +146,10 @@ func (t *Tree) VisitLeaf(key []byte, fn func(l *Leaf)) error {
 
 // VisitAllLeaves runs fn over every leaf page left to right under the
 // same latching protocol as VisitLeaf. Used for cache warming and for
-// stats that need leaf internals.
+// stats that need leaf internals. The walk does not couple latches
+// across siblings, so leaves split mid-walk may be visited in their
+// post-split shape.
 func (t *Tree) VisitAllLeaves(fn func(l *Leaf) bool) error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	id, err := t.leftmostLeaf()
 	if err != nil {
 		return err

@@ -19,6 +19,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // Node header layout (nodeHeaderSize bytes at offset 0):
@@ -37,11 +38,14 @@ import (
 //	        mutation and re-validate their position instead of trusting
 //	        a stale directory index
 //	[38:40) reserved
+//	[40:48) left sibling page id (leaves; 0 = none) — makes reverse
+//	        scans symmetric with forward ones (one sibling fetch per
+//	        leaf instead of one descent per leaf)
 //
 // Footer: 4-byte magic at the very end of the page. Cache writes and key
 // inserts must never touch it; integrity checks verify that.
 const (
-	nodeHeaderSize = 40
+	nodeHeaderSize = 48
 	nodeFooterSize = 4
 
 	offType        = 0
@@ -54,13 +58,17 @@ const (
 	offAppliedSeq  = 28
 	offCacheEntry  = 32
 	offVersion     = 34
+	offLeftSib     = 40
 	dirEntrySize   = 2
 	cellHeaderSize = 2 // uint16 key length
 	valueSize      = 8
 )
 
-// footerMagic marks a well-formed index page end.
-const footerMagic uint32 = 0xB17C0DE5
+// footerMagic marks a well-formed index page end. It doubles as the
+// page-format version: PR 3 grew the header 40→48 bytes (left-sibling
+// link), so the magic was bumped from 0xB17C0DE5 — pages persisted by
+// the old layout fail footerOK loudly instead of being misread.
+const footerMagic uint32 = 0xB17C0DE6
 
 // Node type tags.
 const (
@@ -109,6 +117,11 @@ func (n node) setKeyStart(v int) { binary.LittleEndian.PutUint16(n.data[offKeySt
 func (n node) rightSibling() uint64 { return binary.LittleEndian.Uint64(n.data[offRightSib:]) }
 func (n node) setRightSibling(v uint64) {
 	binary.LittleEndian.PutUint64(n.data[offRightSib:], v)
+}
+
+func (n node) leftSibling() uint64 { return binary.LittleEndian.Uint64(n.data[offLeftSib:]) }
+func (n node) setLeftSibling(v uint64) {
+	binary.LittleEndian.PutUint64(n.data[offLeftSib:], v)
 }
 
 func (n node) leftmostChild() uint64 { return binary.LittleEndian.Uint64(n.data[offLeftChild:]) }
@@ -270,34 +283,48 @@ func (n node) deleteAt(pos int) {
 	n.bumpVersion()
 }
 
+// compactScratch recycles the staging buffer compactCells copies live
+// cells through. A page's cells fit in one page-sized buffer, so after
+// warmup every split and delete compacts without allocating — the split
+// path stays cheap enough that crabbing's pessimistic holds are short.
+var compactScratch = sync.Pool{New: func() any { return new([]byte) }}
+
 // compactCells rewrites the key-cell region without holes, preserving
 // directory order, and zeroes everything between dirEnd and the new
-// keyStart (the enlarged cache region starts clean).
+// keyStart (the enlarged cache region starts clean). Cells are staged
+// through a pooled scratch buffer at their final relative positions,
+// then copied back in one pass.
 func (n node) compactCells() {
 	k := n.nKeys()
-	type cell struct {
-		key   []byte
-		value uint64
-	}
-	cells := make([]cell, k)
+	pf := len(n.data) - nodeFooterSize
+	total := 0
 	for i := 0; i < k; i++ {
-		off := n.dirEntry(i)
-		keyCopy := append([]byte(nil), n.cellKey(off)...)
-		cells[i] = cell{key: keyCopy, value: n.cellValue(off)}
+		total += cellSize(len(n.key(i)))
 	}
-	top := len(n.data) - nodeFooterSize
+	bufp := compactScratch.Get().(*[]byte)
+	buf := *bufp
+	if cap(buf) < total {
+		buf = make([]byte, total)
+	} else {
+		buf = buf[:total]
+	}
+	newStart := pf - total
+	top := total
 	for i := k - 1; i >= 0; i-- {
-		c := cells[i]
-		top -= cellSize(len(c.key))
-		binary.LittleEndian.PutUint16(n.data[top:], uint16(len(c.key)))
-		copy(n.data[top+cellHeaderSize:], c.key)
-		binary.LittleEndian.PutUint64(n.data[top+cellHeaderSize+len(c.key):], c.value)
-		n.setDirEntry(i, top)
+		off := n.dirEntry(i)
+		klen := int(binary.LittleEndian.Uint16(n.data[off:]))
+		size := cellSize(klen)
+		top -= size
+		copy(buf[top:], n.data[off:off+size])
+		n.setDirEntry(i, newStart+top)
 	}
-	for i := n.dirEnd(); i < top; i++ {
+	copy(n.data[newStart:pf], buf)
+	*bufp = buf
+	compactScratch.Put(bufp)
+	for i := n.dirEnd(); i < newStart; i++ {
 		n.data[i] = 0
 	}
-	n.setKeyStart(top)
+	n.setKeyStart(newStart)
 	n.bumpVersion()
 }
 

@@ -32,15 +32,18 @@ type Stats struct {
 	SizeBytes int64
 }
 
-// Stats walks the whole tree. It takes the tree lock shared.
+// Stats walks the whole tree, latching one node at a time. Concurrent
+// writers may mutate pages between visits, so a snapshot taken during
+// traffic is approximate; quiescent snapshots are exact.
 func (t *Tree) Stats() (Stats, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.meta.RLock()
+	root, height := t.root, t.height
+	t.meta.RUnlock()
 	var st Stats
-	st.Height = t.height
+	st.Height = height
 	pageSize := t.pool.Disk().PageSize()
 	var leafFillSum float64
-	err := t.walk(t.root, func(id storage.PageID, n node) error {
+	err := t.walk(root, func(id storage.PageID, n node) error {
 		st.Pages++
 		st.UsedBytes += int64(n.usedBytes())
 		st.UsableBytes += int64(n.usableBytes())
@@ -104,14 +107,17 @@ func (t *Tree) walk(id storage.PageID, fn func(id storage.PageID, n node) error)
 //   - keys strictly increasing within every node
 //   - directory offsets inside the key-cell region
 //   - child separators consistent with parent keys
-//   - leaf sibling chain strictly increasing
+//   - leaf sibling chain strictly increasing, with every left link
+//     mirroring the right link it doubles
 //
-// Tests call it after hostile interleavings of index inserts and cache
-// writes.
+// Tests call it after hostile interleavings of index inserts, cache
+// writes, and concurrent crabbing writers. The check assumes a
+// quiescent tree (no concurrent writers while it runs).
 func (t *Tree) CheckIntegrity() error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if err := t.checkNode(t.root, nil, nil); err != nil {
+	t.meta.RLock()
+	root := t.root
+	t.meta.RUnlock()
+	if err := t.checkNode(root, nil, nil); err != nil {
 		return err
 	}
 	return t.checkLeafChain()
@@ -202,6 +208,7 @@ func (t *Tree) checkLeafChain() error {
 	}
 	var prevLast []byte
 	var count int64
+	prev := storage.InvalidPageID
 	for id != storage.InvalidPageID {
 		fr, err := t.pool.Fetch(id)
 		if err != nil {
@@ -209,6 +216,11 @@ func (t *Tree) checkLeafChain() error {
 		}
 		fr.Latch.RLock()
 		n := asNode(fr.Data())
+		if got := storage.PageID(n.leftSibling()); got != prev {
+			fr.Latch.RUnlock()
+			t.pool.Unpin(fr, false)
+			return fmt.Errorf("btree: leaf %v left link %v, want %v (chain asymmetric)", id, got, prev)
+		}
 		if n.nKeys() > 0 {
 			first := n.key(0)
 			if prevLast != nil && bytes.Compare(prevLast, first) >= 0 {
@@ -222,10 +234,11 @@ func (t *Tree) checkLeafChain() error {
 		next := storage.PageID(n.rightSibling())
 		fr.Latch.RUnlock()
 		t.pool.Unpin(fr, false)
+		prev = id
 		id = next
 	}
-	if count != t.numKeys {
-		return fmt.Errorf("btree: leaf chain holds %d keys, tree believes %d", count, t.numKeys)
+	if got := t.numKeys.Load(); count != got {
+		return fmt.Errorf("btree: leaf chain holds %d keys, tree believes %d", count, got)
 	}
 	return nil
 }

@@ -4,28 +4,67 @@ import (
 	"bytes"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/buffer"
 	"repro/internal/storage"
 )
 
 // Tree is a B+Tree mapping memcomparable keys to 8-byte values (packed
-// RIDs). Structural operations (Insert, Delete) serialize on an
-// internal lock; Search and VisitLeaf take it shared. Page data is
-// additionally guarded by per-frame latches so the index cache can
-// mutate leaf free space under a shared tree lock.
+// RIDs). Concurrency is per-node latch crabbing (Bayer/Schkolnick), not
+// a tree-wide lock: many readers AND many writers proceed in parallel,
+// serialized only on the individual pages they touch.
+//
+// The latch protocol, top to bottom:
+//
+//   - Latch order is strictly root→leaf, and left→right among leaves.
+//     No code path acquires a page latch while holding a latch of a
+//     deeper or righter page's, so waits cannot cycle.
+//   - Readers couple shared latches: the child's latch is acquired
+//     before the parent's is released, so a descent can never be routed
+//     by a separator that a concurrent split is rewriting.
+//   - Writers first descend optimistically — shared latches down the
+//     internal levels, exclusive latch on the leaf only. If the leaf
+//     absorbs the insert (or the op is an upsert/delete, which never
+//     restructure), that is the whole critical section: one leaf.
+//   - Only when the leaf must split does the writer retry
+//     pessimistically: exclusive latches crabbed down the whole path,
+//     releasing all ancestors the moment a child is "safe" (cannot
+//     split), so the retained latch set is exactly the split's blast
+//     radius. LatchRetries counts these fallbacks.
+//   - The safe-node rule: a leaf is safe if the incoming key fits; an
+//     internal node is safe if it can absorb a separator of
+//     maxSepLen bytes — an upper bound on any separator this tree can
+//     ever push up, maintained as the longest key ever inserted
+//     (separators are always copies of existing keys).
+//   - meta guards only the root pointer and height. It is taken shared
+//     for the instant between reading t.root and latching the root
+//     page; a writer growing a new root holds it exclusively, so a
+//     latched root page is always the current root.
 //
 // Deletes do not merge or rebalance nodes — matching the systems the
 // paper measures, where deletes and updates erode fill factor over time
 // (the CarTel database sat at 45%). That erosion is precisely the waste
-// the index cache recycles, so preserving it is a feature.
+// the index cache recycles, so preserving it is a feature. It also
+// makes deletes structurally trivial: a delete is always leaf-local,
+// so the delete path never needs the pessimistic fallback.
 type Tree struct {
 	pool *buffer.Pool
 
-	mu      sync.RWMutex
-	root    storage.PageID
-	height  int // 1 = root is a leaf
-	numKeys int64
+	meta   sync.RWMutex // guards root and height only
+	root   storage.PageID
+	height int // 1 = root is a leaf
+
+	numKeys atomic.Int64
+	// maxSepLen is the longest key ever inserted (or a conservative
+	// bound for reopened/bulk-loaded trees): no separator pushed up by
+	// a split can exceed it, so it bounds the internal-node safety
+	// check without inspecting child contents.
+	maxSepLen atomic.Int64
+	// latchRetries counts optimistic descents that found a full leaf
+	// and fell back to the pessimistic full-path hold — the crabbing
+	// contention metric BENCH_write.json tracks.
+	latchRetries atomic.Int64
 }
 
 // New creates an empty tree whose root is a fresh leaf.
@@ -41,32 +80,38 @@ func New(pool *buffer.Pool) (*Tree, error) {
 }
 
 // Open re-attaches to an existing tree given its root (for reopening
-// file-backed trees). height and numKeys are recomputed lazily by Stats;
-// operations only need the root.
+// file-backed trees). The separator-length bound for the safe-node rule
+// is unknown for a reopened tree, so it starts at the maximum key
+// length — maximally conservative (more pessimistic holds), never
+// incorrect.
 func Open(pool *buffer.Pool, root storage.PageID, height int, numKeys int64) *Tree {
-	return &Tree{pool: pool, root: root, height: height, numKeys: numKeys}
+	t := &Tree{pool: pool, root: root, height: height}
+	t.numKeys.Store(numKeys)
+	t.maxSepLen.Store(int64(t.maxKeyLen()))
+	return t
 }
 
 // Root returns the current root page id.
 func (t *Tree) Root() storage.PageID {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.meta.RLock()
+	defer t.meta.RUnlock()
 	return t.root
 }
 
 // Height returns the number of levels (1 = just a leaf).
 func (t *Tree) Height() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.meta.RLock()
+	defer t.meta.RUnlock()
 	return t.height
 }
 
 // Len returns the number of keys.
-func (t *Tree) Len() int64 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.numKeys
-}
+func (t *Tree) Len() int64 { return t.numKeys.Load() }
+
+// LatchRetries returns how many writes abandoned an optimistic descent
+// and retried with the pessimistic full-path hold (i.e. how many leaf
+// splits the crabbing protocol paid for).
+func (t *Tree) LatchRetries() int64 { return t.latchRetries.Load() }
 
 // Pool returns the buffer pool the tree runs on.
 func (t *Tree) Pool() *buffer.Pool { return t.pool }
@@ -76,55 +121,129 @@ func (t *Tree) maxKeyLen() int {
 	return (t.pool.Disk().PageSize() - nodeHeaderSize - nodeFooterSize) / 4
 }
 
-// descendToLeaf walks from the root to the leaf covering key, returning
-// the path of internal page ids (root first) and the leaf id. Caller
-// must hold t.mu (any mode).
-func (t *Tree) descendToLeaf(key []byte) (path []storage.PageID, leaf storage.PageID, err error) {
-	id := t.root
+// noteKeyLen publishes len(key) into the separator-length bound before
+// any descent routes on it, so a concurrent pessimistic writer's safety
+// checks already account for this key.
+func (t *Tree) noteKeyLen(key []byte) {
 	for {
-		fr, err := t.pool.Fetch(id)
-		if err != nil {
-			return nil, storage.InvalidPageID, err
+		cur := t.maxSepLen.Load()
+		if int64(len(key)) <= cur || t.maxSepLen.CompareAndSwap(cur, int64(len(key))) {
+			return
 		}
-		fr.Latch.RLock()
-		n := asNode(fr.Data())
-		if n.isLeaf() {
-			fr.Latch.RUnlock()
-			t.pool.Unpin(fr, false)
-			return path, id, nil
-		}
-		child := storage.PageID(n.childFor(key))
-		fr.Latch.RUnlock()
-		t.pool.Unpin(fr, false)
-		path = append(path, id)
-		id = child
 	}
 }
 
-// leafFrame descends to the leaf covering key and returns its frame
-// STILL PINNED (no latch held), so point lookups pay one buffer-pool
-// round-trip for the leaf instead of a find-unpin-refetch pair. The
-// caller must Unpin exactly once and must hold t.mu (any mode; holding
-// it keeps the structure stable between the latch drop here and the
-// caller's re-latch). The pick closure stays on the stack (descendFrame
-// never retains it), so the point-lookup hot path remains
-// allocation-free.
-func (t *Tree) leafFrame(key []byte) (*buffer.Frame, error) {
-	fr, _, err := t.descendFrame(func(n node) storage.PageID {
+// leafLatchMode selects how a latched descent acquires the leaf latch.
+type leafLatchMode int
+
+const (
+	// leafShared takes the leaf latch shared (point reads).
+	leafShared leafLatchMode = iota
+	// leafExclusive takes the leaf latch exclusively (writes).
+	leafExclusive
+	// leafVisit tries exclusive without blocking, falling back to
+	// shared — the paper's give-up protocol for index-cache writes.
+	leafVisit
+)
+
+// descendLatched walks from the root to the leaf chosen by pick with
+// read-coupled shared latches: the meta lock covers the instant between
+// reading t.root and latching the root page, and each child is latched
+// before its parent is released, so no split can reroute the descent
+// mid-flight. The leaf latch is acquired in the requested mode while
+// the parent's latch is still held — there is no window in which the
+// targeted leaf can change before the caller's first read. Returns the
+// pinned, latched leaf frame and whether its latch is exclusive; the
+// caller must unlatch (per mode) and Unpin exactly once.
+//
+// Leaf depth comes from the height snapshot taken under meta: levels
+// below a node never change (B+Trees grow only at the root, and root
+// replacement requires meta exclusive), so the snapshot stays valid for
+// the whole descent. pick stays on the stack (never retained), keeping
+// point lookups allocation-free.
+func (t *Tree) descendLatched(pick func(n node) storage.PageID, mode leafLatchMode) (*buffer.Frame, bool, error) {
+	t.meta.RLock()
+	id, height := t.root, t.height
+	fr, err := t.pool.Fetch(id)
+	if err != nil {
+		t.meta.RUnlock()
+		return nil, false, err
+	}
+	exclusive := false
+	latchLeaf := func(f *buffer.Frame) {
+		switch mode {
+		case leafExclusive:
+			f.Latch.Lock()
+			exclusive = true
+		case leafVisit:
+			if f.Latch.TryLock() {
+				exclusive = true
+			} else {
+				f.Latch.RLock()
+			}
+		default:
+			f.Latch.RLock()
+		}
+	}
+	if height == 1 {
+		latchLeaf(fr)
+	} else {
+		fr.Latch.RLock()
+	}
+	t.meta.RUnlock()
+	for level := 1; level < height; level++ {
+		n := asNode(fr.Data())
+		child := pick(n)
+		cfr, err := t.pool.Fetch(child)
+		if err != nil {
+			fr.Latch.RUnlock()
+			t.pool.Unpin(fr, false)
+			return nil, false, err
+		}
+		if level+1 == height {
+			latchLeaf(cfr)
+		} else {
+			cfr.Latch.RLock()
+		}
+		fr.Latch.RUnlock()
+		t.pool.Unpin(fr, false)
+		fr = cfr
+	}
+	if n := asNode(fr.Data()); !n.isLeaf() {
+		// Height bookkeeping can only disagree with the page if the tree
+		// was Opened with a wrong height; fail loudly instead of serving
+		// from the wrong level.
+		if exclusive {
+			fr.Latch.Unlock()
+		} else {
+			fr.Latch.RUnlock()
+		}
+		t.pool.Unpin(fr, false)
+		return nil, false, fmt.Errorf("btree: height %d descent ended on internal node %v", height, fr.ID())
+	}
+	return fr, exclusive, nil
+}
+
+// leafExclusive crab-descends to the leaf covering key and returns it
+// pinned and EXCLUSIVELY latched. This is the whole locking footprint
+// of upserts and deletes, and the optimistic first attempt of inserts.
+func (t *Tree) leafExclusive(key []byte) (*buffer.Frame, error) {
+	fr, _, err := t.descendLatched(func(n node) storage.PageID {
 		return storage.PageID(n.childFor(key))
-	})
+	}, leafExclusive)
 	return fr, err
 }
 
-// Search returns the value stored under key.
+// Search returns the value stored under key. The value is read under
+// the leaf's shared latch at the end of a read-coupled descent, so a
+// concurrent split can never hide the key.
 func (t *Tree) Search(key []byte) (uint64, bool, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	fr, err := t.leafFrame(key)
+	fr, _, err := t.descendLatched(func(n node) storage.PageID {
+		return storage.PageID(n.childFor(key))
+	}, leafShared)
 	if err != nil {
 		return 0, false, err
 	}
-	fr.Latch.RLock()
 	n := asNode(fr.Data())
 	pos, found := n.search(key)
 	var v uint64
@@ -145,17 +264,12 @@ func (t *Tree) Insert(key []byte, value uint64) (bool, error) {
 	if len(key) > t.maxKeyLen() {
 		return false, fmt.Errorf("btree: key of %d bytes exceeds max %d", len(key), t.maxKeyLen())
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	path, leafID, err := t.descendToLeaf(key)
+	t.noteKeyLen(key)
+	// Optimistic: exclusive latch on the leaf only.
+	fr, err := t.leafExclusive(key)
 	if err != nil {
 		return false, err
 	}
-	fr, err := t.pool.Fetch(leafID)
-	if err != nil {
-		return false, err
-	}
-	fr.Latch.Lock()
 	n := asNode(fr.Data())
 	pos, found := n.search(key)
 	if found {
@@ -167,74 +281,327 @@ func (t *Tree) Insert(key []byte, value uint64) (bool, error) {
 	if err := n.insertAt(pos, key, value); err == nil {
 		fr.Latch.Unlock()
 		t.pool.Unpin(fr, true)
-		t.numKeys++
+		t.numKeys.Add(1)
 		return true, nil
 	}
-	// Leaf full: split, then insert into the proper half.
-	sepKey, rightID, err := t.splitLeaf(fr, n)
-	if err != nil {
-		fr.Latch.Unlock()
-		t.pool.Unpin(fr, false)
-		return false, err
-	}
-	target := fr
-	targetIsLeft := bytes.Compare(key, sepKey) < 0
-	if targetIsLeft {
-		n := asNode(target.Data())
-		pos, _ := n.search(key)
-		if err := n.insertAt(pos, key, value); err != nil {
-			fr.Latch.Unlock()
-			t.pool.Unpin(fr, false)
-			return false, fmt.Errorf("btree: insert after split failed: %w", err)
-		}
-		fr.Latch.Unlock()
-		t.pool.Unpin(fr, true)
-	} else {
-		fr.Latch.Unlock()
-		t.pool.Unpin(fr, true)
-		rfr, err := t.pool.Fetch(rightID)
-		if err != nil {
-			return false, err
-		}
-		rfr.Latch.Lock()
-		rn := asNode(rfr.Data())
-		pos, _ := rn.search(key)
-		if err := rn.insertAt(pos, key, value); err != nil {
-			rfr.Latch.Unlock()
-			t.pool.Unpin(rfr, false)
-			return false, fmt.Errorf("btree: insert after split failed: %w", err)
-		}
-		rfr.Latch.Unlock()
-		t.pool.Unpin(rfr, true)
-	}
-	if err := t.insertIntoParent(path, leafID, sepKey, rightID); err != nil {
-		return false, err
-	}
-	t.numKeys++
-	return true, nil
+	// Leaf full: give up the optimistic latch and retry with the
+	// pessimistic crabbing descent that may hold the split path.
+	fr.Latch.Unlock()
+	t.pool.Unpin(fr, false)
+	t.latchRetries.Add(1)
+	return t.insertPessimistic(key, value)
 }
 
-// splitLeaf moves the upper half (by bytes) of fr's cells into a new
-// right sibling. It returns the separator key (first key of the right
-// node, copied) and the new page id. Caller holds fr's latch and keeps
-// it; fr must be unpinned dirty afterwards.
-func (t *Tree) splitLeaf(fr *buffer.Frame, n node) ([]byte, storage.PageID, error) {
-	rfr, err := t.pool.NewPage()
-	if err != nil {
-		return nil, storage.InvalidPageID, err
+// Delete removes key and reports whether it was present. Nodes are not
+// merged (see the type comment), so a delete is always leaf-local: one
+// exclusive leaf latch, no fallback path.
+func (t *Tree) Delete(key []byte) (bool, error) {
+	if len(key) == 0 {
+		return false, fmt.Errorf("btree: empty key")
 	}
-	rn := initNode(rfr.Data(), nodeLeaf)
-	k := n.nKeys()
-	// Find the split position: first index where the running byte count
-	// exceeds half the used bytes.
-	half := n.usedBytes() / 2
+	fr, err := t.leafExclusive(key)
+	if err != nil {
+		return false, err
+	}
+	n := asNode(fr.Data())
+	pos, found := n.search(key)
+	if found {
+		n.deleteAt(pos)
+	}
+	fr.Latch.Unlock()
+	t.pool.Unpin(fr, found)
+	if found {
+		t.numKeys.Add(-1)
+	}
+	return found, nil
+}
+
+// latchedNode is one exclusively latched, pinned node on a pessimistic
+// descent's retained path.
+type latchedNode struct {
+	fr *buffer.Frame
+	n  node
+}
+
+// insertPessimistic is the split path: crab exclusive latches from the
+// root down, releasing all retained ancestors whenever a child is safe,
+// so on arrival the latch set is exactly the nodes a split can touch.
+// The meta lock is taken shared unless the root itself is unsafe (the
+// split might grow a new root, which rewrites t.root); that rare case
+// restarts the descent holding meta exclusively.
+func (t *Tree) insertPessimistic(key []byte, value uint64) (bool, error) {
+	// Escalation ladder. maxSepLen is a snapshot: a longer key published
+	// by a concurrent writer after the load can make the safe-node rule
+	// too optimistic, which pendingSepFits detects before any page is
+	// mutated (the descent then bails). The last rung uses the absolute
+	// key-length bound, under which a "safe" verdict can never be wrong
+	// and an unsafe path retains the root with meta held — so it always
+	// settles.
+	sepBound := int(t.maxSepLen.Load())
+	attempts := [3]struct {
+		metaEx   bool
+		sepBound int
+	}{
+		{false, sepBound},
+		{true, sepBound},
+		{true, t.maxKeyLen()},
+	}
+	for _, a := range attempts {
+		ins, done, err := t.insertLatched(key, value, a.sepBound, a.metaEx)
+		if done || err != nil {
+			return ins, err
+		}
+	}
+	// Unreachable: the last rung cannot bail (see above).
+	return false, fmt.Errorf("btree: pessimistic insert failed to settle")
+}
+
+// longestKeyIn returns the longest key currently in the node — the
+// upper bound on any separator a split of this node can push up (the
+// up-separator is always one of the node's pre-split keys).
+func longestKeyIn(n node) int {
+	longest := 0
+	for i := 0; i < n.nKeys(); i++ {
+		if l := len(n.key(i)); l > longest {
+			longest = l
+		}
+	}
+	return longest
+}
+
+// pendingSepFits dry-runs the split chain before any page is mutated:
+// walking up from the leaf, a node that cannot absorb the incoming
+// separator splits and pushes up one of its own keys, bounded by its
+// longest. The chain must be absorbed by some retained node — or reach
+// path[0] with rootHeld (path[0] is the root and meta is exclusive, so
+// growing a new root is legal). A false return means the safe-node
+// bound the descent used was stale; the caller restarts conservatively
+// rather than splitting past the retained latches.
+func pendingSepFits(path []latchedNode, rootHeld bool) bool {
+	sepLen := longestKeyIn(path[len(path)-1].n)
+	for i := len(path) - 2; i >= 0; i-- {
+		n := path[i].n
+		if n.canInsert(sepLen) {
+			return true
+		}
+		sepLen = longestKeyIn(n)
+	}
+	return rootHeld
+}
+
+// insertLatched performs one pessimistic descent+insert. With
+// metaEx=false it bails (done=false) if the root is unsafe; with
+// metaEx=true it holds the meta lock exclusively for as long as the
+// root stays on the retained path, so a root split can be installed.
+func (t *Tree) insertLatched(key []byte, value uint64, sepBound int, metaEx bool) (inserted, done bool, err error) {
+	if metaEx {
+		t.meta.Lock()
+	} else {
+		t.meta.RLock()
+	}
+	metaHeld := true
+	releaseMeta := func() {
+		if !metaHeld {
+			return
+		}
+		metaHeld = false
+		if metaEx {
+			t.meta.Unlock()
+		} else {
+			t.meta.RUnlock()
+		}
+	}
+	defer releaseMeta()
+
+	var pathArr [8]latchedNode
+	path := pathArr[:0]
+	releasePath := func(dirty bool) {
+		for _, e := range path {
+			e.fr.Latch.Unlock()
+			t.pool.Unpin(e.fr, dirty)
+		}
+		path = path[:0]
+	}
+
+	fr, err := t.pool.Fetch(t.root)
+	if err != nil {
+		return false, false, err
+	}
+	fr.Latch.Lock()
+	n := asNode(fr.Data())
+	path = append(path, latchedNode{fr, n})
+	if !t.nodeSafe(n, key, sepBound) && !metaEx {
+		// The root might split; that needs meta exclusive. Bail and let
+		// the caller restart with metaEx=true.
+		releasePath(false)
+		return false, false, nil
+	}
+
+	for !n.isLeaf() {
+		if t.nodeSafe(n, key, sepBound) {
+			// Everything above n can no longer be touched by a split.
+			above := path[:len(path)-1]
+			for _, e := range above {
+				e.fr.Latch.Unlock()
+				t.pool.Unpin(e.fr, false)
+			}
+			path = append(path[:0], path[len(path)-1])
+			releaseMeta()
+		}
+		child := storage.PageID(n.childFor(key))
+		cfr, err := t.pool.Fetch(child)
+		if err != nil {
+			releasePath(false)
+			return false, false, err
+		}
+		cfr.Latch.Lock()
+		n = asNode(cfr.Data())
+		path = append(path, latchedNode{cfr, n})
+	}
+	// The leaf is the last path entry; if it is safe, drop its ancestors
+	// too (the common shape here is "leaf full", but a concurrent delete
+	// may have made room since the optimistic attempt).
+	leaf := path[len(path)-1]
+	if t.nodeSafe(leaf.n, key, sepBound) && len(path) > 1 {
+		for _, e := range path[:len(path)-1] {
+			e.fr.Latch.Unlock()
+			t.pool.Unpin(e.fr, false)
+		}
+		path = append(path[:0], leaf)
+		releaseMeta()
+	}
+
+	// releaseLeafDirty unpins the leaf dirty and any retained ancestors
+	// clean — the shape for leaf-local outcomes, where ancestors were
+	// latched but never touched.
+	releaseLeafDirty := func() {
+		for _, e := range path[:len(path)-1] {
+			e.fr.Latch.Unlock()
+			t.pool.Unpin(e.fr, false)
+		}
+		leaf.fr.Latch.Unlock()
+		t.pool.Unpin(leaf.fr, true)
+		path = path[:0]
+	}
+	pos, found := leaf.n.search(key)
+	if found {
+		leaf.n.setCellValue(leaf.n.dirEntry(pos), value)
+		releaseLeafDirty()
+		return false, true, nil
+	}
+	if err := leaf.n.insertAt(pos, key, value); err == nil {
+		releaseLeafDirty()
+		t.numKeys.Add(1)
+		return true, true, nil
+	}
+
+	// A split is unavoidable. Before mutating anything, dry-run the
+	// propagation: if the chain would escape the retained path (the
+	// safe-node bound was stale — a concurrent writer published a
+	// longer key after this descent loaded it), bail and let the caller
+	// escalate instead of splitting past the latches we hold.
+	if !pendingSepFits(path, metaEx && metaHeld) {
+		releasePath(false)
+		return false, false, nil
+	}
+
+	// Split the leaf and propagate up through the retained path. All
+	// latches stay held until the whole multi-level update is complete:
+	// readers cannot pass the deepest retained ancestor meanwhile, so
+	// they never observe a half-linked split.
+	sep, rightID, err := t.splitLeafInsert(leaf, key, value)
+	if err != nil {
+		// The split may have mutated the leaf before failing; release
+		// everything dirty so whatever state exists reaches disk rather
+		// than desyncing from the sibling chain.
+		releasePath(true)
+		return false, false, err
+	}
+	// releaseMutated unpins path entries from dirtyFrom on dirty (they
+	// were split or received the separator) and shallower ones clean
+	// (latched but never touched — an "unsafe by sepBound" ancestor can
+	// still absorb the shorter actual separator, ending the chain early).
+	releaseMutated := func(dirtyFrom int) {
+		for j, e := range path {
+			e.fr.Latch.Unlock()
+			t.pool.Unpin(e.fr, j >= dirtyFrom)
+		}
+		path = path[:0]
+	}
+	for i := len(path) - 2; i >= 0; i-- {
+		parent := path[i]
+		ppos, pfound := parent.n.search(sep)
+		if pfound {
+			releaseMutated(i + 1)
+			return false, false, fmt.Errorf("btree: separator key already in parent")
+		}
+		if err := parent.n.insertAt(ppos, sep, uint64(rightID)); err == nil {
+			releaseMutated(i)
+			t.numKeys.Add(1)
+			return true, true, nil
+		}
+		sep, rightID, err = t.splitInternalInsert(parent, sep, rightID)
+		if err != nil {
+			releasePath(true)
+			return false, false, err
+		}
+	}
+	// The split propagated past the whole retained path — only possible
+	// when path[0] is the root (ancestors are only released below safe
+	// nodes, and a safe node absorbs the separator). Grow a new root;
+	// meta is held exclusively because the unsafe-root check bailed
+	// earlier otherwise.
+	nfr, err := t.pool.NewPage()
+	if err != nil {
+		releasePath(true)
+		return false, false, err
+	}
+	nn := initNode(nfr.Data(), nodeInternal)
+	nn.setLeftmostChild(uint64(path[0].fr.ID()))
+	if err := nn.insertAt(0, sep, uint64(rightID)); err != nil {
+		t.pool.Unpin(nfr, false)
+		releasePath(true)
+		return false, false, fmt.Errorf("btree: new root insert: %w", err)
+	}
+	t.root = nfr.ID()
+	t.height++
+	t.pool.Unpin(nfr, true)
+	releasePath(true)
+	t.numKeys.Add(1)
+	return true, true, nil
+}
+
+// splitPosition returns how many existing cells stay in the left half
+// when a full node splits to absorb an incoming cell of newCell bytes
+// at directory position insPos: the cut point where the merged
+// sequence's running byte count passes half its total, clamped so both
+// halves keep at least one existing cell.
+func splitPosition(n node, k, insPos, newCell int) int {
+	half := (n.usedBytes() + newCell) / 2
 	run, splitPos := 0, k/2
-	for i := 0; i < k; i++ {
-		run += cellSize(len(n.key(i))) + dirEntrySize
-		if run > half {
-			splitPos = i + 1
+	for v := 0; v <= k; v++ {
+		var sz int
+		if v == insPos {
+			sz = newCell
+		} else {
+			e := v
+			if v > insPos {
+				e = v - 1
+			}
+			sz = cellSize(len(n.key(e))) + dirEntrySize
+		}
+		if run+sz > half {
+			// Cut BEFORE the virtual cell that crosses the halfway mark,
+			// so the left half never exceeds half the merged bytes (the
+			// crossing cell lands right). Existing cells going left are
+			// those among virtual [0..v).
+			splitPos = v
+			if insPos < v {
+				splitPos--
+			}
 			break
 		}
+		run += sz
 	}
 	if splitPos >= k {
 		splitPos = k - 1
@@ -242,9 +609,42 @@ func (t *Tree) splitLeaf(fr *buffer.Frame, n node) ([]byte, storage.PageID, erro
 	if splitPos < 1 {
 		splitPos = 1
 	}
+	return splitPos
+}
+
+// nodeSafe reports whether a node cannot split from this insert: a leaf
+// must fit the incoming key, an internal node must fit the longest
+// separator the tree could push up (sepBound).
+func (t *Tree) nodeSafe(n node, key []byte, sepBound int) bool {
+	if n.isLeaf() {
+		return n.canInsert(len(key))
+	}
+	return n.canInsert(sepBound)
+}
+
+// splitLeafInsert splits the exclusively latched leaf and inserts
+// (key, value) into the proper half. It wires all sibling links —
+// including the old right neighbor's left pointer, taken exclusively in
+// left→right order — and returns the separator (copied) and new page
+// id for propagation. leaf stays latched; the caller releases it dirty.
+func (t *Tree) splitLeafInsert(leaf latchedNode, key []byte, value uint64) ([]byte, storage.PageID, error) {
+	n := leaf.n
+	rfr, err := t.pool.NewPage()
+	if err != nil {
+		return nil, storage.InvalidPageID, err
+	}
+	rn := initNode(rfr.Data(), nodeLeaf)
+	k := n.nKeys()
+	// Find the split position by walking the MERGED sequence (existing
+	// cells plus the incoming one at its sorted position) and cutting at
+	// half its byte count: budgeting the incoming cell into the halves
+	// is what guarantees the post-split insert always fits, even at the
+	// maximum key length (each half ends ≤ (used+new)/2 + one cell, and
+	// maxKeyLen caps a cell at about a quarter of the page).
+	insPos, _ := n.search(key)
+	splitPos := splitPosition(n, k, insPos, cellSize(len(key))+dirEntrySize)
 	for i := splitPos; i < k; i++ {
-		pos := i - splitPos
-		if err := rn.insertAt(pos, n.key(i), n.value(i)); err != nil {
+		if err := rn.insertAt(i-splitPos, n.key(i), n.value(i)); err != nil {
 			t.pool.Unpin(rfr, false)
 			return nil, storage.InvalidPageID, fmt.Errorf("btree: split copy: %w", err)
 		}
@@ -253,29 +653,67 @@ func (t *Tree) splitLeaf(fr *buffer.Frame, n node) ([]byte, storage.PageID, erro
 	n.setNKeys(splitPos)
 	n.setDirEnd(nodeHeaderSize + splitPos*dirEntrySize)
 	n.compactCells()
-	// Chain siblings.
-	rn.setRightSibling(n.rightSibling())
+	// Wire the chain in both directions. The new node is unreachable by
+	// descent until the parent is updated (the caller holds the parent
+	// exclusively), but reverse scans can reach it through the old right
+	// neighbor's left pointer the moment it is updated — by then the
+	// node is fully formed.
+	oldRight := n.rightSibling()
+	rn.setRightSibling(oldRight)
+	rn.setLeftSibling(uint64(leaf.fr.ID()))
 	n.setRightSibling(uint64(rfr.ID()))
 	sep := append([]byte(nil), rn.key(0)...)
+
+	// Insert the pending key into whichever half covers it, while both
+	// halves are still exclusively held.
+	if bytes.Compare(key, sep) < 0 {
+		pos, _ := n.search(key)
+		err = n.insertAt(pos, key, value)
+	} else {
+		pos, _ := rn.search(key)
+		err = rn.insertAt(pos, key, value)
+	}
+	if err != nil {
+		t.pool.Unpin(rfr, true)
+		return nil, storage.InvalidPageID, fmt.Errorf("btree: insert after split failed: %w", err)
+	}
 	rightID := rfr.ID()
 	t.pool.Unpin(rfr, true)
+
+	if oldRight != uint64(storage.InvalidPageID) {
+		// Left→right latch order: we hold the left leaf and acquire its
+		// right neighbor, the same direction every multi-leaf holder
+		// uses, so this cannot deadlock against another split.
+		ofr, err := t.pool.Fetch(storage.PageID(oldRight))
+		if err != nil {
+			return nil, storage.InvalidPageID, err
+		}
+		ofr.Latch.Lock()
+		asNode(ofr.Data()).setLeftSibling(uint64(rightID))
+		ofr.Latch.Unlock()
+		t.pool.Unpin(ofr, true)
+	}
 	return sep, rightID, nil
 }
 
-// splitInternal splits a full internal node: the middle key moves up.
-// Returns the separator and new right node id. Caller holds fr's latch.
-func (t *Tree) splitInternal(fr *buffer.Frame, n node) ([]byte, storage.PageID, error) {
+// splitInternalInsert splits the exclusively latched internal node (the
+// middle key moves up) and inserts (sep → childID) into the proper
+// half. Returns the new separator (copied) and right node id for the
+// next level up. parent stays latched; the caller releases it dirty.
+func (t *Tree) splitInternalInsert(parent latchedNode, sep []byte, childID storage.PageID) ([]byte, storage.PageID, error) {
+	n := parent.n
 	rfr, err := t.pool.NewPage()
 	if err != nil {
 		return nil, storage.InvalidPageID, err
 	}
 	rn := initNode(rfr.Data(), nodeInternal)
 	k := n.nKeys()
-	mid := k / 2
-	if mid < 1 {
-		mid = 1
-	}
-	sep := append([]byte(nil), n.key(mid)...)
+	// Byte-aware middle, budgeting the incoming separator like the leaf
+	// split does, so the post-split insert into either half cannot
+	// overflow (the pushed-up middle key leaving the node only helps).
+	insPos, _ := n.search(sep)
+	mid := splitPosition(n, k, insPos, cellSize(len(sep))+dirEntrySize)
+	upSep := append([]byte(nil), n.key(mid)...)
 	rn.setLeftmostChild(n.value(mid))
 	for i := mid + 1; i < k; i++ {
 		if err := rn.insertAt(i-mid-1, n.key(i), n.value(i)); err != nil {
@@ -286,112 +724,21 @@ func (t *Tree) splitInternal(fr *buffer.Frame, n node) ([]byte, storage.PageID, 
 	n.setNKeys(mid)
 	n.setDirEnd(nodeHeaderSize + mid*dirEntrySize)
 	n.compactCells()
+
+	if bytes.Compare(sep, upSep) < 0 {
+		pos, _ := n.search(sep)
+		err = n.insertAt(pos, sep, uint64(childID))
+	} else {
+		pos, _ := rn.search(sep)
+		err = rn.insertAt(pos, sep, uint64(childID))
+	}
+	if err != nil {
+		t.pool.Unpin(rfr, true)
+		return nil, storage.InvalidPageID, fmt.Errorf("btree: insert after internal split: %w", err)
+	}
 	rightID := rfr.ID()
 	t.pool.Unpin(rfr, true)
-	return sep, rightID, nil
-}
-
-// insertIntoParent inserts (sepKey → rightID) into the parent of
-// leftID, splitting upward as needed. path holds the internal nodes
-// from root to the parent of leftID.
-func (t *Tree) insertIntoParent(path []storage.PageID, leftID storage.PageID, sepKey []byte, rightID storage.PageID) error {
-	if len(path) == 0 {
-		// leftID was the root: grow a new root.
-		fr, err := t.pool.NewPage()
-		if err != nil {
-			return err
-		}
-		n := initNode(fr.Data(), nodeInternal)
-		n.setLeftmostChild(uint64(leftID))
-		if err := n.insertAt(0, sepKey, uint64(rightID)); err != nil {
-			t.pool.Unpin(fr, false)
-			return fmt.Errorf("btree: new root insert: %w", err)
-		}
-		t.root = fr.ID()
-		t.height++
-		t.pool.Unpin(fr, true)
-		return nil
-	}
-	parentID := path[len(path)-1]
-	fr, err := t.pool.Fetch(parentID)
-	if err != nil {
-		return err
-	}
-	fr.Latch.Lock()
-	n := asNode(fr.Data())
-	pos, found := n.search(sepKey)
-	if found {
-		fr.Latch.Unlock()
-		t.pool.Unpin(fr, false)
-		return fmt.Errorf("btree: separator key already in parent")
-	}
-	if err := n.insertAt(pos, sepKey, uint64(rightID)); err == nil {
-		fr.Latch.Unlock()
-		t.pool.Unpin(fr, true)
-		return nil
-	}
-	// Parent full: split it and retry on the correct half.
-	parentSep, parentRight, err := t.splitInternal(fr, n)
-	if err != nil {
-		fr.Latch.Unlock()
-		t.pool.Unpin(fr, false)
-		return err
-	}
-	if bytes.Compare(sepKey, parentSep) < 0 {
-		pos, _ := n.search(sepKey)
-		if err := n.insertAt(pos, sepKey, uint64(rightID)); err != nil {
-			fr.Latch.Unlock()
-			t.pool.Unpin(fr, false)
-			return fmt.Errorf("btree: insert after internal split: %w", err)
-		}
-		fr.Latch.Unlock()
-		t.pool.Unpin(fr, true)
-	} else {
-		fr.Latch.Unlock()
-		t.pool.Unpin(fr, true)
-		rfr, err := t.pool.Fetch(parentRight)
-		if err != nil {
-			return err
-		}
-		rfr.Latch.Lock()
-		rn := asNode(rfr.Data())
-		pos, _ := rn.search(sepKey)
-		if err := rn.insertAt(pos, sepKey, uint64(rightID)); err != nil {
-			rfr.Latch.Unlock()
-			t.pool.Unpin(rfr, false)
-			return fmt.Errorf("btree: insert after internal split: %w", err)
-		}
-		rfr.Latch.Unlock()
-		t.pool.Unpin(rfr, true)
-	}
-	return t.insertIntoParent(path[:len(path)-1], parentID, parentSep, parentRight)
-}
-
-// Delete removes key and reports whether it was present. Nodes are not
-// merged (see the type comment).
-func (t *Tree) Delete(key []byte) (bool, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	_, leafID, err := t.descendToLeaf(key)
-	if err != nil {
-		return false, err
-	}
-	fr, err := t.pool.Fetch(leafID)
-	if err != nil {
-		return false, err
-	}
-	fr.Latch.Lock()
-	n := asNode(fr.Data())
-	pos, found := n.search(key)
-	if found {
-		n.deleteAt(pos)
-	}
-	fr.Latch.Unlock()
-	t.pool.Unpin(fr, found)
-	if found {
-		t.numKeys--
-	}
-	return found, nil
+	return upSep, rightID, nil
 }
 
 // Scan calls fn for every (key, value) with start ≤ key < end in order.
@@ -401,8 +748,8 @@ func (t *Tree) Delete(key []byte) (bool, error) {
 // Deprecated: Scan is a thin wrapper over the pinned-frame Cursor; new
 // code should use NewCursor directly (it exposes errors mid-iteration,
 // reverse order, and resumption). Unlike the pre-cursor implementation,
-// Scan no longer holds the tree lock for its whole duration: writers
-// proceed concurrently and fn may observe their effects.
+// Scan does not block writers for its duration: they proceed
+// concurrently and fn may observe their effects.
 func (t *Tree) Scan(start, end []byte, fn func(key []byte, value uint64) bool) error {
 	c := t.NewCursor(start, end)
 	defer c.Close()
@@ -414,7 +761,7 @@ func (t *Tree) Scan(start, end []byte, fn func(key []byte, value uint64) bool) e
 	return c.Err()
 }
 
-// leftmostLeaf descends to the first leaf. Caller holds t.mu.
+// leftmostLeaf descends to the first leaf.
 func (t *Tree) leftmostLeaf() (storage.PageID, error) {
 	fr, _, err := t.leftmostFrame()
 	if err != nil {
@@ -427,7 +774,7 @@ func (t *Tree) leftmostLeaf() (storage.PageID, error) {
 
 // leftmostFrame descends to the first leaf and returns it STILL PINNED
 // (no latch held) plus the leaf version observed under the descent's
-// latch. Caller must Unpin exactly once and hold t.mu.
+// latch. Caller must Unpin exactly once.
 func (t *Tree) leftmostFrame() (*buffer.Frame, uint32, error) {
 	return t.descendFrame(func(n node) storage.PageID {
 		return storage.PageID(n.leftmostChild())
@@ -436,7 +783,7 @@ func (t *Tree) leftmostFrame() (*buffer.Frame, uint32, error) {
 
 // rightmostFrame descends to the last leaf and returns it STILL PINNED
 // (no latch held) plus the observed leaf version. Caller must Unpin
-// exactly once and hold t.mu.
+// exactly once.
 func (t *Tree) rightmostFrame() (*buffer.Frame, uint32, error) {
 	return t.descendFrame(func(n node) storage.PageID {
 		if k := n.nKeys(); k > 0 {
@@ -448,10 +795,10 @@ func (t *Tree) rightmostFrame() (*buffer.Frame, uint32, error) {
 
 // leafFrameBefore descends to the leaf covering the largest key
 // strictly less than bound and returns it STILL PINNED (no latch held)
-// plus the observed leaf version. Caller must Unpin exactly once and
-// hold t.mu. When no key below bound exists the returned leaf simply
-// yields no position; callers handle that (reverse cursors fall back
-// to a chain walk).
+// plus the observed leaf version. Caller must Unpin exactly once. When
+// no key below bound exists the returned leaf simply yields no
+// position; callers handle that (reverse cursors fall back to the
+// left-sibling walk).
 func (t *Tree) leafFrameBefore(bound []byte) (*buffer.Frame, uint32, error) {
 	return t.descendFrame(func(n node) storage.PageID {
 		pos, _ := n.search(bound)
@@ -462,30 +809,20 @@ func (t *Tree) leafFrameBefore(bound []byte) (*buffer.Frame, uint32, error) {
 	})
 }
 
-// descendFrame walks from the root to a leaf, choosing the child via
-// pick at each internal node, and returns the leaf pinned together
-// with its version as observed under the descent's latch. A caller
-// holding t.mu that later re-latches the leaf and sees the same
-// version knows the leaf is exactly what this descent targeted —
-// reverse cursors use that to detect splits sneaking in between the
-// descent and the first read.
+// descendFrame walks from the root to a leaf with read-coupled shared
+// latches — each child latched before its parent is released, starting
+// from the meta lock as the root's virtual parent — choosing the child
+// via pick at each internal node. It returns the leaf pinned together
+// with its version as observed under the descent's latch: a caller that
+// later re-latches the leaf and sees the same version knows the leaf is
+// exactly what this descent targeted; cursors use that to detect splits
+// sneaking in between the descent and the first read.
 func (t *Tree) descendFrame(pick func(n node) storage.PageID) (*buffer.Frame, uint32, error) {
-	id := t.root
-	for {
-		fr, err := t.pool.Fetch(id)
-		if err != nil {
-			return nil, 0, err
-		}
-		fr.Latch.RLock()
-		n := asNode(fr.Data())
-		if n.isLeaf() {
-			ver := n.version()
-			fr.Latch.RUnlock()
-			return fr, ver, nil
-		}
-		child := pick(n)
-		fr.Latch.RUnlock()
-		t.pool.Unpin(fr, false)
-		id = child
+	fr, _, err := t.descendLatched(pick, leafShared)
+	if err != nil {
+		return nil, 0, err
 	}
+	ver := asNode(fr.Data()).version()
+	fr.Latch.RUnlock()
+	return fr, ver, nil
 }

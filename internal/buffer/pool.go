@@ -47,6 +47,11 @@ type Frame struct {
 	// Latch guards the frame's data. The buffer pool hands out frames
 	// without holding it; callers latch around their accesses. Cache
 	// writes use Latch.TryLock per the paper's give-up protocol.
+	//
+	// Invariant: a caller may only hold the latch while holding a pin,
+	// and must release the latch before the pin. Eviction asserts this
+	// (see shard.evict) — it is what lets the latch-crabbing B+Tree
+	// treat a latched frame as immune to eviction.
 	Latch latch.Latch
 }
 
@@ -344,22 +349,47 @@ func (p *Pool) Unpin(f *Frame, dirty bool) {
 // concurrent Unpin(dirty) and silently lose that mutation's write-back.
 // Claiming first means a mutation landing mid-flush re-dirties the
 // frame and reaches disk on the next flush or eviction.
+//
+// Each candidate is pinned under the shard lock, then written under its
+// frame latch (shared) with the shard lock released. The pin keeps the
+// frame from being evicted or rebound meanwhile; the latch keeps the
+// write from racing a concurrent page mutation. Latches must not be
+// awaited while holding the shard mutex: B+Tree descents fetch child
+// pages (which needs the mutex) while holding parent latches, so that
+// nesting would deadlock.
 func (p *Pool) FlushAll() error {
+	var pinned []*Frame
 	for i := range p.shards {
 		s := &p.shards[i]
 		s.mu.Lock()
+		pinned = pinned[:0]
 		for _, f := range s.frames {
-			if f.id == storage.InvalidPageID || !f.dirty.CompareAndSwap(true, false) {
+			if f.id == storage.InvalidPageID || !f.dirty.Load() {
 				continue
 			}
-			if err := p.disk.WritePage(f.id, f.data); err != nil {
-				f.dirty.Store(true)
-				s.mu.Unlock()
-				return fmt.Errorf("buffer: flush %v: %w", f.id, err)
-			}
-			s.writebacks.Inc()
+			f.pins.Add(1)
+			pinned = append(pinned, f)
 		}
 		s.mu.Unlock()
+		for i, f := range pinned {
+			f.Latch.RLock()
+			var err error
+			if f.dirty.CompareAndSwap(true, false) {
+				if err = p.disk.WritePage(f.id, f.data); err != nil {
+					f.dirty.Store(true)
+				} else {
+					s.writebacks.Inc()
+				}
+			}
+			f.Latch.RUnlock()
+			p.Unpin(f, false)
+			if err != nil {
+				for _, g := range pinned[i+1:] {
+					p.Unpin(g, false)
+				}
+				return fmt.Errorf("buffer: flush %v: %w", f.id, err)
+			}
+		}
 	}
 	return nil
 }

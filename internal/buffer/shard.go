@@ -77,7 +77,20 @@ func (s *shard) clockVictim(disk storage.DiskManager) (*Frame, error) {
 // evict detaches the (unpinned) frame's page, writing it back only if
 // dirty. Clean frames are dropped without I/O — this is the moment
 // volatile index-cache contents disappear. Caller holds s.mu.
+//
+// The latch-crabbing B+Tree relies on the invariant that a latched
+// frame is never evicted. The pool guarantees it transitively: every
+// latch holder holds a pin (callers latch only frames they fetched and
+// unlatch before unpinning), eviction candidates must have a zero pin
+// count, and pins cannot be acquired mid-eviction because Fetch and
+// evict serialize on s.mu. The TryLock below asserts the invariant — on
+// an unpinned frame it can only fail if some caller latched without
+// pinning, which would corrupt whatever that latch was protecting.
 func (s *shard) evict(f *Frame, disk storage.DiskManager) error {
+	if !f.Latch.TryLock() {
+		panic(fmt.Sprintf("buffer: evicting latched frame %v (latch held without a pin)", f.id))
+	}
+	defer f.Latch.Unlock()
 	if f.dirty.Load() {
 		if err := disk.WritePage(f.id, f.data); err != nil {
 			return fmt.Errorf("buffer: write back %v: %w", f.id, err)

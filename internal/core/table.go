@@ -106,6 +106,12 @@ func (t *Table) Index(name string) (*Index, error) {
 }
 
 // Insert adds a row, maintaining all indexes, and returns its RID.
+//
+// Insert is safe for concurrent use: the heap append serializes on the
+// heap file's internal lock, and index maintenance rides the B+Tree's
+// latch-crabbing write path, so parallel inserters contend per leaf
+// page rather than per tree. t.mu is only held shared, to pin the
+// index set — it does not serialize writers against each other.
 func (t *Table) Insert(row tuple.Row) (storage.RID, error) {
 	rec, err := tuple.Encode(t.schema, row, nil)
 	if err != nil {
@@ -140,6 +146,11 @@ func (t *Table) Get(rid storage.RID) (tuple.Row, error) {
 // afterwards (it changes when the row no longer fits its page). Index
 // entries follow, and every cached index is notified so stale cache
 // entries are invalidated via the predicate log.
+//
+// Update is safe for concurrent use against distinct RIDs. Concurrent
+// updates of the same RID are last-writer-wins per structure (heap and
+// each index order independently); callers needing read-modify-write
+// atomicity on one row must serialize above this layer.
 func (t *Table) Update(rid storage.RID, newRow tuple.Row) (storage.RID, error) {
 	oldRow, err := t.Get(rid)
 	if err != nil {

@@ -367,7 +367,7 @@ func TestScanShapes(t *testing.T) {
 	if err != nil {
 		t.Fatalf("RunScan: %v", err)
 	}
-	if res.Rows != cfg.Rows || res.LeafPages < 2 || len(res.Points) != 3 {
+	if res.Rows != cfg.Rows || res.LeafPages < 2 || len(res.Points) != 4 {
 		t.Fatalf("shape: rows=%d leaves=%d points=%d", res.Rows, res.LeafPages, len(res.Points))
 	}
 	byMode := map[string]ScanPoint{}
@@ -391,5 +391,40 @@ func TestScanShapes(t *testing.T) {
 	}
 	if heap := byMode["cursor-heap-only"]; heap.CacheHitRate != 0 {
 		t.Errorf("heap-only hit rate %.2f, want 0", heap.CacheHitRate)
+	}
+	// Direction symmetry: with doubly linked leaves, a reverse scan
+	// fetches exactly one page per leaf, same as forward.
+	rev := byMode["cursor-cache-first-reverse"]
+	if rev.LeafFetches != cache.LeafFetches {
+		t.Errorf("reverse leaf fetches %d, want %d (symmetry with forward)",
+			rev.LeafFetches, cache.LeafFetches)
+	}
+	if rev.CacheHitRate != 1.0 {
+		t.Errorf("reverse cache-first hit rate %.2f, want 1.0", rev.CacheHitRate)
+	}
+}
+
+func TestWriteShapes(t *testing.T) {
+	cfg := DefaultWriteConfig()
+	cfg.Preload, cfg.Ops = 2000, 8000
+	cfg.Goroutines = []int{1, 2}
+	res, err := RunWrite(cfg)
+	if err != nil {
+		t.Fatalf("RunWrite: %v", err)
+	}
+	if res.Preload != cfg.Preload || len(res.Points) != 2 {
+		t.Fatalf("shape: preload=%d points=%d", res.Preload, len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.MutexOpsPerSec <= 0 || p.CrabbedOpsPerSec <= 0 {
+			t.Errorf("g=%d: nonpositive throughput %+v", p.Goroutines, p)
+		}
+		if p.LatchRetries == 0 {
+			t.Errorf("g=%d: expected some pessimistic fallbacks on a split-heavy mix", p.Goroutines)
+		}
+		if p.AllocsPerOp > 1 {
+			t.Errorf("g=%d: %.2f allocs/op, want ~0 (crabbed writes are allocation-free off the split path)",
+				p.Goroutines, p.AllocsPerOp)
+		}
 	}
 }

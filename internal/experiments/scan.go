@@ -46,9 +46,10 @@ type ScanPoint struct {
 // ScanResult is the measured comparison plus the shape facts that make
 // the JSON comparable across PRs.
 type ScanResult struct {
-	Rows      int         `json:"rows"`
-	LeafPages int         `json:"leaf_pages"`
-	Points    []ScanPoint `json:"points"`
+	Rows       int         `json:"rows"`
+	LeafPages  int         `json:"leaf_pages"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Points     []ScanPoint `json:"points"`
 }
 
 func scanSchema() *tuple.Schema {
@@ -104,7 +105,7 @@ func RunScan(cfg ScanConfig) (ScanResult, error) {
 	if err != nil {
 		return ScanResult{}, err
 	}
-	res := ScanResult{Rows: cfg.Rows, LeafPages: st.LeafPages}
+	res := ScanResult{Rows: cfg.Rows, LeafPages: st.LeafPages, GOMAXPROCS: runtime.GOMAXPROCS(0)}
 
 	proj := []string{"id", "a", "b"}
 	type modeFn struct {
@@ -133,6 +134,8 @@ func RunScan(cfg ScanConfig) (ScanResult, error) {
 			core.WithProjection(proj...), core.WithCachePolicy(core.HeapOnly))},
 		{"cursor-cache-first", cursorScan(core.WithIndex("by_id"),
 			core.WithProjection(proj...))},
+		{"cursor-cache-first-reverse", cursorScan(core.WithIndex("by_id"),
+			core.WithProjection(proj...), core.WithReverse())},
 	}
 	for _, m := range runs {
 		if _, err := m.scan(); err != nil { // warmup
@@ -169,6 +172,23 @@ func RunScan(cfg ScanConfig) (ScanResult, error) {
 		res.Points = append(res.Points, pt)
 	}
 	return res, nil
+}
+
+// DirectionSymmetry returns the forward and reverse cache-first points
+// so callers can compare leaf fetches: with doubly linked leaves a
+// reverse scan must cost exactly what a forward one does. The CI gate
+// (cmd/benchgate) enforces it — deliberately not RunScan itself, so an
+// intentional tradeoff can pass through the gate's skip label.
+func (r ScanResult) DirectionSymmetry() (fwd, rev *ScanPoint) {
+	for i := range r.Points {
+		switch r.Points[i].Mode {
+		case "cursor-cache-first":
+			fwd = &r.Points[i]
+		case "cursor-cache-first-reverse":
+			rev = &r.Points[i]
+		}
+	}
+	return fwd, rev
 }
 
 // Print renders the comparison as a table.

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/btree"
+	"repro/internal/buffer"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// WriteConfig parameterizes the parallel-ingest experiment: an
+// insert/update mix driven by increasing goroutine counts against the
+// latch-crabbing B+Tree, compared with the same tree behind one global
+// write mutex (the pre-crabbing design, where every Insert/Delete held
+// a tree-wide lock). Tracked PR-over-PR via BENCH_write.json.
+type WriteConfig struct {
+	Preload    int     // keys loaded before measurement (the update targets)
+	Ops        int     // operations per goroutine count (split across goroutines)
+	UpdateFrac float64 // fraction of ops that upsert an existing key; the rest insert fresh keys
+	Goroutines []int   // goroutine counts to sweep
+	Seed       int64
+}
+
+// DefaultWriteConfig sweeps 1..8 writers over a 50/50 insert/update mix.
+func DefaultWriteConfig() WriteConfig {
+	return WriteConfig{
+		Preload:    20000,
+		Ops:        100000,
+		UpdateFrac: 0.5,
+		Goroutines: []int{1, 2, 4, 8},
+		Seed:       1,
+	}
+}
+
+// WritePoint is one goroutine count of the sweep.
+type WritePoint struct {
+	Goroutines       int     `json:"goroutines"`
+	MutexOpsPerSec   float64 `json:"mutex_ops_per_sec"`
+	CrabbedOpsPerSec float64 `json:"crabbed_ops_per_sec"`
+	Speedup          float64 `json:"speedup"`
+	// AllocsPerOp is the crabbed path's heap allocations per write —
+	// optimistic descents are allocation-free, so this approximates the
+	// split rate times the split path's allocation cost.
+	AllocsPerOp float64 `json:"crabbed_allocs_per_op"`
+	// LatchRetries counts optimistic descents that found a full leaf
+	// and fell back to the pessimistic full-path hold during the
+	// crabbed measurement (≈ the number of leaf splits).
+	LatchRetries int64 `json:"latch_retries"`
+}
+
+// WriteResult is the measured sweep plus the environment facts that
+// matter when comparing JSON summaries across machines and PRs.
+type WriteResult struct {
+	Preload    int          `json:"preload_rows"`
+	Ops        int          `json:"ops_per_point"`
+	UpdateFrac float64      `json:"update_frac"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Points     []WritePoint `json:"points"`
+}
+
+// RunWrite measures parallel insert/update throughput on the crabbing
+// tree versus the single-write-mutex baseline.
+//
+// The baseline wraps every operation of the same tree in one global
+// mutex — exactly the exclusion the pre-crabbing Tree.mu imposed (that
+// design also paid per-page latches underneath its tree lock, so the
+// wrap reproduces its cost structure, not a strawman).
+func RunWrite(cfg WriteConfig) (WriteResult, error) {
+	res := WriteResult{
+		Preload:    cfg.Preload,
+		Ops:        cfg.Ops,
+		UpdateFrac: cfg.UpdateFrac,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, g := range cfg.Goroutines {
+		mOps, _, _, err := measureWrites(cfg, g, true)
+		if err != nil {
+			return WriteResult{}, err
+		}
+		cOps, allocs, retries, err := measureWrites(cfg, g, false)
+		if err != nil {
+			return WriteResult{}, err
+		}
+		pt := WritePoint{
+			Goroutines:       g,
+			MutexOpsPerSec:   mOps,
+			CrabbedOpsPerSec: cOps,
+			AllocsPerOp:      allocs,
+			LatchRetries:     retries,
+		}
+		if mOps > 0 {
+			pt.Speedup = cOps / mOps
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+func writeKey(buf *[8]byte, k int) []byte {
+	binary.BigEndian.PutUint64(buf[:], uint64(k))
+	return buf[:]
+}
+
+// buildWriteTree creates a fresh tree preloaded with cfg.Preload keys
+// in shuffled order (so leaves sit at the random-insert steady state,
+// not the packed ascending-load shape).
+func buildWriteTree(cfg WriteConfig) (*btree.Tree, error) {
+	disk, err := storage.NewMemDisk(8192)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := buffer.NewPool(disk, 1<<14)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := btree.New(pool)
+	if err != nil {
+		return nil, err
+	}
+	order := make([]int, cfg.Preload)
+	for i := range order {
+		order[i] = i
+	}
+	rng := workload.NewRand(cfg.Seed)
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	var kb [8]byte
+	for _, k := range order {
+		if _, err := tree.Insert(writeKey(&kb, k), uint64(k)); err != nil {
+			return nil, err
+		}
+	}
+	return tree, nil
+}
+
+// measureWrites runs cfg.Ops operations split across g goroutines
+// against a fresh preloaded tree and returns aggregate ops/second,
+// allocations per op, and the tree's latch-retry count.
+func measureWrites(cfg WriteConfig, g int, globalMutex bool) (opsPerSec, allocsPerOp float64, latchRetries int64, err error) {
+	tree, err := buildWriteTree(cfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	preRetries := tree.LatchRetries() // preload splits are not the measurement
+	perG := cfg.Ops / g
+	var mu sync.Mutex // the baseline's tree-wide writer lock
+	var wg sync.WaitGroup
+	errCh := make(chan error, g)
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := workload.NewRand(cfg.Seed + int64(w)*104729)
+			var kb [8]byte
+			// Fresh-key inserts come from a per-worker disjoint range, so
+			// workers never upsert each other's inserts by accident.
+			nextFresh := cfg.Preload + w*perG
+			for n := 0; n < perG; n++ {
+				var k int
+				if rng.Float64() < cfg.UpdateFrac {
+					k = rng.Intn(cfg.Preload)
+				} else {
+					k = nextFresh
+					nextFresh++
+				}
+				if globalMutex {
+					mu.Lock()
+				}
+				_, ierr := tree.Insert(writeKey(&kb, k), uint64(k))
+				if globalMutex {
+					mu.Unlock()
+				}
+				if ierr != nil {
+					errCh <- ierr
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	close(errCh)
+	for err := range errCh {
+		return 0, 0, 0, err
+	}
+	total := perG * g
+	return float64(total) / elapsed.Seconds(),
+		float64(ms1.Mallocs-ms0.Mallocs) / float64(total),
+		tree.LatchRetries() - preRetries,
+		nil
+}
+
+// Print renders the sweep as a table.
+func (r WriteResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Parallel insert/update throughput, %d preloaded rows, %.0f%% updates, GOMAXPROCS=%d\n",
+		r.Preload, r.UpdateFrac*100, r.GOMAXPROCS)
+	fmt.Fprintf(w, "%12s %18s %18s %10s %12s %14s\n",
+		"goroutines", "1-mutex ops/s", "crabbed ops/s", "speedup", "allocs/op", "latch retries")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%12d %18.0f %18.0f %9.2f× %12.3f %14d\n",
+			p.Goroutines, p.MutexOpsPerSec, p.CrabbedOpsPerSec, p.Speedup, p.AllocsPerOp, p.LatchRetries)
+	}
+}
+
+// WriteJSON writes the result as a BENCH_*.json summary so write
+// scaling is tracked PR-over-PR alongside throughput and scan.
+func (r WriteResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

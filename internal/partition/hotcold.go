@@ -230,6 +230,11 @@ func (c *Cursor) Close() error {
 // Demote moves the row with the given key from hot to cold — the
 // paper's policy when a newly inserted revision replaces the previously
 // hot one. Returns the row's new RID in the cold partition.
+//
+// Each step (lookup, delete, insert) is individually thread-safe, but
+// the move is not atomic: a concurrent Lookup can miss the row in the
+// window between partitions. Run demotions from one maintenance
+// goroutine, or serialize them per key above this layer.
 func (hc *HotCold) Demote(keyVals ...tuple.Value) (storage.RID, error) {
 	rid, found, err := hc.hotIx.LookupRID(keyVals...)
 	if err != nil {

@@ -84,7 +84,11 @@ func NewVerticalTable(e *core.Engine, name string, schema *tuple.Schema, pkField
 // NumGroups returns the number of physical groups.
 func (vt *VerticalTable) NumGroups() int { return len(vt.groups) }
 
-// Insert stores a logical row across all groups.
+// Insert stores a logical row across all groups. Each group's insert
+// is individually thread-safe (heap lock + index latch crabbing), but
+// the logical row lands group by group: a concurrent reader can
+// observe a pk whose later groups have not been written yet. Callers
+// needing cross-group atomicity must serialize above this layer.
 func (vt *VerticalTable) Insert(row tuple.Row) error {
 	if len(row) != vt.schema.NumFields() {
 		return fmt.Errorf("vertical: row has %d values, schema %d", len(row), vt.schema.NumFields())
