@@ -14,13 +14,17 @@
 //   - Scan (BENCH_scan.json): per mode, rows/sec within -tolerance;
 //     allocs/row and disk reads/pass must not grow materially (these
 //     are machine-independent, so they are held tighter).
-//   - Write (BENCH_write.json): per goroutine count, crabbed ops/sec
-//     within -tolerance of baseline. The fresh file must also satisfy
-//     the crabbing acceptance invariants on its own: no >10%
-//     single-writer regression versus the in-run mutex baseline, and
-//     multi-writer throughput above the mutex baseline at ≥2
-//     goroutines (relaxed to "no collapse" when the runner has only
-//     one CPU, where parallel scaling is physically impossible).
+//   - Write (BENCH_write.json): per goroutine count, crabbed tree
+//     ops/sec and sharded-heap ops/sec within -tolerance of baseline.
+//     The fresh file must also satisfy the parallel-ingest invariants
+//     on its own: for the tree, no >10% single-writer regression
+//     versus the in-run mutex baseline and multi-writer throughput
+//     above it at ≥2 goroutines (relaxed to "no collapse" when the
+//     runner has only one CPU, where parallel scaling is physically
+//     impossible); for the heap, sharded-insert throughput strictly
+//     at or above the reproduced single-mutex heap at every goroutine
+//     count — the bucketed free-space maps give a deterministic margin
+//     that holds even single-core.
 //
 // A comparison pair is skipped (with a note) when the two files were
 // measured over different workload shapes — a config change is a
@@ -242,6 +246,29 @@ func gateWrite(base, fresh string, tol float64) {
 		}
 	}
 
+	// Heap-ingest self-invariants: the sharded heap (per-shard bucketed
+	// free-space maps) must beat the single-mutex heap (file-wide lock
+	// around a linear first-fit scan, the pre-sharding design the sweep
+	// reproduces in-run) at every goroutine count. The bucketed maps
+	// alone give a large deterministic margin, so this holds strictly
+	// even on a single-CPU runner where lock sharding itself cannot
+	// scale.
+	if len(f.HeapPoints) == 0 {
+		failf("write: BENCH_write.json has no heap-ingest series — the sharded-heap sweep must run on every PR")
+	}
+	for _, p := range f.HeapPoints {
+		if p.MutexOpsPerSec <= 0 {
+			continue
+		}
+		if s := p.ShardedOpsPerSec / p.MutexOpsPerSec; s < 1.0 {
+			failf("write heap g=%d: sharded %.0f ops/s vs single-mutex %.0f (%.2f×, need ≥1.00×)",
+				p.Goroutines, p.ShardedOpsPerSec, p.MutexOpsPerSec, s)
+		} else {
+			okf("heap g=%d sharded %.0f ops/s vs single-mutex %.0f (%.2f×)",
+				p.Goroutines, p.ShardedOpsPerSec, p.MutexOpsPerSec, s)
+		}
+	}
+
 	var b experiments.WriteResult
 	found, err = readJSON(filepath.Join(base, "BENCH_write.json"), &b)
 	if err != nil {
@@ -270,6 +297,23 @@ func gateWrite(base, fresh string, tol float64) {
 					fp.Goroutines, fp.CrabbedOpsPerSec, bp.CrabbedOpsPerSec, tol*100)
 			} else {
 				okf("g=%d crabbed %.0f ops/s (baseline %.0f)", fp.Goroutines, fp.CrabbedOpsPerSec, bp.CrabbedOpsPerSec)
+			}
+		}
+	}
+	if b.HeapOps != f.HeapOps || b.HeapRecordBytes != f.HeapRecordBytes || b.HeapShards != f.HeapShards {
+		notef("heap workload shape changed — heap comparison skipped; refresh the baseline")
+		return
+	}
+	for _, fp := range f.HeapPoints {
+		for _, bp := range b.HeapPoints {
+			if bp.Goroutines != fp.Goroutines {
+				continue
+			}
+			if !ratioOK(fp.ShardedOpsPerSec, bp.ShardedOpsPerSec, tol) {
+				failf("write heap g=%d: sharded %.0f ops/s vs baseline %.0f (>%.0f%% down)",
+					fp.Goroutines, fp.ShardedOpsPerSec, bp.ShardedOpsPerSec, tol*100)
+			} else {
+				okf("heap g=%d sharded %.0f ops/s (baseline %.0f)", fp.Goroutines, fp.ShardedOpsPerSec, bp.ShardedOpsPerSec)
 			}
 		}
 	}

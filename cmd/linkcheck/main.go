@@ -1,0 +1,189 @@
+// Command linkcheck validates intra-repository markdown links. CI runs
+// it over the documentation set so a moved file or renamed heading
+// fails the build instead of silently rotting the docs.
+//
+//	linkcheck README.md ARCHITECTURE.md docs CHANGES.md
+//
+// Each argument is a markdown file or a directory walked for *.md.
+// For every inline link [text](target) it checks:
+//
+//   - external targets (http:, https:, mailto:) are skipped — CI must
+//     not depend on the network;
+//   - relative file targets resolve to an existing file or directory
+//     (relative to the linking file's directory, with an optional
+//     #fragment stripped);
+//   - fragment targets (#section, file.md#section) name a heading that
+//     actually exists in the target file, using GitHub's anchor
+//     slugification (lowercase, spaces to hyphens, punctuation
+//     dropped).
+//
+// Exit status 1 lists every broken link as file:line: message.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links, deliberately simple: no
+// reference-style links are used in this repository.
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// headingRe matches ATX headings.
+var headingRe = regexp.MustCompile(`^#{1,6}\s+(.*?)\s*$`)
+
+// codeFenceRe matches fenced code block delimiters.
+var codeFenceRe = regexp.MustCompile("^\\s*```")
+
+var broken []string
+
+func failf(format string, args ...any) {
+	broken = append(broken, fmt.Sprintf(format, args...))
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck <file.md|dir>...")
+		os.Exit(2)
+	}
+	var files []string
+	for _, arg := range os.Args[1:] {
+		info, err := os.Stat(arg)
+		if err != nil {
+			failf("%s: %v", arg, err)
+			continue
+		}
+		if !info.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			failf("%s: %v", arg, err)
+		}
+	}
+	for _, f := range files {
+		checkFile(f)
+	}
+	if len(broken) > 0 {
+		for _, b := range broken {
+			fmt.Fprintln(os.Stderr, b)
+		}
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s)\n", len(broken))
+		os.Exit(1)
+	}
+	fmt.Printf("linkcheck: %d file(s) clean\n", len(files))
+}
+
+func checkFile(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		failf("%s: %v", path, err)
+		return
+	}
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if codeFenceRe.MatchString(line) {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			checkLink(path, i+1, m[1])
+		}
+	}
+}
+
+func checkLink(fromFile string, lineNo int, target string) {
+	switch {
+	case strings.HasPrefix(target, "http://"),
+		strings.HasPrefix(target, "https://"),
+		strings.HasPrefix(target, "mailto:"):
+		return
+	}
+	file, frag, _ := strings.Cut(target, "#")
+	resolved := fromFile
+	if file != "" {
+		resolved = filepath.Join(filepath.Dir(fromFile), file)
+		if _, err := os.Stat(resolved); err != nil {
+			failf("%s:%d: broken link %q: %s does not exist", fromFile, lineNo, target, resolved)
+			return
+		}
+	}
+	if frag == "" {
+		return
+	}
+	if !strings.HasSuffix(resolved, ".md") {
+		// Anchors into non-markdown targets (e.g. source files) are not
+		// checkable here; existence of the file is enough.
+		return
+	}
+	anchors, err := headingAnchors(resolved)
+	if err != nil {
+		failf("%s:%d: %v", fromFile, lineNo, err)
+		return
+	}
+	if !anchors[strings.ToLower(frag)] {
+		failf("%s:%d: broken anchor %q: no heading in %s slugifies to #%s",
+			fromFile, lineNo, target, resolved, frag)
+	}
+}
+
+// headingAnchors returns the set of GitHub-style anchor slugs for the
+// file's headings.
+func headingAnchors(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	anchors := make(map[string]bool)
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if codeFenceRe.MatchString(line) {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := headingRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		anchors[slugify(m[1])] = true
+	}
+	return anchors, nil
+}
+
+// slugify approximates GitHub's heading-to-anchor rule: lowercase,
+// spaces become hyphens, and everything that is not a letter, digit,
+// hyphen, or underscore is dropped.
+func slugify(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_',
+			'a' <= r && r <= 'z',
+			'0' <= r && r <= '9',
+			r > 127: // unicode letters pass through
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -284,6 +284,7 @@ func main() {
 		cfg.Seed = *seed
 		if *quick {
 			cfg.Preload, cfg.Ops = 5000, 20000
+			cfg.HeapOps = 40000
 			cfg.Goroutines = []int{1, 2, 4}
 		}
 		res, err := experiments.RunWrite(cfg)

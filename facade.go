@@ -73,9 +73,10 @@ type VerticalTable = vertical.VerticalTable
 // VerticalTable.Query, merging column groups per row.
 type VerticalCursor = vertical.Cursor
 
-// NewVerticalTable materializes a split on the engine.
-func NewVerticalTable(e *Engine, name string, schema *Schema, pkField string, groups [][]string) (*VerticalTable, error) {
-	return vertical.NewVerticalTable(e, name, schema, pkField, groups)
+// NewVerticalTable materializes a split on the engine. opts apply to
+// every group table (heap insert shards, fill factor, …).
+func NewVerticalTable(e *Engine, name string, schema *Schema, pkField string, groups [][]string, opts ...TableOption) (*VerticalTable, error) {
+	return vertical.NewVerticalTable(e, name, schema, pkField, groups, opts...)
 }
 
 // --- §4.1 automated schema optimization -----------------------------------

@@ -80,6 +80,24 @@ func (s Stats) HitRate() float64 {
 }
 
 // Pool is a buffer pool of fixed total capacity, sharded by page id.
+//
+// Invariants every caller can rely on (and must preserve):
+//
+//  1. Pin balance: every Fetch/NewPage must be matched by exactly one
+//     Unpin. A frame with pins > 0 is never evicted or rebound, so a
+//     pinned frame's ID and Data remain valid without any lock.
+//  2. Latched ⇒ pinned: a caller may only hold a frame's Latch while
+//     holding a pin on it, and must release the Latch before the final
+//     Unpin. Together with (1) this means a latched frame is immune to
+//     eviction; shard.evict asserts it (panic on a latched victim).
+//  3. Latch/mutex order: pool internals never wait on a frame Latch
+//     while holding a shard mutex (callers fetch pages — which takes
+//     the mutex — while holding latches on other frames, so the
+//     reverse nesting would deadlock). FlushAll pins candidates under
+//     the mutex and writes them back under the latch outside it.
+//  4. Volatile writes: mutating Data without ever passing dirty=true
+//     to Unpin is allowed and produces a cache-style change that
+//     eviction silently drops and FlushAll never writes.
 type Pool struct {
 	disk     storage.DiskManager
 	pageSize int

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -147,17 +148,23 @@ func TestConcurrentInsertsDisjointTables(t *testing.T) {
 
 // TestParallelIngest drives concurrent Table.Insert goroutines through
 // a table with a cached unique index — the end-to-end parallel-ingest
-// path the latch-crabbing B+Tree unlocks. Every row must be findable
-// afterwards and the index structurally intact.
+// path: sharded heap placement feeding latch-crabbing index
+// maintenance, with no stage serialized on a table-wide lock. Every
+// row must be findable afterwards and the index structurally intact.
+// The shard count is pinned explicitly so the multi-shard heap path is
+// exercised even on a GOMAXPROCS=1 runner.
 func TestParallelIngest(t *testing.T) {
 	e, err := NewEngine(Options{PageSize: 1024, BufferPoolPages: 4096})
 	if err != nil {
 		t.Fatalf("NewEngine: %v", err)
 	}
 	defer e.Close()
-	tb, err := e.CreateTable("page", pagesSchema())
+	tb, err := e.CreateTable("page", pagesSchema(), WithHeapInsertShards(4))
 	if err != nil {
 		t.Fatalf("CreateTable: %v", err)
+	}
+	if got := tb.Heap().InsertShards(); got != 4 {
+		t.Fatalf("heap has %d insert shards, want 4", got)
 	}
 	ix, err := tb.CreateIndex("name_title", []string{"namespace", "title"},
 		WithCache("latest_rev"), WithCacheSeed(1))
@@ -193,6 +200,9 @@ func TestParallelIngest(t *testing.T) {
 	if tb.Rows() != total {
 		t.Errorf("Rows = %d, want %d", tb.Rows(), total)
 	}
+	if st, err := tb.Heap().Stats(); err != nil || st.LiveRecords != total {
+		t.Errorf("heap Stats: LiveRecords=%d err=%v, want %d", st.LiveRecords, err, total)
+	}
 	if ix.Tree().Len() != total {
 		t.Errorf("index holds %d keys, want %d", ix.Tree().Len(), total)
 	}
@@ -211,5 +221,50 @@ func TestParallelIngest(t *testing.T) {
 	}
 	if pins := e.Pool().PinnedFrames(); pins != 0 {
 		t.Errorf("%d pinned frames after quiesce, want 0", pins)
+	}
+}
+
+// TestHeapInsertShardsPlumbing checks the engine-wide default and the
+// per-table override reach the heap layer, and that append-only tables
+// stay single-tailed regardless.
+func TestHeapInsertShardsPlumbing(t *testing.T) {
+	e, err := NewEngine(Options{PageSize: 1024, BufferPoolPages: 256, HeapInsertShards: 2})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	defer e.Close()
+	def, err := e.CreateTable("def", pagesSchema())
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	if got := def.Heap().InsertShards(); got != 2 {
+		t.Errorf("engine default: %d shards, want 2", got)
+	}
+	over, err := e.CreateTable("over", pagesSchema(), WithHeapInsertShards(4))
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	if got := over.Heap().InsertShards(); got != 4 {
+		t.Errorf("per-table override: %d shards, want 4", got)
+	}
+	// Explicit 0 means "automatic", overriding the engine default —
+	// not "fall back to the engine default".
+	auto, err := e.CreateTable("auto", pagesSchema(), WithHeapInsertShards(0))
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if want > 8 {
+		want = 8
+	}
+	if got := auto.Heap().InsertShards(); got != want {
+		t.Errorf("explicit automatic: %d shards, want min(8, GOMAXPROCS)=%d", got, want)
+	}
+	ao, err := e.CreateTable("ao", pagesSchema(), WithAppendOnlyHeap(), WithHeapInsertShards(4))
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	if got := ao.Heap().InsertShards(); got != 1 {
+		t.Errorf("append-only table: %d shards, want 1", got)
 	}
 }

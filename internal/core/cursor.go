@@ -29,6 +29,16 @@ import (
 // iteration performs zero heap allocations per row once the scratch
 // has grown. Cursors are not safe for concurrent use; the underlying
 // table is (writers proceed while a cursor is open).
+//
+// Pin lifetime: an index cursor holds exactly one buffer-pool pin — on
+// its current leaf page — between Next calls, and no latch (the leaf
+// latch is taken only inside Next). The pin is released when the
+// cursor is exhausted (Next returns false), when Close is called, or
+// when an All loop ends, whichever comes first; a cursor abandoned
+// mid-scan without Close leaks its pin and eventually starves the
+// pool (Pool.PinnedFrames observes this in tests). Heap-order cursors
+// hold no pin between calls — each page is snapshotted into cursor
+// scratch under its latch and released before Next returns.
 type Cursor struct {
 	src     rowSource
 	rid     storage.RID
@@ -122,8 +132,10 @@ func (c *Cursor) finish() {
 }
 
 // All adapts the cursor to a range-over-func iterator. The cursor is
-// closed when the loop ends, including on early break; check Err
-// afterwards for mid-iteration failures.
+// closed when the loop ends — including on early break, return, or
+// panic — so the leaf pin cannot outlive the loop; check Err
+// afterwards for mid-iteration failures. The yielded row is the same
+// cursor scratch Row returns: Clone to retain it beyond the iteration.
 func (c *Cursor) All() iter.Seq2[storage.RID, tuple.Row] {
 	return func(yield func(storage.RID, tuple.Row) bool) {
 		defer c.Close()

@@ -24,6 +24,11 @@ type Options struct {
 	// power of two). 0 picks automatically from GOMAXPROCS and the
 	// capacity. Benchmarks use 1 to reproduce the single-mutex pool.
 	PoolShards int
+	// HeapInsertShards is the default heap insert shard count for
+	// tables created on this engine (per-table WithHeapInsertShards
+	// wins). 0 picks automatically (min(8, GOMAXPROCS)); 1 reproduces
+	// the classic single-mutex heap insert path.
+	HeapInsertShards int
 	// Path, when non-empty, backs the engine with a file on disk;
 	// otherwise an in-memory disk is used.
 	Path string
@@ -37,6 +42,8 @@ type Engine struct {
 	pool    *buffer.Pool
 	disk    storage.DiskManager
 	counter *storage.CountingDisk // nil unless Options.CountIO
+
+	heapShards int // default insert shard count for new tables' heaps
 
 	mu     sync.RWMutex
 	tables map[string]*Table
@@ -62,7 +69,7 @@ func NewEngine(opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{tables: make(map[string]*Table)}
+	e := &Engine{tables: make(map[string]*Table), heapShards: opts.HeapInsertShards}
 	if opts.CountIO {
 		e.counter = storage.NewCountingDisk(disk)
 		disk = e.counter

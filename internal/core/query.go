@@ -83,7 +83,15 @@ func WithCachePolicy(p CachePolicy) QueryOption {
 
 // Query opens a cursor over the table. With no options it streams every
 // row in heap order; WithIndex switches to key order and enables key
-// bounds. See Cursor for the iteration contract.
+// bounds. See Cursor for the iteration contract and pin lifetime —
+// callers own the returned cursor and must Close it (or drain it, or
+// range over All) to release its leaf pin.
+//
+// Queries never block writers: an open cursor holds a pin, not a
+// latch, between Next calls, and re-validates its position against the
+// per-leaf version counter, so rows present when the scan reached
+// their leaf are served exactly once even while concurrent writers
+// split the scanned leaves.
 func (t *Table) Query(opts ...QueryOption) (*Cursor, error) {
 	var cfg queryConfig
 	for _, o := range opts {
@@ -111,7 +119,9 @@ func (t *Table) Query(opts ...QueryOption) (*Cursor, error) {
 }
 
 // Query opens a cursor over the index's key range. The default policy
-// answers coverable projections straight from the index cache.
+// answers coverable projections straight from the index cache. The
+// cursor contract (pin lifetime, Close, scratch rows, writer
+// interaction) is the same as Table.Query's.
 func (ix *Index) Query(opts ...QueryOption) (*Cursor, error) {
 	var cfg queryConfig
 	for _, o := range opts {

@@ -14,8 +14,9 @@ import (
 type TableOption func(*tableConfig)
 
 type tableConfig struct {
-	appendOnly     bool
-	heapFillFactor float64
+	appendOnly       bool
+	heapFillFactor   float64
+	heapInsertShards int
 }
 
 // WithAppendOnlyHeap forces inserts to always extend the tail page,
@@ -29,6 +30,21 @@ func WithAppendOnlyHeap() TableOption {
 // headroom and the Section 2.2 join cache.
 func WithHeapFillFactor(ff float64) TableOption {
 	return func(c *tableConfig) { c.heapFillFactor = ff }
+}
+
+// WithHeapInsertShards sets the table's heap insert shard count —
+// parallel inserters contend per shard, each of which owns a tail page
+// and a free-space map. n < 1 picks automatically (min(8, GOMAXPROCS)),
+// overriding any engine-wide Options.HeapInsertShards default; that
+// default applies only when the option is absent. Ignored under
+// WithAppendOnlyHeap, which needs a single tail.
+func WithHeapInsertShards(n int) TableOption {
+	return func(c *tableConfig) {
+		if n < 1 {
+			n = -1 // explicit "automatic", distinct from option-absent 0
+		}
+		c.heapInsertShards = n
+	}
 }
 
 // Table is a heap-backed table plus its indexes.
@@ -58,6 +74,14 @@ func newTable(e *Engine, name string, schema *tuple.Schema, opts ...TableOption)
 	if cfg.heapFillFactor != 0 {
 		hopts = append(hopts, heap.WithFillFactor(cfg.heapFillFactor))
 	}
+	if cfg.heapInsertShards == 0 {
+		cfg.heapInsertShards = e.heapShards
+	}
+	if cfg.heapInsertShards > 0 {
+		hopts = append(hopts, heap.WithInsertShards(cfg.heapInsertShards))
+	}
+	// A negative count (explicit "automatic") passes no option: the
+	// heap's own default applies.
 	f, err := heap.NewFile(e.pool, hopts...)
 	if err != nil {
 		return nil, fmt.Errorf("core: creating heap for %q: %w", name, err)
@@ -107,11 +131,14 @@ func (t *Table) Index(name string) (*Index, error) {
 
 // Insert adds a row, maintaining all indexes, and returns its RID.
 //
-// Insert is safe for concurrent use: the heap append serializes on the
-// heap file's internal lock, and index maintenance rides the B+Tree's
-// latch-crabbing write path, so parallel inserters contend per leaf
-// page rather than per tree. t.mu is only held shared, to pin the
-// index set — it does not serialize writers against each other.
+// Insert is safe for concurrent use, and no stage of it serializes on
+// a table-wide lock: the heap placement rides the heap file's sharded
+// insert path (each inserting goroutine is affine to one of the heap's
+// insert shards, see WithHeapInsertShards), and index maintenance rides
+// the B+Tree's latch-crabbing write path, so parallel inserters contend
+// per heap shard and per leaf page rather than per table. t.mu is only
+// held shared, to pin the index set — it does not serialize writers
+// against each other.
 func (t *Table) Insert(row tuple.Row) (storage.RID, error) {
 	rec, err := tuple.Encode(t.schema, row, nil)
 	if err != nil {

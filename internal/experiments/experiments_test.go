@@ -407,6 +407,7 @@ func TestScanShapes(t *testing.T) {
 func TestWriteShapes(t *testing.T) {
 	cfg := DefaultWriteConfig()
 	cfg.Preload, cfg.Ops = 2000, 8000
+	cfg.HeapOps = 20000
 	cfg.Goroutines = []int{1, 2}
 	res, err := RunWrite(cfg)
 	if err != nil {
@@ -425,6 +426,29 @@ func TestWriteShapes(t *testing.T) {
 		if p.AllocsPerOp > 1 {
 			t.Errorf("g=%d: %.2f allocs/op, want ~0 (crabbed writes are allocation-free off the split path)",
 				p.Goroutines, p.AllocsPerOp)
+		}
+	}
+	if len(res.HeapPoints) != 2 {
+		t.Fatalf("heap shape: %d points, want 2", len(res.HeapPoints))
+	}
+	for _, p := range res.HeapPoints {
+		if p.MutexOpsPerSec <= 0 || p.ShardedOpsPerSec <= 0 {
+			t.Errorf("heap g=%d: nonpositive throughput %+v", p.Goroutines, p)
+		}
+		// Both variants ingest the same bytes, so the sharded file may
+		// trail by at most its extra tail pages.
+		if p.MutexPages <= 0 || p.ShardedPages <= 0 || p.ShardedPages > p.MutexPages+cfg.HeapShards {
+			t.Errorf("heap g=%d: page counts %d vs %d diverge beyond tail slack",
+				p.Goroutines, p.ShardedPages, p.MutexPages)
+		}
+		// The bucketed free-space maps must beat the legacy linear scan
+		// by a wide margin; 2× is far below the measured ~10×, so this
+		// stays robust on slow CI runners. Skipped under the race
+		// detector, whose instrumentation dominates both paths and
+		// flattens the ratio.
+		if !raceEnabled && p.ShardedOpsPerSec < 2*p.MutexOpsPerSec {
+			t.Errorf("heap g=%d: sharded %.0f ops/s vs legacy %.0f — expected a decisive win",
+				p.Goroutines, p.ShardedOpsPerSec, p.MutexOpsPerSec)
 		}
 	}
 }

@@ -12,24 +12,39 @@ import (
 
 	"repro/internal/btree"
 	"repro/internal/buffer"
+	"repro/internal/heap"
 	"repro/internal/storage"
 	"repro/internal/workload"
 )
 
-// WriteConfig parameterizes the parallel-ingest experiment: an
-// insert/update mix driven by increasing goroutine counts against the
-// latch-crabbing B+Tree, compared with the same tree behind one global
-// write mutex (the pre-crabbing design, where every Insert/Delete held
-// a tree-wide lock). Tracked PR-over-PR via BENCH_write.json.
+// WriteConfig parameterizes the parallel-ingest experiments, driven by
+// increasing goroutine counts and tracked PR-over-PR via
+// BENCH_write.json:
+//
+//   - the tree sweep: an insert/update mix against the latch-crabbing
+//     B+Tree, compared with the same tree behind one global write mutex
+//     (the pre-crabbing design, where every Insert/Delete held a
+//     tree-wide lock);
+//   - the heap sweep: raw record ingest into a heap file with
+//     HeapShards insert shards and per-shard free-space maps, compared
+//     with a faithful reproduction of the pre-sharding design (one
+//     file-wide mutex around a linear first-fit scan of the advisory
+//     free map — see legacyHeap).
 type WriteConfig struct {
 	Preload    int     // keys loaded before measurement (the update targets)
 	Ops        int     // operations per goroutine count (split across goroutines)
 	UpdateFrac float64 // fraction of ops that upsert an existing key; the rest insert fresh keys
 	Goroutines []int   // goroutine counts to sweep
 	Seed       int64
+
+	HeapOps         int // heap records inserted per goroutine count
+	HeapRecordBytes int // size of each inserted heap record
+	HeapShards      int // insert shards of the sharded heap under test
 }
 
-// DefaultWriteConfig sweeps 1..8 writers over a 50/50 insert/update mix.
+// DefaultWriteConfig sweeps 1..8 writers over a 50/50 insert/update mix
+// for the tree, and the same writer counts over fixed-size record
+// ingest for the heap.
 func DefaultWriteConfig() WriteConfig {
 	return WriteConfig{
 		Preload:    20000,
@@ -37,6 +52,10 @@ func DefaultWriteConfig() WriteConfig {
 		UpdateFrac: 0.5,
 		Goroutines: []int{1, 2, 4, 8},
 		Seed:       1,
+
+		HeapOps:         150000,
+		HeapRecordBytes: 64,
+		HeapShards:      8,
 	}
 }
 
@@ -56,7 +75,26 @@ type WritePoint struct {
 	LatchRetries int64 `json:"latch_retries"`
 }
 
-// WriteResult is the measured sweep plus the environment facts that
+// HeapPoint is one goroutine count of the heap-ingest sweep.
+type HeapPoint struct {
+	Goroutines int `json:"goroutines"`
+	// MutexOpsPerSec is insert throughput of the pre-sharding heap:
+	// every Insert held one file-wide mutex across a linear first-fit
+	// scan of the advisory free-space map plus the page write.
+	MutexOpsPerSec float64 `json:"mutex_ops_per_sec"`
+	// ShardedOpsPerSec is insert throughput of the sharded heap
+	// (HeapShards insert shards, bucketed per-shard free-space maps,
+	// goroutine-affine routing).
+	ShardedOpsPerSec float64 `json:"sharded_ops_per_sec"`
+	Speedup          float64 `json:"speedup"`
+	// MutexPages / ShardedPages record the file size each variant
+	// produced: sharding may cost up to shards−1 partially filled tail
+	// pages, and this makes that space overhead visible PR-over-PR.
+	MutexPages   int `json:"mutex_pages"`
+	ShardedPages int `json:"sharded_pages"`
+}
+
+// WriteResult is the measured sweeps plus the environment facts that
 // matter when comparing JSON summaries across machines and PRs.
 type WriteResult struct {
 	Preload    int          `json:"preload_rows"`
@@ -64,6 +102,11 @@ type WriteResult struct {
 	UpdateFrac float64      `json:"update_frac"`
 	GOMAXPROCS int          `json:"gomaxprocs"`
 	Points     []WritePoint `json:"points"`
+
+	HeapOps         int         `json:"heap_ops_per_point"`
+	HeapRecordBytes int         `json:"heap_record_bytes"`
+	HeapShards      int         `json:"heap_shards"`
+	HeapPoints      []HeapPoint `json:"heap_points"`
 }
 
 // RunWrite measures parallel insert/update throughput on the crabbing
@@ -75,10 +118,13 @@ type WriteResult struct {
 // wrap reproduces its cost structure, not a strawman).
 func RunWrite(cfg WriteConfig) (WriteResult, error) {
 	res := WriteResult{
-		Preload:    cfg.Preload,
-		Ops:        cfg.Ops,
-		UpdateFrac: cfg.UpdateFrac,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Preload:         cfg.Preload,
+		Ops:             cfg.Ops,
+		UpdateFrac:      cfg.UpdateFrac,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		HeapOps:         cfg.HeapOps,
+		HeapRecordBytes: cfg.HeapRecordBytes,
+		HeapShards:      cfg.HeapShards,
 	}
 	for _, g := range cfg.Goroutines {
 		mOps, _, _, err := measureWrites(cfg, g, true)
@@ -101,7 +147,174 @@ func RunWrite(cfg WriteConfig) (WriteResult, error) {
 		}
 		res.Points = append(res.Points, pt)
 	}
+	// Each variant keeps its best of a couple of repetitions: one
+	// measurement lasts well under a second, so a GC or scheduler
+	// hiccup otherwise shows up as a phantom regression.
+	const heapReps = 2
+	for _, g := range cfg.Goroutines {
+		var pt HeapPoint
+		pt.Goroutines = g
+		for rep := 0; rep < heapReps; rep++ {
+			runtime.GC()
+			ops, pages, err := measureHeapIngest(cfg, g, false)
+			if err != nil {
+				return WriteResult{}, err
+			}
+			if ops > pt.MutexOpsPerSec {
+				pt.MutexOpsPerSec, pt.MutexPages = ops, pages
+			}
+			runtime.GC()
+			ops, pages, err = measureHeapIngest(cfg, g, true)
+			if err != nil {
+				return WriteResult{}, err
+			}
+			if ops > pt.ShardedOpsPerSec {
+				pt.ShardedOpsPerSec, pt.ShardedPages = ops, pages
+			}
+		}
+		if pt.MutexOpsPerSec > 0 {
+			pt.Speedup = pt.ShardedOpsPerSec / pt.MutexOpsPerSec
+		}
+		res.HeapPoints = append(res.HeapPoints, pt)
+	}
 	return res, nil
+}
+
+// recordInserter abstracts the two heap implementations under test.
+type recordInserter interface {
+	Insert(rec []byte) (storage.RID, error)
+	NumPages() int
+}
+
+// legacyHeap reproduces the pre-sharding heap insert path exactly: one
+// file-wide mutex held across the placement decision and the page
+// write, with placement a linear first-fit scan over every page's
+// advisory free bytes (the design internal/heap shipped before the
+// sharded free-space maps; reads are irrelevant to the sweep, so only
+// the insert path is reproduced).
+type legacyHeap struct {
+	pool *buffer.Pool
+
+	mu        sync.Mutex
+	pages     []storage.PageID
+	freeBytes map[storage.PageID]int
+}
+
+func newLegacyHeap(pool *buffer.Pool) (*legacyHeap, error) {
+	f := &legacyHeap{pool: pool, freeBytes: make(map[storage.PageID]int)}
+	if _, err := f.addPageLocked(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (f *legacyHeap) addPageLocked() (storage.PageID, error) {
+	fr, err := f.pool.NewPage()
+	if err != nil {
+		return storage.InvalidPageID, err
+	}
+	sp := storage.AsSlotted(fr.Data())
+	sp.Init()
+	id := fr.ID()
+	f.pages = append(f.pages, id)
+	f.freeBytes[id] = sp.AvailableBytes()
+	f.pool.Unpin(fr, true)
+	return id, nil
+}
+
+func (f *legacyHeap) NumPages() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.pages)
+}
+
+func (f *legacyHeap) Insert(rec []byte) (storage.RID, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	// Linear first-fit over the advisory map — O(pages) per insert once
+	// the file has grown, which is exactly the cost the bucketed
+	// free-space maps remove.
+	target := f.pages[len(f.pages)-1]
+	for _, id := range f.pages {
+		if f.freeBytes[id] >= len(rec)+8 {
+			target = id
+			break
+		}
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		fr, err := f.pool.Fetch(target)
+		if err != nil {
+			return storage.InvalidRID, err
+		}
+		fr.Latch.Lock()
+		sp := storage.AsSlotted(fr.Data())
+		slot, err := sp.Insert(rec)
+		free := sp.AvailableBytes()
+		fr.Latch.Unlock()
+		f.freeBytes[target] = free
+		if err == nil {
+			f.pool.Unpin(fr, true)
+			return storage.RID{Page: target, Slot: slot}, nil
+		}
+		f.pool.Unpin(fr, false)
+		if err != storage.ErrNoSpace {
+			return storage.InvalidRID, err
+		}
+		target, err = f.addPageLocked()
+		if err != nil {
+			return storage.InvalidRID, err
+		}
+	}
+	return storage.InvalidRID, fmt.Errorf("legacy heap: record of %d bytes does not fit", len(rec))
+}
+
+// measureHeapIngest runs cfg.HeapOps fixed-size inserts split across g
+// goroutines against a fresh heap (the sharded implementation or the
+// legacy single-mutex reproduction) and returns aggregate ops/second
+// plus the resulting file size in pages.
+func measureHeapIngest(cfg WriteConfig, g int, sharded bool) (opsPerSec float64, pages int, err error) {
+	disk, err := storage.NewMemDisk(8192)
+	if err != nil {
+		return 0, 0, err
+	}
+	pool, err := buffer.NewPool(disk, 1<<14)
+	if err != nil {
+		return 0, 0, err
+	}
+	var file recordInserter
+	if sharded {
+		file, err = heap.NewFile(pool, heap.WithInsertShards(cfg.HeapShards))
+	} else {
+		file, err = newLegacyHeap(pool)
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	perG := cfg.HeapOps / g
+	var wg sync.WaitGroup
+	errCh := make(chan error, g)
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rec := make([]byte, cfg.HeapRecordBytes)
+			rec[0] = byte(w)
+			for n := 0; n < perG; n++ {
+				if _, ierr := file.Insert(rec); ierr != nil {
+					errCh <- ierr
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		return 0, 0, err
+	}
+	return float64(perG*g) / elapsed.Seconds(), file.NumPages(), nil
 }
 
 func writeKey(buf *[8]byte, k int) []byte {
@@ -201,7 +414,7 @@ func measureWrites(cfg WriteConfig, g int, globalMutex bool) (opsPerSec, allocsP
 		nil
 }
 
-// Print renders the sweep as a table.
+// Print renders the sweeps as tables.
 func (r WriteResult) Print(w io.Writer) {
 	fmt.Fprintf(w, "Parallel insert/update throughput, %d preloaded rows, %.0f%% updates, GOMAXPROCS=%d\n",
 		r.Preload, r.UpdateFrac*100, r.GOMAXPROCS)
@@ -210,6 +423,17 @@ func (r WriteResult) Print(w io.Writer) {
 	for _, p := range r.Points {
 		fmt.Fprintf(w, "%12d %18.0f %18.0f %9.2f× %12.3f %14d\n",
 			p.Goroutines, p.MutexOpsPerSec, p.CrabbedOpsPerSec, p.Speedup, p.AllocsPerOp, p.LatchRetries)
+	}
+	if len(r.HeapPoints) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nHeap ingest throughput, %d records of %dB, %d insert shards vs the single-mutex heap\n",
+		r.HeapOps, r.HeapRecordBytes, r.HeapShards)
+	fmt.Fprintf(w, "%12s %18s %18s %10s %12s %14s\n",
+		"goroutines", "1-mutex ops/s", "sharded ops/s", "speedup", "1-mutex pgs", "sharded pgs")
+	for _, p := range r.HeapPoints {
+		fmt.Fprintf(w, "%12d %18.0f %18.0f %9.2f× %12d %14d\n",
+			p.Goroutines, p.MutexOpsPerSec, p.ShardedOpsPerSec, p.Speedup, p.MutexPages, p.ShardedPages)
 	}
 }
 

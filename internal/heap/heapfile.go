@@ -1,18 +1,29 @@
 // Package heap implements heap files: unordered collections of records
-// stored in slotted pages, addressed by RID, with an in-memory
-// free-space map for insert placement.
+// stored in slotted pages, addressed by RID, with in-memory free-space
+// maps for insert placement.
 //
-// The default placement policy is append-biased ("append to table"),
-// matching the behaviour the paper criticizes in Section 3.1: tuple
-// placement follows insertion order, not access pattern, so hot tuples
-// end up scattered. internal/partition implements the paper's fix on
-// top of this layer (delete + re-append clustering and hot/cold
-// partitions).
+// The insert path is sharded. A file owns N insert shards, each with
+// its own mutex, tail page, and free-space map (pages bucketed by
+// remaining insert budget), so parallel inserters contend per shard
+// rather than per file. Goroutines are routed to shards with an
+// affinity hint (see shardHint); a shard that cannot satisfy an insert
+// falls back to its siblings' free space before extending the file, so
+// space freed by deletes is reused no matter which shard owns it.
+//
+// The default placement policy refills freed space anywhere in the
+// file. AppendOnly forces the append-biased policy ("append to table")
+// the paper criticizes in Section 3.1 — tuple placement follows
+// insertion order, not access pattern, so hot tuples end up scattered —
+// which needs a single global tail and therefore a single shard.
+// internal/partition implements the paper's fix on top of this layer
+// (delete + re-append clustering and hot/cold partitions).
 package heap
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/buffer"
 	"repro/internal/storage"
@@ -21,23 +32,159 @@ import (
 // pageFlagHeap tags heap pages in the slotted-page flags word.
 const pageFlagHeap uint16 = 0x48 // 'H'
 
-// File is a heap file. It is safe for concurrent use.
+// slotOverhead pads an insert's space requirement when picking a page:
+// a possible new slot-directory entry plus slack, so the advisory map
+// rarely sends an insert to a page that then refuses it.
+const slotOverhead = 8
+
+// fsmBuckets is the number of free-space buckets per shard. Pages are
+// bucketed by advisory free bytes in units of budget/fsmBuckets, so a
+// pick scans at most a handful of candidates instead of every page.
+// The bucket width bounds the reclaim granularity: freed space smaller
+// than one quantum (budget/64 — 128B on the default 8KiB pages) may
+// sit in the bottom bucket among genuinely full pages where only the
+// boundary probes can find it, so fine buckets keep the strandable
+// slack per page small (PostgreSQL's FSM makes the same trade at 1/256
+// granularity).
+const fsmBuckets = 64
+
+// freeSpaceMap tracks the advisory insertable bytes of the pages one
+// insert shard owns, bucketed by remaining budget so picks are O(1).
+// Values are advisory; the slotted page is the source of truth at
+// insert time, and a failed insert corrects the entry (see File.tryPage).
+// Guarded by the owning shard's mutex.
+type freeSpaceMap struct {
+	budget int // per-page insert budget (fill factor × page size)
+	free   map[storage.PageID]int
+	bucket [fsmBuckets]map[storage.PageID]struct{}
+}
+
+func newFreeSpaceMap(budget int) freeSpaceMap {
+	m := freeSpaceMap{budget: budget, free: make(map[storage.PageID]int)}
+	for i := range m.bucket {
+		m.bucket[i] = make(map[storage.PageID]struct{})
+	}
+	return m
+}
+
+// bucketFor quantizes advisory free bytes to a bucket index. Bucket b
+// holds pages with free space in [b, b+1)·budget/fsmBuckets, so every
+// page in a bucket strictly above bucketFor(need) satisfies need.
+func (m *freeSpaceMap) bucketFor(free int) int {
+	if free <= 0 {
+		return 0
+	}
+	b := free * fsmBuckets / m.budget
+	if b >= fsmBuckets {
+		b = fsmBuckets - 1
+	}
+	return b
+}
+
+// set records or updates a page's advisory free bytes, moving it
+// between buckets as needed.
+func (m *freeSpaceMap) set(id storage.PageID, free int) {
+	if old, ok := m.free[id]; ok {
+		if ob, nb := m.bucketFor(old), m.bucketFor(free); ob != nb {
+			delete(m.bucket[ob], id)
+			m.bucket[nb][id] = struct{}{}
+		}
+	} else {
+		m.bucket[m.bucketFor(free)][id] = struct{}{}
+	}
+	m.free[id] = free
+}
+
+// pick returns a page whose advisory free space covers need. It probes
+// a few candidates in the boundary bucket (whose pages may or may not
+// fit), then takes the first page of any higher bucket (whose pages all
+// fit, modulo staleness the insert path corrects). A fitting page in
+// the boundary bucket beyond the probe limit can be missed — that is
+// the bounded slack the fsmBuckets comment describes.
+func (m *freeSpaceMap) pick(need int) (storage.PageID, bool) {
+	const boundaryProbes = 8
+	b := m.bucketFor(need)
+	probes := 0
+	for id := range m.bucket[b] {
+		if m.free[id] >= need {
+			return id, true
+		}
+		if probes++; probes >= boundaryProbes {
+			break
+		}
+	}
+	for b++; b < fsmBuckets; b++ {
+		for id := range m.bucket[b] {
+			if m.free[id] >= need {
+				return id, true
+			}
+		}
+	}
+	return storage.InvalidPageID, false
+}
+
+// insertShard is one lane of the insert path: a mutex, the shard's
+// free-space map, and the tail page it last allocated. The mutex is
+// held across the whole placement attempt (pick, fetch, page insert),
+// so two inserters in one shard never race for the same page's space.
+type insertShard struct {
+	mu   sync.Mutex
+	fsm  freeSpaceMap
+	tail storage.PageID
+	// cur is the page that accepted this shard's last insert — the hot
+	// page. Inserts try it before consulting the free-space map, so the
+	// common streak of inserts into one page skips the bucket scan.
+	cur storage.PageID
+}
+
+// shardHint is a goroutine-affinity token: a pooled pointer carrying
+// the shard a goroutine was round-robin-assigned on first insert.
+// sync.Pool is P-local, so a goroutine keeps drawing the same hint (and
+// therefore the same shard) while it runs, and concurrent inserters
+// hold distinct hints — goroutine-affine round-robin without goroutine
+// ids or per-insert atomics on a shared counter.
+type shardHint struct {
+	idx int
+}
+
+// File is a heap file. It is safe for concurrent use: see the
+// "Concurrency" section of the package documentation, and the method
+// comments for the exact contract.
+//
+// Lock ordering (enforced by construction, documented in
+// ARCHITECTURE.md): a shard mutex may be held while taking a frame
+// latch or the meta lock; the reverse orders are forbidden — advisory
+// free-space updates after Delete/Update release the frame latch before
+// locking the owning shard, and meta is never held while a shard mutex
+// or latch is awaited.
 type File struct {
 	pool *buffer.Pool
 
-	mu    sync.Mutex
-	pages []storage.PageID // all pages of this file, in allocation order
-	// freeBytes mirrors each page's free space so inserts can pick a
-	// page without fetching them all. Values are advisory; the slotted
-	// page is the source of truth at insert time.
-	freeBytes map[storage.PageID]int
 	// appendOnly forces inserts to ignore free space in earlier pages
 	// and always fill the last page, the paper's "append to table".
+	// It implies a single insert shard (one global tail).
 	appendOnly bool
 	// fillFactor caps how full inserts pack a page (1.0 = to the brim).
 	// Reserved space serves in-place update headroom and, per the
 	// paper's Section 2.2, the data-page join cache.
 	fillFactor float64
+	// budget is the per-page insertable byte cap: fillFactor × page size.
+	budget int
+
+	reqShards int // WithInsertShards request; 0 = automatic
+	shards    []insertShard
+	nextShard atomic.Uint32
+	hints     sync.Pool // of *shardHint
+
+	// meta guards the file's page catalog: every page in allocation
+	// order, plus the shard that owns each page's free-space entry.
+	// Ownership never changes after allocation, so a reader may release
+	// meta before acting on what it looked up.
+	meta struct {
+		sync.RWMutex
+		pages []storage.PageID
+		owner map[storage.PageID]int // page → shard index
+	}
 }
 
 // Option configures a heap file.
@@ -46,7 +193,8 @@ type Option func(*File)
 // AppendOnly makes inserts always go to the tail page, even when older
 // pages have free space. Clustering experiments rely on this to get the
 // paper's "relocate hot tuples by deleting then appending them to the
-// end of the table" semantics.
+// end of the table" semantics. Append-only placement needs one global
+// tail, so it forces a single insert shard, overriding WithInsertShards.
 func AppendOnly() Option {
 	return func(f *File) { f.appendOnly = true }
 }
@@ -64,25 +212,74 @@ func WithFillFactor(ff float64) Option {
 	}
 }
 
+// WithInsertShards sets the number of insert shards (n < 1 picks
+// automatically: min(8, GOMAXPROCS)). More shards admit more parallel
+// inserters at the cost of up to n partially filled tail pages.
+// Ignored under AppendOnly, which needs a single tail.
+func WithInsertShards(n int) Option {
+	return func(f *File) { f.reqShards = n }
+}
+
+// defaultInsertShards sizes the shard count to the machine: inserts
+// serialize below on the buffer pool and disk, so past a small multiple
+// of the CPU count extra shards only cost tail pages.
+func defaultInsertShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // NewFile creates an empty heap file in the pool's disk.
 func NewFile(pool *buffer.Pool, opts ...Option) (*File, error) {
 	f := &File{
 		pool:       pool,
-		freeBytes:  make(map[storage.PageID]int),
 		fillFactor: 1.0,
 	}
 	for _, o := range opts {
 		o(f)
 	}
-	if _, err := f.addPageLocked(); err != nil {
+	n := f.reqShards
+	if n < 1 {
+		n = defaultInsertShards()
+	}
+	if f.appendOnly {
+		n = 1
+	}
+	f.budget = int(f.fillFactor * float64(pool.Disk().PageSize()))
+	f.shards = make([]insertShard, n)
+	for i := range f.shards {
+		f.shards[i].fsm = newFreeSpaceMap(f.budget)
+		f.shards[i].tail = storage.InvalidPageID
+		f.shards[i].cur = storage.InvalidPageID
+	}
+	f.meta.owner = make(map[storage.PageID]int)
+	f.hints.New = func() any {
+		return &shardHint{idx: int(f.nextShard.Add(1)-1) % len(f.shards)}
+	}
+	s := &f.shards[0]
+	s.mu.Lock()
+	_, err := f.addPageLocked(0)
+	s.mu.Unlock()
+	if err != nil {
 		return nil, err
 	}
 	return f, nil
 }
 
-// addPageLocked allocates and formats a fresh heap page. Caller may hold
-// f.mu or call during construction.
-func (f *File) addPageLocked() (storage.PageID, error) {
+// InsertShards returns the number of insert shards the file routes
+// across.
+func (f *File) InsertShards() int { return len(f.shards) }
+
+// addPageLocked allocates and formats a fresh heap page owned by shard
+// si, registering it in the page catalog and the shard's free-space
+// map. Caller holds shards[si].mu (taking meta while holding a shard
+// mutex is the allowed order).
+func (f *File) addPageLocked(si int) (storage.PageID, error) {
 	fr, err := f.pool.NewPage()
 	if err != nil {
 		return storage.InvalidPageID, err
@@ -91,95 +288,210 @@ func (f *File) addPageLocked() (storage.PageID, error) {
 	sp.Init()
 	sp.SetFlags(pageFlagHeap)
 	id := fr.ID()
-	f.pages = append(f.pages, id)
-	f.freeBytes[id] = sp.AvailableBytes()
+	free := f.advisoryFree(sp)
 	f.pool.Unpin(fr, true)
+	f.meta.Lock()
+	f.meta.pages = append(f.meta.pages, id)
+	f.meta.owner[id] = si
+	f.meta.Unlock()
+	s := &f.shards[si]
+	s.fsm.set(id, free)
+	s.tail = id
 	return id, nil
+}
+
+// advisoryFree computes a page's advisory insertable bytes: available
+// bytes after compaction, clamped to the remaining fill-factor budget
+// (a budget-full page must read as full, or it would be picked
+// forever). Call under the page's frame latch, or before the page is
+// published.
+func (f *File) advisoryFree(sp *storage.SlottedPage) int {
+	free := sp.AvailableBytes()
+	if f.fillFactor < 1 {
+		if rem := f.budget - sp.UsedBytes(); rem < free {
+			free = rem
+		}
+	}
+	if free < 0 {
+		free = 0
+	}
+	return free
 }
 
 // NumPages returns the number of pages in the file.
 func (f *File) NumPages() int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return len(f.pages)
+	f.meta.RLock()
+	defer f.meta.RUnlock()
+	return len(f.meta.pages)
 }
 
-// Pages returns a copy of the file's page ids in order.
+// Pages returns a copy of the file's page ids in allocation order.
 func (f *File) Pages() []storage.PageID {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return append([]storage.PageID(nil), f.pages...)
+	f.meta.RLock()
+	defer f.meta.RUnlock()
+	return append([]storage.PageID(nil), f.meta.pages...)
 }
 
 // Insert stores rec and returns its RID.
+//
+// Inserts are routed to the calling goroutine's affine shard; when that
+// shard has no page with enough budget the insert falls back to the
+// sibling shards' free space, and only extends the file when no shard's
+// map can place the record — so deletes anywhere keep feeding inserts
+// everywhere. Placement is approximate, not exact: free slivers below
+// the bucket quantum (budget/64 per page) can be missed by the bounded
+// boundary probes, so the file may grow while that much per-page slack
+// remains — the price of O(1) picks over the exact linear scan.
 func (f *File) Insert(rec []byte) (storage.RID, error) {
 	if len(rec) == 0 {
 		return storage.InvalidRID, fmt.Errorf("heap: cannot insert empty record")
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	target := f.pickPageLocked(len(rec))
-	budget := int(f.fillFactor * float64(f.pool.Disk().PageSize()))
-	for attempt := 0; attempt < 2; attempt++ {
-		fr, err := f.pool.Fetch(target)
-		if err != nil {
-			return storage.InvalidRID, err
-		}
-		fr.Latch.Lock()
-		sp := storage.AsSlotted(fr.Data())
-		var slot uint16
-		// Honor the fill factor: a page holding records already at its
-		// budget refuses further inserts (still below 100% physically).
-		if f.fillFactor < 1 && sp.LiveRecords() > 0 && sp.UsedBytes()+len(rec) > budget {
-			err = storage.ErrNoSpace
-		} else {
-			slot, err = sp.Insert(rec)
-		}
-		free := sp.AvailableBytes()
-		// The advisory must reflect remaining *budget*, not physical
-		// space, or budget-full pages would be picked forever.
-		if f.fillFactor < 1 {
-			if rem := budget - sp.UsedBytes(); rem < free {
-				free = rem
-				if free < 0 {
-					free = 0
-				}
-			}
-		}
-		fr.Latch.Unlock()
-		if err == nil {
-			f.freeBytes[target] = free
-			f.pool.Unpin(fr, true)
-			return storage.RID{Page: target, Slot: slot}, nil
-		}
-		f.pool.Unpin(fr, false)
-		if err != storage.ErrNoSpace {
-			return storage.InvalidRID, err
-		}
-		// The advisory map was stale or the record simply doesn't fit:
-		// extend the file and retry once on the fresh page.
-		f.freeBytes[target] = free
-		target, err = f.addPageLocked()
-		if err != nil {
-			return storage.InvalidRID, err
-		}
-	}
-	return storage.InvalidRID, fmt.Errorf("heap: record of %d bytes does not fit in an empty page", len(rec))
+	h := f.hints.Get().(*shardHint)
+	rid, err := f.insert(h.idx, rec)
+	f.hints.Put(h)
+	return rid, err
 }
 
-// pickPageLocked chooses the insert target: the tail page in append-only
-// mode, otherwise the first page whose advisory free space fits.
-func (f *File) pickPageLocked(need int) storage.PageID {
-	tail := f.pages[len(f.pages)-1]
-	if f.appendOnly {
-		return tail
+func (f *File) insert(homeIdx int, rec []byte) (storage.RID, error) {
+	home := &f.shards[homeIdx]
+	home.mu.Lock()
+	rid, ok, err := f.insertLocked(home, rec)
+	home.mu.Unlock()
+	if err != nil {
+		return storage.InvalidRID, err
 	}
-	for _, id := range f.pages {
-		if f.freeBytes[id] >= need+8 { // 8 = slot entry + slack
-			return id
+	if ok {
+		return rid, nil
+	}
+	// Cross-shard fallback: the home shard has no page that fits, but a
+	// sibling might (deletes land space in whichever shard owns the
+	// page). Shard mutexes are taken one at a time — never two at once —
+	// so the fallback cannot deadlock with other inserters.
+	for d := 1; d < len(f.shards); d++ {
+		s := &f.shards[(homeIdx+d)%len(f.shards)]
+		s.mu.Lock()
+		rid, ok, err = f.insertLocked(s, rec)
+		s.mu.Unlock()
+		if err != nil {
+			return storage.InvalidRID, err
+		}
+		if ok {
+			return rid, nil
 		}
 	}
-	return tail
+	// No shard can satisfy the insert: extend the file with a page owned
+	// by the home shard. Re-check under the lock first — a concurrent
+	// inserter may have extended (or a delete freed space) meanwhile.
+	home.mu.Lock()
+	defer home.mu.Unlock()
+	rid, ok, err = f.insertLocked(home, rec)
+	if err != nil {
+		return storage.InvalidRID, err
+	}
+	if ok {
+		return rid, nil
+	}
+	id, err := f.addPageLocked(homeIdx)
+	if err != nil {
+		return storage.InvalidRID, err
+	}
+	rid, ok, err = f.tryPage(home, id, rec)
+	if err != nil {
+		return storage.InvalidRID, err
+	}
+	if !ok {
+		return storage.InvalidRID, fmt.Errorf("heap: record of %d bytes does not fit in an empty page", len(rec))
+	}
+	return rid, nil
+}
+
+// insertLocked attempts to place rec in one of s's pages, correcting
+// stale advisory entries as it goes. Returns ok=false (no error) when
+// the shard has no page that fits. Caller holds s.mu.
+func (f *File) insertLocked(s *insertShard, rec []byte) (storage.RID, bool, error) {
+	need := len(rec) + slotOverhead
+	// Hot-page fast path: the page that took the last insert usually
+	// takes the next one too, so skip the bucket scan while its
+	// advisory still covers need.
+	if !f.appendOnly && s.cur != storage.InvalidPageID && s.fsm.free[s.cur] >= need {
+		rid, ok, err := f.tryPage(s, s.cur, rec)
+		if err != nil || ok {
+			return rid, ok, err
+		}
+	}
+	for {
+		target := s.tail
+		if !f.appendOnly {
+			t, ok := s.fsm.pick(need)
+			if !ok {
+				return storage.InvalidRID, false, nil
+			}
+			target = t
+		} else if target == storage.InvalidPageID {
+			return storage.InvalidRID, false, nil
+		}
+		rid, ok, err := f.tryPage(s, target, rec)
+		if err != nil || ok {
+			return rid, ok, err
+		}
+		if f.appendOnly {
+			// The tail refused the record; only a fresh tail helps.
+			return storage.InvalidRID, false, nil
+		}
+		// tryPage corrected the page's advisory below need, so the next
+		// pick cannot return it again: the loop terminates after at most
+		// one failed attempt per stale entry.
+	}
+}
+
+// tryPage pins and latches target and attempts the page-level insert,
+// honoring the fill-factor budget: a page holding records already at
+// its budget refuses further inserts (still below 100% physically).
+// Whatever happens, the shard's advisory entry for target is refreshed
+// with the truth observed under the latch. Caller holds s.mu.
+func (f *File) tryPage(s *insertShard, target storage.PageID, rec []byte) (storage.RID, bool, error) {
+	fr, err := f.pool.Fetch(target)
+	if err != nil {
+		return storage.InvalidRID, false, err
+	}
+	fr.Latch.Lock()
+	sp := storage.AsSlotted(fr.Data())
+	var slot uint16
+	if f.fillFactor < 1 && sp.LiveRecords() > 0 && sp.UsedBytes()+len(rec) > f.budget {
+		err = storage.ErrNoSpace
+	} else {
+		slot, err = sp.Insert(rec)
+	}
+	free := f.advisoryFree(sp)
+	fr.Latch.Unlock()
+	s.fsm.set(target, free)
+	if err == nil {
+		s.cur = target
+		f.pool.Unpin(fr, true)
+		return storage.RID{Page: target, Slot: slot}, true, nil
+	}
+	f.pool.Unpin(fr, false)
+	if err != storage.ErrNoSpace {
+		return storage.InvalidRID, false, err
+	}
+	return storage.InvalidRID, false, nil
+}
+
+// noteFree publishes an advisory free-space observation to the owning
+// shard's map. Callers must hold no frame latch and no shard mutex:
+// frame latches order before shard mutexes would invert the insert
+// path's shard→latch order and deadlock.
+func (f *File) noteFree(id storage.PageID, free int) {
+	f.meta.RLock()
+	si, ok := f.meta.owner[id]
+	f.meta.RUnlock()
+	if !ok {
+		return
+	}
+	s := &f.shards[si]
+	s.mu.Lock()
+	s.fsm.set(id, free)
+	s.mu.Unlock()
 }
 
 // Get returns a copy of the record at rid.
@@ -207,7 +519,9 @@ func (f *File) GetInto(dst []byte, rid storage.RID) ([]byte, error) {
 	return out, err
 }
 
-// Delete removes the record at rid.
+// Delete removes the record at rid. The freed space is reported to the
+// page's owning shard, so later inserts — from any shard, via the
+// cross-shard fallback — reclaim it.
 func (f *File) Delete(rid storage.RID) error {
 	fr, err := f.pool.Fetch(rid.Page)
 	if err != nil {
@@ -216,14 +530,12 @@ func (f *File) Delete(rid storage.RID) error {
 	fr.Latch.Lock()
 	sp := storage.AsSlotted(fr.Data())
 	err = sp.Delete(rid.Slot)
-	free := sp.AvailableBytes()
+	free := f.advisoryFree(sp)
 	fr.Latch.Unlock()
 	dirty := err == nil
 	f.pool.Unpin(fr, dirty)
 	if err == nil {
-		f.mu.Lock()
-		f.freeBytes[rid.Page] = free
-		f.mu.Unlock()
+		f.noteFree(rid.Page, free)
 	}
 	return err
 }
@@ -240,13 +552,11 @@ func (f *File) Update(rid storage.RID, rec []byte) (storage.RID, error) {
 	fr.Latch.Lock()
 	sp := storage.AsSlotted(fr.Data())
 	err = sp.Update(rid.Slot, rec)
-	free := sp.AvailableBytes()
+	free := f.advisoryFree(sp)
 	fr.Latch.Unlock()
 	if err == nil {
 		f.pool.Unpin(fr, true)
-		f.mu.Lock()
-		f.freeBytes[rid.Page] = free
-		f.mu.Unlock()
+		f.noteFree(rid.Page, free)
 		return rid, nil
 	}
 	f.pool.Unpin(fr, false)
@@ -286,7 +596,8 @@ func (f *File) VisitPage(id storage.PageID, fn func(sp *storage.SlottedPage, exc
 
 // Scan iterates over every live record in file order. fn receives the
 // RID and the raw record (aliasing the page; copy to retain) and
-// returns false to stop early.
+// returns false to stop early. Pages appended after the scan started
+// are not visited.
 func (f *File) Scan(fn func(rid storage.RID, rec []byte) bool) error {
 	for _, id := range f.Pages() {
 		fr, err := f.pool.Fetch(id)
@@ -323,7 +634,9 @@ type Stats struct {
 	MeanUtilization float64
 }
 
-// Stats scans the file's pages and reports occupancy.
+// Stats scans the file's pages and reports occupancy. It reads each
+// page under its latch, never the advisory maps, so the byte accounting
+// is exact even while the free-space maps hold stale observations.
 func (f *File) Stats() (Stats, error) {
 	var st Stats
 	pages := f.Pages()

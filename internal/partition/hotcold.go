@@ -39,6 +39,14 @@ type Config struct {
 	KeyFields []string
 	// FillFactor for partition indexes (0 = default 0.68).
 	FillFactor float64
+	// TableOptions apply to both partition tables (heap fill factor,
+	// insert shards, …). Append-only placement is always forced last —
+	// the paper's clustering policy relocates tuples to "the end of the
+	// table", which needs a single tail — so a WithHeapInsertShards here
+	// is overridden down to one shard; ingest parallelism in a hot/cold
+	// pair comes from the two partitions' independent heaps and the
+	// latch-crabbed partition indexes instead.
+	TableOptions []core.TableOption
 }
 
 // New creates an empty hot/cold pair with lookup indexes.
@@ -50,11 +58,15 @@ func New(cfg Config) (*HotCold, error) {
 	if ff == 0 {
 		ff = 0.68
 	}
-	hot, err := cfg.Engine.CreateTable(cfg.Name+"_hot", cfg.Schema, core.WithAppendOnlyHeap())
+	// The forced append-only option goes last so it wins over anything
+	// in cfg.TableOptions; the full-slice expression keeps the two
+	// appends from sharing a backing array.
+	topts := cfg.TableOptions[:len(cfg.TableOptions):len(cfg.TableOptions)]
+	hot, err := cfg.Engine.CreateTable(cfg.Name+"_hot", cfg.Schema, append(topts, core.WithAppendOnlyHeap())...)
 	if err != nil {
 		return nil, err
 	}
-	cold, err := cfg.Engine.CreateTable(cfg.Name+"_cold", cfg.Schema, core.WithAppendOnlyHeap())
+	cold, err := cfg.Engine.CreateTable(cfg.Name+"_cold", cfg.Schema, append(topts, core.WithAppendOnlyHeap())...)
 	if err != nil {
 		return nil, err
 	}
@@ -89,12 +101,17 @@ func (hc *HotCold) ColdIndex() *core.Index { return hc.coldIx }
 // Forwarding returns the forwarding table for relocated tuples.
 func (hc *HotCold) Forwarding() *Forwarding { return hc.fwd }
 
-// InsertHot adds a row to the hot partition.
+// InsertHot adds a row to the hot partition. Safe for concurrent use;
+// parallel ingest into the two partitions never contends — each has
+// its own heap tail and index — and within one partition inserters
+// contend only on the append-only heap's single tail and the crabbed
+// index leaves they touch.
 func (hc *HotCold) InsertHot(row tuple.Row) (storage.RID, error) {
 	return hc.hot.Insert(row)
 }
 
-// InsertCold adds a row to the cold partition.
+// InsertCold adds a row to the cold partition. See InsertHot for the
+// concurrency contract.
 func (hc *HotCold) InsertCold(row tuple.Row) (storage.RID, error) {
 	return hc.cold.Insert(row)
 }

@@ -26,8 +26,11 @@ type groupTable struct {
 }
 
 // NewVerticalTable materializes a split on an engine. The primary key
-// field is added to every group. Table names are "<name>_g<i>".
-func NewVerticalTable(e *core.Engine, name string, schema *tuple.Schema, pkField string, groups [][]string) (*VerticalTable, error) {
+// field is added to every group. Table names are "<name>_g<i>". opts
+// apply to every group table — WithHeapInsertShards in particular
+// configures each group heap's parallel-ingest lanes, since the groups
+// are ordinary (non-append-only) tables.
+func NewVerticalTable(e *core.Engine, name string, schema *tuple.Schema, pkField string, groups [][]string, opts ...core.TableOption) (*VerticalTable, error) {
 	if schema.Index(pkField) < 0 {
 		return nil, fmt.Errorf("vertical: pk field %q not in schema", pkField)
 	}
@@ -58,7 +61,7 @@ func NewVerticalTable(e *core.Engine, name string, schema *tuple.Schema, pkField
 		if err != nil {
 			return nil, err
 		}
-		tb, err := e.CreateTable(fmt.Sprintf("%s_g%d", name, gi), gschema)
+		tb, err := e.CreateTable(fmt.Sprintf("%s_g%d", name, gi), gschema, opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -85,8 +88,9 @@ func NewVerticalTable(e *core.Engine, name string, schema *tuple.Schema, pkField
 func (vt *VerticalTable) NumGroups() int { return len(vt.groups) }
 
 // Insert stores a logical row across all groups. Each group's insert
-// is individually thread-safe (heap lock + index latch crabbing), but
-// the logical row lands group by group: a concurrent reader can
+// is individually thread-safe (sharded heap placement + index latch
+// crabbing, so parallel ingesters contend per heap shard and per leaf),
+// but the logical row lands group by group: a concurrent reader can
 // observe a pk whose later groups have not been written yet. Callers
 // needing cross-group atomicity must serialize above this layer.
 func (vt *VerticalTable) Insert(row tuple.Row) error {

@@ -55,6 +55,10 @@ type Cursor = core.Cursor
 // reverse, cache policy).
 type QueryOption = core.QueryOption
 
+// TableOption configures CreateTable (heap placement policy, fill
+// factor, insert shards).
+type TableOption = core.TableOption
+
 // QueryStats counts how a cursor's rows were answered (cache vs heap).
 type QueryStats = core.QueryStats
 
@@ -137,8 +141,17 @@ var (
 	// NonUnique permits duplicate keys.
 	NonUnique = core.NonUnique
 	// WithAppendOnlyHeap gives a table the append-at-tail placement
-	// policy §3.1 critiques (and its clustering exploits).
+	// policy §3.1 critiques (and its clustering exploits). Forces a
+	// single heap insert shard (one global tail).
 	WithAppendOnlyHeap = core.WithAppendOnlyHeap
+	// WithHeapFillFactor reserves 1−ff of each heap page for in-place
+	// update headroom and the §2.2 join cache.
+	WithHeapFillFactor = core.WithHeapFillFactor
+	// WithHeapInsertShards sets a table's heap insert shard count —
+	// the parallel-ingest knob (0 = automatic; 1 = the classic
+	// single-mutex insert path; see Options.HeapInsertShards for the
+	// engine-wide default).
+	WithHeapInsertShards = core.WithHeapInsertShards
 )
 
 // Query options (see Table.Query / Index.Query).
