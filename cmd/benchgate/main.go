@@ -24,7 +24,10 @@
 //     impossible); for the heap, sharded-insert throughput strictly
 //     at or above the reproduced single-mutex heap at every goroutine
 //     count — the bucketed free-space maps give a deterministic margin
-//     that holds even single-core.
+//     that holds even single-core; and for the batch-ingest series,
+//     batched Table.Apply throughput at or above the one-row path at
+//     every goroutine count and batch size (the leaf-grouped runs'
+//     amortization is deterministic, so this too holds single-core).
 //
 // A comparison pair is skipped (with a note) when the two files were
 // measured over different workload shapes — a config change is a
@@ -269,6 +272,27 @@ func gateWrite(base, fresh string, tol float64) {
 		}
 	}
 
+	// Batch-ingest self-invariants: batched Apply (shard-affine heap
+	// runs + leaf-grouped index runs) must meet or beat the one-row
+	// path at every goroutine count and batch size. The amortization is
+	// deterministic — fewer descents, latches, and mutex acquisitions
+	// for the same work — so this holds strictly even single-core.
+	if len(f.BatchPoints) == 0 {
+		failf("write: BENCH_write.json has no batch-ingest series — the Apply-vs-one-row sweep must run on every PR")
+	}
+	for _, p := range f.BatchPoints {
+		if p.OneRowOpsPerSec <= 0 {
+			continue
+		}
+		if s := p.BatchedOpsPerSec / p.OneRowOpsPerSec; s < 1.0 {
+			failf("write batch g=%d size=%d: batched %.0f ops/s vs one-row %.0f (%.2f×, need ≥1.00×)",
+				p.Goroutines, p.BatchSize, p.BatchedOpsPerSec, p.OneRowOpsPerSec, s)
+		} else {
+			okf("batch g=%d size=%d batched %.0f ops/s vs one-row %.0f (%.2f×)",
+				p.Goroutines, p.BatchSize, p.BatchedOpsPerSec, p.OneRowOpsPerSec, s)
+		}
+	}
+
 	var b experiments.WriteResult
 	found, err = readJSON(filepath.Join(base, "BENCH_write.json"), &b)
 	if err != nil {
@@ -317,6 +341,46 @@ func gateWrite(base, fresh string, tol float64) {
 			}
 		}
 	}
+	if b.BatchOps != f.BatchOps || !sameInts(b.BatchSizes, f.BatchSizes) {
+		notef("batch workload shape changed — batch comparison skipped; refresh the baseline")
+		return
+	}
+	for _, fp := range f.BatchPoints {
+		for _, bp := range b.BatchPoints {
+			if bp.Goroutines != fp.Goroutines || bp.BatchSize != fp.BatchSize {
+				continue
+			}
+			if !ratioOK(fp.BatchedOpsPerSec, bp.BatchedOpsPerSec, tol) {
+				failf("write batch g=%d size=%d: batched %.0f ops/s vs baseline %.0f (>%.0f%% down)",
+					fp.Goroutines, fp.BatchSize, fp.BatchedOpsPerSec, bp.BatchedOpsPerSec, tol*100)
+			} else {
+				okf("batch g=%d size=%d batched %.0f ops/s (baseline %.0f)",
+					fp.Goroutines, fp.BatchSize, fp.BatchedOpsPerSec, bp.BatchedOpsPerSec)
+			}
+			// The one-row wrappers are gated too: making batches faster
+			// by slowing the single-op path would pass the batched≥one-row
+			// self-invariant while regressing every existing caller.
+			if !ratioOK(fp.OneRowOpsPerSec, bp.OneRowOpsPerSec, tol) {
+				failf("write batch g=%d size=%d: one-row %.0f ops/s vs baseline %.0f (>%.0f%% down)",
+					fp.Goroutines, fp.BatchSize, fp.OneRowOpsPerSec, bp.OneRowOpsPerSec, tol*100)
+			} else {
+				okf("batch g=%d size=%d one-row %.0f ops/s (baseline %.0f)",
+					fp.Goroutines, fp.BatchSize, fp.OneRowOpsPerSec, bp.OneRowOpsPerSec)
+			}
+		}
+	}
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // loadPair reads base and fresh copies of name into b and f, reporting

@@ -16,7 +16,8 @@
 //	nblb-bench -exp ablate-predlog # A2 predicate-log ablation
 //	nblb-bench -exp throughput     # parallel lookup scaling, 1-shard vs sharded pool
 //	nblb-bench -exp scan           # full-table scan: callback vs cursor, cache vs heap
-//	nblb-bench -exp write          # parallel ingest: latch crabbing vs one write mutex
+//	nblb-bench -exp write          # parallel ingest: crabbing vs mutex, sharded vs
+//	                               # legacy heap, batched Apply vs one-row inserts
 //
 // -quick shrinks every experiment for a fast smoke run. The throughput,
 // scan, and write experiments also write BENCH_throughput.json /
@@ -285,6 +286,7 @@ func main() {
 		if *quick {
 			cfg.Preload, cfg.Ops = 5000, 20000
 			cfg.HeapOps = 40000
+			cfg.BatchOps = 20000
 			cfg.Goroutines = []int{1, 2, 4}
 		}
 		res, err := experiments.RunWrite(cfg)

@@ -57,11 +57,14 @@ func main() {
 		log.Fatal(err)
 	}
 	var sample []nblb.Row
-	err = table.Scan(func(_ nblb.RID, row nblb.Row) bool {
-		sample = append(sample, row.Clone())
-		return len(sample) < 1000
-	})
+	cur, err := table.Query(nblb.WithLimit(1000))
 	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range cur.All() {
+		sample = append(sample, row.Clone())
+	}
+	if err := cur.Err(); err != nil {
 		log.Fatal(err)
 	}
 	packed, err := codec.EncodeRows(sample)

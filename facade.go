@@ -23,7 +23,9 @@ type Forwarding = partition.Forwarding
 func NewForwarding() *Forwarding { return partition.NewForwarding() }
 
 // HotCold is a table split into hot and cold partitions with per-
-// partition lookup indexes.
+// partition lookup indexes. Batched mutations route per partition via
+// ApplyHot/ApplyCold, which record forwarding entries for relocated
+// updates automatically.
 type HotCold = partition.HotCold
 
 // HotColdCursor is a merged key-ordered cursor over both partitions
@@ -74,7 +76,9 @@ type VerticalTable = vertical.VerticalTable
 type VerticalCursor = vertical.Cursor
 
 // NewVerticalTable materializes a split on the engine. opts apply to
-// every group table (heap insert shards, fill factor, …).
+// every group table (heap insert shards, fill factor, …). Bulk ingest
+// should use VerticalTable.InsertBatch, which fans one logical batch
+// out as one leaf-grouped batch per group.
 func NewVerticalTable(e *Engine, name string, schema *Schema, pkField string, groups [][]string, opts ...TableOption) (*VerticalTable, error) {
 	return vertical.NewVerticalTable(e, name, schema, pkField, groups, opts...)
 }

@@ -124,10 +124,14 @@ func (t *Tree) maxKeyLen() int {
 // noteKeyLen publishes len(key) into the separator-length bound before
 // any descent routes on it, so a concurrent pessimistic writer's safety
 // checks already account for this key.
-func (t *Tree) noteKeyLen(key []byte) {
+func (t *Tree) noteKeyLen(key []byte) { t.noteSepLen(len(key)) }
+
+// noteSepLen raises the separator-length bound to at least n (ApplyRun
+// publishes a whole run's longest key in one shot).
+func (t *Tree) noteSepLen(n int) {
 	for {
 		cur := t.maxSepLen.Load()
-		if int64(len(key)) <= cur || t.maxSepLen.CompareAndSwap(cur, int64(len(key))) {
+		if int64(n) <= cur || t.maxSepLen.CompareAndSwap(cur, int64(n)) {
 			return
 		}
 	}

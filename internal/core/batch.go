@@ -1,0 +1,488 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/btree"
+	"repro/internal/storage"
+	"repro/internal/tuple"
+)
+
+// BatchOpKind tags one queued Batch operation.
+type BatchOpKind uint8
+
+const (
+	// BatchInsert adds a new row.
+	BatchInsert BatchOpKind = iota
+	// BatchUpdate replaces the row at a RID.
+	BatchUpdate
+	// BatchDelete removes the row at a RID.
+	BatchDelete
+)
+
+// BatchOp is the public view of one queued operation (Batch.Op), enough
+// for callers that post-process Apply results — e.g. the hot/cold
+// partition recording forwarding entries for relocated updates.
+type BatchOp struct {
+	Kind BatchOpKind
+	// RID is the update/delete target (InvalidRID for inserts).
+	RID storage.RID
+}
+
+type batchOp struct {
+	kind BatchOpKind
+	row  tuple.Row // insert/update: the new row (aliased, not copied)
+	rid  storage.RID
+}
+
+// Batch accumulates mutations for Table.Apply — the write-side builder
+// that is to Insert/Update/Delete what Query is to Scan. A zero Batch
+// is ready to use:
+//
+//	var b core.Batch
+//	b.Insert(row1).Insert(row2)
+//	b.Update(rid, row3)
+//	b.Delete(rid2)
+//	res, err := tbl.Apply(&b)
+//
+// Rows are aliased, not copied: they must stay unchanged until Apply
+// returns. A Batch is not safe for concurrent use, but many goroutines
+// may Apply distinct batches to one table in parallel. Ops within one
+// batch must target distinct rows and index keys — Apply reorders work
+// across ops (heap runs, key-sorted index runs), so the relative order
+// of two ops touching the same key is unspecified unless
+// WithSyncIndexes pins batch order.
+type Batch struct {
+	ops []batchOp
+}
+
+// Insert queues a row insert. Returns the batch for chaining.
+func (b *Batch) Insert(row tuple.Row) *Batch {
+	b.ops = append(b.ops, batchOp{kind: BatchInsert, row: row})
+	return b
+}
+
+// Update queues replacing the row at rid with row.
+func (b *Batch) Update(rid storage.RID, row tuple.Row) *Batch {
+	b.ops = append(b.ops, batchOp{kind: BatchUpdate, row: row, rid: rid})
+	return b
+}
+
+// Delete queues removing the row at rid.
+func (b *Batch) Delete(rid storage.RID) *Batch {
+	b.ops = append(b.ops, batchOp{kind: BatchDelete, rid: rid})
+	return b
+}
+
+// Len returns the number of queued ops.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Op returns the i-th queued op's kind and target.
+func (b *Batch) Op(i int) BatchOp {
+	op := b.ops[i]
+	return BatchOp{Kind: op.kind, RID: op.rid}
+}
+
+// Reset empties the batch for reuse, keeping its capacity.
+func (b *Batch) Reset() { b.ops = b.ops[:0] }
+
+// ApplyOption configures Table.Apply.
+type ApplyOption func(*applyConfig)
+
+type applyConfig struct {
+	sync     bool
+	fill     float64
+	wantRIDs bool
+}
+
+// WithSyncIndexes applies each op's index maintenance immediately after
+// its heap write, in batch order — the one-row path's interleaving.
+// This forfeits the leaf-grouped runs (one descent per key again) but
+// preserves the relative order of ops touching the same key, so it is
+// the right mode for batches with intra-batch dependencies.
+func WithSyncIndexes() ApplyOption {
+	return func(c *applyConfig) { c.sync = true }
+}
+
+// WithBatchFillFactor caps how full this batch's heap inserts pack any
+// page (fraction of the page size), overriding the table's
+// WithHeapFillFactor for the run only — bulk loads that want extra
+// update headroom get it without reconfiguring the table. 0 keeps the
+// table policy.
+func WithBatchFillFactor(ff float64) ApplyOption {
+	return func(c *applyConfig) { c.fill = ff }
+}
+
+// WithResultRIDs makes Apply record each op's resulting RID in
+// Result.RIDs (inserts: the new row; updates: the possibly relocated
+// row; deletes: InvalidRID). Off by default — the slice is one
+// allocation a fire-and-forget ingest batch does not need.
+func WithResultRIDs() ApplyOption {
+	return func(c *applyConfig) { c.wantRIDs = true }
+}
+
+// Result reports what one Apply did.
+//
+// The contract is per-op, not transactional: each op applies
+// independently and becomes visible to concurrent readers atomically
+// per structure (heap row before its index entries for inserts, index
+// entries removed before the heap row for deletes), so a reader never
+// observes a half-applied row — but there is no all-or-nothing batch
+// and no rollback. On error, ops before ErrIndex are applied, the op
+// at ErrIndex and everything after are not; when the error arose below
+// the per-op stage (an I/O failure mid-run), Applied is a lower bound
+// and later ops may be partially indexed.
+type Result struct {
+	// Applied counts ops applied end to end.
+	Applied int
+	// ErrIndex is the batch position of the first failed op, -1 when
+	// every op applied (or the failure was not attributable to one op).
+	ErrIndex int
+	// Err is the first error encountered (also returned by Apply).
+	Err error
+	// RIDs holds each op's resulting RID when WithResultRIDs was given.
+	// Each entry is filled the moment the op's heap write lands, so on
+	// a failed batch the RIDs of ops that did reach the heap are still
+	// reported (ops that never ran stay InvalidRID).
+	RIDs []storage.RID
+}
+
+// fail records the first error on the result and returns it.
+func (r *Result) fail(i int, err error) error {
+	if r.Err == nil {
+		r.ErrIndex, r.Err = i, err
+	}
+	return r.Err
+}
+
+// opState carries an op's pre-flight products through the stages.
+type opState struct {
+	rec    []byte    // encoded new row (insert/update)
+	oldRow tuple.Row // pre-image (update/delete)
+	newRID storage.RID
+}
+
+// Apply executes the batch against the table and every index. See
+// Result for the per-op-atomicity contract and Batch for aliasing and
+// intra-batch ordering rules.
+//
+// The default mode amortizes per-op costs across the batch:
+//
+//  1. Pre-flight: rows encode and pre-images load, in batch order; the
+//     first failure truncates the batch at that op.
+//  2. Index deletes (delete ops) apply per index as key-sorted
+//     leaf-grouped runs (btree.Tree.ApplyRun) — entries leave the
+//     indexes before their heap rows die, so readers cannot chase a
+//     freed RID.
+//  3. Heap: deletes and updates per RID, inserts dispatched through the
+//     sharded heap in shard-affine runs (heap.File.InsertRun) under one
+//     shard-mutex acquisition instead of one per row.
+//  4. Index upserts (inserts, update key moves) apply as key-sorted
+//     leaf-grouped runs: one crabbed descent and one exclusive leaf
+//     latch per leaf run instead of per key.
+//
+// Like every table write, Apply holds the table mutex only shared (to
+// pin the index set): parallel Applies contend per heap shard and per
+// index leaf, never on the table.
+func (t *Table) Apply(b *Batch, opts ...ApplyOption) (Result, error) {
+	var cfg applyConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	res := Result{ErrIndex: -1}
+	if b == nil || len(b.ops) == 0 {
+		return res, nil
+	}
+	ops := b.ops
+	if cfg.wantRIDs {
+		res.RIDs = make([]storage.RID, len(ops))
+		for i := range res.RIDs {
+			res.RIDs[i] = storage.InvalidRID
+		}
+	}
+
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+
+	// Pre-flight, in batch order. A failure here truncates the batch:
+	// ops before it proceed through the stages, it and everything after
+	// are never started.
+	st := make([]opState, len(ops))
+	n := len(ops)
+	for i := range ops {
+		op := &ops[i]
+		var err error
+		switch op.kind {
+		case BatchInsert:
+			st[i].rec, err = tuple.Encode(t.schema, op.row, nil)
+			if err != nil {
+				err = fmt.Errorf("core: encoding row for %q: %w", t.name, err)
+			}
+		case BatchUpdate:
+			if st[i].oldRow, err = t.Get(op.rid); err != nil {
+				err = fmt.Errorf("core: update of %v: %w", op.rid, err)
+			} else if st[i].rec, err = tuple.Encode(t.schema, op.row, nil); err != nil {
+				err = fmt.Errorf("core: encoding row for %q: %w", t.name, err)
+			}
+		case BatchDelete:
+			if st[i].oldRow, err = t.Get(op.rid); err != nil {
+				err = fmt.Errorf("core: delete of %v: %w", op.rid, err)
+			}
+		}
+		if err != nil {
+			res.fail(i, err)
+			n = i
+			break
+		}
+	}
+
+	// A one-op batch (the Insert/Update/Delete wrappers) has nothing to
+	// amortize: the sync path is the classic one-row pipeline without
+	// the grouped stages' run scaffolding. The batch fill override is
+	// the one thing only the grouped heap stage implements.
+	if cfg.sync || (n == 1 && cfg.fill == 0) {
+		if err := t.applySync(ops[:n], st[:n], &res); err != nil {
+			return res, err
+		}
+		return res, res.Err
+	}
+	if err := t.applyGrouped(ops[:n], st[:n], &res, cfg); err != nil {
+		return res, err
+	}
+	return res, res.Err
+}
+
+// applySync is the batch-order mode: each op runs the classic one-row
+// pipeline (heap write, then per-index maintenance) before the next op
+// starts.
+func (t *Table) applySync(ops []batchOp, st []opState, res *Result) error {
+	for i := range ops {
+		op := &ops[i]
+		var err error
+		switch op.kind {
+		case BatchInsert:
+			var rid storage.RID
+			if rid, err = t.file.Insert(st[i].rec); err == nil {
+				st[i].newRID = rid
+				t.rows.Add(1)
+				for _, ix := range t.indexes {
+					if err = ix.insertEntry(op.row, rid); err != nil {
+						err = fmt.Errorf("core: maintaining index %q: %w", ix.name, err)
+						break
+					}
+				}
+			}
+		case BatchUpdate:
+			var newRID storage.RID
+			if newRID, err = t.file.Update(op.rid, st[i].rec); err == nil {
+				st[i].newRID = newRID
+				moved := newRID != op.rid
+				for _, ix := range t.indexes {
+					if err = ix.updateEntry(st[i].oldRow, op.row, op.rid, newRID, moved); err != nil {
+						err = fmt.Errorf("core: maintaining index %q: %w", ix.name, err)
+						break
+					}
+				}
+			}
+		case BatchDelete:
+			// Delete order is index-first (unlike the historical one-row
+			// path): a concurrent index reader can then never hold an
+			// entry whose heap row is already gone.
+			for _, ix := range t.indexes {
+				if err = ix.deleteEntry(st[i].oldRow, op.rid); err != nil {
+					err = fmt.Errorf("core: maintaining index %q: %w", ix.name, err)
+					break
+				}
+			}
+			if err == nil {
+				if err = t.file.Delete(op.rid); err == nil {
+					t.rows.Add(-1)
+				}
+			}
+		}
+		if err != nil {
+			return res.fail(i, err)
+		}
+		if res.RIDs != nil {
+			res.RIDs[i] = st[i].newRID
+		}
+		res.Applied++
+	}
+	return nil
+}
+
+// runEntries is the per-index accumulation of one grouped stage: run
+// entries plus each entry's originating batch position (for error and
+// duplicate attribution after the key sort).
+type runEntries struct {
+	entries []btree.RunEntry
+	opIdx   []int
+}
+
+func (r *runEntries) add(key []byte, value uint64, op btree.RunOp, opIdx int) {
+	r.entries = append(r.entries, btree.RunEntry{Key: key, Value: value, Op: op})
+	r.opIdx = append(r.opIdx, opIdx)
+}
+
+func (r *runEntries) sort() {
+	sort.Sort(r)
+}
+
+func (r *runEntries) Len() int { return len(r.entries) }
+func (r *runEntries) Less(i, j int) bool {
+	return bytes.Compare(r.entries[i].Key, r.entries[j].Key) < 0
+}
+func (r *runEntries) Swap(i, j int) {
+	r.entries[i], r.entries[j] = r.entries[j], r.entries[i]
+	r.opIdx[i], r.opIdx[j] = r.opIdx[j], r.opIdx[i]
+}
+
+// applyGrouped is the amortized mode; see Apply for the stage order.
+func (t *Table) applyGrouped(ops []batchOp, st []opState, res *Result, cfg applyConfig) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	// Stage 2: index deletes for delete ops, one sorted leaf-grouped run
+	// per index, then the cache invalidations deleteEntry would do.
+	var dels runEntries
+	for _, ix := range t.indexes {
+		dels.entries, dels.opIdx = dels.entries[:0], dels.opIdx[:0]
+		for i := range ops {
+			if ops[i].kind != BatchDelete {
+				continue
+			}
+			key, err := ix.entryKey(st[i].oldRow, ops[i].rid)
+			if err != nil {
+				return res.fail(i, err)
+			}
+			dels.add(key, 0, btree.RunDelete, i)
+		}
+		if dels.Len() == 0 {
+			continue
+		}
+		dels.sort()
+		if _, err := ix.tree.ApplyRun(dels.entries); err != nil {
+			return res.fail(-1, fmt.Errorf("core: maintaining index %q: %w", ix.name, err))
+		}
+		if ix.cache != nil {
+			for _, e := range dels.entries {
+				ix.cache.NotifyUpdate(e.Key)
+			}
+		}
+	}
+
+	// Stage 3: heap. Deletes and updates are per-RID; inserts run
+	// through the sharded heap in shard-affine runs.
+	var (
+		insRecs [][]byte
+		insOps  []int
+	)
+	// RIDs are published into the result the moment each heap op lands,
+	// not at the end: a later stage failing must not hide where the
+	// already-durable ops put their rows (the hot/cold partition's
+	// forwarding updates depend on relocated RIDs being reported even
+	// for a batch that then errors).
+	for i := range ops {
+		op := &ops[i]
+		switch op.kind {
+		case BatchDelete:
+			if err := t.file.Delete(op.rid); err != nil {
+				return res.fail(i, err)
+			}
+			t.rows.Add(-1)
+		case BatchUpdate:
+			newRID, err := t.file.Update(op.rid, st[i].rec)
+			if err != nil {
+				return res.fail(i, err)
+			}
+			st[i].newRID = newRID
+			if res.RIDs != nil {
+				res.RIDs[i] = newRID
+			}
+		case BatchInsert:
+			insRecs = append(insRecs, st[i].rec)
+			insOps = append(insOps, i)
+		}
+	}
+	if len(insRecs) > 0 {
+		rids := make([]storage.RID, len(insRecs))
+		placed, err := t.file.InsertRunFill(insRecs, rids, cfg.fill)
+		for k := 0; k < placed; k++ {
+			st[insOps[k]].newRID = rids[k]
+			if res.RIDs != nil {
+				res.RIDs[insOps[k]] = rids[k]
+			}
+		}
+		t.rows.Add(int64(placed))
+		if err != nil {
+			return res.fail(insOps[placed], err)
+		}
+	}
+
+	// Stage 4: index upserts — insert entries, plus update key moves and
+	// RID relocations — one sorted leaf-grouped run per index, then the
+	// cache invalidations updateEntry would do.
+	var ups runEntries
+	for _, ix := range t.indexes {
+		ups.entries, ups.opIdx = ups.entries[:0], ups.opIdx[:0]
+		for i := range ops {
+			op := &ops[i]
+			switch op.kind {
+			case BatchInsert:
+				key, err := ix.entryKey(op.row, st[i].newRID)
+				if err != nil {
+					return res.fail(i, err)
+				}
+				ups.add(key, st[i].newRID.Pack(), btree.RunUpsert, i)
+			case BatchUpdate:
+				oldKey, err := ix.entryKey(st[i].oldRow, op.rid)
+				if err != nil {
+					return res.fail(i, err)
+				}
+				newKey, err := ix.entryKey(op.row, st[i].newRID)
+				if err != nil {
+					return res.fail(i, err)
+				}
+				moved := st[i].newRID != op.rid
+				keyChanged := !bytes.Equal(oldKey, newKey)
+				if keyChanged {
+					ups.add(oldKey, 0, btree.RunDelete, i)
+					ups.add(newKey, st[i].newRID.Pack(), btree.RunUpsert, i)
+				} else if moved {
+					ups.add(newKey, st[i].newRID.Pack(), btree.RunUpsert, i)
+				}
+				if ix.cache != nil && (moved || keyChanged || ix.cachedFieldsChanged(st[i].oldRow, op.row)) {
+					ix.cache.NotifyUpdate(oldKey)
+					if keyChanged {
+						ix.cache.NotifyUpdate(newKey)
+					}
+				}
+			}
+		}
+		if ups.Len() == 0 {
+			continue
+		}
+		ups.sort()
+		if _, err := ix.tree.ApplyRun(ups.entries); err != nil {
+			return res.fail(-1, fmt.Errorf("core: maintaining index %q: %w", ix.name, err))
+		}
+		// Unique-index duplicate detection, with exact attribution: an
+		// insert entry that overwrote an existing key is the batch
+		// counterpart of insertEntry's duplicate-key error (the entry is
+		// already clobbered by then — same damage-then-report semantics
+		// as the one-row path).
+		if ix.unique {
+			for k := range ups.entries {
+				e := &ups.entries[k]
+				if e.Op == btree.RunUpsert && e.Existed && ops[ups.opIdx[k]].kind == BatchInsert {
+					return res.fail(ups.opIdx[k], fmt.Errorf("core: index %q: duplicate key", ix.name))
+				}
+			}
+		}
+	}
+
+	res.Applied = len(ops)
+	return nil
+}

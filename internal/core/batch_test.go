@@ -1,0 +1,391 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/tuple"
+)
+
+// fixedSchema is all fixed-width kinds, so every encoded row has the
+// same size and in-place updates never relocate — the storm tests rely
+// on RIDs staying put.
+func fixedSchema() *tuple.Schema {
+	return tuple.MustSchema(
+		tuple.Field{Name: "id", Kind: tuple.KindInt64},
+		tuple.Field{Name: "a", Kind: tuple.KindInt64},
+		tuple.Field{Name: "b", Kind: tuple.KindInt32},
+	)
+}
+
+// fixedRow builds a row whose fields satisfy checkInvariant.
+func fixedRow(id, a int64) tuple.Row {
+	return tuple.Row{
+		tuple.Int64(id),
+		tuple.Int64(a),
+		tuple.Int32(int32((id + a) % 9973)),
+	}
+}
+
+// checkInvariant reports whether a (possibly projected id,a,b) row is
+// internally consistent — i.e. was written by fixedRow in one piece.
+func checkInvariant(row tuple.Row) bool {
+	if len(row) != 3 {
+		return false
+	}
+	return row[2].Int == (row[0].Int+row[1].Int)%9973
+}
+
+func newBatchFixture(t *testing.T, cached bool) (*Table, *Index) {
+	t.Helper()
+	e, err := NewEngine(Options{PageSize: 1024, BufferPoolPages: 4096})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	t.Cleanup(func() { e.Close() })
+	tb, err := e.CreateTable("t", fixedSchema())
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	var opts []IndexOption
+	if cached {
+		opts = append(opts, WithCache("a", "b"))
+	}
+	ix, err := tb.CreateIndex("by_id", []string{"id"}, opts...)
+	if err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+	return tb, ix
+}
+
+func TestApplyBasics(t *testing.T) {
+	tb, ix := newBatchFixture(t, false)
+	var b Batch
+	for i := 0; i < 500; i++ {
+		b.Insert(fixedRow(int64(i), int64(i*7)))
+	}
+	res, err := tb.Apply(&b, WithResultRIDs())
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if res.Applied != 500 || res.ErrIndex != -1 || len(res.RIDs) != 500 {
+		t.Fatalf("Result = %+v", res)
+	}
+	if tb.Rows() != 500 {
+		t.Errorf("Rows = %d, want 500", tb.Rows())
+	}
+	for i, rid := range res.RIDs {
+		row, err := tb.Get(rid)
+		if err != nil {
+			t.Fatalf("Get op %d: %v", i, err)
+		}
+		if row[0].Int != int64(i) {
+			t.Fatalf("op %d RID points at id %d", i, row[0].Int)
+		}
+	}
+	// Update a stripe and delete another in one batch.
+	b.Reset()
+	for i := 0; i < 500; i++ {
+		switch i % 5 {
+		case 0:
+			b.Update(res.RIDs[i], fixedRow(int64(i), int64(i*7+1)))
+		case 1:
+			b.Delete(res.RIDs[i])
+		}
+	}
+	res2, err := tb.Apply(&b, WithResultRIDs())
+	if err != nil {
+		t.Fatalf("Apply 2: %v", err)
+	}
+	if res2.Applied != b.Len() {
+		t.Fatalf("Applied = %d, want %d", res2.Applied, b.Len())
+	}
+	if want := int64(500 - 100); tb.Rows() != want {
+		t.Errorf("Rows = %d, want %d", tb.Rows(), want)
+	}
+	for i := 0; i < 500; i++ {
+		row, lres, err := ix.Lookup(nil, tuple.Int64(int64(i)))
+		if err != nil {
+			t.Fatalf("Lookup %d: %v", i, err)
+		}
+		switch i % 5 {
+		case 0:
+			if !lres.Found || row[1].Int != int64(i*7+1) {
+				t.Fatalf("updated id %d: found=%v a=%v", i, lres.Found, row)
+			}
+		case 1:
+			if lres.Found {
+				t.Fatalf("deleted id %d still indexed", i)
+			}
+		default:
+			if !lres.Found || row[1].Int != int64(i*7) {
+				t.Fatalf("untouched id %d: found=%v", i, lres.Found)
+			}
+		}
+	}
+	if tr := ix.Tree(); tr.Len() != 400 {
+		t.Errorf("index Len = %d, want 400", tr.Len())
+	}
+	// Update ops report the row's (here unchanged) RID.
+	for i := 0; i < b.Len(); i++ {
+		if op := b.Op(i); op.Kind == BatchUpdate && res2.RIDs[i] != op.RID {
+			t.Errorf("update op %d relocated a fixed-width row: %v → %v", i, op.RID, res2.RIDs[i])
+		}
+	}
+}
+
+func TestApplyFirstErrorTruncates(t *testing.T) {
+	tb, ix := newBatchFixture(t, false)
+	var b Batch
+	b.Insert(fixedRow(1, 10))
+	b.Insert(fixedRow(2, 20))
+	// A kind-mismatched row fails pre-flight encoding.
+	b.Insert(tuple.Row{tuple.Int32(3), tuple.Int64(0), tuple.Int32(0)})
+	b.Insert(fixedRow(4, 40))
+	res, err := tb.Apply(&b, WithResultRIDs())
+	if err == nil {
+		t.Fatal("Apply succeeded over a bad row")
+	}
+	if res.ErrIndex != 2 {
+		t.Errorf("ErrIndex = %d, want 2", res.ErrIndex)
+	}
+	if res.Applied != 2 {
+		t.Errorf("Applied = %d, want 2 (prefix applies)", res.Applied)
+	}
+	if tb.Rows() != 2 {
+		t.Errorf("Rows = %d, want 2", tb.Rows())
+	}
+	for _, id := range []int64{1, 2} {
+		if _, lres, err := ix.Lookup(nil, tuple.Int64(id)); err != nil || !lres.Found {
+			t.Errorf("prefix id %d: found=%v err=%v", id, lres.Found, err)
+		}
+	}
+	if _, lres, _ := ix.Lookup(nil, tuple.Int64(4)); lres.Found {
+		t.Error("op after the failed one was applied")
+	}
+	if res.RIDs[3].Valid() {
+		t.Error("op after the failed one got a RID")
+	}
+	// A delete of a dead RID fails pre-flight too.
+	b.Reset()
+	b.Delete(storage.RID{Page: 9999, Slot: 0})
+	if _, err := tb.Apply(&b); err == nil {
+		t.Error("delete of a bogus RID succeeded")
+	}
+}
+
+// TestApplyErrorStillReportsHeapRIDs pins the contract HotCold's
+// forwarding depends on: when a later stage fails the batch, the RIDs
+// of ops whose heap writes already landed are still reported.
+func TestApplyErrorStillReportsHeapRIDs(t *testing.T) {
+	tb, _ := newBatchFixture(t, false)
+	if _, err := tb.Insert(fixedRow(7, 70)); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	var b Batch
+	b.Insert(fixedRow(50, 0))
+	b.Insert(fixedRow(7, 71)) // duplicate key: fails in the index stage
+	res, err := tb.Apply(&b, WithResultRIDs())
+	if err == nil {
+		t.Fatal("duplicate not reported")
+	}
+	if !res.RIDs[0].Valid() {
+		t.Error("op 0 reached the heap but its RID was not reported")
+	}
+	if row, gerr := tb.Get(res.RIDs[0]); gerr != nil || row[0].Int != 50 {
+		t.Errorf("reported RID does not hold op 0's row: %v %v", row, gerr)
+	}
+}
+
+func TestApplyDuplicateKeyAttribution(t *testing.T) {
+	tb, _ := newBatchFixture(t, false)
+	if _, err := tb.Insert(fixedRow(7, 70)); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	var b Batch
+	b.Insert(fixedRow(100, 0))
+	b.Insert(fixedRow(7, 71)) // collides with the preloaded key
+	b.Insert(fixedRow(101, 0))
+	res, err := tb.Apply(&b)
+	if err == nil {
+		t.Fatal("duplicate key not reported")
+	}
+	if res.ErrIndex != 1 {
+		t.Errorf("ErrIndex = %d, want 1", res.ErrIndex)
+	}
+}
+
+func TestApplySyncIndexesEquivalent(t *testing.T) {
+	tb, ix := newBatchFixture(t, false)
+	var b Batch
+	for i := 0; i < 200; i++ {
+		b.Insert(fixedRow(int64(i), int64(i)))
+	}
+	res, err := tb.Apply(&b, WithSyncIndexes(), WithResultRIDs())
+	if err != nil || res.Applied != 200 {
+		t.Fatalf("Apply sync: %+v, %v", res, err)
+	}
+	b.Reset()
+	for i := 0; i < 200; i += 2 {
+		b.Update(res.RIDs[i], fixedRow(int64(i), int64(i+1)))
+	}
+	b.Delete(res.RIDs[199])
+	if _, err := tb.Apply(&b, WithSyncIndexes()); err != nil {
+		t.Fatalf("Apply sync 2: %v", err)
+	}
+	if tb.Rows() != 199 {
+		t.Errorf("Rows = %d, want 199", tb.Rows())
+	}
+	for i := 0; i < 200; i += 2 {
+		row, lres, err := ix.Lookup(nil, tuple.Int64(int64(i)))
+		if err != nil || !lres.Found || row[1].Int != int64(i+1) {
+			t.Fatalf("id %d after sync update: %v %v %v", i, row, lres, err)
+		}
+	}
+}
+
+// TestApplyStormVsCacheFirstScan is the batch-vs-readers atomicity
+// test: an 8-goroutine Apply storm (batched inserts of disjoint
+// ascending stripes + batched in-place updates) runs while CacheFirst
+// cursors scan the cached index mid-storm. Per-op atomicity means a
+// scan never observes a half-applied row: every projected row must
+// satisfy the fixedRow invariant — whether it was assembled from the
+// index cache or fetched from the heap — keys must ascend, and the
+// cursor must never error (no index entry may dangle into a freed heap
+// slot). Run under -race in CI.
+func TestApplyStormVsCacheFirstScan(t *testing.T) {
+	tb, ix := newBatchFixture(t, true)
+	const (
+		preload   = 2000
+		inserters = 4
+		updaters  = 4
+		batchSize = 64
+		batches   = 25
+	)
+	preRIDs := make([]storage.RID, preload)
+	{
+		var b Batch
+		for i := 0; i < preload; i++ {
+			b.Insert(fixedRow(int64(i), int64(i)))
+		}
+		res, err := tb.Apply(&b, WithResultRIDs())
+		if err != nil {
+			t.Fatalf("preload: %v", err)
+		}
+		copy(preRIDs, res.RIDs)
+	}
+	if _, err := ix.WarmCache(); err != nil {
+		t.Fatalf("WarmCache: %v", err)
+	}
+
+	var writersWG, scannerWG sync.WaitGroup
+	errCh := make(chan error, inserters+updaters+1)
+	var stop atomic.Bool
+	for w := 0; w < inserters; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			var b Batch
+			for bn := 0; bn < batches; bn++ {
+				b.Reset()
+				base := preload + (w*batches+bn)*batchSize
+				for i := 0; i < batchSize; i++ {
+					id := int64(base + i)
+					b.Insert(fixedRow(id, id*3))
+				}
+				if _, err := tb.Apply(&b); err != nil {
+					errCh <- fmt.Errorf("inserter %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < updaters; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			var b Batch
+			for bn := 0; bn < batches; bn++ {
+				b.Reset()
+				for i := 0; i < batchSize; i++ {
+					// Disjoint update targets per worker (stride), fresh
+					// consistent contents per round.
+					slot := (w + (bn*batchSize+i)*updaters) % preload
+					id := int64(slot)
+					b.Update(preRIDs[slot], fixedRow(id, id+int64(bn)*1000))
+				}
+				if _, err := tb.Apply(&b); err != nil {
+					errCh <- fmt.Errorf("updater %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	scannerWG.Add(1)
+	go func() {
+		defer scannerWG.Done()
+		for !stop.Load() {
+			cur, err := tb.Query(
+				WithIndex("by_id"),
+				WithProjection("id", "a", "b"),
+				WithCachePolicy(CacheFirst),
+			)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			prev := int64(-1)
+			for cur.Next() {
+				row := cur.Row()
+				if !checkInvariant(row) {
+					errCh <- fmt.Errorf("half-applied row observed: %v", row.Clone())
+					cur.Close()
+					return
+				}
+				if row[0].Int <= prev {
+					errCh <- fmt.Errorf("keys out of order: %d after %d", row[0].Int, prev)
+					cur.Close()
+					return
+				}
+				prev = row[0].Int
+			}
+			if err := cur.Close(); err != nil {
+				errCh <- fmt.Errorf("mid-storm cursor error: %w", err)
+				return
+			}
+		}
+	}()
+
+	writersWG.Wait()
+	stop.Store(true)
+	scannerWG.Wait()
+	close(errCh)
+	wantRows := int64(preload + inserters*batches*batchSize)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if tb.Rows() != wantRows {
+		t.Errorf("Rows = %d, want %d", tb.Rows(), wantRows)
+	}
+	// Post-storm: a full scan with stats must see every row, consistent.
+	cur, err := tb.Query(WithIndex("by_id"), WithProjection("id", "a", "b"))
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	rows := 0
+	for cur.Next() {
+		if !checkInvariant(cur.Row()) {
+			t.Fatalf("inconsistent row after storm: %v", cur.Row())
+		}
+		rows++
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatalf("cursor: %v", err)
+	}
+	if int64(rows) != wantRows {
+		t.Errorf("scan saw %d rows, want %d", rows, wantRows)
+	}
+}

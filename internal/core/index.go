@@ -229,24 +229,21 @@ func (ix *Index) build(ff float64) error {
 		key []byte
 		rid uint64
 	}
-	var (
-		entries []entry
-		keyErr  error
-	)
-	err := t.Scan(func(rid storage.RID, row tuple.Row) bool {
-		key, kerr := ix.entryKey(row, rid)
-		if kerr != nil {
-			keyErr = kerr
-			return false
-		}
-		entries = append(entries, entry{key: key, rid: rid.Pack()})
-		return true
-	})
+	var entries []entry
+	cur, err := t.Query()
 	if err != nil {
 		return err
 	}
-	if keyErr != nil {
-		return keyErr
+	defer cur.Close()
+	for cur.Next() {
+		key, kerr := ix.entryKey(cur.Row(), cur.RID())
+		if kerr != nil {
+			return kerr
+		}
+		entries = append(entries, entry{key: key, rid: cur.RID().Pack()})
+	}
+	if err := cur.Err(); err != nil {
+		return err
 	}
 	sort.Slice(entries, func(i, j int) bool {
 		return bytes.Compare(entries[i].key, entries[j].key) < 0

@@ -247,9 +247,11 @@ func (ix *Index) LookupAll(keyVals ...tuple.Value) ([]tuple.Row, error) {
 // bulk version of the lazy fill path, used to set up experiments.
 // Returns the number of entries installed.
 //
-// The bulk path reuses the point path's pooled scratch end to end —
-// raw record buffer, decoded row, and encoded payload — so warming N
-// entries costs O(1) allocations, not O(N).
+// The bulk path is batched at both ends: per index leaf, the RIDs to
+// warm are gathered, sorted by heap page, and fetched through
+// heap.File.GetRun — one page pin and latch per distinct heap page
+// instead of per row — and all scratch (RID/payload buffers, decoded
+// row) is pooled, so warming N entries costs O(1) allocations.
 func (ix *Index) WarmCache() (int, error) {
 	if ix.cache == nil {
 		return 0, fmt.Errorf("core: index %q has no cache", ix.name)
@@ -259,40 +261,82 @@ func (ix *Index) WarmCache() (int, error) {
 	defer lookupScratchPool.Put(sc)
 	var (
 		rowBuf tuple.Row
+		rids   []storage.RID
+		packs  []uint64
 		visErr error
 	)
 	err := ix.tree.VisitAllLeaves(func(l *btree.Leaf) bool {
 		if !ix.cache.Prepare(l) {
 			return true
 		}
-		// Stop at the page's slot capacity: inserting beyond it would
-		// evict entries installed moments ago.
+		// The budget is the page's slot capacity: *successful* installs
+		// beyond it would evict entries installed moments ago, so the
+		// fetch run stops once that many landed — but an entry that
+		// fails to install (encode declined, slot contention) spends no
+		// budget, exactly like the pre-batched warm loop.
 		budget := ix.cache.SlotsIn(l)
-		for i := 0; i < l.NumKeys() && budget > 0; i++ {
+		if budget <= 0 {
+			return true
+		}
+		rids, packs = rids[:0], packs[:0]
+		for i := 0; i < l.NumKeys(); i++ {
 			packed := l.ValueAt(i)
-			rid := storage.UnpackRID(packed)
-			row, rec, gerr := ix.table.GetInto(rowBuf, sc.key, rid)
-			if gerr != nil {
-				visErr = gerr
+			rids = append(rids, storage.UnpackRID(packed))
+			packs = append(packs, packed)
+		}
+		// Heap-page order maximizes GetRun's per-page grouping; install
+		// order within one leaf does not matter.
+		sort.Sort(&ridsByPage{rids: rids, packs: packs})
+		leafInstalled := 0
+		gerr := ix.table.file.GetRun(rids, func(i int, rec []byte) bool {
+			if leafInstalled >= budget {
 				return false
 			}
-			rowBuf, sc.key = row, rec
+			row, _, derr := tuple.DecodeInto(rowBuf, ix.table.schema, rec)
+			if derr != nil {
+				visErr = derr
+				return false
+			}
+			rowBuf = row
 			payload, ok := ix.encodePayloadInto(sc.payload[:0], row)
 			if !ok {
-				continue
+				return true
 			}
 			sc.payload = payload[:0]
-			if ix.cache.Insert(l, packed, payload) {
+			if ix.cache.Insert(l, packs[i], payload) {
 				installed++
-				budget--
+				leafInstalled++
 			}
+			return leafInstalled < budget
+		})
+		if gerr != nil {
+			visErr = gerr
 		}
-		return true
+		return visErr == nil
 	})
 	if err != nil {
 		return installed, err
 	}
 	return installed, visErr
+}
+
+// ridsByPage sorts the WarmCache gather by heap page, keeping the
+// packed values aligned.
+type ridsByPage struct {
+	rids  []storage.RID
+	packs []uint64
+}
+
+func (s *ridsByPage) Len() int { return len(s.rids) }
+func (s *ridsByPage) Less(i, j int) bool {
+	if s.rids[i].Page != s.rids[j].Page {
+		return s.rids[i].Page < s.rids[j].Page
+	}
+	return s.rids[i].Slot < s.rids[j].Slot
+}
+func (s *ridsByPage) Swap(i, j int) {
+	s.rids[i], s.rids[j] = s.rids[j], s.rids[i]
+	s.packs[i], s.packs[j] = s.packs[j], s.packs[i]
 }
 
 // resolveProjection maps projected names to schema positions. nil

@@ -129,7 +129,10 @@ func (t *Table) Index(name string) (*Index, error) {
 	return ix, nil
 }
 
-// Insert adds a row, maintaining all indexes, and returns its RID.
+// Insert adds a row, maintaining all indexes, and returns its RID. It
+// is a one-op Batch under the hood — multi-row ingest should build a
+// Batch and call Apply, which amortizes the per-row descent and latch
+// costs this wrapper pays in full.
 //
 // Insert is safe for concurrent use, and no stage of it serializes on
 // a table-wide lock: the heap placement rides the heap file's sharded
@@ -140,23 +143,13 @@ func (t *Table) Index(name string) (*Index, error) {
 // held shared, to pin the index set — it does not serialize writers
 // against each other.
 func (t *Table) Insert(row tuple.Row) (storage.RID, error) {
-	rec, err := tuple.Encode(t.schema, row, nil)
-	if err != nil {
-		return storage.InvalidRID, fmt.Errorf("core: encoding row for %q: %w", t.name, err)
-	}
-	rid, err := t.file.Insert(rec)
+	var b Batch
+	b.Insert(row)
+	res, err := t.Apply(&b, WithResultRIDs())
 	if err != nil {
 		return storage.InvalidRID, err
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	for _, ix := range t.indexes {
-		if err := ix.insertEntry(row, rid); err != nil {
-			return storage.InvalidRID, fmt.Errorf("core: maintaining index %q: %w", ix.name, err)
-		}
-	}
-	t.rows.Add(1)
-	return rid, nil
+	return res.RIDs[0], nil
 }
 
 // Get fetches and decodes the row at rid.
@@ -177,52 +170,30 @@ func (t *Table) Get(rid storage.RID) (tuple.Row, error) {
 // Update is safe for concurrent use against distinct RIDs. Concurrent
 // updates of the same RID are last-writer-wins per structure (heap and
 // each index order independently); callers needing read-modify-write
-// atomicity on one row must serialize above this layer.
+// atomicity on one row must serialize above this layer. Like Insert it
+// is a one-op Batch; batch updates ride Apply.
 func (t *Table) Update(rid storage.RID, newRow tuple.Row) (storage.RID, error) {
-	oldRow, err := t.Get(rid)
-	if err != nil {
-		return storage.InvalidRID, fmt.Errorf("core: update of %v: %w", rid, err)
-	}
-	rec, err := tuple.Encode(t.schema, newRow, nil)
+	var b Batch
+	b.Update(rid, newRow)
+	res, err := t.Apply(&b, WithResultRIDs())
 	if err != nil {
 		return storage.InvalidRID, err
 	}
-	newRID, err := t.file.Update(rid, rec)
-	if err != nil {
-		return storage.InvalidRID, err
-	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	moved := newRID != rid
-	for _, ix := range t.indexes {
-		if err := ix.updateEntry(oldRow, newRow, rid, newRID, moved); err != nil {
-			return storage.InvalidRID, fmt.Errorf("core: maintaining index %q: %w", ix.name, err)
-		}
-	}
-	return newRID, nil
+	return res.RIDs[0], nil
 }
 
 // Delete removes the row at rid, maintaining indexes and invalidating
 // affected cache entries. Heap slot reuse makes invalidation mandatory:
 // a future tuple could receive the same RID, and a stale cache entry
 // keyed by that RID would otherwise serve the old tuple's bytes.
+// Index entries go first, then the heap row (via a one-op Batch), so a
+// concurrent index reader can never hold an entry whose heap row is
+// already gone.
 func (t *Table) Delete(rid storage.RID) error {
-	row, err := t.Get(rid)
-	if err != nil {
-		return fmt.Errorf("core: delete of %v: %w", rid, err)
-	}
-	if err := t.file.Delete(rid); err != nil {
-		return err
-	}
-	t.rows.Add(-1)
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	for _, ix := range t.indexes {
-		if err := ix.deleteEntry(row, rid); err != nil {
-			return fmt.Errorf("core: maintaining index %q: %w", ix.name, err)
-		}
-	}
-	return nil
+	var b Batch
+	b.Delete(rid)
+	_, err := t.Apply(&b)
+	return err
 }
 
 // Relocate moves the row at rid by deleting and reinserting it — the

@@ -408,6 +408,8 @@ func TestWriteShapes(t *testing.T) {
 	cfg := DefaultWriteConfig()
 	cfg.Preload, cfg.Ops = 2000, 8000
 	cfg.HeapOps = 20000
+	cfg.BatchOps = 8000
+	cfg.BatchSizes = []int{32}
 	cfg.Goroutines = []int{1, 2}
 	res, err := RunWrite(cfg)
 	if err != nil {
@@ -449,6 +451,21 @@ func TestWriteShapes(t *testing.T) {
 		if !raceEnabled && p.ShardedOpsPerSec < 2*p.MutexOpsPerSec {
 			t.Errorf("heap g=%d: sharded %.0f ops/s vs legacy %.0f — expected a decisive win",
 				p.Goroutines, p.ShardedOpsPerSec, p.MutexOpsPerSec)
+		}
+	}
+	if want := len(cfg.Goroutines) * len(cfg.BatchSizes); len(res.BatchPoints) != want {
+		t.Fatalf("batch shape: %d points, want %d", len(res.BatchPoints), want)
+	}
+	for _, p := range res.BatchPoints {
+		if p.OneRowOpsPerSec <= 0 || p.BatchedOpsPerSec <= 0 {
+			t.Errorf("batch g=%d size=%d: nonpositive throughput %+v", p.Goroutines, p.BatchSize, p)
+		}
+		// The deterministic amortization must not collapse; the strict
+		// ≥1.0 requirement is benchgate's, on an otherwise idle runner —
+		// the unit test leaves headroom for suite-parallel noise.
+		if !raceEnabled && p.BatchedOpsPerSec < 0.8*p.OneRowOpsPerSec {
+			t.Errorf("batch g=%d size=%d: batched %.0f ops/s vs one-row %.0f — amortization collapsed",
+				p.Goroutines, p.BatchSize, p.BatchedOpsPerSec, p.OneRowOpsPerSec)
 		}
 	}
 }

@@ -292,22 +292,23 @@ func hotScatter(bt *builtTable) (float64, error) {
 	for _, idx := range bt.latest {
 		hotIDs[bt.revs[idx].Row[0].Int] = true
 	}
-	tb := bt.engine
-	_ = tb
 	table, err := bt.engine.Table("revision")
 	if err != nil {
 		return 0, err
 	}
 	pagesWithHot := make(map[storage.PageID]bool)
 	allPages := make(map[storage.PageID]bool)
-	err = table.Scan(func(rid storage.RID, row tuple.Row) bool {
+	cur, err := table.Query()
+	if err != nil {
+		return 0, err
+	}
+	for rid, row := range cur.All() {
 		allPages[rid.Page] = true
 		if hotIDs[row[0].Int] {
 			pagesWithHot[rid.Page] = true
 		}
-		return true
-	})
-	if err != nil {
+	}
+	if err := cur.Err(); err != nil {
 		return 0, err
 	}
 	if len(allPages) == 0 {

@@ -12,8 +12,10 @@ import (
 
 	"repro/internal/btree"
 	"repro/internal/buffer"
+	"repro/internal/core"
 	"repro/internal/heap"
 	"repro/internal/storage"
+	"repro/internal/tuple"
 	"repro/internal/workload"
 )
 
@@ -40,6 +42,9 @@ type WriteConfig struct {
 	HeapOps         int // heap records inserted per goroutine count
 	HeapRecordBytes int // size of each inserted heap record
 	HeapShards      int // insert shards of the sharded heap under test
+
+	BatchOps   int   // table rows ingested per (goroutines, batch size) point
+	BatchSizes []int // batch sizes to sweep for the Apply-vs-one-row series
 }
 
 // DefaultWriteConfig sweeps 1..8 writers over a 50/50 insert/update mix
@@ -56,6 +61,9 @@ func DefaultWriteConfig() WriteConfig {
 		HeapOps:         150000,
 		HeapRecordBytes: 64,
 		HeapShards:      8,
+
+		BatchOps:   60000,
+		BatchSizes: []int{16, 128},
 	}
 }
 
@@ -94,6 +102,20 @@ type HeapPoint struct {
 	ShardedPages int `json:"sharded_pages"`
 }
 
+// BatchPoint is one (goroutine count, batch size) cell of the
+// Apply-vs-one-row table-ingest sweep. Both variants drive the full
+// stack — encode, sharded heap, unique index — over ascending
+// per-worker key ranges; the batched side goes through Table.Apply
+// (shard-affine heap runs + leaf-grouped index runs), the one-row side
+// through Table.Insert per row.
+type BatchPoint struct {
+	Goroutines       int     `json:"goroutines"`
+	BatchSize        int     `json:"batch_size"`
+	OneRowOpsPerSec  float64 `json:"one_row_ops_per_sec"`
+	BatchedOpsPerSec float64 `json:"batched_ops_per_sec"`
+	Speedup          float64 `json:"speedup"`
+}
+
 // WriteResult is the measured sweeps plus the environment facts that
 // matter when comparing JSON summaries across machines and PRs.
 type WriteResult struct {
@@ -107,6 +129,10 @@ type WriteResult struct {
 	HeapRecordBytes int         `json:"heap_record_bytes"`
 	HeapShards      int         `json:"heap_shards"`
 	HeapPoints      []HeapPoint `json:"heap_points"`
+
+	BatchOps    int          `json:"batch_ops_per_point"`
+	BatchSizes  []int        `json:"batch_sizes"`
+	BatchPoints []BatchPoint `json:"batch_points"`
 }
 
 // RunWrite measures parallel insert/update throughput on the crabbing
@@ -125,6 +151,8 @@ func RunWrite(cfg WriteConfig) (WriteResult, error) {
 		HeapOps:         cfg.HeapOps,
 		HeapRecordBytes: cfg.HeapRecordBytes,
 		HeapShards:      cfg.HeapShards,
+		BatchOps:        cfg.BatchOps,
+		BatchSizes:      cfg.BatchSizes,
 	}
 	for _, g := range cfg.Goroutines {
 		mOps, _, _, err := measureWrites(cfg, g, true)
@@ -177,7 +205,113 @@ func RunWrite(cfg WriteConfig) (WriteResult, error) {
 		}
 		res.HeapPoints = append(res.HeapPoints, pt)
 	}
+	// Batch sweep: Table.Apply versus one-row Table.Insert over the
+	// same ascending-ingest workload. Best-of-3 per variant (the heap
+	// sweep's best-of-2 widened): the batched-≥-one-row gate is strict
+	// per cell, so each side gets enough reps that one scheduler hiccup
+	// cannot manufacture a crossing.
+	const batchReps = 3
+	for _, g := range cfg.Goroutines {
+		for _, size := range cfg.BatchSizes {
+			var pt BatchPoint
+			pt.Goroutines, pt.BatchSize = g, size
+			for rep := 0; rep < batchReps; rep++ {
+				runtime.GC()
+				ops, err := measureBatchIngest(cfg, g, size, false)
+				if err != nil {
+					return WriteResult{}, err
+				}
+				if ops > pt.OneRowOpsPerSec {
+					pt.OneRowOpsPerSec = ops
+				}
+				runtime.GC()
+				ops, err = measureBatchIngest(cfg, g, size, true)
+				if err != nil {
+					return WriteResult{}, err
+				}
+				if ops > pt.BatchedOpsPerSec {
+					pt.BatchedOpsPerSec = ops
+				}
+			}
+			if pt.OneRowOpsPerSec > 0 {
+				pt.Speedup = pt.BatchedOpsPerSec / pt.OneRowOpsPerSec
+			}
+			res.BatchPoints = append(res.BatchPoints, pt)
+		}
+	}
 	return res, nil
+}
+
+// batchIngestSchema is the fixed-width row shape of the batch sweep.
+func batchIngestSchema() *tuple.Schema {
+	return tuple.MustSchema(
+		tuple.Field{Name: "id", Kind: tuple.KindInt64},
+		tuple.Field{Name: "a", Kind: tuple.KindInt64},
+		tuple.Field{Name: "b", Kind: tuple.KindInt64},
+	)
+}
+
+// measureBatchIngest runs cfg.BatchOps row inserts split across g
+// goroutines against a fresh engine+table+unique index and returns
+// aggregate rows/second. Each worker ingests its own ascending key
+// range (the contiguous-run shape of real ingest: log tails, monotone
+// ids, time series), in batches of size through Table.Apply when
+// batched, one Table.Insert per row otherwise.
+func measureBatchIngest(cfg WriteConfig, g, size int, batched bool) (float64, error) {
+	e, err := core.NewEngine(core.Options{BufferPoolPages: 1 << 14})
+	if err != nil {
+		return 0, err
+	}
+	defer e.Close()
+	tb, err := e.CreateTable("ingest", batchIngestSchema())
+	if err != nil {
+		return 0, err
+	}
+	if _, err := tb.CreateIndex("by_id", []string{"id"}); err != nil {
+		return 0, err
+	}
+	perG := cfg.BatchOps / g
+	var wg sync.WaitGroup
+	errCh := make(chan error, g)
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := int64(w) * int64(perG)
+			row := func(id int64) tuple.Row {
+				return tuple.Row{tuple.Int64(id), tuple.Int64(id * 3), tuple.Int64(id ^ 0x5a5a)}
+			}
+			if !batched {
+				for n := 0; n < perG; n++ {
+					if _, ierr := tb.Insert(row(base + int64(n))); ierr != nil {
+						errCh <- ierr
+						return
+					}
+				}
+				return
+			}
+			var b core.Batch
+			for n := 0; n < perG; {
+				b.Reset()
+				for k := 0; k < size && n < perG; k++ {
+					b.Insert(row(base + int64(n)))
+					n++
+				}
+				if _, ierr := tb.Apply(&b); ierr != nil {
+					errCh <- ierr
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		return 0, err
+	}
+	return float64(perG*g) / elapsed.Seconds(), nil
 }
 
 // recordInserter abstracts the two heap implementations under test.
@@ -434,6 +568,16 @@ func (r WriteResult) Print(w io.Writer) {
 	for _, p := range r.HeapPoints {
 		fmt.Fprintf(w, "%12d %18.0f %18.0f %9.2f× %12d %14d\n",
 			p.Goroutines, p.MutexOpsPerSec, p.ShardedOpsPerSec, p.Speedup, p.MutexPages, p.ShardedPages)
+	}
+	if len(r.BatchPoints) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nTable ingest throughput, %d rows per point: batched Apply vs one-row Insert\n", r.BatchOps)
+	fmt.Fprintf(w, "%12s %12s %18s %18s %10s\n",
+		"goroutines", "batch size", "one-row ops/s", "batched ops/s", "speedup")
+	for _, p := range r.BatchPoints {
+		fmt.Fprintf(w, "%12d %12d %18.0f %18.0f %9.2f×\n",
+			p.Goroutines, p.BatchSize, p.OneRowOpsPerSec, p.BatchedOpsPerSec, p.Speedup)
 	}
 }
 

@@ -347,15 +347,86 @@ func (f *File) Insert(rec []byte) (storage.RID, error) {
 		return storage.InvalidRID, fmt.Errorf("heap: cannot insert empty record")
 	}
 	h := f.hints.Get().(*shardHint)
-	rid, err := f.insert(h.idx, rec)
+	rid, err := f.insert(h.idx, rec, f.budget)
 	f.hints.Put(h)
 	return rid, err
 }
 
-func (f *File) insert(homeIdx int, rec []byte) (storage.RID, error) {
+// InsertRun places a batch of records and fills rids[i] with record i's
+// address. The whole run routes through the calling goroutine's affine
+// shard under a single mutex acquisition — the batch counterpart of
+// Insert's per-record lock/unlock — falling back to the per-record slow
+// path (sibling shards, then file extension) only for records the home
+// shard cannot place. Returns the number of records placed; on error
+// that is also the index of the record that failed, and rids beyond it
+// are untouched.
+func (f *File) InsertRun(recs [][]byte, rids []storage.RID) (int, error) {
+	return f.InsertRunFill(recs, rids, 0)
+}
+
+// InsertRunFill is InsertRun with a fill-factor override for this run
+// only (0 = the file's configured policy). A lower factor makes this
+// batch leave more update headroom in every page it touches without
+// changing the file's policy; the advisory free-space maps keep
+// recording file-policy values, so later inserts still see the space
+// this run declined.
+func (f *File) InsertRunFill(recs [][]byte, rids []storage.RID, ff float64) (int, error) {
+	if len(rids) < len(recs) {
+		return 0, fmt.Errorf("heap: InsertRun needs %d rid slots, got %d", len(recs), len(rids))
+	}
+	budget := f.budget
+	if ff > 0 {
+		if ff > 1 {
+			ff = 1
+		}
+		budget = int(ff * float64(f.pool.Disk().PageSize()))
+	}
+	h := f.hints.Get().(*shardHint)
+	defer f.hints.Put(h)
+	home := &f.shards[h.idx]
+	i := 0
+	for i < len(recs) {
+		// Fast lane: every consecutive record the home shard can place
+		// lands under this one lock acquisition.
+		home.mu.Lock()
+		for i < len(recs) {
+			if len(recs[i]) == 0 {
+				// Validated at placement time, not upfront, so the return
+				// is always both the count placed and the failing index.
+				home.mu.Unlock()
+				return i, fmt.Errorf("heap: cannot insert empty record (run index %d)", i)
+			}
+			rid, ok, err := f.insertLocked(home, recs[i], budget)
+			if err != nil {
+				home.mu.Unlock()
+				return i, err
+			}
+			if !ok {
+				break
+			}
+			rids[i] = rid
+			i++
+		}
+		home.mu.Unlock()
+		if i >= len(recs) {
+			break
+		}
+		// The home shard is out of space for recs[i]: take the one-record
+		// slow path (siblings, then extension), then resume the fast lane.
+		rid, err := f.insert(h.idx, recs[i], budget)
+		if err != nil {
+			return i, err
+		}
+		rids[i] = rid
+		i++
+	}
+	return i, nil
+}
+
+func (f *File) insert(homeIdx int, rec []byte, budget int) (storage.RID, error) {
 	home := &f.shards[homeIdx]
 	home.mu.Lock()
-	rid, ok, err := f.insertLocked(home, rec)
+	rid, ok, err := f.insertLocked(home, rec, budget)
 	home.mu.Unlock()
 	if err != nil {
 		return storage.InvalidRID, err
@@ -370,7 +441,7 @@ func (f *File) insert(homeIdx int, rec []byte) (storage.RID, error) {
 	for d := 1; d < len(f.shards); d++ {
 		s := &f.shards[(homeIdx+d)%len(f.shards)]
 		s.mu.Lock()
-		rid, ok, err = f.insertLocked(s, rec)
+		rid, ok, err = f.insertLocked(s, rec, budget)
 		s.mu.Unlock()
 		if err != nil {
 			return storage.InvalidRID, err
@@ -384,7 +455,7 @@ func (f *File) insert(homeIdx int, rec []byte) (storage.RID, error) {
 	// inserter may have extended (or a delete freed space) meanwhile.
 	home.mu.Lock()
 	defer home.mu.Unlock()
-	rid, ok, err = f.insertLocked(home, rec)
+	rid, ok, err = f.insertLocked(home, rec, budget)
 	if err != nil {
 		return storage.InvalidRID, err
 	}
@@ -395,7 +466,7 @@ func (f *File) insert(homeIdx int, rec []byte) (storage.RID, error) {
 	if err != nil {
 		return storage.InvalidRID, err
 	}
-	rid, ok, err = f.tryPage(home, id, rec)
+	rid, ok, err = f.tryPage(home, id, rec, budget)
 	if err != nil {
 		return storage.InvalidRID, err
 	}
@@ -407,14 +478,26 @@ func (f *File) insert(homeIdx int, rec []byte) (storage.RID, error) {
 
 // insertLocked attempts to place rec in one of s's pages, correcting
 // stale advisory entries as it goes. Returns ok=false (no error) when
-// the shard has no page that fits. Caller holds s.mu.
-func (f *File) insertLocked(s *insertShard, rec []byte) (storage.RID, bool, error) {
+// the shard has no page that fits. budget is the insert-admission cap
+// for this record (usually f.budget; InsertRunFill may override it).
+// Caller holds s.mu.
+func (f *File) insertLocked(s *insertShard, rec []byte, budget int) (storage.RID, bool, error) {
 	need := len(rec) + slotOverhead
+	if budget < f.budget {
+		// Advisory entries are recorded against the file's budget, so a
+		// stricter per-run budget must inflate the pick threshold by the
+		// difference: an advisory ≥ need+(f.budget−budget) implies the
+		// page passes the stricter admission check, and a page tryPage
+		// rejects can never be re-picked (the corrected file-level
+		// advisory falls below the inflated need) — the same termination
+		// argument as the stale-entry loop below.
+		need += f.budget - budget
+	}
 	// Hot-page fast path: the page that took the last insert usually
 	// takes the next one too, so skip the bucket scan while its
 	// advisory still covers need.
 	if !f.appendOnly && s.cur != storage.InvalidPageID && s.fsm.free[s.cur] >= need {
-		rid, ok, err := f.tryPage(s, s.cur, rec)
+		rid, ok, err := f.tryPage(s, s.cur, rec, budget)
 		if err != nil || ok {
 			return rid, ok, err
 		}
@@ -430,7 +513,7 @@ func (f *File) insertLocked(s *insertShard, rec []byte) (storage.RID, bool, erro
 		} else if target == storage.InvalidPageID {
 			return storage.InvalidRID, false, nil
 		}
-		rid, ok, err := f.tryPage(s, target, rec)
+		rid, ok, err := f.tryPage(s, target, rec, budget)
 		if err != nil || ok {
 			return rid, ok, err
 		}
@@ -445,11 +528,13 @@ func (f *File) insertLocked(s *insertShard, rec []byte) (storage.RID, bool, erro
 }
 
 // tryPage pins and latches target and attempts the page-level insert,
-// honoring the fill-factor budget: a page holding records already at
-// its budget refuses further inserts (still below 100% physically).
+// honoring the insert-admission budget: a page holding records already
+// at the budget refuses further inserts (still below 100% physically).
 // Whatever happens, the shard's advisory entry for target is refreshed
-// with the truth observed under the latch. Caller holds s.mu.
-func (f *File) tryPage(s *insertShard, target storage.PageID, rec []byte) (storage.RID, bool, error) {
+// with the truth observed under the latch — always against the file's
+// own fill policy, even when the caller's budget is an override, so
+// advisories stay comparable across runs. Caller holds s.mu.
+func (f *File) tryPage(s *insertShard, target storage.PageID, rec []byte, budget int) (storage.RID, bool, error) {
 	fr, err := f.pool.Fetch(target)
 	if err != nil {
 		return storage.InvalidRID, false, err
@@ -457,7 +542,7 @@ func (f *File) tryPage(s *insertShard, target storage.PageID, rec []byte) (stora
 	fr.Latch.Lock()
 	sp := storage.AsSlotted(fr.Data())
 	var slot uint16
-	if f.fillFactor < 1 && sp.LiveRecords() > 0 && sp.UsedBytes()+len(rec) > f.budget {
+	if budget < f.pool.Disk().PageSize() && sp.LiveRecords() > 0 && sp.UsedBytes()+len(rec) > budget {
 		err = storage.ErrNoSpace
 	} else {
 		slot, err = sp.Insert(rec)
@@ -517,6 +602,50 @@ func (f *File) GetInto(dst []byte, rid storage.RID) ([]byte, error) {
 	fr.Latch.RUnlock()
 	f.pool.Unpin(fr, false)
 	return out, err
+}
+
+// GetRun fetches a batch of records, visiting each page once per
+// consecutive page-grouped run of rids: fn(i, rec) is called for every
+// rids[i] in order, with rec aliasing the page under its shared latch
+// (copy to retain; fn must not fetch from this file or block on callers
+// of it). Sorting rids by page maximizes the grouping; unsorted input
+// is still correct, just unamortized. Returning false stops the run
+// early. A dead or out-of-range slot fails the whole run.
+func (f *File) GetRun(rids []storage.RID, fn func(i int, rec []byte) bool) error {
+	i := 0
+	for i < len(rids) {
+		page := rids[i].Page
+		fr, err := f.pool.Fetch(page)
+		if err != nil {
+			return err
+		}
+		fr.Latch.RLock()
+		sp := storage.AsSlotted(fr.Data())
+		stop := false
+		j := i
+		for ; j < len(rids) && rids[j].Page == page; j++ {
+			rec, gerr := sp.Get(rids[j].Slot)
+			if gerr != nil {
+				err = gerr
+				break
+			}
+			if !fn(j, rec) {
+				stop = true
+				j++
+				break
+			}
+		}
+		fr.Latch.RUnlock()
+		f.pool.Unpin(fr, false)
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+		i = j
+	}
+	return nil
 }
 
 // Delete removes the record at rid. The freed space is reported to the

@@ -3,6 +3,7 @@ package partition
 import (
 	"bytes"
 	"fmt"
+	"iter"
 
 	"repro/internal/core"
 	"repro/internal/storage"
@@ -116,6 +117,36 @@ func (hc *HotCold) InsertCold(row tuple.Row) (storage.RID, error) {
 	return hc.cold.Insert(row)
 }
 
+// ApplyHot executes a batch against the hot partition — the batched
+// counterpart of InsertHot and of per-row Update/Delete on Hot().
+// Updates that relocate a row (the partitions are append-only, so any
+// growth moves it to the tail) are recorded in the forwarding table
+// automatically, keeping stale RIDs resolvable. Batch RIDs must
+// address the hot partition; core.Table.Apply's per-op contract
+// applies unchanged.
+func (hc *HotCold) ApplyHot(b *core.Batch, opts ...core.ApplyOption) (core.Result, error) {
+	return hc.apply(hc.hot, b, opts)
+}
+
+// ApplyCold is ApplyHot against the cold partition.
+func (hc *HotCold) ApplyCold(b *core.Batch, opts ...core.ApplyOption) (core.Result, error) {
+	return hc.apply(hc.cold, b, opts)
+}
+
+func (hc *HotCold) apply(t *core.Table, b *core.Batch, opts []core.ApplyOption) (core.Result, error) {
+	// Forwarding needs per-op RIDs; forcing the option last wins over a
+	// caller's (idempotent either way). The full-slice expression keeps
+	// the append from sharing a caller's backing array.
+	res, err := t.Apply(b, append(opts[:len(opts):len(opts)], core.WithResultRIDs())...)
+	for i := 0; i < b.Len() && i < len(res.RIDs); i++ {
+		op := b.Op(i)
+		if op.Kind == core.BatchUpdate && res.RIDs[i].Valid() && res.RIDs[i] != op.RID {
+			hc.fwd.Record(op.RID, res.RIDs[i])
+		}
+	}
+	return res, err
+}
+
 // Lookup finds a row by key, trying hot first. The second return
 // reports whether it was found in the hot partition.
 func (hc *HotCold) Lookup(keyVals ...tuple.Value) (tuple.Row, bool, error) {
@@ -145,6 +176,7 @@ type Cursor struct {
 	hotOK, coldOK bool
 	primed        bool
 	fromHot       bool
+	served        int64
 	err           error
 }
 
@@ -207,6 +239,7 @@ func (c *Cursor) Next() bool {
 	default:
 		return false
 	}
+	c.served++
 	return true
 }
 
@@ -229,6 +262,38 @@ func (c *Cursor) Hot() bool { return c.fromHot }
 
 // Err returns the first error either partition's cursor hit.
 func (c *Cursor) Err() error { return c.err }
+
+// Stats returns the merged answer-path counters: Rows is the number of
+// rows this cursor served; the cache/heap/leaf counters are the sums
+// over both partitions' cursors (which may run one row ahead of the
+// merge — the lookahead is counted where it was paid). Same shape as
+// core.Cursor.Stats, so merged and single-partition scans are compared
+// directly.
+func (c *Cursor) Stats() core.QueryStats {
+	h, cd := c.hot.Stats(), c.cold.Stats()
+	return core.QueryStats{
+		Rows:        c.served,
+		CacheHits:   h.CacheHits + cd.CacheHits,
+		HeapReads:   h.HeapReads + cd.HeapReads,
+		LeafFetches: h.LeafFetches + cd.LeafFetches,
+	}
+}
+
+// All adapts the merged cursor to a range-over-func iterator, closing
+// both partition cursors when the loop ends (early break and panic
+// included) — the same contract as core.Cursor.All, so the merged
+// cursor is a drop-in for range-over-func callers. RIDs address rows
+// within their own partition; check Err afterwards.
+func (c *Cursor) All() iter.Seq2[storage.RID, tuple.Row] {
+	return func(yield func(storage.RID, tuple.Row) bool) {
+		defer c.Close()
+		for c.Next() {
+			if !yield(c.RID(), c.Row()) {
+				return
+			}
+		}
+	}
+}
 
 // Close releases both partitions' cursors. Idempotent.
 func (c *Cursor) Close() error {

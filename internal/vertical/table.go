@@ -93,22 +93,45 @@ func (vt *VerticalTable) NumGroups() int { return len(vt.groups) }
 // but the logical row lands group by group: a concurrent reader can
 // observe a pk whose later groups have not been written yet. Callers
 // needing cross-group atomicity must serialize above this layer.
+// Insert is a one-row InsertBatch; bulk ingest should batch.
 func (vt *VerticalTable) Insert(row tuple.Row) error {
-	if len(row) != vt.schema.NumFields() {
-		return fmt.Errorf("vertical: row has %d values, schema %d", len(row), vt.schema.NumFields())
+	_, err := vt.InsertBatch([]tuple.Row{row})
+	return err
+}
+
+// InsertBatch stores a batch of logical rows: one core.Batch fans out
+// per group, so each group's heap sees one shard-affine insert run and
+// each group's pk index one leaf-grouped sorted run, instead of
+// len(rows) one-row pipelines per group. The cross-group visibility
+// caveat of Insert applies batch-wide — groups land in order, so a
+// concurrent reader can observe pks whose later groups are missing;
+// on error, earlier groups hold more of the batch than later ones
+// (the returned group count says how many groups fully applied).
+func (vt *VerticalTable) InsertBatch(rows []tuple.Row, opts ...core.ApplyOption) (int, error) {
+	for i, row := range rows {
+		if len(row) != vt.schema.NumFields() {
+			return 0, fmt.Errorf("vertical: row %d has %d values, schema %d", i, len(row), vt.schema.NumFields())
+		}
 	}
-	pk := row[vt.schema.Index(vt.pkField)]
+	pkPos := vt.schema.Index(vt.pkField)
+	applied := 0
+	var b core.Batch
 	for _, g := range vt.groups {
-		grow := make(tuple.Row, 0, len(g.logicalPos)+1)
-		grow = append(grow, pk)
-		for _, pos := range g.logicalPos {
-			grow = append(grow, row[pos])
+		b.Reset()
+		for _, row := range rows {
+			grow := make(tuple.Row, 0, len(g.logicalPos)+1)
+			grow = append(grow, row[pkPos])
+			for _, pos := range g.logicalPos {
+				grow = append(grow, row[pos])
+			}
+			b.Insert(grow)
 		}
-		if _, err := g.table.Insert(grow); err != nil {
-			return err
+		if _, err := g.table.Apply(&b, opts...); err != nil {
+			return applied, err
 		}
+		applied++
 	}
-	return nil
+	return applied, nil
 }
 
 // Get reconstructs the full logical row for a primary key, touching

@@ -55,6 +55,32 @@ type Cursor = core.Cursor
 // reverse, cache policy).
 type QueryOption = core.QueryOption
 
+// Batch accumulates inserts, updates, and deletes for Table.Apply —
+// the write-side counterpart of Query. A zero Batch is ready to use;
+// see Apply for the per-op-atomicity contract.
+type Batch = core.Batch
+
+// BatchOp is the public view of one queued Batch operation.
+type BatchOp = core.BatchOp
+
+// BatchOpKind tags a queued Batch operation.
+type BatchOpKind = core.BatchOpKind
+
+// Batch op kinds.
+const (
+	BatchInsert = core.BatchInsert
+	BatchUpdate = core.BatchUpdate
+	BatchDelete = core.BatchDelete
+)
+
+// ApplyOption configures Table.Apply (sync index maintenance, per-run
+// heap fill factor, per-op result RIDs).
+type ApplyOption = core.ApplyOption
+
+// ApplyResult reports what one Table.Apply did (ops applied, first
+// failed op, per-op RIDs when requested).
+type ApplyResult = core.Result
+
 // TableOption configures CreateTable (heap placement policy, fill
 // factor, insert shards).
 type TableOption = core.TableOption
@@ -152,6 +178,19 @@ var (
 	// single-mutex insert path; see Options.HeapInsertShards for the
 	// engine-wide default).
 	WithHeapInsertShards = core.WithHeapInsertShards
+)
+
+// Apply options (see Table.Apply).
+var (
+	// WithSyncIndexes applies each op's index maintenance in batch
+	// order (per-op descents) instead of leaf-grouped sorted runs —
+	// for batches with intra-batch dependencies between ops.
+	WithSyncIndexes = core.WithSyncIndexes
+	// WithBatchFillFactor caps how full this batch's heap inserts pack
+	// any page, overriding the table's heap fill factor for the run.
+	WithBatchFillFactor = core.WithBatchFillFactor
+	// WithResultRIDs records each op's resulting RID in ApplyResult.
+	WithResultRIDs = core.WithResultRIDs
 )
 
 // Query options (see Table.Query / Index.Query).
