@@ -28,6 +28,12 @@
 //     batched Table.Apply throughput at or above the one-row path at
 //     every goroutine count and batch size (the leaf-grouped runs'
 //     amortization is deterministic, so this too holds single-core).
+//     The durable-ingest series adds two more: group commit must make
+//     at least a batch's worth of rows durable per fsync at 4+
+//     goroutines (one WAL record per Apply, coalesced fsyncs), and
+//     SyncNone's sweep-best throughput must stay within 10% of the
+//     WAL-off engine's sweep-best on the same disk (logging without
+//     commit-path fsyncs is nearly free).
 //
 // A comparison pair is skipped (with a note) when the two files were
 // measured over different workload shapes — a config change is a
@@ -293,6 +299,49 @@ func gateWrite(base, fresh string, tol float64) {
 		}
 	}
 
+	// Durable-ingest self-invariants. Group commit appends one WAL
+	// record per Apply and a committer only fsyncs when its record is
+	// not already durable, so fsyncs never outnumber appends and
+	// rows-per-fsync is at least the batch size by construction — at 4+
+	// goroutines leader coalescing must hold that floor (it typically
+	// lifts well above it). SyncNone pays encoding plus a buffered
+	// append and no commit-path fsync, so it must stay within 10% of
+	// the WAL-off engine on the same disk.
+	if len(f.DurablePoints) == 0 {
+		failf("write: BENCH_write.json has no durable-ingest series — the WAL sweep must run on every PR")
+	}
+	var bestOff, bestNone float64
+	for _, p := range f.DurablePoints {
+		if p.Goroutines >= 4 {
+			if p.OpsPerFsync < float64(f.DurableBatchSize) {
+				failf("write durable g=%d: %.0f rows/fsync under group commit, need ≥ batch size %d",
+					p.Goroutines, p.OpsPerFsync, f.DurableBatchSize)
+			} else {
+				okf("durable g=%d group commit %.0f rows/fsync (batch size %d)",
+					p.Goroutines, p.OpsPerFsync, f.DurableBatchSize)
+			}
+		}
+		if p.NonDurableOpsPerSec > bestOff {
+			bestOff = p.NonDurableOpsPerSec
+		}
+		if p.SyncNoneOpsPerSec > bestNone {
+			bestNone = p.SyncNoneOpsPerSec
+		}
+	}
+	// Ceilings compare sweep-best to sweep-best: noise only ever lowers
+	// a throughput sample, so the max over all goroutine counts and
+	// repetitions is each configuration's demonstrated capability —
+	// per-point pairing would let two independent hiccups manufacture a
+	// crossing.
+	if bestOff > 0 {
+		if s := bestNone / bestOff; s < 0.90 {
+			failf("write durable: sync-none best %.0f ops/s vs no-WAL best %.0f (%.2f×, need ≥0.90×)",
+				bestNone, bestOff, s)
+		} else {
+			okf("durable sync-none best %.0f ops/s vs no-WAL best %.0f (%.2f×)", bestNone, bestOff, s)
+		}
+	}
+
 	var b experiments.WriteResult
 	found, err = readJSON(filepath.Join(base, "BENCH_write.json"), &b)
 	if err != nil {
@@ -366,6 +415,24 @@ func gateWrite(base, fresh string, tol float64) {
 			} else {
 				okf("batch g=%d size=%d one-row %.0f ops/s (baseline %.0f)",
 					fp.Goroutines, fp.BatchSize, fp.OneRowOpsPerSec, bp.OneRowOpsPerSec)
+			}
+		}
+	}
+	if b.DurableOps != f.DurableOps || b.DurableBatchSize != f.DurableBatchSize || len(b.DurablePoints) == 0 {
+		notef("durable workload shape changed or baseline predates the WAL — durable comparison skipped; refresh the baseline")
+		return
+	}
+	for _, fp := range f.DurablePoints {
+		for _, bp := range b.DurablePoints {
+			if bp.Goroutines != fp.Goroutines {
+				continue
+			}
+			if !ratioOK(fp.GroupCommitOpsPerSec, bp.GroupCommitOpsPerSec, tol) {
+				failf("write durable g=%d: group commit %.0f ops/s vs baseline %.0f (>%.0f%% down)",
+					fp.Goroutines, fp.GroupCommitOpsPerSec, bp.GroupCommitOpsPerSec, tol*100)
+			} else {
+				okf("durable g=%d group commit %.0f ops/s (baseline %.0f)",
+					fp.Goroutines, fp.GroupCommitOpsPerSec, bp.GroupCommitOpsPerSec)
 			}
 		}
 	}

@@ -287,6 +287,7 @@ func main() {
 			cfg.Preload, cfg.Ops = 5000, 20000
 			cfg.HeapOps = 40000
 			cfg.BatchOps = 20000
+			cfg.DurableOps = 10000
 			cfg.Goroutines = []int{1, 2, 4}
 		}
 		res, err := experiments.RunWrite(cfg)

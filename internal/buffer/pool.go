@@ -103,6 +103,8 @@ type Pool struct {
 	pageSize int
 	maxCap   int
 	nframes  atomic.Int64 // frames allocated across all shards, ≤ maxCap
+	ndirty   atomic.Int64 // frames with the dirty bit set (see markDirty)
+	noSteal  atomic.Bool  // dirty frames immune to eviction (WAL mode)
 	mask     uint64
 	shards   []shard
 }
@@ -266,10 +268,41 @@ func (p *Pool) NewPage() (*Frame, error) {
 		f.data[i] = 0
 	}
 	s.install(f, id)
-	f.dirty.Store(true) // a new page must eventually reach disk
+	p.markDirty(f) // a new page must eventually reach disk
 	s.mu.Unlock()
 	return f, nil
 }
+
+// markDirty sets the frame's dirty bit, keeping the pool-wide dirty
+// count exact: the CAS means each set/clear transition is counted once
+// no matter how many concurrent Unpin(dirty) calls race.
+func (p *Pool) markDirty(f *Frame) {
+	if f.dirty.CompareAndSwap(false, true) {
+		p.ndirty.Add(1)
+	}
+}
+
+// clearDirty claims the frame's dirty bit, reporting whether this
+// caller won the claim (and therefore owns the write-back).
+func (p *Pool) clearDirty(f *Frame) bool {
+	if f.dirty.CompareAndSwap(true, false) {
+		p.ndirty.Add(-1)
+		return true
+	}
+	return false
+}
+
+// DirtyFrames returns the number of frames with the dirty bit set, in
+// O(1). The engine's checkpoint trigger polls it on every batch.
+func (p *Pool) DirtyFrames() int64 { return p.ndirty.Load() }
+
+// SetNoSteal toggles no-steal mode: dirty frames become immune to
+// eviction (clock victims and EvictAll skip them), so the only path a
+// dirty page takes to disk is an explicit FlushAll. A redo-only WAL
+// needs exactly this — an uncommitted or unlogged page image must never
+// overwrite the checkpointed one, and with no-steal the on-disk state
+// between checkpoints is always the last checkpoint's.
+func (p *Pool) SetNoSteal(v bool) { p.noSteal.Store(v) }
 
 // frameFor returns a detached frame for s to install into, in order of
 // preference: s's free list, pool growth (global capacity permitting),
@@ -294,7 +327,7 @@ func (p *Pool) frameFor(s *shard) (*Frame, error) {
 			return f, nil
 		}
 	}
-	f, err := s.clockVictim(p.disk)
+	f, err := s.clockVictim(p)
 	if err != nil {
 		return nil, err
 	}
@@ -331,7 +364,7 @@ func (p *Pool) steal(self *shard) (*Frame, error) {
 			o.free[n-1] = nil
 			o.free = o.free[:n-1]
 		} else {
-			f, err = o.clockVictim(p.disk)
+			f, err = o.clockVictim(p)
 		}
 		if err == nil && f != nil {
 			o.removeFrame(f)
@@ -352,7 +385,7 @@ func (p *Pool) steal(self *shard) (*Frame, error) {
 // volatile (the index-cache write path). Unpin is lock-free.
 func (p *Pool) Unpin(f *Frame, dirty bool) {
 	if dirty {
-		f.dirty.Store(true)
+		p.markDirty(f)
 	}
 	if n := f.pins.Add(-1); n < 0 {
 		panic(fmt.Sprintf("buffer: unpin of unpinned %v", f.id))
@@ -392,9 +425,9 @@ func (p *Pool) FlushAll() error {
 		for i, f := range pinned {
 			f.Latch.RLock()
 			var err error
-			if f.dirty.CompareAndSwap(true, false) {
+			if p.clearDirty(f) {
 				if err = p.disk.WritePage(f.id, f.data); err != nil {
-					f.dirty.Store(true)
+					p.markDirty(f)
 				} else {
 					s.writebacks.Inc()
 				}
@@ -406,6 +439,45 @@ func (p *Pool) FlushAll() error {
 					p.Unpin(g, false)
 				}
 				return fmt.Errorf("buffer: flush %v: %w", f.id, err)
+			}
+		}
+	}
+	return nil
+}
+
+// DirtyPages calls fn with the id and a latched snapshot view of every
+// dirty resident page, without clearing dirty bits — the checkpoint's
+// double-write file is built from this walk before FlushAll commits the
+// same set in place. fn must not retain data past the call. Pin and
+// latch discipline match FlushAll: candidates are pinned under the
+// shard lock and read under a shared frame latch outside it.
+func (p *Pool) DirtyPages(fn func(id storage.PageID, data []byte) error) error {
+	var pinned []*Frame
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		pinned = pinned[:0]
+		for _, f := range s.frames {
+			if f.id == storage.InvalidPageID || !f.dirty.Load() {
+				continue
+			}
+			f.pins.Add(1)
+			pinned = append(pinned, f)
+		}
+		s.mu.Unlock()
+		for i, f := range pinned {
+			f.Latch.RLock()
+			var err error
+			if f.dirty.Load() {
+				err = fn(f.id, f.data)
+			}
+			f.Latch.RUnlock()
+			p.Unpin(f, false)
+			if err != nil {
+				for _, g := range pinned[i+1:] {
+					p.Unpin(g, false)
+				}
+				return err
 			}
 		}
 	}
@@ -465,7 +537,10 @@ func (p *Pool) EvictAll() error {
 			if f.id == storage.InvalidPageID || f.pins.Load() > 0 {
 				continue
 			}
-			if err := s.evict(f, p.disk); err != nil {
+			if p.noSteal.Load() && f.dirty.Load() {
+				continue // WAL mode: dirty pages leave only via FlushAll
+			}
+			if err := s.evict(f, p); err != nil {
 				s.mu.Unlock()
 				return err
 			}

@@ -48,11 +48,12 @@ func (s *shard) releaseFrame(f *Frame) {
 // its reference bit set gets a second chance, pinned and already-
 // detached frames are skipped. Returns a detached frame ready for
 // reuse, or nil when every frame is pinned. Caller holds s.mu.
-func (s *shard) clockVictim(disk storage.DiskManager) (*Frame, error) {
+func (s *shard) clockVictim(p *Pool) (*Frame, error) {
 	n := len(s.frames)
 	if n == 0 {
 		return nil, nil
 	}
+	noSteal := p.noSteal.Load()
 	for pass := 0; pass < 2*n; pass++ {
 		f := s.frames[s.hand]
 		s.hand++
@@ -62,11 +63,18 @@ func (s *shard) clockVictim(disk storage.DiskManager) (*Frame, error) {
 		if f.id == storage.InvalidPageID || f.pins.Load() > 0 {
 			continue
 		}
+		if noSteal && f.dirty.Load() {
+			// WAL mode: a dirty page may hold unlogged-to-disk state;
+			// writing it back here would break the invariant that the
+			// on-disk image is always the last checkpoint's. Treat it
+			// like a pinned frame until the next checkpoint cleans it.
+			continue
+		}
 		if f.ref {
 			f.ref = false
 			continue
 		}
-		if err := s.evict(f, disk); err != nil {
+		if err := s.evict(f, p); err != nil {
 			return nil, err
 		}
 		return f, nil
@@ -86,17 +94,17 @@ func (s *shard) clockVictim(disk storage.DiskManager) (*Frame, error) {
 // evict serialize on s.mu. The TryLock below asserts the invariant — on
 // an unpinned frame it can only fail if some caller latched without
 // pinning, which would corrupt whatever that latch was protecting.
-func (s *shard) evict(f *Frame, disk storage.DiskManager) error {
+func (s *shard) evict(f *Frame, p *Pool) error {
 	if !f.Latch.TryLock() {
 		panic(fmt.Sprintf("buffer: evicting latched frame %v (latch held without a pin)", f.id))
 	}
 	defer f.Latch.Unlock()
 	if f.dirty.Load() {
-		if err := disk.WritePage(f.id, f.data); err != nil {
+		if err := p.disk.WritePage(f.id, f.data); err != nil {
 			return fmt.Errorf("buffer: write back %v: %w", f.id, err)
 		}
 		s.writebacks.Inc()
-		f.dirty.Store(false)
+		p.clearDirty(f)
 	}
 	delete(s.table, f.id)
 	s.evictions.Inc()

@@ -203,8 +203,17 @@ func (t *Table) Apply(b *Batch, opts ...ApplyOption) (Result, error) {
 		}
 	}
 
+	// Under WAL, the whole mutate+log-append runs inside the commit gate
+	// (shared) so a checkpoint can never observe effects whose record is
+	// half-appended. The fsync happens after the gate drops — holding it
+	// across disk latency would stall checkpoints for nothing.
+	e := t.engine
+	var wb *walBatch
+	if e.wal != nil {
+		wb = e.getWALBatch(t.name)
+		e.commitGate.RLock()
+	}
 	t.mu.RLock()
-	defer t.mu.RUnlock()
 
 	// Pre-flight, in batch order. A failure here truncates the batch:
 	// ops before it proceed through the stages, it and everything after
@@ -243,21 +252,40 @@ func (t *Table) Apply(b *Batch, opts ...ApplyOption) (Result, error) {
 	// the grouped stages' run scaffolding. The batch fill override is
 	// the one thing only the grouped heap stage implements.
 	if cfg.sync || (n == 1 && cfg.fill == 0) {
-		if err := t.applySync(ops[:n], st[:n], &res); err != nil {
-			return res, err
-		}
-		return res, res.Err
+		t.applySync(ops[:n], st[:n], &res, wb)
+	} else {
+		t.applyGrouped(ops[:n], st[:n], &res, cfg, wb)
 	}
-	if err := t.applyGrouped(ops[:n], st[:n], &res, cfg); err != nil {
-		return res, err
+
+	// Commit epilogue. The record is appended even for a failed batch —
+	// its logged actions are exactly the effects that landed (damage-
+	// then-report), so recovery reproduces them.
+	var lsn uint64
+	if !wb.empty() {
+		if l, aerr := e.wal.Append(recBatch, wb.payload()); aerr != nil {
+			res.fail(-1, aerr)
+		} else {
+			lsn = l
+		}
+	}
+	t.mu.RUnlock()
+	if wb != nil {
+		e.commitGate.RUnlock()
+		e.putWALBatch(wb)
+		if lsn != 0 {
+			if cerr := e.walCommit(lsn); cerr != nil {
+				res.fail(-1, cerr)
+			}
+		}
+		e.maybeCheckpoint()
 	}
 	return res, res.Err
 }
 
 // applySync is the batch-order mode: each op runs the classic one-row
 // pipeline (heap write, then per-index maintenance) before the next op
-// starts.
-func (t *Table) applySync(ops []batchOp, st []opState, res *Result) error {
+// starts. Every landed effect is logged to wb in effect order.
+func (t *Table) applySync(ops []batchOp, st []opState, res *Result, wb *walBatch) {
 	for i := range ops {
 		op := &ops[i]
 		var err error
@@ -267,8 +295,9 @@ func (t *Table) applySync(ops []batchOp, st []opState, res *Result) error {
 			if rid, err = t.file.Insert(st[i].rec); err == nil {
 				st[i].newRID = rid
 				t.rows.Add(1)
+				wb.put(rid, rid, st[i].rec)
 				for _, ix := range t.indexes {
-					if err = ix.insertEntry(op.row, rid); err != nil {
+					if err = ix.insertEntry(op.row, rid, wb); err != nil {
 						err = fmt.Errorf("core: maintaining index %q: %w", ix.name, err)
 						break
 					}
@@ -279,8 +308,9 @@ func (t *Table) applySync(ops []batchOp, st []opState, res *Result) error {
 			if newRID, err = t.file.Update(op.rid, st[i].rec); err == nil {
 				st[i].newRID = newRID
 				moved := newRID != op.rid
+				wb.put(op.rid, newRID, st[i].rec)
 				for _, ix := range t.indexes {
-					if err = ix.updateEntry(st[i].oldRow, op.row, op.rid, newRID, moved); err != nil {
+					if err = ix.updateEntry(st[i].oldRow, op.row, op.rid, newRID, moved, wb); err != nil {
 						err = fmt.Errorf("core: maintaining index %q: %w", ix.name, err)
 						break
 					}
@@ -291,7 +321,7 @@ func (t *Table) applySync(ops []batchOp, st []opState, res *Result) error {
 			// path): a concurrent index reader can then never hold an
 			// entry whose heap row is already gone.
 			for _, ix := range t.indexes {
-				if err = ix.deleteEntry(st[i].oldRow, op.rid); err != nil {
+				if err = ix.deleteEntry(st[i].oldRow, op.rid, wb); err != nil {
 					err = fmt.Errorf("core: maintaining index %q: %w", ix.name, err)
 					break
 				}
@@ -299,18 +329,19 @@ func (t *Table) applySync(ops []batchOp, st []opState, res *Result) error {
 			if err == nil {
 				if err = t.file.Delete(op.rid); err == nil {
 					t.rows.Add(-1)
+					wb.del(op.rid)
 				}
 			}
 		}
 		if err != nil {
-			return res.fail(i, err)
+			res.fail(i, err)
+			return
 		}
 		if res.RIDs != nil {
 			res.RIDs[i] = st[i].newRID
 		}
 		res.Applied++
 	}
-	return nil
 }
 
 // runEntries is the per-index accumulation of one grouped stage: run
@@ -340,9 +371,13 @@ func (r *runEntries) Swap(i, j int) {
 }
 
 // applyGrouped is the amortized mode; see Apply for the stage order.
-func (t *Table) applyGrouped(ops []batchOp, st []opState, res *Result, cfg applyConfig) error {
+// Landed effects log to wb in effect order: stage-2 runs, heap ops,
+// stage-4 runs. A run that fails mid-ApplyRun is not logged — its
+// partial tree damage falls under the same "later ops may be partially
+// indexed" caveat the Result contract already carries.
+func (t *Table) applyGrouped(ops []batchOp, st []opState, res *Result, cfg applyConfig, wb *walBatch) {
 	if len(ops) == 0 {
-		return nil
+		return
 	}
 	// Stage 2: index deletes for delete ops, one sorted leaf-grouped run
 	// per index, then the cache invalidations deleteEntry would do.
@@ -355,7 +390,8 @@ func (t *Table) applyGrouped(ops []batchOp, st []opState, res *Result, cfg apply
 			}
 			key, err := ix.entryKey(st[i].oldRow, ops[i].rid)
 			if err != nil {
-				return res.fail(i, err)
+				res.fail(i, err)
+				return
 			}
 			dels.add(key, 0, btree.RunDelete, i)
 		}
@@ -364,8 +400,10 @@ func (t *Table) applyGrouped(ops []batchOp, st []opState, res *Result, cfg apply
 		}
 		dels.sort()
 		if _, err := ix.tree.ApplyRun(dels.entries); err != nil {
-			return res.fail(-1, fmt.Errorf("core: maintaining index %q: %w", ix.name, err))
+			res.fail(-1, fmt.Errorf("core: maintaining index %q: %w", ix.name, err))
+			return
 		}
+		wb.idx(ix.name, dels.entries...)
 		if ix.cache != nil {
 			for _, e := range dels.entries {
 				ix.cache.NotifyUpdate(e.Key)
@@ -389,15 +427,19 @@ func (t *Table) applyGrouped(ops []batchOp, st []opState, res *Result, cfg apply
 		switch op.kind {
 		case BatchDelete:
 			if err := t.file.Delete(op.rid); err != nil {
-				return res.fail(i, err)
+				res.fail(i, err)
+				return
 			}
 			t.rows.Add(-1)
+			wb.del(op.rid)
 		case BatchUpdate:
 			newRID, err := t.file.Update(op.rid, st[i].rec)
 			if err != nil {
-				return res.fail(i, err)
+				res.fail(i, err)
+				return
 			}
 			st[i].newRID = newRID
+			wb.put(op.rid, newRID, st[i].rec)
 			if res.RIDs != nil {
 				res.RIDs[i] = newRID
 			}
@@ -411,13 +453,15 @@ func (t *Table) applyGrouped(ops []batchOp, st []opState, res *Result, cfg apply
 		placed, err := t.file.InsertRunFill(insRecs, rids, cfg.fill)
 		for k := 0; k < placed; k++ {
 			st[insOps[k]].newRID = rids[k]
+			wb.put(rids[k], rids[k], insRecs[k])
 			if res.RIDs != nil {
 				res.RIDs[insOps[k]] = rids[k]
 			}
 		}
 		t.rows.Add(int64(placed))
 		if err != nil {
-			return res.fail(insOps[placed], err)
+			res.fail(insOps[placed], err)
+			return
 		}
 	}
 
@@ -433,17 +477,20 @@ func (t *Table) applyGrouped(ops []batchOp, st []opState, res *Result, cfg apply
 			case BatchInsert:
 				key, err := ix.entryKey(op.row, st[i].newRID)
 				if err != nil {
-					return res.fail(i, err)
+					res.fail(i, err)
+					return
 				}
 				ups.add(key, st[i].newRID.Pack(), btree.RunUpsert, i)
 			case BatchUpdate:
 				oldKey, err := ix.entryKey(st[i].oldRow, op.rid)
 				if err != nil {
-					return res.fail(i, err)
+					res.fail(i, err)
+					return
 				}
 				newKey, err := ix.entryKey(op.row, st[i].newRID)
 				if err != nil {
-					return res.fail(i, err)
+					res.fail(i, err)
+					return
 				}
 				moved := st[i].newRID != op.rid
 				keyChanged := !bytes.Equal(oldKey, newKey)
@@ -466,8 +513,10 @@ func (t *Table) applyGrouped(ops []batchOp, st []opState, res *Result, cfg apply
 		}
 		ups.sort()
 		if _, err := ix.tree.ApplyRun(ups.entries); err != nil {
-			return res.fail(-1, fmt.Errorf("core: maintaining index %q: %w", ix.name, err))
+			res.fail(-1, fmt.Errorf("core: maintaining index %q: %w", ix.name, err))
+			return
 		}
+		wb.idx(ix.name, ups.entries...)
 		// Unique-index duplicate detection, with exact attribution: an
 		// insert entry that overwrote an existing key is the batch
 		// counterpart of insertEntry's duplicate-key error (the entry is
@@ -477,12 +526,12 @@ func (t *Table) applyGrouped(ops []batchOp, st []opState, res *Result, cfg apply
 			for k := range ups.entries {
 				e := &ups.entries[k]
 				if e.Op == btree.RunUpsert && e.Existed && ops[ups.opIdx[k]].kind == BatchInsert {
-					return res.fail(ups.opIdx[k], fmt.Errorf("core: index %q: duplicate key", ix.name))
+					res.fail(ups.opIdx[k], fmt.Errorf("core: index %q: duplicate key", ix.name))
+					return
 				}
 			}
 		}
 	}
 
 	res.Applied = len(ops)
-	return nil
 }

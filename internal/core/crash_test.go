@@ -1,0 +1,385 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/tuple"
+	"repro/internal/wal"
+)
+
+// Crash-recovery matrix: a child process (this test binary re-execed,
+// running TestCrashChild) applies a deterministic concurrent workload
+// and SIGKILLs itself at a chosen pipeline point — a WAL append, a
+// half-written frame, a checkpoint stage, a log truncation, a torn
+// data-page write. The parent then reopens the database and asserts the
+// recovery contract:
+//
+//   - per-worker prefix durability: some prefix of each worker's
+//     batches is fully applied, nothing beyond it partially so, and
+//     every batch the child acked (post-commit) is inside the prefix;
+//   - heap and indexes agree row for row;
+//   - the trees pass integrity checks and the engine accepts writes.
+//
+// Batches are all-or-nothing across the crash because each Apply is one
+// WAL record: either the whole frame is durable or the torn tail is
+// truncated on recovery.
+
+const (
+	crashWorkers      = 4
+	crashMaxBatches   = 60
+	crashInsPerBatch  = 8
+	crashWorkerStride = 1_000_000
+)
+
+func crashSchema() *tuple.Schema {
+	return tuple.MustSchema(
+		tuple.Field{Name: "id", Kind: tuple.KindInt64},
+		tuple.Field{Name: "worker", Kind: tuple.KindInt32},
+		tuple.Field{Name: "batch", Kind: tuple.KindInt64},
+		tuple.Field{Name: "val", Kind: tuple.KindInt64},
+	)
+}
+
+func crashOptions(dir string) Options {
+	return Options{
+		Path:            filepath.Join(dir, "db"),
+		PageSize:        4096,
+		BufferPoolPages: 256,
+		WAL:             true,
+		CheckpointBytes: 8 << 10, // checkpoint every ~10 batches
+	}
+}
+
+func crashRow(w, b, j int, val int64) tuple.Row {
+	return tuple.Row{
+		tuple.Int64(int64(w*crashWorkerStride + b*10 + j)),
+		tuple.Int32(int32(w)),
+		tuple.Int64(int64(b)),
+		tuple.Int64(val),
+	}
+}
+
+// TestCrashChild is the workload half of the matrix; it only runs when
+// re-execed by TestCrashRecoveryMatrix (NBLB_CRASH_DIR set). The crash
+// point spec is "<name>:<n>" — SIGKILL self at the n-th firing of the
+// named wal test point — or "data:write:<n>" — a torn data-page write
+// via storage.FaultDisk at the n-th WritePage, then SIGKILL.
+func TestCrashChild(t *testing.T) {
+	dir := os.Getenv("NBLB_CRASH_DIR")
+	if dir == "" {
+		t.Skip("crash child: run by TestCrashRecoveryMatrix")
+	}
+	point := os.Getenv("NBLB_CRASH_POINT")
+	opts := crashOptions(dir)
+
+	die := func() { syscall.Kill(os.Getpid(), syscall.SIGKILL) }
+
+	if rest, ok := strings.CutPrefix(point, "data:write:"); ok {
+		var n int64
+		fmt.Sscanf(rest, "%d", &n)
+		inner, err := storage.NewFileDisk(opts.Path, opts.PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Disk = storage.NewFaultDisk(inner, storage.FaultPlan{
+			Op:      storage.FaultWrite,
+			After:   n,
+			Mode:    storage.FaultTorn,
+			Seed:    42,
+			OnFault: die,
+		})
+	}
+
+	e, err := NewEngine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := e.CreateTable("t", crashSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.CreateIndex("by_id", []string{"id"}, WithCache("val")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.CreateIndex("by_batch", []string{"batch"}, NonUnique()); err != nil {
+		t.Fatal(err)
+	}
+
+	ackF, err := os.OpenFile(filepath.Join(dir, "acks"), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ackMu sync.Mutex
+
+	// Arm the wal-point trigger only now: engine setup (initial
+	// checkpoint, DDL) shouldn't consume the budget. The count is after
+	// the LAST colon — point names contain colons ("wal:append").
+	if cut := strings.LastIndex(point, ":"); cut >= 0 && !strings.HasPrefix(point, "data:") {
+		name, nStr := point[:cut], point[cut+1:]
+		var n int64
+		fmt.Sscanf(nStr, "%d", &n)
+		var hits atomic.Int64
+		wal.SetTestHook(func(p string) {
+			if p == name && hits.Add(1) == n {
+				die()
+			}
+		})
+		defer wal.SetTestHook(nil)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < crashWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var prevRIDs []storage.RID
+			for b := 0; b < crashMaxBatches; b++ {
+				var batch Batch
+				for j := 0; j < crashInsPerBatch; j++ {
+					batch.Insert(crashRow(w, b, j, int64(b)))
+				}
+				if b > 0 {
+					batch.Update(prevRIDs[0], crashRow(w, b-1, 0, int64(-b)))
+					batch.Update(prevRIDs[1], crashRow(w, b-1, 1, int64(-b)))
+					batch.Delete(prevRIDs[7])
+				}
+				res, err := tbl.Apply(&batch, WithResultRIDs())
+				if err != nil {
+					// The parent killed us mid-batch on another goroutine's
+					// schedule, or we are the dying goroutine: stop quietly.
+					return
+				}
+				prevRIDs = res.RIDs[:crashInsPerBatch]
+				ackMu.Lock()
+				fmt.Fprintf(ackF, "%d %d\n", w, b)
+				ackF.Sync()
+				ackMu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	e.Close()
+}
+
+// crashExpected builds worker w's model state after its first k batches
+// applied: id → (batch, val).
+func crashExpected(w, k int) map[int64][2]int64 {
+	m := make(map[int64][2]int64)
+	for b := 0; b < k; b++ {
+		base := int64(w*crashWorkerStride + b*10)
+		for j := 0; j < crashInsPerBatch; j++ {
+			m[base+int64(j)] = [2]int64{int64(b), int64(b)}
+		}
+		if b > 0 {
+			prev := int64(w*crashWorkerStride + (b-1)*10)
+			m[prev+0] = [2]int64{int64(b - 1), int64(-b)}
+			m[prev+1] = [2]int64{int64(b - 1), int64(-b)}
+			delete(m, prev+7)
+		}
+	}
+	return m
+}
+
+func TestCrashRecoveryMatrix(t *testing.T) {
+	if os.Getenv("NBLB_CRASH_DIR") != "" {
+		t.Skip("inside crash child")
+	}
+	if testing.Short() {
+		t.Skip("crash matrix re-execs the test binary per point")
+	}
+	points := []string{
+		"wal:append:1",
+		"wal:append:5",
+		"wal:append:20",
+		"wal:append-partial:2",
+		"wal:append-partial:7",
+		"wal:synced:2",
+		"wal:synced:6",
+		"ckpt:begin:1",
+		"ckpt:flushed:1",
+		"ckpt:manifest:1",
+		"ckpt:truncated:1",
+		"wal:truncate-before-rename:1",
+		"wal:truncate-after-rename:1",
+		"data:write:3",
+		"data:write:10",
+	}
+	bin, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, point := range points {
+		point := point
+		t.Run(strings.ReplaceAll(point, ":", "_"), func(t *testing.T) {
+			dir := t.TempDir()
+			cmd := exec.Command(bin, "-test.run", "^TestCrashChild$")
+			cmd.Env = append(os.Environ(),
+				"NBLB_CRASH_DIR="+dir,
+				"NBLB_CRASH_POINT="+point,
+			)
+			out, runErr := cmd.CombinedOutput()
+			killed := false
+			if ee, ok := runErr.(*exec.ExitError); ok {
+				if ws, ok := ee.Sys().(syscall.WaitStatus); ok && ws.Signaled() && ws.Signal() == syscall.SIGKILL {
+					killed = true
+				}
+			}
+			if runErr != nil && !killed {
+				t.Fatalf("child failed (not SIGKILL): %v\n%s", runErr, out)
+			}
+			if !killed {
+				t.Logf("point %s never fired; child completed — verifying anyway", point)
+			}
+			verifyCrashRecovery(t, dir)
+		})
+	}
+}
+
+func verifyCrashRecovery(t *testing.T, dir string) {
+	t.Helper()
+	// Acked batches: the child fsynced "<worker> <batch>" after each
+	// commit, so every acked batch must have survived.
+	acked := make([]int, crashWorkers)
+	for i := range acked {
+		acked[i] = -1
+	}
+	if f, err := os.Open(filepath.Join(dir, "acks")); err == nil {
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			var w, b int
+			if _, err := fmt.Sscanf(sc.Text(), "%d %d", &w, &b); err == nil && w < crashWorkers {
+				if b > acked[w] {
+					acked[w] = b
+				}
+			}
+		}
+		f.Close()
+	}
+
+	e, err := NewEngine(crashOptions(dir))
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer e.Close()
+	tbl, err := e.Table("t")
+	if err != nil {
+		t.Fatalf("table lost: %v", err)
+	}
+
+	// Gather actual per-worker state from a heap scan.
+	actual := make([]map[int64][2]int64, crashWorkers)
+	for w := range actual {
+		actual[w] = make(map[int64][2]int64)
+	}
+	cur, err := tbl.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for cur.Next() {
+		row := cur.Row()
+		w := int(row[1].Int)
+		if w < 0 || w >= crashWorkers {
+			t.Fatalf("row with bad worker %d", w)
+		}
+		id := row[0].Int
+		if _, dup := actual[w][id]; dup {
+			t.Fatalf("id %d appears twice in heap scan", id)
+		}
+		actual[w][id] = [2]int64{row[2].Int, row[3].Int}
+		total++
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	cur.Close()
+
+	// Per-worker: find the applied prefix length via batch-0 markers
+	// (id base+0 is inserted by batch b and only deleted with the whole
+	// model row set — its presence marks the batch as applied), then the
+	// actual state must equal the model exactly.
+	for w := 0; w < crashWorkers; w++ {
+		k := 0
+		for b := 0; b < crashMaxBatches; b++ {
+			// Batch b's marker: any of its inserted ids still expected in
+			// model(k>=b+1) — use id base+2, which no later batch deletes
+			// or updates.
+			if _, ok := actual[w][int64(w*crashWorkerStride+b*10+2)]; ok {
+				k = b + 1
+			} else {
+				break
+			}
+		}
+		if acked[w] >= k {
+			t.Errorf("worker %d: acked batch %d but only %d batches applied", w, acked[w], k)
+		}
+		exp := crashExpected(w, k)
+		if len(exp) != len(actual[w]) {
+			t.Errorf("worker %d (k=%d): %d rows, want %d", w, k, len(actual[w]), len(exp))
+		}
+		for id, want := range exp {
+			got, ok := actual[w][id]
+			if !ok {
+				t.Errorf("worker %d: missing id %d", w, id)
+				continue
+			}
+			if got != want {
+				t.Errorf("worker %d id %d: got (batch=%d val=%d) want (batch=%d val=%d)",
+					w, id, got[0], got[1], want[0], want[1])
+			}
+		}
+		for id := range actual[w] {
+			if _, ok := exp[id]; !ok {
+				t.Errorf("worker %d: unexpected id %d (partial batch leaked)", w, id)
+			}
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	if got := tbl.Rows(); got != int64(total) {
+		t.Fatalf("Rows()=%d but heap scan saw %d", got, total)
+	}
+
+	// Heap ↔ index cross-consistency plus tree integrity.
+	byID := mustIndex(t, tbl, "by_id")
+	byBatch := mustIndex(t, tbl, "by_batch")
+	if err := byID.Tree().CheckIntegrity(); err != nil {
+		t.Fatalf("by_id integrity: %v", err)
+	}
+	if err := byBatch.Tree().CheckIntegrity(); err != nil {
+		t.Fatalf("by_batch integrity: %v", err)
+	}
+	if got := byID.Tree().Len(); got != int64(total) {
+		t.Fatalf("by_id has %d entries, heap has %d rows", got, total)
+	}
+	if got := byBatch.Tree().Len(); got != int64(total) {
+		t.Fatalf("by_batch has %d entries, heap has %d rows", got, total)
+	}
+	for w := 0; w < crashWorkers; w++ {
+		for id, want := range actual[w] {
+			row, _, err := byID.Lookup(nil, tuple.Int64(id))
+			if err != nil {
+				t.Fatalf("by_id lookup %d: %v", id, err)
+			}
+			if row[3].Int != want[1] {
+				t.Fatalf("by_id lookup %d: val %d, heap has %d", id, row[3].Int, want[1])
+			}
+		}
+	}
+
+	// The recovered engine must accept new writes end to end.
+	if _, err := tbl.Insert(crashRow(0, crashMaxBatches+1, 9, 7)); err != nil {
+		t.Fatalf("insert after recovery: %v", err)
+	}
+}

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/storage"
 	"repro/internal/tuple"
+	"repro/internal/wal"
 )
 
 // Options configure an Engine.
@@ -35,6 +37,40 @@ type Options struct {
 	// CountIO wraps the disk in a storage.CountingDisk so experiments
 	// can convert I/O counts into simulated time.
 	CountIO bool
+	// WAL enables write-ahead logging with crash recovery. Requires
+	// Path: the log, manifest, and double-write files live beside the
+	// database file (<Path>.wal, <Path>.manifest, <Path>.dw). Opening a
+	// WAL engine replays any suffix a crash left behind.
+	WAL bool
+	// SyncPolicy selects commit durability under WAL (default
+	// SyncGroupCommit). Ignored without WAL.
+	SyncPolicy SyncPolicy
+	// CheckpointBytes is the WAL size that triggers an automatic
+	// checkpoint (default 4 MiB). Ignored without WAL.
+	CheckpointBytes int64
+	// Disk, when non-nil, is used instead of the Path/MemDisk default —
+	// fault-injection tests wrap a storage.FaultDisk here. With WAL,
+	// Path is still required for the log-side files.
+	Disk storage.DiskManager
+}
+
+// EngineOption mutates Options — the facade's functional-option form.
+type EngineOption func(*Options)
+
+// WithWAL enables write-ahead logging (see Options.WAL).
+func WithWAL() EngineOption {
+	return func(o *Options) { o.WAL = true }
+}
+
+// WithSyncPolicy sets the commit durability policy (see SyncPolicy).
+func WithSyncPolicy(p SyncPolicy) EngineOption {
+	return func(o *Options) { o.SyncPolicy = p }
+}
+
+// WithCheckpointEvery sets the WAL growth budget between automatic
+// checkpoints.
+func WithCheckpointEvery(bytes int64) EngineOption {
+	return func(o *Options) { o.CheckpointBytes = bytes }
 }
 
 // Engine is an embedded storage engine instance.
@@ -45,31 +81,65 @@ type Engine struct {
 
 	heapShards int // default insert shard count for new tables' heaps
 
+	// WAL state (nil/zero without Options.WAL). commitGate orders
+	// mutations against checkpoints: every Apply and DDL holds it shared
+	// across mutate+log-append, a checkpoint holds it exclusively around
+	// its snapshot+flush. Lock order: commitGate, then e.mu, then t.mu;
+	// the log's own mutex is innermost.
+	wal          *wal.Log
+	walPath      string
+	manifestPath string
+	dwPath       string
+	syncPolicy   SyncPolicy
+	ckptBytes    int64
+	commitGate   sync.RWMutex
+	ckptMu       sync.Mutex // serializes checkpoints
+	wbPool       sync.Pool  // *walBatch encoders, recycled across Applies
+
 	mu     sync.RWMutex
 	tables map[string]*Table
 }
 
-// NewEngine creates an engine with the given options.
-func NewEngine(opts Options) (*Engine, error) {
+// NewEngine creates an engine with the given options. Functional
+// options, when given, are applied to opts first — the facade's
+// Open(Options, ...EngineOption) form.
+func NewEngine(opts Options, extra ...EngineOption) (*Engine, error) {
+	for _, o := range extra {
+		o(&opts)
+	}
 	if opts.PageSize == 0 {
 		opts.PageSize = storage.DefaultPageSize
 	}
 	if opts.BufferPoolPages == 0 {
 		opts.BufferPoolPages = 4096
 	}
+	if opts.WAL && opts.Path == "" {
+		return nil, fmt.Errorf("core: WAL requires Options.Path")
+	}
+	if opts.CheckpointBytes == 0 {
+		opts.CheckpointBytes = 4 << 20
+	}
 	var (
 		disk storage.DiskManager
 		err  error
 	)
-	if opts.Path != "" {
+	switch {
+	case opts.Disk != nil:
+		disk = opts.Disk
+	case opts.Path != "":
 		disk, err = storage.NewFileDisk(opts.Path, opts.PageSize)
-	} else {
+	default:
 		disk, err = storage.NewMemDisk(opts.PageSize)
 	}
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{tables: make(map[string]*Table), heapShards: opts.HeapInsertShards}
+	e := &Engine{
+		tables:     make(map[string]*Table),
+		heapShards: opts.HeapInsertShards,
+		syncPolicy: opts.SyncPolicy,
+		ckptBytes:  opts.CheckpointBytes,
+	}
 	if opts.CountIO {
 		e.counter = storage.NewCountingDisk(disk)
 		disk = e.counter
@@ -83,6 +153,19 @@ func NewEngine(opts Options) (*Engine, error) {
 	if err != nil {
 		disk.Close()
 		return nil, err
+	}
+	if opts.WAL {
+		e.walPath = opts.Path + ".wal"
+		e.manifestPath = opts.Path + ".manifest"
+		e.dwPath = opts.Path + ".dw"
+		e.pool.SetNoSteal(true)
+		if err := e.recover(); err != nil {
+			if e.wal != nil {
+				e.wal.Close()
+			}
+			disk.Close()
+			return nil, fmt.Errorf("core: recovery: %w", err)
+		}
 	}
 	return e, nil
 }
@@ -99,6 +182,10 @@ func (e *Engine) CreateTable(name string, schema *tuple.Schema, opts ...TableOpt
 	if name == "" {
 		return nil, fmt.Errorf("core: table name must not be empty")
 	}
+	if e.wal != nil {
+		e.commitGate.RLock()
+		defer e.commitGate.RUnlock()
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, exists := e.tables[name]; exists {
@@ -109,6 +196,23 @@ func (e *Engine) CreateTable(name string, schema *tuple.Schema, opts ...TableOpt
 		return nil, err
 	}
 	e.tables[name] = t
+	if e.wal != nil {
+		rec := ddlCreateTable{
+			Name:             name,
+			Fields:           manifestFields(schema),
+			AppendOnly:       t.cfg.appendOnly,
+			HeapFillFactor:   t.cfg.heapFillFactor,
+			HeapInsertShards: t.file.InsertShards(), // resolved, not the request
+		}
+		lsn, err := e.wal.Append(recCreateTable, encodeJSON(rec))
+		if err != nil {
+			delete(e.tables, name)
+			return nil, err
+		}
+		if err := e.walCommit(lsn); err != nil {
+			return nil, err
+		}
+	}
 	return t, nil
 }
 
@@ -139,12 +243,23 @@ func (e *Engine) Tables() []string {
 // not reclaimed (the engine has no free-page list; dropped data is
 // simply unreachable), which is fine for experiment lifetimes.
 func (e *Engine) DropTable(name string) error {
+	if e.wal != nil {
+		e.commitGate.RLock()
+		defer e.commitGate.RUnlock()
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, ok := e.tables[name]; !ok {
 		return fmt.Errorf("core: no table %q", name)
 	}
 	delete(e.tables, name)
+	if e.wal != nil {
+		lsn, err := e.wal.Append(recDropTable, []byte(name))
+		if err != nil {
+			return err
+		}
+		return e.walCommit(lsn)
+	}
 	return nil
 }
 
@@ -153,7 +268,13 @@ func (e *Engine) DropTable(name string) error {
 // cached indexes bump their CSNidx so persisted stale cache bytes can
 // never be served (the Section 2.1.2 full-invalidation path).
 func (e *Engine) Restart() error {
-	if err := e.pool.FlushAll(); err != nil {
+	if e.wal != nil {
+		// A checkpoint is the WAL engine's flush: it cleans every dirty
+		// frame, which EvictAll below needs under the no-steal policy.
+		if err := e.Checkpoint(); err != nil {
+			return err
+		}
+	} else if err := e.pool.FlushAll(); err != nil {
 		return err
 	}
 	if err := e.pool.EvictAll(); err != nil {
@@ -171,10 +292,13 @@ func (e *Engine) Restart() error {
 	return nil
 }
 
-// Close flushes and releases the engine.
+// Close flushes and releases the engine. The disk is closed even when
+// the flush (or final checkpoint) fails — resources are never leaked on
+// an error path — and every failure is reported joined.
 func (e *Engine) Close() error {
-	if err := e.pool.FlushAll(); err != nil {
-		return err
+	if e.wal != nil {
+		err := e.Checkpoint()
+		return errors.Join(err, e.wal.Close(), e.disk.Close())
 	}
-	return e.disk.Close()
+	return errors.Join(e.pool.FlushAll(), e.disk.Close())
 }

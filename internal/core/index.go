@@ -66,6 +66,7 @@ type Index struct {
 	name      string
 	keyFields []int
 	unique    bool
+	cfg       indexConfig // resolved creation config (checkpoint manifest)
 	tree      *btree.Tree
 
 	cache        *idxcache.Cache
@@ -154,12 +155,55 @@ func (t *Table) CreateIndex(name string, fields []string, opts ...IndexOption) (
 	if len(fields) == 0 {
 		return nil, fmt.Errorf("core: index %q needs at least one key field", name)
 	}
+	e := t.engine
+	if e.wal != nil {
+		e.commitGate.RLock()
+		defer e.commitGate.RUnlock()
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if _, exists := t.indexes[name]; exists {
 		return nil, fmt.Errorf("core: index %q already exists on %q", name, t.name)
 	}
-	ix := &Index{table: t, name: name, unique: !cfg.nonUnique}
+	ix, err := t.newIndexShell(name, fields, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := ix.build(cfg.fillFactor); err != nil {
+		return nil, err
+	}
+	t.indexes[name] = ix
+	if e.wal != nil {
+		// The record captures the full config; replay rebuilds the tree
+		// from the replayed table state, which build() saw here.
+		rec := ddlCreateIndex{
+			Table:        t.name,
+			Name:         name,
+			KeyFields:    fields,
+			NonUnique:    cfg.nonUnique,
+			CachedFields: cfg.cachedFields,
+			BucketN:      cfg.bucketN,
+			PredLogLimit: cfg.predLogLimit,
+			CacheSeed:    cfg.cacheSeed,
+			FillFactor:   cfg.fillFactor,
+		}
+		lsn, err := e.wal.Append(recCreateIndex, encodeJSON(rec))
+		if err != nil {
+			delete(t.indexes, name)
+			return nil, err
+		}
+		if err := e.walCommit(lsn); err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
+}
+
+// newIndexShell resolves and validates an index's configuration —
+// everything about creation except building the tree and registering
+// it. Shared by CreateIndex, WAL replay, and manifest reopen.
+func (t *Table) newIndexShell(name string, fields []string, cfg indexConfig) (*Index, error) {
+	ix := &Index{table: t, name: name, unique: !cfg.nonUnique, cfg: cfg}
 	for _, f := range fields {
 		pos := t.schema.Index(f)
 		if pos < 0 {
@@ -206,10 +250,6 @@ func (t *Table) CreateIndex(name string, fields []string, opts ...IndexOption) (
 	}
 	allPlan := ix.buildProjPlan(nil, allIdx)
 	ix.projAll = &allPlan
-	if err := ix.build(cfg.fillFactor); err != nil {
-		return nil, err
-	}
-	t.indexes[name] = ix
 	return ix, nil
 }
 
@@ -347,7 +387,10 @@ func appendRIDSuffix(key []byte, rid storage.RID) []byte {
 
 // insertEntry adds the row's index entry. For cached indexes there is
 // nothing else to do: entries are cached lazily on lookup misses.
-func (ix *Index) insertEntry(row tuple.Row, rid storage.RID) error {
+// Effects are logged to wb as they land — including the clobbering
+// write behind a duplicate-key error (damage-then-report: the log must
+// describe what actually happened to the tree).
+func (ix *Index) insertEntry(row tuple.Row, rid storage.RID, wb *walBatch) error {
 	key, err := ix.entryKey(row, rid)
 	if err != nil {
 		return err
@@ -356,6 +399,7 @@ func (ix *Index) insertEntry(row tuple.Row, rid storage.RID) error {
 	if err != nil {
 		return err
 	}
+	wb.idx(ix.name, btree.RunEntry{Key: key, Value: rid.Pack(), Op: btree.RunUpsert})
 	if !inserted && ix.unique {
 		return fmt.Errorf("core: index %q: duplicate key", ix.name)
 	}
@@ -364,7 +408,7 @@ func (ix *Index) insertEntry(row tuple.Row, rid storage.RID) error {
 
 // deleteEntry removes the row's index entry and invalidates any cache
 // entry for it via the predicate log.
-func (ix *Index) deleteEntry(row tuple.Row, rid storage.RID) error {
+func (ix *Index) deleteEntry(row tuple.Row, rid storage.RID, wb *walBatch) error {
 	key, err := ix.entryKey(row, rid)
 	if err != nil {
 		return err
@@ -372,14 +416,17 @@ func (ix *Index) deleteEntry(row tuple.Row, rid storage.RID) error {
 	if _, err := ix.tree.Delete(key); err != nil {
 		return err
 	}
+	wb.idx(ix.name, btree.RunEntry{Key: key, Op: btree.RunDelete})
 	if ix.cache != nil {
 		ix.cache.NotifyUpdate(key)
 	}
 	return nil
 }
 
-// updateEntry maintains the index across a row update.
-func (ix *Index) updateEntry(oldRow, newRow tuple.Row, oldRID, newRID storage.RID, moved bool) error {
+// updateEntry maintains the index across a row update. Each tree effect
+// logs as its own single-entry run (ApplyRun wants sorted runs, and
+// oldKey/newKey have no order guarantee).
+func (ix *Index) updateEntry(oldRow, newRow tuple.Row, oldRID, newRID storage.RID, moved bool, wb *walBatch) error {
 	oldKey, err := ix.entryKey(oldRow, oldRID)
 	if err != nil {
 		return err
@@ -393,13 +440,16 @@ func (ix *Index) updateEntry(oldRow, newRow tuple.Row, oldRID, newRID storage.RI
 		if _, err := ix.tree.Delete(oldKey); err != nil {
 			return err
 		}
+		wb.idx(ix.name, btree.RunEntry{Key: oldKey, Op: btree.RunDelete})
 		if _, err := ix.tree.Insert(newKey, newRID.Pack()); err != nil {
 			return err
 		}
+		wb.idx(ix.name, btree.RunEntry{Key: newKey, Value: newRID.Pack(), Op: btree.RunUpsert})
 	} else if moved {
 		if _, err := ix.tree.Insert(newKey, newRID.Pack()); err != nil { // upsert new RID
 			return err
 		}
+		wb.idx(ix.name, btree.RunEntry{Key: newKey, Value: newRID.Pack(), Op: btree.RunUpsert})
 	}
 	if ix.cache == nil {
 		return nil

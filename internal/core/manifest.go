@@ -1,0 +1,297 @@
+package core
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/storage"
+)
+
+// The manifest is the engine's durable catalog: one small JSON file
+// naming every table and index, their configuration, and where their
+// pages live. It is rewritten atomically (tmp + rename) at every
+// checkpoint and describes the on-disk state as of CheckpointLSN —
+// recovery rebuilds the catalog from it and replays the WAL suffix on
+// top.
+const (
+	manifestMagic   = "nblb-manifest"
+	manifestVersion = 1
+)
+
+type manifest struct {
+	Magic         string          `json:"magic"`
+	Version       int             `json:"version"`
+	CheckpointLSN uint64          `json:"checkpoint_lsn"`
+	NumPages      uint64          `json:"num_pages"`
+	Tables        []manifestTable `json:"tables"`
+}
+
+type manifestTable struct {
+	Name             string          `json:"name"`
+	Fields           []manifestField `json:"fields"`
+	Rows             int64           `json:"rows"`
+	AppendOnly       bool            `json:"append_only,omitempty"`
+	HeapFillFactor   float64         `json:"heap_fill_factor,omitempty"`
+	HeapInsertShards int             `json:"heap_insert_shards"`
+	HeapPages        []uint64        `json:"heap_pages"`
+	Indexes          []manifestIndex `json:"indexes,omitempty"`
+}
+
+type manifestField struct {
+	Name string `json:"name"`
+	Kind uint8  `json:"kind"`
+	Size int    `json:"size,omitempty"`
+}
+
+type manifestIndex struct {
+	Name         string   `json:"name"`
+	KeyFields    []string `json:"key_fields"`
+	NonUnique    bool     `json:"non_unique,omitempty"`
+	CachedFields []string `json:"cached_fields,omitempty"`
+	BucketN      int      `json:"bucket_n"`
+	PredLogLimit int      `json:"pred_log_limit"`
+	CacheSeed    int64    `json:"cache_seed"`
+	FillFactor   float64  `json:"fill_factor"`
+	Root         uint64   `json:"root"`
+	Height       int      `json:"height"`
+	NumKeys      int64    `json:"num_keys"`
+	CacheCSN     uint32   `json:"cache_csn"`
+}
+
+// writeManifestAtomic persists m at path with the classic tmp + fsync +
+// rename + directory-fsync dance, so a crash leaves either the old
+// manifest or the new one, never a torn mix.
+func writeManifestAtomic(path string, m *manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: encode manifest: %w", err)
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDirBestEffort(filepath.Dir(path))
+}
+
+// loadManifest reads and validates the manifest at path. A missing file
+// returns (nil, nil): a fresh database, not an error.
+func loadManifest(path string) (*manifest, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("core: parse manifest %s: %w", path, err)
+	}
+	if m.Magic != manifestMagic {
+		return nil, fmt.Errorf("core: %s is not a manifest (magic %q)", path, m.Magic)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("core: manifest %s has unsupported version %d", path, m.Version)
+	}
+	return &m, nil
+}
+
+func syncDirBestEffort(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil // platform may not support directory opens
+	}
+	defer d.Close()
+	d.Sync() // best-effort: some filesystems reject directory fsync
+	return nil
+}
+
+// Double-write checkpoint file.
+//
+// A checkpoint flushes dirty pages in place, which is not atomic: a
+// crash mid-flush leaves the database a mix of old and new page images,
+// and the WAL suffix needed to repair the old ones may already overlap
+// what was flushed. The double-write file makes the checkpoint itself
+// atomic. Before any in-place flush, every dirty page image plus the
+// new manifest is streamed into <path>.dw and fsynced — that fsync is
+// the checkpoint's commit point. Recovery finding a complete dw file
+// re-applies its images (idempotent) and installs its manifest; finding
+// a torn one discards it, and the no-steal buffer policy guarantees the
+// main file still holds exactly the previous checkpoint's images.
+//
+// Layout: [8B magic][u32 manifestLen][manifest JSON]
+//
+//	[u32 nPages] then per page [u64 id][pageSize bytes][u32 crc]
+//	[8B trailer magic]
+var (
+	dwMagic        = [8]byte{'n', 'b', 'l', 'b', '-', 'd', 'w', '1'}
+	dwTrailerMagic = [8]byte{'n', 'b', 'l', 'b', '-', 'e', 'n', 'd'}
+)
+
+var dwCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// dwWriter streams a double-write file.
+type dwWriter struct {
+	f      *os.File
+	path   string
+	npos   int64 // offset of the page-count placeholder
+	npages uint32
+}
+
+func newDWWriter(path string, m *manifest) (*dwWriter, error) {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("core: encode dw manifest: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &dwWriter{f: f, path: path}
+	var hdr [12]byte
+	copy(hdr[:8], dwMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(data)))
+	if _, err := f.Write(hdr[:]); err != nil {
+		return nil, w.abort(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		return nil, w.abort(err)
+	}
+	w.npos = int64(len(hdr) + len(data))
+	if _, err := f.Write([]byte{0, 0, 0, 0}); err != nil { // nPages placeholder
+		return nil, w.abort(err)
+	}
+	return w, nil
+}
+
+func (w *dwWriter) abort(err error) error {
+	w.f.Close()
+	os.Remove(w.path)
+	return err
+}
+
+func (w *dwWriter) addPage(id storage.PageID, data []byte) error {
+	var idb [8]byte
+	binary.LittleEndian.PutUint64(idb[:], uint64(id))
+	if _, err := w.f.Write(idb[:]); err != nil {
+		return err
+	}
+	if _, err := w.f.Write(data); err != nil {
+		return err
+	}
+	var crcb [4]byte
+	binary.LittleEndian.PutUint32(crcb[:], crc32.Checksum(data, dwCRCTable))
+	_, err := w.f.Write(crcb[:])
+	w.npages++
+	return err
+}
+
+// commit back-fills the page count, writes the trailer, and fsyncs.
+// After commit returns nil the checkpoint is durable.
+func (w *dwWriter) commit() error {
+	if _, err := w.f.Write(dwTrailerMagic[:]); err != nil {
+		return w.abort(err)
+	}
+	var nb [4]byte
+	binary.LittleEndian.PutUint32(nb[:], w.npages)
+	if _, err := w.f.WriteAt(nb[:], w.npos); err != nil {
+		return w.abort(err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return w.abort(err)
+	}
+	if err := w.f.Close(); err != nil {
+		os.Remove(w.path)
+		return err
+	}
+	return syncDirBestEffort(filepath.Dir(w.path))
+}
+
+type dwPage struct {
+	id   storage.PageID
+	data []byte
+}
+
+// readDW parses the double-write file at path. ok is false for a
+// missing, torn, or corrupt file — recovery then falls back to the
+// previous checkpoint's on-disk state.
+func readDW(path string, pageSize int) (m *manifest, pages []dwPage, ok bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, false
+	}
+	defer f.Close()
+	r := io.Reader(f)
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil || [8]byte(hdr[:8]) != dwMagic {
+		return nil, nil, false
+	}
+	mlen := binary.LittleEndian.Uint32(hdr[8:])
+	if mlen > 64<<20 {
+		return nil, nil, false
+	}
+	mdata := make([]byte, mlen)
+	if _, err := io.ReadFull(r, mdata); err != nil {
+		return nil, nil, false
+	}
+	var mf manifest
+	if err := json.Unmarshal(mdata, &mf); err != nil || mf.Magic != manifestMagic {
+		return nil, nil, false
+	}
+	var nb [4]byte
+	if _, err := io.ReadFull(r, nb[:]); err != nil {
+		return nil, nil, false
+	}
+	n := binary.LittleEndian.Uint32(nb[:])
+	if n > 1<<24 {
+		return nil, nil, false
+	}
+	pages = make([]dwPage, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var idb [8]byte
+		if _, err := io.ReadFull(r, idb[:]); err != nil {
+			return nil, nil, false
+		}
+		data := make([]byte, pageSize)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil, nil, false
+		}
+		var crcb [4]byte
+		if _, err := io.ReadFull(r, crcb[:]); err != nil {
+			return nil, nil, false
+		}
+		if crc32.Checksum(data, dwCRCTable) != binary.LittleEndian.Uint32(crcb[:]) {
+			return nil, nil, false
+		}
+		pages = append(pages, dwPage{id: storage.PageID(binary.LittleEndian.Uint64(idb[:])), data: data})
+	}
+	var trailer [8]byte
+	if _, err := io.ReadFull(r, trailer[:]); err != nil || trailer != dwTrailerMagic {
+		return nil, nil, false
+	}
+	return &mf, pages, true
+}

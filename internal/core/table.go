@@ -53,6 +53,7 @@ type Table struct {
 	name   string
 	schema *tuple.Schema
 	file   *heap.File
+	cfg    tableConfig // resolved creation config (checkpoint manifest)
 
 	mu      sync.RWMutex
 	indexes map[string]*Index
@@ -60,12 +61,21 @@ type Table struct {
 }
 
 func newTable(e *Engine, name string, schema *tuple.Schema, opts ...TableOption) (*Table, error) {
-	if schema == nil {
-		return nil, fmt.Errorf("core: table %q needs a schema", name)
-	}
 	var cfg tableConfig
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.heapInsertShards == 0 {
+		cfg.heapInsertShards = e.heapShards
+	}
+	return buildTable(e, name, schema, cfg)
+}
+
+// buildTable constructs a table from an already-resolved config — the
+// shared tail of user-driven creation and WAL/manifest replay.
+func buildTable(e *Engine, name string, schema *tuple.Schema, cfg tableConfig) (*Table, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("core: table %q needs a schema", name)
 	}
 	var hopts []heap.Option
 	if cfg.appendOnly {
@@ -73,9 +83,6 @@ func newTable(e *Engine, name string, schema *tuple.Schema, opts ...TableOption)
 	}
 	if cfg.heapFillFactor != 0 {
 		hopts = append(hopts, heap.WithFillFactor(cfg.heapFillFactor))
-	}
-	if cfg.heapInsertShards == 0 {
-		cfg.heapInsertShards = e.heapShards
 	}
 	if cfg.heapInsertShards > 0 {
 		hopts = append(hopts, heap.WithInsertShards(cfg.heapInsertShards))
@@ -91,6 +98,7 @@ func newTable(e *Engine, name string, schema *tuple.Schema, opts ...TableOption)
 		name:    name,
 		schema:  schema,
 		file:    f,
+		cfg:     cfg,
 		indexes: make(map[string]*Index),
 	}, nil
 }
@@ -206,25 +214,18 @@ func (t *Table) Relocate(rid storage.RID) (storage.RID, error) {
 	if err != nil {
 		return storage.InvalidRID, fmt.Errorf("core: relocate of %v: %w", rid, err)
 	}
-	rec, err := tuple.Encode(t.schema, row, nil)
+	// Delete-then-insert as one batch, in order (WithSyncIndexes pins
+	// it): the delete frees the slot before the insert places, and the
+	// whole move rides Apply's pipeline — so it is WAL-logged like every
+	// other mutation instead of bypassing the log.
+	var b Batch
+	b.Delete(rid)
+	b.Insert(row)
+	res, err := t.Apply(&b, WithSyncIndexes(), WithResultRIDs())
 	if err != nil {
 		return storage.InvalidRID, err
 	}
-	if err := t.file.Delete(rid); err != nil {
-		return storage.InvalidRID, err
-	}
-	newRID, err := t.file.Insert(rec)
-	if err != nil {
-		return storage.InvalidRID, err
-	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	for _, ix := range t.indexes {
-		if err := ix.updateEntry(row, row, rid, newRID, true); err != nil {
-			return storage.InvalidRID, fmt.Errorf("core: maintaining index %q: %w", ix.name, err)
-		}
-	}
-	return newRID, nil
+	return res.RIDs[1], nil
 }
 
 // GetInto is Get decoding into dst when its capacity suffices, with

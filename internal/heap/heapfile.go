@@ -236,6 +236,21 @@ func defaultInsertShards() int {
 
 // NewFile creates an empty heap file in the pool's disk.
 func NewFile(pool *buffer.Pool, opts ...Option) (*File, error) {
+	f := newShell(pool, opts...)
+	s := &f.shards[0]
+	s.mu.Lock()
+	_, err := f.addPageLocked(0)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// newShell builds a File with options applied and shards initialized,
+// without allocating or adopting any page — shared by NewFile and the
+// recovery path's Open.
+func newShell(pool *buffer.Pool, opts ...Option) *File {
 	f := &File{
 		pool:       pool,
 		fillFactor: 1.0,
@@ -261,14 +276,7 @@ func NewFile(pool *buffer.Pool, opts ...Option) (*File, error) {
 	f.hints.New = func() any {
 		return &shardHint{idx: int(f.nextShard.Add(1)-1) % len(f.shards)}
 	}
-	s := &f.shards[0]
-	s.mu.Lock()
-	_, err := f.addPageLocked(0)
-	s.mu.Unlock()
-	if err != nil {
-		return nil, err
-	}
-	return f, nil
+	return f
 }
 
 // InsertShards returns the number of insert shards the file routes

@@ -1,0 +1,140 @@
+package heap
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/storage"
+)
+
+// Open reconstructs a heap file over pages that already exist on disk —
+// the checkpoint manifest's page list, in allocation order. Each page
+// is read once to seed the advisory free-space maps; ownership is dealt
+// round-robin across the insert shards. Options must match the ones the
+// file was created with (the manifest records them).
+func Open(pool *buffer.Pool, pages []storage.PageID, opts ...Option) (*File, error) {
+	f := newShell(pool, opts...)
+	if len(pages) == 0 {
+		// Match NewFile's invariant: a file always owns at least one page.
+		s := &f.shards[0]
+		s.mu.Lock()
+		_, err := f.addPageLocked(0)
+		s.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	for i, id := range pages {
+		if err := f.adoptPageShard(id, i%len(f.shards)); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// adoptPage registers a page the file does not yet own — the redo path
+// hits this when the log references a page allocated after the last
+// checkpoint. A virgin (all-zero) page is formatted as an empty heap
+// page; a page carrying non-heap flags is an error (the redo stream
+// disagrees with the disk about page ownership).
+func (f *File) adoptPage(id storage.PageID) error {
+	f.meta.RLock()
+	_, known := f.meta.owner[id]
+	n := len(f.meta.pages)
+	f.meta.RUnlock()
+	if known {
+		return nil
+	}
+	return f.adoptPageShard(id, n%len(f.shards))
+}
+
+// adoptPageShard adopts id into shard si. Recovery is single-threaded,
+// so the shard mutex here only preserves the documented lock order
+// (shard before latch, meta inside shard).
+func (f *File) adoptPageShard(id storage.PageID, si int) error {
+	s := &f.shards[si]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fr, err := f.pool.Fetch(id)
+	if err != nil {
+		return err
+	}
+	fr.Latch.Lock()
+	sp := storage.AsSlotted(fr.Data())
+	dirty := false
+	switch sp.Flags() {
+	case pageFlagHeap:
+	case 0:
+		sp.Init()
+		sp.SetFlags(pageFlagHeap)
+		dirty = true
+	default:
+		flags := sp.Flags()
+		fr.Latch.Unlock()
+		f.pool.Unpin(fr, false)
+		return fmt.Errorf("heap: cannot adopt page %v: flags %#x are not a heap page's", id, flags)
+	}
+	free := f.advisoryFree(sp)
+	fr.Latch.Unlock()
+	f.pool.Unpin(fr, dirty)
+	f.meta.Lock()
+	f.meta.pages = append(f.meta.pages, id)
+	f.meta.owner[id] = si
+	f.meta.Unlock()
+	s.fsm.set(id, free)
+	s.tail = id
+	return nil
+}
+
+// RedoPut physically reinstalls rec at exactly rid — recovery's
+// idempotent redo primitive. The page is adopted if unknown (formatting
+// it when virgin); the slot semantics are storage.SlottedPage.PutAt's:
+// identical bytes are a no-op, anything else is replaced in place.
+func (f *File) RedoPut(rid storage.RID, rec []byte) error {
+	if err := f.adoptPage(rid.Page); err != nil {
+		return err
+	}
+	fr, err := f.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	fr.Latch.Lock()
+	sp := storage.AsSlotted(fr.Data())
+	err = sp.PutAt(rid.Slot, rec)
+	free := f.advisoryFree(sp)
+	fr.Latch.Unlock()
+	f.pool.Unpin(fr, err == nil)
+	if err != nil {
+		return fmt.Errorf("heap: redo put at %v: %w", rid, err)
+	}
+	f.noteFree(rid.Page, free)
+	return nil
+}
+
+// RedoDelete removes the record at rid if present. An unknown page or
+// an already-dead slot is a no-op, not an error: the redo stream
+// overlaps the checkpoint image, so a replayed delete may find its work
+// already done.
+func (f *File) RedoDelete(rid storage.RID) error {
+	f.meta.RLock()
+	_, known := f.meta.owner[rid.Page]
+	f.meta.RUnlock()
+	if !known {
+		return nil
+	}
+	fr, err := f.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	fr.Latch.Lock()
+	sp := storage.AsSlotted(fr.Data())
+	deleted := sp.Delete(rid.Slot) == nil
+	free := f.advisoryFree(sp)
+	fr.Latch.Unlock()
+	f.pool.Unpin(fr, deleted)
+	if deleted {
+		f.noteFree(rid.Page, free)
+	}
+	return nil
+}

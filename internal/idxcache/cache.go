@@ -134,6 +134,17 @@ func (c *Cache) InvalidateAll() {
 	c.fullInval.Add(1)
 }
 
+// SeedCSN forces CSNidx to csn, used when reopening an engine from a
+// checkpoint: on-disk leaf pages carry the CSNs they were checkpointed
+// with, so a fresh cache restarting from 1 could collide with a
+// resurrected page's CSNp and validate stale (pre-crash) cache entries.
+// Seeding strictly above the checkpointed CSN makes every resurrected
+// page read as invalid, which is the restart semantics the paper's
+// volatile cache requires anyway.
+func (c *Cache) SeedCSN(csn uint32) {
+	c.csnIdx.Store(csn)
+}
+
 // NotifyUpdate must be called when a tuple indexed under key is updated
 // or deleted, so stale cache entries cannot be served. It appends to
 // the predicate log, escalating to a full invalidation past the

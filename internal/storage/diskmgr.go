@@ -20,6 +20,10 @@ type DiskManager interface {
 	NumPages() uint64
 	// PageSize returns the fixed page size in bytes.
 	PageSize() int
+	// Sync flushes every completed write to stable storage. Durability
+	// layers (the WAL, checkpoints) order their writes around it; a
+	// manager with no volatile cache (MemDisk) may no-op.
+	Sync() error
 	// Close releases resources. The manager is unusable afterwards.
 	Close() error
 }
@@ -100,6 +104,10 @@ func (d *MemDisk) NumPages() uint64 {
 
 // PageSize implements DiskManager.
 func (d *MemDisk) PageSize() int { return d.pageSize }
+
+// Sync implements DiskManager. Memory is as stable as a MemDisk gets,
+// so this is a no-op.
+func (d *MemDisk) Sync() error { return nil }
 
 // Close implements DiskManager.
 func (d *MemDisk) Close() error {
@@ -235,6 +243,7 @@ type CountingDisk struct {
 	inner  DiskManager
 	reads  atomic.Int64
 	writes atomic.Int64
+	syncs  atomic.Int64
 }
 
 // NewCountingDisk wraps inner.
@@ -248,10 +257,15 @@ func (d *CountingDisk) Reads() int64 { return d.reads.Load() }
 // Writes returns the number of page writes so far.
 func (d *CountingDisk) Writes() int64 { return d.writes.Load() }
 
-// ResetCounts zeroes both counters.
+// Syncs returns the number of Sync calls so far — the durability
+// experiments' fsync-amortization metric.
+func (d *CountingDisk) Syncs() int64 { return d.syncs.Load() }
+
+// ResetCounts zeroes all counters.
 func (d *CountingDisk) ResetCounts() {
 	d.reads.Store(0)
 	d.writes.Store(0)
+	d.syncs.Store(0)
 }
 
 // Allocate implements DiskManager.
@@ -274,6 +288,12 @@ func (d *CountingDisk) NumPages() uint64 { return d.inner.NumPages() }
 
 // PageSize implements DiskManager.
 func (d *CountingDisk) PageSize() int { return d.inner.PageSize() }
+
+// Sync implements DiskManager, counting the call.
+func (d *CountingDisk) Sync() error {
+	d.syncs.Add(1)
+	return d.inner.Sync()
+}
 
 // Close implements DiskManager.
 func (d *CountingDisk) Close() error { return d.inner.Close() }

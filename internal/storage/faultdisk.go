@@ -1,0 +1,171 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// FaultOp selects which DiskManager operation a FaultPlan arms.
+type FaultOp uint8
+
+// Operations a fault can target.
+const (
+	FaultWrite FaultOp = iota
+	FaultSync
+	FaultAllocate
+)
+
+// FaultMode selects how the armed operation misbehaves.
+type FaultMode uint8
+
+// Fault behaviors.
+const (
+	// FaultFail returns ErrInjected without performing the operation.
+	FaultFail FaultMode = iota
+	// FaultTorn performs a partial write: a seeded-random prefix of the
+	// new page spliced onto the old contents (only meaningful for
+	// FaultWrite), then returns ErrInjected. Models a torn sector write
+	// during power loss.
+	FaultTorn
+	// FaultShort writes all but the final 512 bytes of the page, leaving
+	// the old tail in place, then returns ErrInjected.
+	FaultShort
+)
+
+// ErrInjected is returned by a FaultDisk when an armed fault fires.
+var ErrInjected = fmt.Errorf("storage: injected fault")
+
+// FaultPlan arms one fault: the After-th call (1-based) to the targeted
+// operation misbehaves per Mode. OnFault, if set, runs just after the
+// fault's side effects and just before ErrInjected is returned — crash
+// harnesses use it to SIGKILL the process with the torn page on disk.
+type FaultPlan struct {
+	Op      FaultOp
+	After   int64 // fire on the After-th targeted call; <=0 arms nothing
+	Mode    FaultMode
+	Seed    int64  // torn-write split point randomness
+	OnFault func() // optional hook, called while the fault is firing
+}
+
+// FaultDisk wraps a DiskManager and injects one deterministic fault
+// according to a FaultPlan. After the fault fires once, subsequent
+// operations pass through untouched, so tests can observe the damaged
+// state with ordinary reads.
+type FaultDisk struct {
+	inner DiskManager
+	mu    sync.Mutex
+	plan  FaultPlan
+	rng   *rand.Rand
+	seen  int64
+	fired bool
+}
+
+// NewFaultDisk wraps inner with the given plan.
+func NewFaultDisk(inner DiskManager, plan FaultPlan) *FaultDisk {
+	return &FaultDisk{
+		inner: inner,
+		plan:  plan,
+		rng:   rand.New(rand.NewSource(plan.Seed)),
+	}
+}
+
+// Fired reports whether the armed fault has fired.
+func (d *FaultDisk) Fired() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.fired
+}
+
+// arm counts a call against the plan and reports whether the fault
+// fires on this call.
+func (d *FaultDisk) arm(op FaultOp) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.fired || d.plan.Op != op || d.plan.After <= 0 {
+		return false
+	}
+	d.seen++
+	if d.seen < d.plan.After {
+		return false
+	}
+	d.fired = true
+	return true
+}
+
+// Allocate implements DiskManager.
+func (d *FaultDisk) Allocate() (PageID, error) {
+	if d.arm(FaultAllocate) {
+		if d.plan.OnFault != nil {
+			d.plan.OnFault()
+		}
+		return InvalidPageID, ErrInjected
+	}
+	return d.inner.Allocate()
+}
+
+// ReadPage implements DiskManager.
+func (d *FaultDisk) ReadPage(id PageID, buf []byte) error {
+	return d.inner.ReadPage(id, buf)
+}
+
+// WritePage implements DiskManager. When the armed write fault fires,
+// FaultTorn splices a random-length prefix of buf onto the page's old
+// contents and FaultShort drops the final 512 bytes; both leave the
+// mangled page on the inner disk before returning ErrInjected.
+func (d *FaultDisk) WritePage(id PageID, buf []byte) error {
+	if !d.arm(FaultWrite) {
+		return d.inner.WritePage(id, buf)
+	}
+	switch d.plan.Mode {
+	case FaultTorn, FaultShort:
+		old := make([]byte, d.inner.PageSize())
+		if err := d.inner.ReadPage(id, old); err != nil {
+			// Unreadable old contents: treat as all-zero.
+			for i := range old {
+				old[i] = 0
+			}
+		}
+		cut := len(buf) - 512
+		if d.plan.Mode == FaultTorn {
+			d.mu.Lock()
+			cut = d.rng.Intn(len(buf))
+			d.mu.Unlock()
+		}
+		if cut < 0 {
+			cut = 0
+		}
+		mangled := make([]byte, len(buf))
+		copy(mangled, old)
+		copy(mangled[:cut], buf[:cut])
+		if err := d.inner.WritePage(id, mangled); err != nil {
+			return err
+		}
+	}
+	if d.plan.OnFault != nil {
+		d.plan.OnFault()
+	}
+	return ErrInjected
+}
+
+// NumPages implements DiskManager.
+func (d *FaultDisk) NumPages() uint64 { return d.inner.NumPages() }
+
+// PageSize implements DiskManager.
+func (d *FaultDisk) PageSize() int { return d.inner.PageSize() }
+
+// Sync implements DiskManager.
+func (d *FaultDisk) Sync() error {
+	if d.arm(FaultSync) {
+		if d.plan.OnFault != nil {
+			d.plan.OnFault()
+		}
+		return ErrInjected
+	}
+	return d.inner.Sync()
+}
+
+// Close implements DiskManager.
+func (d *FaultDisk) Close() error { return d.inner.Close() }
+
+var _ DiskManager = (*FaultDisk)(nil)

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 )
@@ -197,6 +198,55 @@ func (p *SlottedPage) Insert(rec []byte) (uint16, error) {
 	p.setFreeUpper(uint16(newUpper))
 	p.setSlot(slotIdx, newUpper, len(rec))
 	return uint16(slotIdx), nil
+}
+
+// PutAt forces the given slot to hold rec — the physical-redo primitive
+// crash recovery uses to reconstruct a page to a logged post-state.
+// A live slot holding identical bytes is a no-op (idempotent replay); a
+// live slot with different bytes is replaced; a dead or not-yet-existing
+// slot is (re)created, extending the slot directory with dead entries as
+// needed. Returns ErrNoSpace only when the record cannot fit even after
+// compaction, which a faithful redo stream never triggers (the original
+// insert fit the same page).
+func (p *SlottedPage) PutAt(slot uint16, rec []byte) error {
+	if len(rec) == 0 {
+		return fmt.Errorf("storage: cannot put empty record")
+	}
+	if int(slot) < p.numSlots() {
+		if off, l := p.slot(int(slot)); off != deadSlotOffset {
+			if l == len(rec) && bytes.Equal(p.data[off:off+l], rec) {
+				return nil
+			}
+			p.setSlot(int(slot), deadSlotOffset, 0)
+		}
+	}
+	need := len(rec)
+	grow := 0
+	if int(slot) >= p.numSlots() {
+		grow = int(slot) - p.numSlots() + 1
+		need += grow * slotSize
+	}
+	if p.FreeSpace() < need {
+		if p.reclaimable() >= need-p.FreeSpace() {
+			p.Compact()
+		}
+		if p.FreeSpace() < need {
+			return ErrNoSpace
+		}
+	}
+	if grow > 0 {
+		base := p.numSlots()
+		for i := 0; i < grow; i++ {
+			p.setSlot(base+i, deadSlotOffset, 0)
+		}
+		p.setNumSlots(int(slot) + 1)
+		p.setFreeLower(p.freeLower() + grow*slotSize)
+	}
+	newUpper := p.freeUpper() - len(rec)
+	copy(p.data[newUpper:], rec)
+	p.setFreeUpper(uint16(newUpper))
+	p.setSlot(int(slot), newUpper, len(rec))
+	return nil
 }
 
 // AvailableBytes returns the bytes an insert could use after a

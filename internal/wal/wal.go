@@ -1,0 +1,389 @@
+// Package wal implements the redo-only write-ahead log underpinning
+// the engine's durability. Records are checksummed, LSN-ordered frames
+// appended to a single file:
+//
+//	[u32 frameLen][u32 crc][u64 LSN][u8 type][payload]
+//
+// where frameLen counts the LSN, type, and payload bytes (the region
+// the CRC-32C covers). LSNs are assigned densely by Append; a file
+// therefore holds a contiguous run of LSNs and recovery detects a torn
+// tail as the first frame whose length, checksum, or LSN sequencing is
+// invalid, truncating the log there.
+//
+// The log knows nothing about record semantics — payloads are opaque
+// and the type byte belongs to the caller (internal/core). What it does
+// own is the commit protocol: Append is cheap (one buffered write under
+// a mutex), and Commit implements group commit — concurrent committers
+// park on a condition variable while one leader runs a single fsync
+// covering every record appended so far, then wakes the group.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// frameOverhead is the on-disk size of a frame minus its payload.
+	frameOverhead = 4 + 4 + 8 + 1
+	// maxFrame caps a frame so a corrupt length field cannot drive a
+	// giant allocation during a recovery scan.
+	maxFrame = 1 << 28
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// testHook receives named execution points ("wal:append", "wal:synced",
+// ...) when installed via SetTestHook. The crash-matrix harness uses it
+// to SIGKILL the process at precise pipeline stages.
+var testHook atomic.Pointer[func(string)]
+
+// SetTestHook installs (or, with nil, removes) the process-wide test
+// hook. Test-only.
+func SetTestHook(fn func(string)) {
+	if fn == nil {
+		testHook.Store(nil)
+		return
+	}
+	testHook.Store(&fn)
+}
+
+// TestPoint invokes the test hook, if installed, with the named point.
+// Exported so internal/core can mark checkpoint stages with the same
+// hook the log uses for append stages.
+func TestPoint(name string) {
+	if fn := testHook.Load(); fn != nil {
+		(*fn)(name)
+	}
+}
+
+// Stats reports log activity counters.
+type Stats struct {
+	Appends int64 // records appended
+	Syncs   int64 // fsyncs issued (group commit coalesces these)
+	Bytes   int64 // current log file size
+}
+
+// Log is an append-only redo log over a single file. All methods are
+// safe for concurrent use.
+type Log struct {
+	mu           sync.Mutex // serializes file writes, fsync, truncation
+	f            *os.File
+	path         string
+	offset       int64
+	nextLSN      uint64
+	lastAppended uint64
+	closed       bool
+	frameBuf     []byte // append scratch, reused under mu
+
+	synced  atomic.Uint64 // highest LSN known durable
+	appends atomic.Int64
+	syncs   atomic.Int64
+
+	cmu     sync.Mutex // group-commit leader election
+	cond    *sync.Cond
+	syncing bool
+}
+
+// Open opens (or creates) the log at path, scans the valid record
+// prefix, and truncates any torn tail so the file ends on a frame
+// boundary. The returned log appends after the last valid record.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	l := &Log{f: f, path: path, nextLSN: 1}
+	l.cond = sync.NewCond(&l.cmu)
+	if err := l.scan(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// scan walks the file from the start, validating each frame, and
+// truncates the file at the first invalid one.
+func (l *Log) scan() error {
+	st, err := l.f.Stat()
+	if err != nil {
+		return fmt.Errorf("wal: stat: %w", err)
+	}
+	size := st.Size()
+	var off int64
+	var last uint64
+	hdr := make([]byte, 8)
+	for {
+		if size-off < frameOverhead {
+			break
+		}
+		if _, err := l.f.ReadAt(hdr, off); err != nil {
+			break
+		}
+		flen := int64(binary.LittleEndian.Uint32(hdr))
+		if flen < 9 || flen > maxFrame || off+8+flen > size {
+			break
+		}
+		body := make([]byte, flen)
+		if _, err := l.f.ReadAt(body, off+8); err != nil {
+			break
+		}
+		if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(hdr[4:]) {
+			break
+		}
+		lsn := binary.LittleEndian.Uint64(body)
+		if last != 0 && lsn != last+1 {
+			break
+		}
+		last = lsn
+		off += 8 + flen
+	}
+	if off < size {
+		if err := l.f.Truncate(off); err != nil {
+			return fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+	}
+	l.offset = off
+	l.lastAppended = last
+	if last > 0 {
+		l.nextLSN = last + 1
+	}
+	// Everything that survived the scan is on disk; whether it is
+	// *durable* is unknowable post-crash, but recovery replays it
+	// anyway, so advertise it as synced.
+	l.synced.Store(last)
+	return nil
+}
+
+// Append writes one record and returns its LSN. The record is in the
+// OS page cache afterwards but not durable until Sync (or a Commit
+// covering the LSN) completes.
+func (l *Log) Append(typ uint8, payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: append on closed log")
+	}
+	lsn := l.nextLSN
+	if need := 8 + 9 + len(payload); cap(l.frameBuf) < need {
+		l.frameBuf = make([]byte, need)
+	}
+	frame := l.frameBuf[:8+9+len(payload)]
+	binary.LittleEndian.PutUint32(frame, uint32(9+len(payload)))
+	binary.LittleEndian.PutUint64(frame[8:], lsn)
+	frame[16] = typ
+	copy(frame[17:], payload)
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(frame[8:], castagnoli))
+	if testHook.Load() != nil && len(frame) > 12 {
+		// Split the write so a crash hook between the halves leaves a
+		// torn record on disk — the tail-repair path's test surface.
+		half := len(frame) / 2
+		if _, err := l.f.WriteAt(frame[:half], l.offset); err != nil {
+			return 0, fmt.Errorf("wal: append: %w", err)
+		}
+		TestPoint("wal:append-partial")
+		if _, err := l.f.WriteAt(frame[half:], l.offset+int64(half)); err != nil {
+			return 0, fmt.Errorf("wal: append: %w", err)
+		}
+	} else if _, err := l.f.WriteAt(frame, l.offset); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.offset += int64(len(frame))
+	l.nextLSN++
+	l.lastAppended = lsn
+	l.appends.Add(1)
+	TestPoint("wal:append")
+	return lsn, nil
+}
+
+// Sync makes every appended record durable.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: sync on closed log")
+	}
+	target := l.lastAppended
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.synced.Store(target)
+	l.syncs.Add(1)
+	TestPoint("wal:synced")
+	return nil
+}
+
+// Commit blocks until the record at lsn is durable, using group commit:
+// the first committer to arrive becomes the leader and runs one fsync
+// covering every record appended so far; the rest park on a condition
+// variable and are woken by the leader's broadcast. Under concurrency
+// this amortizes one fsync over many commits.
+func (l *Log) Commit(lsn uint64) error {
+	if l.synced.Load() >= lsn {
+		return nil
+	}
+	l.cmu.Lock()
+	for l.synced.Load() < lsn {
+		if !l.syncing {
+			l.syncing = true
+			l.cmu.Unlock()
+			err := l.Sync()
+			l.cmu.Lock()
+			l.syncing = false
+			l.cond.Broadcast()
+			if err != nil {
+				l.cmu.Unlock()
+				return err
+			}
+			continue
+		}
+		l.cond.Wait()
+	}
+	l.cmu.Unlock()
+	return nil
+}
+
+// SyncedLSN returns the highest LSN known durable.
+func (l *Log) SyncedLSN() uint64 { return l.synced.Load() }
+
+// AppendedLSN returns the highest LSN appended.
+func (l *Log) AppendedLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastAppended
+}
+
+// Size returns the current log file size in bytes.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.offset
+}
+
+// Stats returns activity counters.
+func (l *Log) Stats() Stats {
+	return Stats{Appends: l.appends.Load(), Syncs: l.syncs.Load(), Bytes: l.Size()}
+}
+
+// Replay calls fn for every record with LSN ≥ from, in LSN order.
+// Intended for recovery (no concurrent appends).
+func (l *Log) Replay(from uint64, fn func(lsn uint64, typ uint8, payload []byte) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.replayLocked(from, fn)
+}
+
+func (l *Log) replayLocked(from uint64, fn func(lsn uint64, typ uint8, payload []byte) error) error {
+	var off int64
+	hdr := make([]byte, 8)
+	for off < l.offset {
+		if _, err := l.f.ReadAt(hdr, off); err != nil {
+			return fmt.Errorf("wal: replay read: %w", err)
+		}
+		flen := int64(binary.LittleEndian.Uint32(hdr))
+		body := make([]byte, flen)
+		if _, err := l.f.ReadAt(body, off+8); err != nil {
+			return fmt.Errorf("wal: replay read: %w", err)
+		}
+		lsn := binary.LittleEndian.Uint64(body)
+		if lsn >= from {
+			if err := fn(lsn, body[8], body[9:]); err != nil {
+				return err
+			}
+		}
+		off += 8 + flen
+	}
+	return nil
+}
+
+// TruncateTo drops every record with LSN < keep by streaming the
+// survivors to a temp file and atomically renaming it over the log.
+// Called after a checkpoint makes the dropped prefix redundant.
+func (l *Log) TruncateTo(keep uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: truncate on closed log")
+	}
+	tmpPath := l.path + ".tmp"
+	tf, err := os.Create(tmpPath)
+	if err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	var kept int64
+	var off int64
+	hdr := make([]byte, 8)
+	for off < l.offset {
+		if _, err := l.f.ReadAt(hdr, off); err != nil {
+			tf.Close()
+			return fmt.Errorf("wal: truncate read: %w", err)
+		}
+		flen := int64(binary.LittleEndian.Uint32(hdr))
+		frame := make([]byte, 8+flen)
+		if _, err := l.f.ReadAt(frame, off); err != nil {
+			tf.Close()
+			return fmt.Errorf("wal: truncate read: %w", err)
+		}
+		if binary.LittleEndian.Uint64(frame[8:]) >= keep {
+			if _, err := tf.WriteAt(frame, kept); err != nil {
+				tf.Close()
+				return fmt.Errorf("wal: truncate write: %w", err)
+			}
+			kept += 8 + flen
+		}
+		off += 8 + flen
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return fmt.Errorf("wal: truncate sync: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		return fmt.Errorf("wal: truncate close: %w", err)
+	}
+	TestPoint("wal:truncate-before-rename")
+	if err := os.Rename(tmpPath, l.path); err != nil {
+		return fmt.Errorf("wal: truncate rename: %w", err)
+	}
+	TestPoint("wal:truncate-after-rename")
+	syncDir(filepath.Dir(l.path))
+	old := l.f
+	nf, err := os.OpenFile(l.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: truncate reopen: %w", err)
+	}
+	old.Close()
+	l.f = nf
+	l.offset = kept
+	return nil
+}
+
+// Close closes the log file. Pending records are not synced; callers
+// that need durability sync (or checkpoint) first.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	return l.f.Close()
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+// Best-effort: some platforms reject directory fsync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+var _ io.Closer = (*Log)(nil)

@@ -126,9 +126,50 @@ const (
 	KindTimestamp = tuple.KindTimestamp
 )
 
+// SyncPolicy selects when an acked write reaches stable storage under
+// the write-ahead log (see WithWAL).
+type SyncPolicy = core.SyncPolicy
+
+// Sync policies for WithSyncPolicy.
+const (
+	// SyncGroupCommit (the default) makes every write durable before it
+	// is acked, coalescing concurrent committers into one shared fsync.
+	SyncGroupCommit = core.SyncGroupCommit
+	// SyncAlways fsyncs the log on every write, no coalescing.
+	SyncAlways = core.SyncAlways
+	// SyncNone never fsyncs on the commit path; the log reaches disk at
+	// checkpoints. A crash may lose the tail of acked writes but never
+	// corrupts the database.
+	SyncNone = core.SyncNone
+)
+
+// EngineOption tweaks Options in Open's functional-option form.
+type EngineOption = core.EngineOption
+
+// Durability options (see Open).
+var (
+	// WithWAL enables the redo write-ahead log: every batch appends one
+	// checksummed record before it is acked, fuzzy checkpoints bound the
+	// log's growth, and Open replays any suffix a crash left behind.
+	// Requires Options.Path; the log lives beside the database file.
+	WithWAL = core.WithWAL
+	// WithSyncPolicy selects commit durability (default SyncGroupCommit).
+	WithSyncPolicy = core.WithSyncPolicy
+	// WithCheckpointEvery sets the WAL growth budget between automatic
+	// checkpoints (default 4 MiB).
+	WithCheckpointEvery = core.WithCheckpointEvery
+)
+
 // Open creates an engine. A zero Options value yields an in-memory
 // engine with 8 KiB pages and a 4096-page buffer pool.
-func Open(opts Options) (*Engine, error) { return core.NewEngine(opts) }
+//
+// With WithWAL (or Options.WAL) the engine is durable: acked writes
+// survive process crashes per the configured SyncPolicy, and Open
+// doubles as recovery — it rebuilds the catalog from the last
+// checkpoint's manifest and replays the log's suffix.
+func Open(opts Options, extra ...EngineOption) (*Engine, error) {
+	return core.NewEngine(opts, extra...)
+}
 
 // NewSchema builds a table schema.
 func NewSchema(fields ...Field) (*Schema, error) { return tuple.NewSchema(fields...) }
