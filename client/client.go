@@ -1,0 +1,453 @@
+// Package client is the Go client for nblb-server's binary protocol.
+//
+// A Client owns a small pool of TCP connections, each fully pipelined:
+// any number of goroutines may issue requests concurrently, responses
+// are matched by request ID, and a streaming Query consumes pages
+// lazily like an embedded core.Cursor. Idempotent reads (Get, Query
+// open, Stats, Ping) are retried on transport errors; writes are
+// never retried — a timed-out Apply may or may not have committed,
+// and the client surfaces that honestly instead of double-applying.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+// Re-exported data types, so embedders and network callers share one
+// vocabulary (the nblb facade aliases these too).
+type (
+	// Field declares one column for CreateTable.
+	Field = tuple.Field
+	// Value is one field value.
+	Value = tuple.Value
+	// Row is an ordered list of values.
+	Row = tuple.Row
+	// ApplyResult reports per-op outcomes of an Apply: Applied counts
+	// successes, OpErrs[i] is "" for op i's success, RIDs[i] its
+	// resulting packed RID.
+	ApplyResult = wire.ApplyResp
+	// Kind tags a field's declared type.
+	Kind = tuple.Kind
+)
+
+// Field kinds, for declaring CreateTable columns.
+const (
+	KindInt64     = tuple.KindInt64
+	KindInt32     = tuple.KindInt32
+	KindInt16     = tuple.KindInt16
+	KindInt8      = tuple.KindInt8
+	KindBool      = tuple.KindBool
+	KindFloat64   = tuple.KindFloat64
+	KindChar      = tuple.KindChar
+	KindString    = tuple.KindString
+	KindBytes     = tuple.KindBytes
+	KindTimestamp = tuple.KindTimestamp
+)
+
+// Value constructors, re-exported so network callers build rows
+// without importing any internal package.
+var (
+	Int64         = tuple.Int64
+	Int32         = tuple.Int32
+	Int16         = tuple.Int16
+	Int8          = tuple.Int8
+	Bool          = tuple.Bool
+	Float64       = tuple.Float64
+	Char          = tuple.Char
+	String        = tuple.String
+	Bytes         = tuple.Bytes
+	Timestamp     = tuple.Timestamp
+	TimestampUnix = tuple.TimestampUnix
+	Null          = tuple.Null
+)
+
+// ServerError is an error the server attributed to the request (bad
+// table, duplicate key, malformed row). It is never retried.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return e.Msg }
+
+// ErrTimeout is returned when a request exceeds the configured
+// timeout. For writes the op may still commit server-side.
+var ErrTimeout = errors.New("client: request timed out")
+
+// Option configures Dial.
+type Option func(*config)
+
+type config struct {
+	poolSize    int
+	timeout     time.Duration
+	readRetries int
+}
+
+// WithPoolSize sets the connection pool size (default 2).
+func WithPoolSize(n int) Option { return func(c *config) { c.poolSize = n } }
+
+// WithTimeout sets the per-request timeout (default 10s).
+func WithTimeout(d time.Duration) Option { return func(c *config) { c.timeout = d } }
+
+// WithReadRetries sets how many times idempotent reads are retried on
+// transport errors (default 2). Server-attributed errors never retry.
+func WithReadRetries(n int) Option { return func(c *config) { c.readRetries = n } }
+
+// Client is a pooled, pipelined connection to one nblb-server.
+type Client struct {
+	addr string
+	cfg  config
+
+	mu     sync.Mutex
+	conns  []*clientConn
+	closed bool
+	next   atomic.Uint64
+}
+
+// Dial connects to an nblb-server. The pool dials lazily; Dial itself
+// verifies the address with one connection.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	cfg := config{poolSize: 2, timeout: 10 * time.Second, readRetries: 2}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.poolSize < 1 {
+		cfg.poolSize = 1
+	}
+	c := &Client{addr: addr, cfg: cfg, conns: make([]*clientConn, cfg.poolSize)}
+	cc, err := c.conn()
+	if err != nil {
+		return nil, err
+	}
+	_ = cc
+	return c, nil
+}
+
+// Close severs every pooled connection. In-flight requests fail with
+// transport errors.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, cc := range c.conns {
+		if cc != nil {
+			cc.close(errors.New("client: closed"))
+		}
+	}
+	return nil
+}
+
+// conn returns a live pooled connection, redialing a broken slot.
+func (c *Client) conn() (*clientConn, error) {
+	i := int(c.next.Add(1)) % len(c.conns)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("client: closed")
+	}
+	cc := c.conns[i]
+	if cc != nil && !cc.broken() {
+		return cc, nil
+	}
+	nc, err := net.DialTimeout("tcp", c.addr, c.cfg.timeout)
+	if err != nil {
+		return nil, err
+	}
+	cc = newClientConn(nc)
+	c.conns[i] = cc
+	return cc, nil
+}
+
+// roundTrip sends one request on one pooled connection and waits for
+// its single response frame.
+func (c *Client) roundTrip(typ uint8, payload []byte) (wire.Frame, error) {
+	cc, err := c.conn()
+	if err != nil {
+		return wire.Frame{}, err
+	}
+	return cc.roundTrip(typ, payload, c.cfg.timeout)
+}
+
+// readRoundTrip is roundTrip with transport-error retries, for
+// idempotent requests only.
+func (c *Client) readRoundTrip(typ uint8, payload []byte) (wire.Frame, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.readRetries; attempt++ {
+		f, err := c.roundTrip(typ, payload)
+		if err == nil {
+			return f, nil
+		}
+		var se *ServerError
+		if errors.As(err, &se) {
+			return f, err
+		}
+		lastErr = err
+	}
+	return wire.Frame{}, lastErr
+}
+
+// Ping round-trips an empty frame (retried like a read).
+func (c *Client) Ping() error {
+	_, err := c.readRoundTrip(wire.TPing, nil)
+	return err
+}
+
+// CreateTable declares a table.
+func (c *Client) CreateTable(table string, fields ...Field) error {
+	m := wire.CreateTableReq{Table: table, Fields: fields}
+	_, err := c.roundTrip(wire.TCreateTable, m.Marshal(nil))
+	return err
+}
+
+// CreateIndex declares an index over a table's fields.
+func (c *Client) CreateIndex(table, index string, fields []string, unique bool) error {
+	m := wire.CreateIndexReq{Table: table, Index: index, Fields: fields, Unique: unique}
+	_, err := c.roundTrip(wire.TCreateIndex, m.Marshal(nil))
+	return err
+}
+
+// Checkpoint forces an engine checkpoint.
+func (c *Client) Checkpoint() error {
+	_, err := c.roundTrip(wire.TCheckpoint, nil)
+	return err
+}
+
+// Stats fetches the server's counters as raw JSON (schema:
+// server.StatsSnapshot).
+func (c *Client) Stats() ([]byte, error) {
+	f, err := c.readRoundTrip(wire.TStats, nil)
+	if err != nil {
+		return nil, err
+	}
+	var m wire.StatsResp
+	if err := m.Unmarshal(f.Payload); err != nil {
+		return nil, err
+	}
+	return m.JSON, nil
+}
+
+// Get performs a point lookup through a unique index. found=false
+// with a nil error means the key does not exist.
+func (c *Client) Get(table, index string, key ...Value) (Row, bool, error) {
+	m := wire.GetReq{Table: table, Index: index, Key: key}
+	f, err := c.readRoundTrip(wire.TGet, m.Marshal(nil))
+	if err != nil {
+		return nil, false, err
+	}
+	var resp wire.GetResp
+	if err := resp.Unmarshal(f.Payload); err != nil {
+		return nil, false, err
+	}
+	return resp.Row, resp.Found, nil
+}
+
+// Apply sends a batch of mutations. The server may coalesce them with
+// other connections' ops into one shared engine batch; results are
+// attributed per op either way. Apply is not retried on transport
+// errors (a lost ack does not mean a lost write).
+func (c *Client) Apply(table string, b *Batch) (ApplyResult, error) {
+	m := wire.ApplyReq{Table: table, Ops: b.ops}
+	f, err := c.roundTrip(wire.TApply, m.Marshal(nil))
+	if err != nil {
+		return ApplyResult{}, err
+	}
+	var resp wire.ApplyResp
+	if err := resp.Unmarshal(f.Payload); err != nil {
+		return ApplyResult{}, err
+	}
+	return resp, nil
+}
+
+// Batch accumulates mutations for Apply. The zero Batch is ready to
+// use.
+type Batch struct{ ops []wire.Op }
+
+// Insert queues a row insert.
+func (b *Batch) Insert(row Row) *Batch {
+	b.ops = append(b.ops, wire.Op{Kind: wire.OpInsert, Row: row})
+	return b
+}
+
+// Update queues an update of the record at packed RID rid.
+func (b *Batch) Update(rid uint64, row Row) *Batch {
+	b.ops = append(b.ops, wire.Op{Kind: wire.OpUpdate, RID: rid, Row: row})
+	return b
+}
+
+// Delete queues a delete of the record at packed RID rid.
+func (b *Batch) Delete(rid uint64) *Batch {
+	b.ops = append(b.ops, wire.Op{Kind: wire.OpDelete, RID: rid})
+	return b
+}
+
+// Len returns the number of queued ops.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Reset empties the batch for reuse.
+func (b *Batch) Reset() { b.ops = b.ops[:0] }
+
+// --- connection ---
+
+// clientConn is one pipelined connection: writes are serialized by wmu
+// and a single reader goroutine demultiplexes responses by request ID.
+// Per-request channels are never closed; conn death is broadcast by
+// closing dead, which every waiter (and the reader's own sends)
+// selects against — so there is no send-on-closed-channel window.
+type clientConn struct {
+	nc   net.Conn
+	dead chan struct{} // closed exactly once when the conn breaks
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex // pending map + err
+	pending map[uint64]chan wire.Frame
+	err     error
+
+	nextID atomic.Uint64
+}
+
+func newClientConn(nc net.Conn) *clientConn {
+	cc := &clientConn{
+		nc:      nc,
+		dead:    make(chan struct{}),
+		pending: make(map[uint64]chan wire.Frame),
+	}
+	go cc.readLoop()
+	return cc
+}
+
+func (cc *clientConn) broken() bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.err != nil
+}
+
+func (cc *clientConn) lastErr() error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.err
+}
+
+// close fails every pending request and severs the socket.
+func (cc *clientConn) close(err error) {
+	cc.mu.Lock()
+	if cc.err != nil {
+		cc.mu.Unlock()
+		return
+	}
+	cc.err = err
+	cc.mu.Unlock()
+	cc.nc.Close()
+	close(cc.dead)
+}
+
+func (cc *clientConn) readLoop() {
+	br := bufio.NewReaderSize(cc.nc, 64<<10)
+	for {
+		// Fresh buffer per frame: payloads are handed to waiters.
+		f, _, err := wire.ReadFrame(br, nil)
+		if err != nil {
+			cc.close(fmt.Errorf("client: connection lost: %w", err))
+			return
+		}
+		cc.mu.Lock()
+		ch := cc.pending[f.ReqID]
+		if ch != nil && (f.Type != wire.TQueryPage || isLastPage(f.Payload)) {
+			delete(cc.pending, f.ReqID)
+		}
+		cc.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- f: // buffered; Query streams backpressure here
+			case <-cc.dead:
+				return
+			}
+		}
+	}
+}
+
+// isLastPage peeks a page's Last flag without a full decode.
+func isLastPage(payload []byte) bool {
+	return len(payload) > 0 && payload[0]&1 != 0
+}
+
+// register allocates a request ID and its response channel. bufN > 1
+// for streaming responses.
+func (cc *clientConn) register(bufN int) (uint64, chan wire.Frame, error) {
+	id := cc.nextID.Add(1)
+	ch := make(chan wire.Frame, bufN)
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.err != nil {
+		return 0, nil, cc.err
+	}
+	cc.pending[id] = ch
+	return id, ch, nil
+}
+
+func (cc *clientConn) forget(id uint64) {
+	cc.mu.Lock()
+	delete(cc.pending, id)
+	cc.mu.Unlock()
+}
+
+func (cc *clientConn) write(id uint64, typ uint8, payload []byte) error {
+	buf := wire.AppendFrame(nil, id, typ, payload)
+	cc.wmu.Lock()
+	_, err := cc.nc.Write(buf)
+	cc.wmu.Unlock()
+	if err != nil {
+		cc.close(fmt.Errorf("client: write failed: %w", err))
+	}
+	return err
+}
+
+// roundTrip issues one single-response request.
+func (cc *clientConn) roundTrip(typ uint8, payload []byte, timeout time.Duration) (wire.Frame, error) {
+	id, ch, err := cc.register(1)
+	if err != nil {
+		return wire.Frame{}, err
+	}
+	if err := cc.write(id, typ, payload); err != nil {
+		cc.forget(id)
+		return wire.Frame{}, err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case f := <-ch:
+		return checkErr(f)
+	case <-cc.dead:
+		// The response may have been buffered just before the conn
+		// died; prefer it over the transport error.
+		select {
+		case f := <-ch:
+			return checkErr(f)
+		default:
+		}
+		return wire.Frame{}, cc.lastErr()
+	case <-timer.C:
+		cc.forget(id)
+		// The response may still arrive and land in the buffered
+		// channel; it is garbage-collected with the channel.
+		return wire.Frame{}, ErrTimeout
+	}
+}
+
+// checkErr converts a TErr frame into a *ServerError.
+func checkErr(f wire.Frame) (wire.Frame, error) {
+	if f.Type != wire.TErr {
+		return f, nil
+	}
+	var m wire.ErrResp
+	if err := m.Unmarshal(f.Payload); err != nil {
+		return f, err
+	}
+	return f, &ServerError{Msg: m.Msg}
+}

@@ -1,0 +1,190 @@
+package client
+
+import (
+	"time"
+
+	"repro/internal/wire"
+)
+
+// QueryOption configures Client.Query, mirroring the embedded
+// core.Query options.
+type QueryOption func(*wire.QueryReq)
+
+// WithIndex routes the query through the named index (key order, key
+// bounds).
+func WithIndex(name string) QueryOption {
+	return func(q *wire.QueryReq) { q.Index = name }
+}
+
+// WithKeyRange bounds an index query to lo ≤ key < hi (nil =
+// unbounded; bounds may be key-field prefixes).
+func WithKeyRange(lo, hi Row) QueryOption {
+	return func(q *wire.QueryReq) { q.Lo, q.Hi = lo, hi }
+}
+
+// WithPrefix bounds an index query to keys whose leading fields equal
+// the given values.
+func WithPrefix(vals ...Value) QueryOption {
+	return func(q *wire.QueryReq) { q.Prefix = vals }
+}
+
+// WithProjection restricts rows to the named fields.
+func WithProjection(fields ...string) QueryOption {
+	return func(q *wire.QueryReq) { q.Projection = fields }
+}
+
+// WithLimit stops the stream after n rows.
+func WithLimit(n uint64) QueryOption {
+	return func(q *wire.QueryReq) { q.Limit = n }
+}
+
+// WithReverse iterates in descending key order.
+func WithReverse() QueryOption {
+	return func(q *wire.QueryReq) { q.Reverse = true }
+}
+
+// WithPageSize sets rows per streamed page (0 = server default).
+func WithPageSize(n uint32) QueryOption {
+	return func(q *wire.QueryReq) { q.PageSize = n }
+}
+
+// WithRIDs asks the server to attach each row's packed RID (see
+// Rows.RID).
+func WithRIDs() QueryOption {
+	return func(q *wire.QueryReq) { q.WithRIDs = true }
+}
+
+// Query opens a streaming cursor over a table. Pages flow lazily as
+// Next is called — a slow consumer backpressures the server instead of
+// buffering the result set. Close early to abandon a stream.
+//
+// Opening is idempotent, but an in-flight stream is not transparently
+// retried: a transport error mid-stream surfaces via Err.
+func (c *Client) Query(table string, opts ...QueryOption) (*Rows, error) {
+	req := wire.QueryReq{Table: table}
+	for _, o := range opts {
+		o(&req)
+	}
+	cc, err := c.conn()
+	if err != nil {
+		return nil, err
+	}
+	id, ch, err := cc.register(maxBufferedPages)
+	if err != nil {
+		return nil, err
+	}
+	if err := cc.write(id, wire.TQuery, req.Marshal(nil)); err != nil {
+		cc.forget(id)
+		return nil, err
+	}
+	return &Rows{cc: cc, ch: ch, id: id, timeout: c.cfg.timeout}, nil
+}
+
+// maxBufferedPages bounds how many response pages the reader goroutine
+// will hold for a slow Rows consumer before stalling the connection.
+const maxBufferedPages = 32
+
+// Rows streams query results, mirroring core.Cursor: Next / Row / RID
+// / Err / Close. Rows is not safe for concurrent use.
+type Rows struct {
+	cc      *clientConn
+	ch      chan wire.Frame
+	id      uint64
+	timeout time.Duration
+
+	page wire.QueryPage
+	idx  int
+	row  Row
+	rid  uint64
+	err  error
+	done bool
+}
+
+// Next advances to the next row, fetching pages as needed. It returns
+// false at the end of the stream or on error (check Err).
+func (r *Rows) Next() bool {
+	for {
+		if r.err != nil {
+			return false
+		}
+		if r.idx < len(r.page.Rows) {
+			r.row = r.page.Rows[r.idx]
+			if r.idx < len(r.page.RIDs) {
+				r.rid = r.page.RIDs[r.idx]
+			} else {
+				r.rid = 0
+			}
+			r.idx++
+			return true
+		}
+		if r.done {
+			return false
+		}
+		if !r.fetchPage() {
+			return false
+		}
+	}
+}
+
+func (r *Rows) fetchPage() bool {
+	timer := time.NewTimer(r.timeout)
+	defer timer.Stop()
+	select {
+	case f := <-r.ch:
+		if _, err := checkErr(f); err != nil {
+			r.err = err
+			r.done = true
+			return false
+		}
+		r.page = wire.QueryPage{}
+		if err := r.page.Unmarshal(f.Payload); err != nil {
+			r.err = err
+			r.done = true
+			return false
+		}
+		r.idx = 0
+		r.done = r.page.Last
+		return true
+	case <-r.cc.dead:
+		r.err = r.cc.lastErr()
+		r.done = true
+		return false
+	case <-timer.C:
+		r.err = ErrTimeout
+		r.done = true
+		r.abandon()
+		return false
+	}
+}
+
+// Row returns the current row. The slice is owned by the stream page;
+// copy values that must outlive the next page fetch.
+func (r *Rows) Row() Row { return r.row }
+
+// RID returns the current row's packed RID when the query used
+// WithRIDs, else 0.
+func (r *Rows) RID() uint64 { return r.rid }
+
+// Err returns the first error the stream hit, if any.
+func (r *Rows) Err() error { return r.err }
+
+// Close releases the stream. Abandoning an unfinished stream severs
+// its connection — the wire protocol has no cancel message, and a
+// leaked stream would otherwise stall the shared reader once its page
+// buffer fills. Finished streams are free to close.
+func (r *Rows) Close() error {
+	if !r.done {
+		r.abandon()
+		r.done = true
+	}
+	return nil
+}
+
+// abandon drops the pending entry; the server may still stream pages,
+// which the reader then discards by unknown request ID. If the stream
+// is mid-flight the connection is closed so the discarded pages don't
+// stall the reader behind a full channel.
+func (r *Rows) abandon() {
+	r.cc.forget(r.id)
+	r.cc.close(ErrTimeout)
+}

@@ -11,6 +11,12 @@
 //
 //   - Throughput (BENCH_throughput.json): per goroutine count, the
 //     sharded pool's ops/sec must stay within -tolerance of baseline.
+//   - Serve (BENCH_serve.json): per connection count, the coalesced
+//     sweep's ops/sec within -tolerance of baseline. Self-invariants:
+//     at the highest connection count the cross-connection coalescer
+//     must make strictly more rows durable per fsync than the
+//     coalescer-off sweep, and its shared batches must actually batch
+//     (>1 op per drain cycle).
 //   - Scan (BENCH_scan.json): per mode, rows/sec within -tolerance;
 //     allocs/row and disk reads/pass must not grow materially (these
 //     are machine-independent, so they are held tighter).
@@ -48,6 +54,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/experiments"
 )
@@ -82,6 +89,7 @@ func main() {
 	fresh := flag.String("fresh", ".", "directory holding the freshly generated BENCH_*.json")
 	tol := flag.Float64("tolerance", 0.20, "allowed fractional throughput regression vs baseline")
 	skip := flag.String("skip", "", "skip the gate, recording this one-line reason (intentional tradeoff)")
+	only := flag.String("only", "", "comma-separated subset of gates to run: throughput, scan, write, serve (empty = all)")
 	flag.Parse()
 
 	if *skip != "" {
@@ -89,9 +97,26 @@ func main() {
 		return
 	}
 
-	gateThroughput(*base, *fresh, *tol)
-	gateScan(*base, *fresh, *tol)
-	gateWrite(*base, *fresh, *tol)
+	sel := map[string]bool{}
+	for _, name := range strings.Split(*only, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			sel[name] = true
+		}
+	}
+	run := func(name string) bool { return len(sel) == 0 || sel[name] }
+
+	if run("throughput") {
+		gateThroughput(*base, *fresh, *tol)
+	}
+	if run("scan") {
+		gateScan(*base, *fresh, *tol)
+	}
+	if run("write") {
+		gateWrite(*base, *fresh, *tol)
+	}
+	if run("serve") {
+		gateServe(*base, *fresh, *tol)
+	}
 
 	if len(failures) > 0 {
 		fmt.Println("benchgate: FAIL")
@@ -453,6 +478,88 @@ func sameInts(a, b []int) bool {
 // loadPair reads base and fresh copies of name into b and f, reporting
 // whether both exist and parsed. Missing files are notes, not failures,
 // except that every gate handles its own "fresh must exist" policy.
+// gateServe checks the network-serving sweep. Its load-bearing checks
+// are fresh-run self-invariants — the coalescing-on and coalescing-off
+// sweeps ran on the same machine in the same process, so their
+// ops/fsync ratio is valid wherever the gate runs.
+func gateServe(base, fresh string, tol float64) {
+	fmt.Println("serve (BENCH_serve.json):")
+	var f experiments.ServeResult
+	found, err := readJSON(filepath.Join(fresh, "BENCH_serve.json"), &f)
+	if err != nil {
+		failf("read fresh BENCH_serve.json: %v", err)
+		return
+	}
+	if !found {
+		failf("fresh BENCH_serve.json missing — the serve bench must run on every PR")
+		return
+	}
+	if len(f.Coalesced) == 0 || len(f.Direct) == 0 {
+		failf("serve: BENCH_serve.json is missing a sweep (coalesced %d points, direct %d)",
+			len(f.Coalesced), len(f.Direct))
+		return
+	}
+
+	// Self-invariant: at the highest connection count, cross-connection
+	// coalescing must make strictly more rows durable per fsync than
+	// per-request commits, and its shared batches must actually batch.
+	hi := f.Coalesced[len(f.Coalesced)-1]
+	var hiDirect experiments.ServePoint
+	for _, p := range f.Direct {
+		if p.Conns == hi.Conns {
+			hiDirect = p
+		}
+	}
+	if hiDirect.Conns == 0 {
+		failf("serve: direct sweep has no point at %d conns to compare against", hi.Conns)
+		return
+	}
+	if hi.OpsPerFsync <= hiDirect.OpsPerFsync {
+		failf("serve conns=%d: coalesced %.1f ops/fsync vs direct %.1f — coalescing is not amortizing commits",
+			hi.Conns, hi.OpsPerFsync, hiDirect.OpsPerFsync)
+	} else {
+		okf("conns=%d coalesced %.1f ops/fsync vs direct %.1f", hi.Conns, hi.OpsPerFsync, hiDirect.OpsPerFsync)
+	}
+	if hi.OpsPerCycle <= 1 {
+		failf("serve conns=%d: %.2f ops per coalescer drain — shared batches are not forming", hi.Conns, hi.OpsPerCycle)
+	} else {
+		okf("conns=%d %.1f ops per coalescer drain cycle", hi.Conns, hi.OpsPerCycle)
+	}
+
+	// Baseline comparison, where the shapes match.
+	var b experiments.ServeResult
+	foundB, err := readJSON(filepath.Join(base, "BENCH_serve.json"), &b)
+	if err != nil {
+		failf("read baseline BENCH_serve.json: %v", err)
+		return
+	}
+	if !foundB {
+		notef("no committed BENCH_serve.json baseline — comparison skipped")
+		return
+	}
+	if b.OpsPerConn != f.OpsPerConn || b.BatchOps != f.BatchOps || b.ValueBytes != f.ValueBytes {
+		notef("workload shape changed — comparison skipped; refresh the baseline")
+		return
+	}
+	if b.GOMAXPROCS != f.GOMAXPROCS {
+		notef("baseline measured at GOMAXPROCS=%d, this run at %d — comparison skipped", b.GOMAXPROCS, f.GOMAXPROCS)
+		return
+	}
+	for _, fp := range f.Coalesced {
+		for _, bp := range b.Coalesced {
+			if bp.Conns != fp.Conns {
+				continue
+			}
+			if !ratioOK(fp.OpsPerSec, bp.OpsPerSec, tol) {
+				failf("serve conns=%d: coalesced %.0f ops/s vs baseline %.0f (>%.0f%% down)",
+					fp.Conns, fp.OpsPerSec, bp.OpsPerSec, tol*100)
+			} else {
+				okf("conns=%d coalesced %.0f ops/s (baseline %.0f)", fp.Conns, fp.OpsPerSec, bp.OpsPerSec)
+			}
+		}
+	}
+}
+
 func loadPair(base, fresh, name string, b, f any) bool {
 	foundB, err := readJSON(filepath.Join(base, name), b)
 	if err != nil {

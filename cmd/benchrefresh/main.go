@@ -12,7 +12,8 @@
 //	benchrefresh -artifacts out-g4 -out . -dry              # show choices, write nothing
 //
 // For each summary kind (BENCH_throughput.json, BENCH_scan.json,
-// BENCH_write.json) the tool picks, among the artifact directories
+// BENCH_write.json, BENCH_serve.json) the tool picks, among the
+// artifact directories
 // holding that file, the one measured at the highest GOMAXPROCS (or
 // exactly -gomaxprocs when given) and copies it over the baseline in
 // -out. The file is copied verbatim — benchgate's shape guards treat a
@@ -34,6 +35,7 @@ var benchFiles = []string{
 	"BENCH_throughput.json",
 	"BENCH_scan.json",
 	"BENCH_write.json",
+	"BENCH_serve.json",
 }
 
 // gomaxprocsOf extracts the "gomaxprocs" field every summary carries.

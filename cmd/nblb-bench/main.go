@@ -18,11 +18,14 @@
 //	nblb-bench -exp scan           # full-table scan: callback vs cursor, cache vs heap
 //	nblb-bench -exp write          # parallel ingest: crabbing vs mutex, sharded vs
 //	                               # legacy heap, batched Apply vs one-row inserts
+//	nblb-bench -exp serve          # network serving: latency and ops/fsync vs
+//	                               # connection count, write coalescing on vs off
 //
 // -quick shrinks every experiment for a fast smoke run. The throughput,
-// scan, and write experiments also write BENCH_throughput.json /
-// BENCH_scan.json / BENCH_write.json summaries (see -json / -scanjson /
-// -writejson) so the perf trajectory is tracked PR-over-PR.
+// scan, write, and serve experiments also write BENCH_throughput.json /
+// BENCH_scan.json / BENCH_write.json / BENCH_serve.json summaries (see
+// -json / -scanjson / -writejson / -servejson) so the perf trajectory
+// is tracked PR-over-PR.
 package main
 
 import (
@@ -35,12 +38,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (comma separated): all, fig2a, fig2b, fig2c, fig3, enc, capacity, semid, vpart, ablate-place, ablate-predlog, throughput, scan, write")
+	exp := flag.String("exp", "all", "experiment to run (comma separated): all, fig2a, fig2b, fig2c, fig3, enc, capacity, semid, vpart, ablate-place, ablate-predlog, throughput, scan, write, serve")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 	seed := flag.Int64("seed", 1, "random seed for all generators")
 	jsonPath := flag.String("json", "BENCH_throughput.json", "path for the throughput experiment's JSON summary (empty disables)")
 	scanJSONPath := flag.String("scanjson", "BENCH_scan.json", "path for the scan experiment's JSON summary (empty disables)")
 	writeJSONPath := flag.String("writejson", "BENCH_write.json", "path for the write experiment's JSON summary (empty disables)")
+	serveJSONPath := flag.String("servejson", "BENCH_serve.json", "path for the serve experiment's JSON summary (empty disables)")
 	flag.Parse()
 
 	selected := map[string]bool{}
@@ -300,6 +304,28 @@ func main() {
 				fail("write", err)
 			}
 			fmt.Printf("wrote %s\n", *writeJSONPath)
+		}
+	}
+
+	if want("serve") {
+		ran++
+		section("serve")
+		cfg := experiments.DefaultServeConfig()
+		cfg.Seed = *seed
+		if *quick {
+			cfg.Conns = []int{1, 8}
+			cfg.OpsPerConn = 100
+		}
+		res, err := experiments.RunServe(cfg)
+		if err != nil {
+			fail("serve", err)
+		}
+		res.Print(os.Stdout)
+		if *serveJSONPath != "" {
+			if err := res.WriteJSON(*serveJSONPath); err != nil {
+				fail("serve", err)
+			}
+			fmt.Printf("wrote %s\n", *serveJSONPath)
 		}
 	}
 

@@ -1,0 +1,130 @@
+// Command nblb-server serves an nblb database over the network: the
+// pipelined binary protocol (internal/wire) on -addr, and an optional
+// HTTP/JSON fallback on -http. Writes from every connection flow
+// through the cross-connection coalescer, so many small client batches
+// share leaf-grouped index runs and one WAL group commit.
+//
+// SIGINT/SIGTERM shut down gracefully: accepting stops, in-flight
+// requests finish and their responses flush, the coalescer drains, and
+// a final checkpoint lands every acked write in the data file before
+// the process exits.
+//
+// Example:
+//
+//	nblb-server -db /var/lib/nblb/app.db -addr :4410 -http :8410
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		dbPath   = flag.String("db", "", "database file path (required; created if absent)")
+		addr     = flag.String("addr", ":4410", "binary-protocol listen address")
+		httpAddr = flag.String("http", "", "HTTP/JSON listen address (empty = disabled)")
+		noWAL    = flag.Bool("no-wal", false, "disable the write-ahead log (volatile between checkpoints)")
+		syncMode = flag.String("sync", "group", "WAL sync policy: group, always, none")
+		poolPgs  = flag.Int("pool", 0, "buffer pool size in pages (0 = default)")
+
+		noCoalesce = flag.Bool("no-coalesce", false, "disable cross-connection write coalescing")
+		maxOps     = flag.Int("coalesce-ops", server.DefaultMaxOps, "max ops per shared coalesced batch")
+		maxWait    = flag.Duration("coalesce-wait", server.DefaultMaxWait, "max wait for more ops after the first arrives")
+		pageSize   = flag.Int("page-size", server.DefaultPageSize, "default rows per query page")
+		inflight   = flag.Int("max-inflight", server.DefaultMaxInflight, "max concurrently executing requests per connection")
+
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget before connections are severed")
+	)
+	flag.Parse()
+	if *dbPath == "" {
+		fmt.Fprintln(os.Stderr, "nblb-server: -db is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := core.Options{Path: *dbPath, BufferPoolPages: *poolPgs}
+	var extra []core.EngineOption
+	if !*noWAL {
+		extra = append(extra, core.WithWAL())
+		switch *syncMode {
+		case "group":
+			extra = append(extra, core.WithSyncPolicy(core.SyncGroupCommit))
+		case "always":
+			extra = append(extra, core.WithSyncPolicy(core.SyncAlways))
+		case "none":
+			extra = append(extra, core.WithSyncPolicy(core.SyncNone))
+		default:
+			log.Fatalf("nblb-server: unknown -sync %q (want group, always, none)", *syncMode)
+		}
+	}
+	eng, err := core.NewEngine(opts, extra...)
+	if err != nil {
+		log.Fatalf("nblb-server: open %s: %v", *dbPath, err)
+	}
+
+	srv, err := server.New(server.Config{
+		Engine: eng,
+		Coalesce: server.CoalesceConfig{
+			Disabled: *noCoalesce,
+			MaxOps:   *maxOps,
+			MaxWait:  *maxWait,
+		},
+		PageSize:    *pageSize,
+		MaxInflight: *inflight,
+	})
+	if err != nil {
+		log.Fatalf("nblb-server: %v", err)
+	}
+
+	errc := make(chan error, 2)
+	go func() {
+		log.Printf("nblb-server: serving %s on %s", *dbPath, *addr)
+		errc <- srv.ListenAndServe(*addr)
+	}()
+	if *httpAddr != "" {
+		go func() {
+			log.Printf("nblb-server: HTTP/JSON on %s", *httpAddr)
+			errc <- listenHTTP(srv, *httpAddr)
+		}()
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("nblb-server: %v: draining (budget %v)", sig, *drainTimeout)
+	case err := <-errc:
+		if err != nil {
+			log.Printf("nblb-server: serve: %v", err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("nblb-server: shutdown: %v", err)
+	}
+	if err := eng.Close(); err != nil {
+		log.Fatalf("nblb-server: close: %v", err)
+	}
+	log.Print("nblb-server: clean shutdown")
+}
+
+func listenHTTP(srv *server.Server, addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return srv.ServeHTTP(l)
+}

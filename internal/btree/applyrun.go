@@ -18,6 +18,12 @@ const (
 	// RunDelete removes the key if present (the same semantics as
 	// Tree.Delete; deleting an absent key is a no-op, not an error).
 	RunDelete
+	// RunInsertIfAbsent stores the entry's value only when the key is
+	// not already present; an existing entry is left untouched (the
+	// same semantics as Tree.InsertIfAbsent). Callers detect the
+	// collision via Existed — with the survivor's value intact, which
+	// is what unique-index maintenance needs.
+	RunInsertIfAbsent
 )
 
 // RunEntry is one operation of a sorted run handed to ApplyRun. Key is
@@ -144,9 +150,11 @@ func (t *Tree) ApplyRun(entries []RunEntry) (RunStats, error) {
 				}
 			default:
 				if found {
-					n.setCellValue(n.dirEntry(pos), e.Value)
-					dirty = true
-					st.Updated++
+					if e.Op != RunInsertIfAbsent {
+						n.setCellValue(n.dirEntry(pos), e.Value)
+						dirty = true
+						st.Updated++
+					}
 				} else if ierr := n.insertAt(pos, e.Key, e.Value); ierr == nil {
 					dirty = true
 					st.Inserted++
@@ -176,14 +184,15 @@ func (t *Tree) ApplyRun(entries []RunEntry) (RunStats, error) {
 			// found a full leaf. The run resumes after it.
 			t.latchRetries.Add(1)
 			st.Splits++
-			ins, perr := t.insertPessimistic(entries[j].Key, entries[j].Value)
+			ifAbsent := entries[j].Op == RunInsertIfAbsent
+			ins, perr := t.insertPessimistic(entries[j].Key, entries[j].Value, ifAbsent)
 			if perr != nil {
 				return st, perr
 			}
 			entries[j].Existed = !ins
 			if ins {
 				st.Inserted++
-			} else {
+			} else if !ifAbsent {
 				st.Updated++
 			}
 			j++

@@ -262,6 +262,18 @@ func (t *Tree) Search(key []byte) (uint64, bool, error) {
 // Insert stores value under key, replacing any existing value (upsert).
 // It reports whether the key was newly inserted.
 func (t *Tree) Insert(key []byte, value uint64) (bool, error) {
+	return t.insert(key, value, false)
+}
+
+// InsertIfAbsent stores value under key only if the key is not already
+// present; an existing entry is left untouched. It reports whether the
+// key was inserted. This is the write unique-index maintenance wants: a
+// duplicate is detected without clobbering the survivor's value.
+func (t *Tree) InsertIfAbsent(key []byte, value uint64) (bool, error) {
+	return t.insert(key, value, true)
+}
+
+func (t *Tree) insert(key []byte, value uint64, ifAbsent bool) (bool, error) {
 	if len(key) == 0 {
 		return false, fmt.Errorf("btree: empty key")
 	}
@@ -277,6 +289,11 @@ func (t *Tree) Insert(key []byte, value uint64) (bool, error) {
 	n := asNode(fr.Data())
 	pos, found := n.search(key)
 	if found {
+		if ifAbsent {
+			fr.Latch.Unlock()
+			t.pool.Unpin(fr, false)
+			return false, nil
+		}
 		n.setCellValue(n.dirEntry(pos), value)
 		fr.Latch.Unlock()
 		t.pool.Unpin(fr, true)
@@ -293,7 +310,7 @@ func (t *Tree) Insert(key []byte, value uint64) (bool, error) {
 	fr.Latch.Unlock()
 	t.pool.Unpin(fr, false)
 	t.latchRetries.Add(1)
-	return t.insertPessimistic(key, value)
+	return t.insertPessimistic(key, value, ifAbsent)
 }
 
 // Delete removes key and reports whether it was present. Nodes are not
@@ -333,7 +350,7 @@ type latchedNode struct {
 // The meta lock is taken shared unless the root itself is unsafe (the
 // split might grow a new root, which rewrites t.root); that rare case
 // restarts the descent holding meta exclusively.
-func (t *Tree) insertPessimistic(key []byte, value uint64) (bool, error) {
+func (t *Tree) insertPessimistic(key []byte, value uint64, ifAbsent bool) (bool, error) {
 	// Escalation ladder. maxSepLen is a snapshot: a longer key published
 	// by a concurrent writer after the load can make the safe-node rule
 	// too optimistic, which pendingSepFits detects before any page is
@@ -351,7 +368,7 @@ func (t *Tree) insertPessimistic(key []byte, value uint64) (bool, error) {
 		{true, t.maxKeyLen()},
 	}
 	for _, a := range attempts {
-		ins, done, err := t.insertLatched(key, value, a.sepBound, a.metaEx)
+		ins, done, err := t.insertLatched(key, value, a.sepBound, a.metaEx, ifAbsent)
 		if done || err != nil {
 			return ins, err
 		}
@@ -397,7 +414,7 @@ func pendingSepFits(path []latchedNode, rootHeld bool) bool {
 // metaEx=false it bails (done=false) if the root is unsafe; with
 // metaEx=true it holds the meta lock exclusively for as long as the
 // root stays on the retained path, so a root split can be installed.
-func (t *Tree) insertLatched(key []byte, value uint64, sepBound int, metaEx bool) (inserted, done bool, err error) {
+func (t *Tree) insertLatched(key []byte, value uint64, sepBound int, metaEx, ifAbsent bool) (inserted, done bool, err error) {
 	if metaEx {
 		t.meta.Lock()
 	} else {
@@ -489,6 +506,10 @@ func (t *Tree) insertLatched(key []byte, value uint64, sepBound int, metaEx bool
 	}
 	pos, found := leaf.n.search(key)
 	if found {
+		if ifAbsent {
+			releasePath(false)
+			return false, true, nil
+		}
 		leaf.n.setCellValue(leaf.n.dirEntry(pos), value)
 		releaseLeafDirty()
 		return false, true, nil

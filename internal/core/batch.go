@@ -95,6 +95,7 @@ type applyConfig struct {
 	sync     bool
 	fill     float64
 	wantRIDs bool
+	isolate  bool
 }
 
 // WithSyncIndexes applies each op's index maintenance immediately after
@@ -123,6 +124,27 @@ func WithResultRIDs() ApplyOption {
 	return func(c *applyConfig) { c.wantRIDs = true }
 }
 
+// WithErrorIsolation switches Apply from prefix semantics to per-op
+// isolation: an op whose failure is attributable (bad row encoding, a
+// missing update/delete target, a duplicate unique key) is recorded in
+// Result.OpErrs and skipped, and every other op still applies. The
+// network server's cross-connection coalescer depends on this — one
+// client's duplicate key must never fail a neighbor's op that happens
+// to share the drained batch.
+//
+// Under isolation Result.ErrIndex points at the lowest failed op and
+// OpErrs holds each op's error, but Result.Err stays nil — Apply
+// returns a nil error when every failure was per-op. Only a
+// non-attributable failure (an I/O error mid-run) sets Err and is
+// returned, and it also fails every op that had not completed by
+// then. A failed duplicate insert leaves an orphaned heap row behind
+// (its row was written before the collision was detected) but never
+// touches the surviving row's index entries, exactly as in the
+// default mode.
+func WithErrorIsolation() ApplyOption {
+	return func(c *applyConfig) { c.isolate = true }
+}
+
 // Result reports what one Apply did.
 //
 // The contract is per-op, not transactional: each op applies
@@ -147,6 +169,9 @@ type Result struct {
 	// a failed batch the RIDs of ops that did reach the heap are still
 	// reported (ops that never ran stay InvalidRID).
 	RIDs []storage.RID
+	// OpErrs holds each op's error under WithErrorIsolation (nil entry
+	// = the op applied). Nil without the option.
+	OpErrs []error
 }
 
 // fail records the first error on the result and returns it.
@@ -157,11 +182,36 @@ func (r *Result) fail(i int, err error) error {
 	return r.Err
 }
 
+// failOp records an op-attributable failure under isolation: the op's
+// error lands in OpErrs, ErrIndex tracks the lowest failed position,
+// and the batch carries on. Result.Err is deliberately not touched —
+// per-op failures do not fail an isolated batch.
+func (r *Result) failOp(i int, err error) {
+	if r.OpErrs[i] == nil {
+		r.OpErrs[i] = err
+	}
+	if r.ErrIndex == -1 || i < r.ErrIndex {
+		r.ErrIndex = i
+	}
+}
+
+// failRemaining marks every op that has not already failed with err —
+// isolation's handling of a non-attributable mid-run failure, where
+// "which ops completed" is unknowable below the per-op stage.
+func (r *Result) failRemaining(err error) {
+	for i := range r.OpErrs {
+		if r.OpErrs[i] == nil {
+			r.OpErrs[i] = err
+		}
+	}
+}
+
 // opState carries an op's pre-flight products through the stages.
 type opState struct {
 	rec    []byte    // encoded new row (insert/update)
 	oldRow tuple.Row // pre-image (update/delete)
 	newRID storage.RID
+	skip   bool // isolation: op failed, keep it out of later stages
 }
 
 // Apply executes the batch against the table and every index. See
@@ -202,6 +252,9 @@ func (t *Table) Apply(b *Batch, opts ...ApplyOption) (Result, error) {
 			res.RIDs[i] = storage.InvalidRID
 		}
 	}
+	if cfg.isolate {
+		res.OpErrs = make([]error, len(ops))
+	}
 
 	// Under WAL, the whole mutate+log-append runs inside the commit gate
 	// (shared) so a checkpoint can never observe effects whose record is
@@ -215,9 +268,10 @@ func (t *Table) Apply(b *Batch, opts ...ApplyOption) (Result, error) {
 	}
 	t.mu.RLock()
 
-	// Pre-flight, in batch order. A failure here truncates the batch:
-	// ops before it proceed through the stages, it and everything after
-	// are never started.
+	// Pre-flight, in batch order. A failure here truncates the batch
+	// (ops before it proceed through the stages, it and everything
+	// after are never started) — or, under isolation, fails just the
+	// offending op and keeps going.
 	st := make([]opState, len(ops))
 	n := len(ops)
 	for i := range ops {
@@ -241,6 +295,11 @@ func (t *Table) Apply(b *Batch, opts ...ApplyOption) (Result, error) {
 			}
 		}
 		if err != nil {
+			if cfg.isolate {
+				res.failOp(i, err)
+				st[i].skip = true
+				continue
+			}
 			res.fail(i, err)
 			n = i
 			break
@@ -252,7 +311,7 @@ func (t *Table) Apply(b *Batch, opts ...ApplyOption) (Result, error) {
 	// the grouped stages' run scaffolding. The batch fill override is
 	// the one thing only the grouped heap stage implements.
 	if cfg.sync || (n == 1 && cfg.fill == 0) {
-		t.applySync(ops[:n], st[:n], &res, wb)
+		t.applySync(ops[:n], st[:n], &res, cfg, wb)
 	} else {
 		t.applyGrouped(ops[:n], st[:n], &res, cfg, wb)
 	}
@@ -285,8 +344,11 @@ func (t *Table) Apply(b *Batch, opts ...ApplyOption) (Result, error) {
 // applySync is the batch-order mode: each op runs the classic one-row
 // pipeline (heap write, then per-index maintenance) before the next op
 // starts. Every landed effect is logged to wb in effect order.
-func (t *Table) applySync(ops []batchOp, st []opState, res *Result, wb *walBatch) {
+func (t *Table) applySync(ops []batchOp, st []opState, res *Result, cfg applyConfig, wb *walBatch) {
 	for i := range ops {
+		if st[i].skip {
+			continue
+		}
 		op := &ops[i]
 		var err error
 		switch op.kind {
@@ -334,6 +396,10 @@ func (t *Table) applySync(ops []batchOp, st []opState, res *Result, wb *walBatch
 			}
 		}
 		if err != nil {
+			if cfg.isolate {
+				res.failOp(i, err)
+				continue
+			}
 			res.fail(i, err)
 			return
 		}
@@ -385,11 +451,16 @@ func (t *Table) applyGrouped(ops []batchOp, st []opState, res *Result, cfg apply
 	for _, ix := range t.indexes {
 		dels.entries, dels.opIdx = dels.entries[:0], dels.opIdx[:0]
 		for i := range ops {
-			if ops[i].kind != BatchDelete {
+			if ops[i].kind != BatchDelete || st[i].skip {
 				continue
 			}
 			key, err := ix.entryKey(st[i].oldRow, ops[i].rid)
 			if err != nil {
+				if cfg.isolate {
+					res.failOp(i, err)
+					st[i].skip = true
+					continue
+				}
 				res.fail(i, err)
 				return
 			}
@@ -400,7 +471,11 @@ func (t *Table) applyGrouped(ops []batchOp, st []opState, res *Result, cfg apply
 		}
 		dels.sort()
 		if _, err := ix.tree.ApplyRun(dels.entries); err != nil {
-			res.fail(-1, fmt.Errorf("core: maintaining index %q: %w", ix.name, err))
+			err = fmt.Errorf("core: maintaining index %q: %w", ix.name, err)
+			if cfg.isolate {
+				res.failRemaining(err)
+			}
+			res.fail(-1, err)
 			return
 		}
 		wb.idx(ix.name, dels.entries...)
@@ -423,10 +498,18 @@ func (t *Table) applyGrouped(ops []batchOp, st []opState, res *Result, cfg apply
 	// forwarding updates depend on relocated RIDs being reported even
 	// for a batch that then errors).
 	for i := range ops {
+		if st[i].skip {
+			continue
+		}
 		op := &ops[i]
 		switch op.kind {
 		case BatchDelete:
 			if err := t.file.Delete(op.rid); err != nil {
+				if cfg.isolate {
+					res.failOp(i, err)
+					st[i].skip = true
+					continue
+				}
 				res.fail(i, err)
 				return
 			}
@@ -435,6 +518,11 @@ func (t *Table) applyGrouped(ops []batchOp, st []opState, res *Result, cfg apply
 		case BatchUpdate:
 			newRID, err := t.file.Update(op.rid, st[i].rec)
 			if err != nil {
+				if cfg.isolate {
+					res.failOp(i, err)
+					st[i].skip = true
+					continue
+				}
 				res.fail(i, err)
 				return
 			}
@@ -460,8 +548,17 @@ func (t *Table) applyGrouped(ops []batchOp, st []opState, res *Result, cfg apply
 		}
 		t.rows.Add(int64(placed))
 		if err != nil {
-			res.fail(insOps[placed], err)
-			return
+			if !cfg.isolate {
+				res.fail(insOps[placed], err)
+				return
+			}
+			// The rows that did place still get their index entries; the
+			// rest fail as a group (the run stops at the first bad spot,
+			// so "placed and after" is exact attribution here).
+			for _, oi := range insOps[placed:] {
+				res.failOp(oi, err)
+				st[oi].skip = true
+			}
 		}
 	}
 
@@ -472,40 +569,46 @@ func (t *Table) applyGrouped(ops []batchOp, st []opState, res *Result, cfg apply
 	for _, ix := range t.indexes {
 		ups.entries, ups.opIdx = ups.entries[:0], ups.opIdx[:0]
 		for i := range ops {
+			if st[i].skip {
+				continue
+			}
 			op := &ops[i]
 			switch op.kind {
 			case BatchInsert:
 				key, err := ix.entryKey(op.row, st[i].newRID)
 				if err != nil {
+					if cfg.isolate {
+						res.failOp(i, err)
+						st[i].skip = true
+						continue
+					}
 					res.fail(i, err)
 					return
 				}
-				ups.add(key, st[i].newRID.Pack(), btree.RunUpsert, i)
+				// Inserts on a unique index go in as if-absent so a
+				// duplicate is detected via Existed without clobbering
+				// the survivor's entry.
+				insOp := btree.RunUpsert
+				if ix.unique {
+					insOp = btree.RunInsertIfAbsent
+				}
+				ups.add(key, st[i].newRID.Pack(), insOp, i)
 			case BatchUpdate:
 				oldKey, err := ix.entryKey(st[i].oldRow, op.rid)
-				if err != nil {
-					res.fail(i, err)
-					return
-				}
-				newKey, err := ix.entryKey(op.row, st[i].newRID)
-				if err != nil {
-					res.fail(i, err)
-					return
-				}
-				moved := st[i].newRID != op.rid
-				keyChanged := !bytes.Equal(oldKey, newKey)
-				if keyChanged {
-					ups.add(oldKey, 0, btree.RunDelete, i)
-					ups.add(newKey, st[i].newRID.Pack(), btree.RunUpsert, i)
-				} else if moved {
-					ups.add(newKey, st[i].newRID.Pack(), btree.RunUpsert, i)
-				}
-				if ix.cache != nil && (moved || keyChanged || ix.cachedFieldsChanged(st[i].oldRow, op.row)) {
-					ix.cache.NotifyUpdate(oldKey)
-					if keyChanged {
-						ix.cache.NotifyUpdate(newKey)
+				if err == nil {
+					var newKey []byte
+					if newKey, err = ix.entryKey(op.row, st[i].newRID); err == nil {
+						t.stageUpdateEntries(&ups, ix, op, st, i, oldKey, newKey)
+						continue
 					}
 				}
+				if cfg.isolate {
+					res.failOp(i, err)
+					st[i].skip = true
+					continue
+				}
+				res.fail(i, err)
+				return
 			}
 		}
 		if ups.Len() == 0 {
@@ -513,25 +616,83 @@ func (t *Table) applyGrouped(ops []batchOp, st []opState, res *Result, cfg apply
 		}
 		ups.sort()
 		if _, err := ix.tree.ApplyRun(ups.entries); err != nil {
-			res.fail(-1, fmt.Errorf("core: maintaining index %q: %w", ix.name, err))
+			err = fmt.Errorf("core: maintaining index %q: %w", ix.name, err)
+			if cfg.isolate {
+				res.failRemaining(err)
+			}
+			res.fail(-1, err)
 			return
 		}
-		wb.idx(ix.name, ups.entries...)
 		// Unique-index duplicate detection, with exact attribution: an
-		// insert entry that overwrote an existing key is the batch
-		// counterpart of insertEntry's duplicate-key error (the entry is
-		// already clobbered by then — same damage-then-report semantics
-		// as the one-row path).
+		// if-absent insert entry whose key already existed is the batch
+		// counterpart of insertEntry's duplicate-key error. The
+		// survivor's entry is untouched (the duplicate's heap row is
+		// orphaned, invisible to every index). The WAL logs only the
+		// entries that actually wrote — a collided if-absent entry is a
+		// no-op and must not replay as an upsert. Under isolation the
+		// duplicate fails alone and is kept out of any remaining
+		// indexes' runs.
+		logged := ups.entries
+		collided := false
 		if ix.unique {
 			for k := range ups.entries {
 				e := &ups.entries[k]
-				if e.Op == btree.RunUpsert && e.Existed && ops[ups.opIdx[k]].kind == BatchInsert {
-					res.fail(ups.opIdx[k], fmt.Errorf("core: index %q: duplicate key", ix.name))
-					return
+				if e.Op == btree.RunInsertIfAbsent && e.Existed && ops[ups.opIdx[k]].kind == BatchInsert {
+					collided = true
+					err := fmt.Errorf("core: index %q: duplicate key", ix.name)
+					if cfg.isolate {
+						res.failOp(ups.opIdx[k], err)
+						st[ups.opIdx[k]].skip = true
+						continue
+					}
+					res.fail(ups.opIdx[k], err)
+					// Fail the batch, but still log the entries that
+					// landed before returning.
+				}
+			}
+			if collided {
+				logged = make([]btree.RunEntry, 0, len(ups.entries))
+				for _, e := range ups.entries {
+					if e.Op == btree.RunInsertIfAbsent && e.Existed {
+						continue
+					}
+					logged = append(logged, e)
 				}
 			}
 		}
+		wb.idx(ix.name, logged...)
+		if collided && !cfg.isolate {
+			return
+		}
 	}
 
+	if cfg.isolate {
+		for i := range ops {
+			if res.OpErrs[i] == nil {
+				res.Applied++
+			}
+		}
+		return
+	}
 	res.Applied = len(ops)
+}
+
+// stageUpdateEntries queues one update op's stage-4 index work: a
+// delete+upsert pair on a key change, an upsert on a bare RID move,
+// and the cache invalidations updateEntry would do.
+func (t *Table) stageUpdateEntries(ups *runEntries, ix *Index, op *batchOp, st []opState, i int, oldKey, newKey []byte) {
+	moved := st[i].newRID != op.rid
+	keyChanged := !bytes.Equal(oldKey, newKey)
+	if keyChanged {
+		ups.add(oldKey, 0, btree.RunDelete, i)
+		ups.add(newKey, st[i].newRID.Pack(), btree.RunUpsert, i)
+	} else if moved {
+		ups.add(newKey, st[i].newRID.Pack(), btree.RunUpsert, i)
+	}
+	if ix.cache != nil && (moved || keyChanged || ix.cachedFieldsChanged(st[i].oldRow, op.row)) {
+		ix.cache.NotifyUpdate(oldKey)
+		if keyChanged {
+			ix.cache.NotifyUpdate(newKey)
+		}
+	}
 }

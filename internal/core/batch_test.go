@@ -389,3 +389,152 @@ func TestApplyStormVsCacheFirstScan(t *testing.T) {
 		t.Errorf("scan saw %d rows, want %d", rows, wantRows)
 	}
 }
+
+// TestApplyErrorIsolation covers the coalescer's contract: under
+// WithErrorIsolation a bad op fails alone — pre-flight failures,
+// duplicate keys, and dead-RID deletes never take neighbors down.
+func TestApplyErrorIsolation(t *testing.T) {
+	tb, ix := newBatchFixture(t, false)
+	if _, err := tb.Insert(fixedRow(7, 70)); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	var b Batch
+	b.Insert(fixedRow(1, 10))
+	// Kind-mismatched row: fails pre-flight encoding.
+	b.Insert(tuple.Row{tuple.Int32(2), tuple.Int64(0), tuple.Int32(0)})
+	b.Insert(fixedRow(3, 30))
+	b.Insert(fixedRow(7, 71)) // duplicate key: fails in the index stage
+	b.Delete(storage.RID{Page: 9999, Slot: 0})
+	b.Insert(fixedRow(4, 40))
+	res, err := tb.Apply(&b, WithErrorIsolation(), WithResultRIDs())
+	if err != nil {
+		t.Fatalf("Apply returned a batch error under isolation: %v", err)
+	}
+	if res.Err != nil {
+		t.Errorf("Result.Err = %v, want nil (per-op failures only)", res.Err)
+	}
+	if res.Applied != 3 {
+		t.Errorf("Applied = %d, want 3", res.Applied)
+	}
+	if res.ErrIndex != 1 {
+		t.Errorf("ErrIndex = %d, want 1 (lowest failed op)", res.ErrIndex)
+	}
+	wantFail := map[int]bool{1: true, 3: true, 4: true}
+	for i := 0; i < b.Len(); i++ {
+		if got := res.OpErrs[i] != nil; got != wantFail[i] {
+			t.Errorf("op %d: err = %v, want failed=%v", i, res.OpErrs[i], wantFail[i])
+		}
+	}
+	// Every op around the failures applied end to end.
+	for _, id := range []int64{1, 3, 4} {
+		if _, lres, err := ix.Lookup(nil, tuple.Int64(id)); err != nil || !lres.Found {
+			t.Errorf("isolated neighbor id %d: found=%v err=%v", id, lres.Found, err)
+		}
+	}
+	// The duplicate's heap write landed before detection
+	// (damage-then-report, same as the default mode) so its RID is
+	// reported even though the op failed.
+	if !res.RIDs[3].Valid() {
+		t.Error("duplicate op reached the heap but its RID was not reported")
+	}
+}
+
+// TestApplyErrorIsolationSync is the same contract on the
+// WithSyncIndexes (batch-order) path.
+func TestApplyErrorIsolationSync(t *testing.T) {
+	tb, ix := newBatchFixture(t, false)
+	if _, err := tb.Insert(fixedRow(7, 70)); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	var b Batch
+	b.Insert(fixedRow(1, 10))
+	b.Insert(fixedRow(7, 71)) // duplicate
+	b.Insert(fixedRow(2, 20))
+	res, err := tb.Apply(&b, WithSyncIndexes(), WithErrorIsolation())
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if res.Applied != 2 || res.OpErrs[1] == nil || res.OpErrs[0] != nil || res.OpErrs[2] != nil {
+		t.Fatalf("Result = %+v", res)
+	}
+	for _, id := range []int64{1, 2} {
+		if _, lres, err := ix.Lookup(nil, tuple.Int64(id)); err != nil || !lres.Found {
+			t.Errorf("neighbor id %d: found=%v err=%v", id, lres.Found, err)
+		}
+	}
+}
+
+// TestApplyErrorIsolationIntraBatchDuplicate: two inserts of the same
+// unique key inside one isolated batch — exactly one wins, the loser
+// is attributed, neighbors apply.
+func TestApplyErrorIsolationIntraBatchDuplicate(t *testing.T) {
+	tb, ix := newBatchFixture(t, false)
+	var b Batch
+	b.Insert(fixedRow(10, 1))
+	b.Insert(fixedRow(50, 1))
+	b.Insert(fixedRow(50, 2))
+	b.Insert(fixedRow(11, 1))
+	res, err := tb.Apply(&b, WithErrorIsolation())
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if res.Applied != 3 {
+		t.Errorf("Applied = %d, want 3", res.Applied)
+	}
+	dupFails := 0
+	for _, i := range []int{1, 2} {
+		if res.OpErrs[i] != nil {
+			dupFails++
+		}
+	}
+	if dupFails != 1 {
+		t.Errorf("%d of the colliding inserts failed, want exactly 1", dupFails)
+	}
+	if res.OpErrs[0] != nil || res.OpErrs[3] != nil {
+		t.Errorf("neighbors failed: %v %v", res.OpErrs[0], res.OpErrs[3])
+	}
+	for _, id := range []int64{10, 11, 50} {
+		if _, lres, err := ix.Lookup(nil, tuple.Int64(id)); err != nil || !lres.Found {
+			t.Errorf("id %d: found=%v err=%v", id, lres.Found, err)
+		}
+	}
+}
+
+// TestApplyIsolationMixedOps exercises updates and deletes through the
+// isolated grouped pipeline: a dead update target fails alone while
+// surrounding updates and deletes of live rows apply.
+func TestApplyIsolationMixedOps(t *testing.T) {
+	tb, ix := newBatchFixture(t, false)
+	var seed Batch
+	for i := 0; i < 8; i++ {
+		seed.Insert(fixedRow(int64(i), int64(i)))
+	}
+	sres, err := tb.Apply(&seed, WithResultRIDs())
+	if err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	var b Batch
+	b.Update(sres.RIDs[0], fixedRow(0, 100))
+	b.Update(storage.RID{Page: 9999, Slot: 3}, fixedRow(1, 101)) // dead target
+	b.Delete(sres.RIDs[2])
+	b.Update(sres.RIDs[3], fixedRow(3, 103))
+	res, err := tb.Apply(&b, WithErrorIsolation())
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if res.Applied != 3 || res.OpErrs[1] == nil {
+		t.Fatalf("Result = %+v", res)
+	}
+	if tb.Rows() != 7 {
+		t.Errorf("Rows = %d, want 7", tb.Rows())
+	}
+	if row, lres, err := ix.Lookup(nil, tuple.Int64(0)); err != nil || !lres.Found || row[1].Int != 100 {
+		t.Errorf("updated row 0: %v %v %v", row, lres, err)
+	}
+	if row, lres, err := ix.Lookup(nil, tuple.Int64(3)); err != nil || !lres.Found || row[1].Int != 103 {
+		t.Errorf("updated row 3: %v %v %v", row, lres, err)
+	}
+	if _, lres, _ := ix.Lookup(nil, tuple.Int64(2)); lres.Found {
+		t.Error("deleted row 2 still indexed")
+	}
+}

@@ -387,22 +387,27 @@ func appendRIDSuffix(key []byte, rid storage.RID) []byte {
 
 // insertEntry adds the row's index entry. For cached indexes there is
 // nothing else to do: entries are cached lazily on lookup misses.
-// Effects are logged to wb as they land — including the clobbering
-// write behind a duplicate-key error (damage-then-report: the log must
-// describe what actually happened to the tree).
+// Effects are logged to wb as they land. On a unique index the insert
+// is if-absent: a duplicate key leaves the survivor's entry untouched
+// (only the duplicate's heap row is orphaned) and nothing is logged,
+// so replay reproduces exactly the tree the error left behind.
 func (ix *Index) insertEntry(row tuple.Row, rid storage.RID, wb *walBatch) error {
 	key, err := ix.entryKey(row, rid)
 	if err != nil {
 		return err
 	}
-	inserted, err := ix.tree.Insert(key, rid.Pack())
-	if err != nil {
+	if ix.unique {
+		inserted, err := ix.tree.InsertIfAbsent(key, rid.Pack())
+		if err != nil {
+			return err
+		}
+		if !inserted {
+			return fmt.Errorf("core: index %q: duplicate key", ix.name)
+		}
+	} else if _, err := ix.tree.Insert(key, rid.Pack()); err != nil {
 		return err
 	}
 	wb.idx(ix.name, btree.RunEntry{Key: key, Value: rid.Pack(), Op: btree.RunUpsert})
-	if !inserted && ix.unique {
-		return fmt.Errorf("core: index %q: duplicate key", ix.name)
-	}
 	return nil
 }
 

@@ -487,3 +487,49 @@ func TestWriteShapes(t *testing.T) {
 		}
 	}
 }
+
+func TestServeShapes(t *testing.T) {
+	cfg := DefaultServeConfig()
+	cfg.Conns = []int{1, 4}
+	cfg.OpsPerConn = 60
+	res, err := RunServe(cfg)
+	if err != nil {
+		t.Fatalf("RunServe: %v", err)
+	}
+	if res.OpsPerConn != cfg.OpsPerConn || res.BatchOps != cfg.BatchOps {
+		t.Fatalf("shape: ops_per_conn=%d batch_ops=%d", res.OpsPerConn, res.BatchOps)
+	}
+	if len(res.Coalesced) != len(cfg.Conns) || len(res.Direct) != len(cfg.Conns) {
+		t.Fatalf("shape: %d coalesced / %d direct points, want %d each",
+			len(res.Coalesced), len(res.Direct), len(cfg.Conns))
+	}
+	check := func(sweep string, pts []ServePoint) {
+		for i, p := range pts {
+			if p.Conns != cfg.Conns[i] {
+				t.Errorf("%s[%d]: conns %d, want %d", sweep, i, p.Conns, cfg.Conns[i])
+			}
+			if p.OpsPerSec <= 0 || p.P50Micros <= 0 || p.P99Micros < p.P50Micros {
+				t.Errorf("%s conns=%d: implausible point %+v", sweep, p.Conns, p)
+			}
+			// Every acked row hit the WAL, and an fsync never covers less
+			// than one row — structural, not timing-dependent.
+			if p.OpsPerFsync < 1 {
+				t.Errorf("%s conns=%d: %.2f ops/fsync, want ≥ 1", sweep, p.Conns, p.OpsPerFsync)
+			}
+		}
+	}
+	check("coalesced", res.Coalesced)
+	check("direct", res.Direct)
+	for _, p := range res.Coalesced {
+		if p.OpsPerCycle < 1 {
+			t.Errorf("coalesced conns=%d: %.2f ops per drain cycle, want ≥ 1", p.Conns, p.OpsPerCycle)
+		}
+	}
+	// With the coalescer off every request pays its own Apply — there
+	// are no drain cycles to count.
+	for _, p := range res.Direct {
+		if p.OpsPerCycle != 0 {
+			t.Errorf("direct conns=%d: ops_per_cycle %.2f, want 0", p.Conns, p.OpsPerCycle)
+		}
+	}
+}

@@ -1,0 +1,599 @@
+// Package server is nblb's network frontend: a pipelined
+// length-prefixed binary protocol (internal/wire) over TCP, an
+// HTTP/JSON fallback for curl-ability, and — the load-bearing piece —
+// a cross-connection write coalescer that drains many connections'
+// small batches into shared core.Batches so thousands of writers ride
+// the leaf-grouped ApplyRun path and share one WAL group commit.
+//
+// Concurrency model, per connection: one reader goroutine decodes
+// frames and spawns capped handler goroutines (so a pipelined
+// connection completes out of order); one writer goroutine drains a
+// response channel through a bufio.Writer, flushing only when the
+// channel runs empty, which batches many responses into one syscall.
+// Handlers never touch the socket — they marshal complete frames and
+// hand them to the writer, so interleaved Query pages and Apply acks
+// cannot tear each other.
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultMaxOps      = 128
+	DefaultMaxWait     = 200 * time.Microsecond
+	DefaultPageSize    = 256
+	DefaultMaxInflight = 64
+)
+
+// CoalesceConfig tunes the cross-connection write coalescer.
+type CoalesceConfig struct {
+	// Disabled routes every ApplyReq straight to Table.Apply on its
+	// handler goroutine (each request pays its own group commit).
+	Disabled bool
+	// MaxOps caps the ops staged into one shared batch (default 128).
+	MaxOps int
+	// MaxWait bounds how long the leader waits for more ops after the
+	// first arrives (default 200µs).
+	MaxWait time.Duration
+}
+
+// Config configures a Server.
+type Config struct {
+	// Engine is the embedded engine to serve. Required; the server
+	// does not open or close it.
+	Engine *core.Engine
+	// Coalesce tunes cross-connection write coalescing.
+	Coalesce CoalesceConfig
+	// PageSize is the default rows per query page (default 256).
+	PageSize int
+	// MaxInflight caps concurrently executing requests per connection
+	// (default 64); further pipelined frames wait in the kernel buffer.
+	MaxInflight int
+}
+
+// Stats are the server's monotonic counters (atomic; read via
+// Server.Stats or the TStats request).
+type Stats struct {
+	Conns           atomic.Int64 // connections accepted
+	Requests        atomic.Int64 // frames dispatched
+	CoalescedCycles atomic.Int64 // coalescer drain cycles (shared batches)
+	CoalescedOps    atomic.Int64 // ops applied through shared batches
+}
+
+// StatsSnapshot is the JSON shape of TStats / GET /v1/stats.
+type StatsSnapshot struct {
+	Conns           int64    `json:"conns"`
+	Requests        int64    `json:"requests"`
+	CoalescedCycles int64    `json:"coalesced_cycles"`
+	CoalescedOps    int64    `json:"coalesced_ops"`
+	WALAppends      int64    `json:"wal_appends"`
+	WALSyncs        int64    `json:"wal_syncs"`
+	WALBytes        int64    `json:"wal_bytes"`
+	Tables          []string `json:"tables"`
+}
+
+// Server serves an engine over TCP (binary protocol) and optionally
+// HTTP. Create with New, start with Serve/ListenAndServe, stop with
+// Shutdown.
+type Server struct {
+	cfg   Config
+	eng   *core.Engine
+	stats Stats
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[*conn]struct{}
+	coal      map[string]*coalescer
+	httpSrvs  []*http.Server
+	closed    bool
+
+	wg sync.WaitGroup // accept loops + connections
+}
+
+// New creates a Server over an open engine.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("server: Config.Engine is required")
+	}
+	if cfg.Coalesce.MaxOps <= 0 {
+		cfg.Coalesce.MaxOps = DefaultMaxOps
+	}
+	if cfg.Coalesce.MaxWait <= 0 {
+		cfg.Coalesce.MaxWait = DefaultMaxWait
+	}
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = DefaultPageSize
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = DefaultMaxInflight
+	}
+	return &Server{
+		cfg:       cfg,
+		eng:       cfg.Engine,
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[*conn]struct{}),
+		coal:      make(map[string]*coalescer),
+	}, nil
+}
+
+// Stats returns a point-in-time snapshot of server + WAL counters.
+func (s *Server) Stats() StatsSnapshot {
+	w := s.eng.WALStats()
+	return StatsSnapshot{
+		Conns:           s.stats.Conns.Load(),
+		Requests:        s.stats.Requests.Load(),
+		CoalescedCycles: s.stats.CoalescedCycles.Load(),
+		CoalescedOps:    s.stats.CoalescedOps.Load(),
+		WALAppends:      w.Appends,
+		WALSyncs:        w.Syncs,
+		WALBytes:        w.Bytes,
+		Tables:          s.eng.Tables(),
+	}
+}
+
+// ListenAndServe listens on addr (TCP) and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Serve accepts connections on l until the listener is closed (by
+// Shutdown). It returns nil after a clean shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return errors.New("server: already shut down")
+	}
+	s.listeners[l] = struct{}{}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	defer s.wg.Done()
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			delete(s.listeners, l)
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		c := newConn(s, nc)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.stats.Conns.Add(1)
+		go func() {
+			defer s.wg.Done()
+			c.serve()
+			s.mu.Lock()
+			delete(s.conns, c)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Shutdown drains the server gracefully: stop accepting, close the
+// read side of every connection (in-flight requests complete and
+// their responses flush), drain and stop the coalescers, then run a
+// final Engine.Checkpoint so every acked write is in the data file
+// regardless of sync policy. If ctx expires first, remaining
+// connections are severed, but the coalescer drain and checkpoint
+// still run — acked ops are never dropped by a timeout.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ls := make([]net.Listener, 0, len(s.listeners))
+	for l := range s.listeners {
+		ls = append(ls, l)
+	}
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	https := s.httpSrvs
+	s.mu.Unlock()
+
+	for _, l := range ls {
+		l.Close()
+	}
+	for _, hs := range https {
+		hs.Shutdown(ctx)
+	}
+	for _, c := range conns {
+		c.closeRead()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var ctxErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		ctxErr = ctx.Err()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+
+	s.mu.Lock()
+	coal := s.coal
+	s.coal = make(map[string]*coalescer)
+	s.mu.Unlock()
+	for _, c := range coal {
+		c.close()
+	}
+	if err := s.eng.Checkpoint(); err != nil {
+		return err
+	}
+	return ctxErr
+}
+
+// applyOps routes a decoded batch to the table's coalescer (or
+// directly when coalescing is disabled) and waits for its attributed
+// result.
+func (s *Server) applyOps(table string, ops []wire.Op) (wire.ApplyResp, error) {
+	tb, err := s.eng.Table(table)
+	if err != nil {
+		return wire.ApplyResp{}, err
+	}
+	if len(ops) == 0 {
+		return wire.ApplyResp{}, errors.New("server: empty batch")
+	}
+	if s.cfg.Coalesce.Disabled {
+		var b core.Batch
+		for _, op := range ops {
+			switch op.Kind {
+			case wire.OpInsert:
+				b.Insert(op.Row)
+			case wire.OpUpdate:
+				b.Update(storage.UnpackRID(op.RID), op.Row)
+			case wire.OpDelete:
+				b.Delete(storage.UnpackRID(op.RID))
+			}
+		}
+		res, err := tb.Apply(&b, core.WithErrorIsolation(), core.WithResultRIDs())
+		return sliceResult(&res, err, 0, len(ops)), nil
+	}
+	return <-s.coalescerFor(table, tb).enqueue(ops), nil
+}
+
+func (s *Server) coalescerFor(name string, tb *core.Table) *coalescer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.coal[name]
+	if !ok {
+		c = newCoalescer(tb, s.cfg.Coalesce.MaxOps, s.cfg.Coalesce.MaxWait, &s.stats)
+		s.coal[name] = c
+	}
+	return c
+}
+
+// --- connection ---
+
+type conn struct {
+	s    *Server
+	nc   net.Conn
+	outc chan []byte
+	sem  chan struct{}
+	hwg  sync.WaitGroup // in-flight handlers
+	wwg  sync.WaitGroup // writer goroutine
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	return &conn{
+		s:    s,
+		nc:   nc,
+		outc: make(chan []byte, 256),
+		sem:  make(chan struct{}, s.cfg.MaxInflight),
+	}
+}
+
+// closeRead unblocks the reader loop without severing the write side,
+// so in-flight responses still reach the client during shutdown.
+func (c *conn) closeRead() {
+	type readCloser interface{ CloseRead() error }
+	if rc, ok := c.nc.(readCloser); ok {
+		rc.CloseRead()
+		return
+	}
+	c.nc.SetReadDeadline(time.Now())
+}
+
+func (c *conn) serve() {
+	c.wwg.Add(1)
+	go c.writeLoop()
+	br := bufio.NewReaderSize(c.nc, 64<<10)
+	var scratch []byte
+	for {
+		f, buf, err := wire.ReadFrame(br, scratch)
+		scratch = buf
+		if err != nil {
+			break
+		}
+		c.s.stats.Requests.Add(1)
+		// dispatch decodes the payload inline (decoding copies all
+		// bytes out), so scratch is free for the next frame.
+		c.dispatch(f)
+	}
+	c.hwg.Wait()
+	close(c.outc)
+	c.wwg.Wait()
+	c.nc.Close()
+}
+
+func (c *conn) writeLoop() {
+	defer c.wwg.Done()
+	bw := bufio.NewWriterSize(c.nc, 64<<10)
+	var werr error
+	for buf := range c.outc {
+		if werr != nil {
+			continue // drain so handlers never block on a dead socket
+		}
+		if _, werr = bw.Write(buf); werr != nil {
+			continue
+		}
+		if len(c.outc) == 0 {
+			werr = bw.Flush()
+		}
+	}
+	if werr == nil {
+		bw.Flush()
+	}
+}
+
+// send queues one complete response frame for the writer.
+func (c *conn) send(reqID uint64, typ uint8, payload []byte) {
+	c.outc <- wire.AppendFrame(nil, reqID, typ, payload)
+}
+
+func (c *conn) sendErr(reqID uint64, err error) {
+	m := wire.ErrResp{Msg: err.Error()}
+	c.send(reqID, wire.TErr, m.Marshal(nil))
+}
+
+// spawn runs fn on a handler goroutine, capped by the per-connection
+// semaphore. The semaphore is acquired on the reader loop, so a
+// connection that pipelines past MaxInflight backpressures in the
+// kernel instead of being disconnected.
+func (c *conn) spawn(fn func()) {
+	c.sem <- struct{}{}
+	c.hwg.Add(1)
+	go func() {
+		defer func() {
+			<-c.sem
+			c.hwg.Done()
+		}()
+		fn()
+	}()
+}
+
+func (c *conn) dispatch(f wire.Frame) {
+	id := f.ReqID
+	switch f.Type {
+	case wire.TPing:
+		c.send(id, wire.TOK, nil)
+	case wire.TApply:
+		var m wire.ApplyReq
+		if err := m.Unmarshal(f.Payload); err != nil {
+			c.sendErr(id, err)
+			return
+		}
+		c.spawn(func() { c.handleApply(id, &m) })
+	case wire.TGet:
+		var m wire.GetReq
+		if err := m.Unmarshal(f.Payload); err != nil {
+			c.sendErr(id, err)
+			return
+		}
+		c.spawn(func() { c.handleGet(id, &m) })
+	case wire.TQuery:
+		var m wire.QueryReq
+		if err := m.Unmarshal(f.Payload); err != nil {
+			c.sendErr(id, err)
+			return
+		}
+		c.spawn(func() { c.handleQuery(id, &m) })
+	case wire.TCreateTable:
+		var m wire.CreateTableReq
+		if err := m.Unmarshal(f.Payload); err != nil {
+			c.sendErr(id, err)
+			return
+		}
+		c.spawn(func() { c.handleCreateTable(id, &m) })
+	case wire.TCreateIndex:
+		var m wire.CreateIndexReq
+		if err := m.Unmarshal(f.Payload); err != nil {
+			c.sendErr(id, err)
+			return
+		}
+		c.spawn(func() { c.handleCreateIndex(id, &m) })
+	case wire.TCheckpoint:
+		c.spawn(func() {
+			if err := c.s.eng.Checkpoint(); err != nil {
+				c.sendErr(id, err)
+				return
+			}
+			c.send(id, wire.TOK, nil)
+		})
+	case wire.TStats:
+		c.spawn(func() {
+			doc, err := json.Marshal(c.s.Stats())
+			if err != nil {
+				c.sendErr(id, err)
+				return
+			}
+			m := wire.StatsResp{JSON: doc}
+			c.send(id, wire.TStatsResp, m.Marshal(nil))
+		})
+	default:
+		c.sendErr(id, fmt.Errorf("server: unknown frame type %d", f.Type))
+	}
+}
+
+func (c *conn) handleApply(id uint64, m *wire.ApplyReq) {
+	resp, err := c.s.applyOps(m.Table, m.Ops)
+	if err != nil {
+		c.sendErr(id, err)
+		return
+	}
+	c.send(id, wire.TApplyResp, resp.Marshal(nil))
+}
+
+func (c *conn) handleGet(id uint64, m *wire.GetReq) {
+	ix, err := c.s.lookupIndex(m.Table, m.Index)
+	if err != nil {
+		c.sendErr(id, err)
+		return
+	}
+	row, lres, err := ix.Lookup(nil, m.Key...)
+	if err != nil {
+		c.sendErr(id, err)
+		return
+	}
+	resp := wire.GetResp{Found: lres.Found}
+	if lres.Found {
+		resp.RID = lres.RID.Pack()
+		resp.Row = row
+	}
+	c.send(id, wire.TGetResp, resp.Marshal(nil))
+}
+
+func (c *conn) handleQuery(id uint64, m *wire.QueryReq) {
+	cur, err := c.s.openCursor(m)
+	if err != nil {
+		c.sendErr(id, err)
+		return
+	}
+	defer cur.Close()
+	pageSize := int(m.PageSize)
+	if pageSize <= 0 {
+		pageSize = c.s.cfg.PageSize
+	}
+	page := wire.QueryPage{}
+	for cur.Next() {
+		page.Rows = append(page.Rows, cur.Row().Clone())
+		if m.WithRIDs {
+			page.RIDs = append(page.RIDs, cur.RID().Pack())
+		}
+		if len(page.Rows) >= pageSize {
+			c.send(id, wire.TQueryPage, page.Marshal(nil))
+			page = wire.QueryPage{}
+		}
+	}
+	if err := cur.Err(); err != nil {
+		c.sendErr(id, err)
+		return
+	}
+	page.Last = true
+	c.send(id, wire.TQueryPage, page.Marshal(nil))
+}
+
+func (c *conn) handleCreateTable(id uint64, m *wire.CreateTableReq) {
+	schema, err := tuple.NewSchema(m.Fields...)
+	if err != nil {
+		c.sendErr(id, err)
+		return
+	}
+	if _, err := c.s.eng.CreateTable(m.Table, schema); err != nil {
+		c.sendErr(id, err)
+		return
+	}
+	c.send(id, wire.TOK, nil)
+}
+
+func (c *conn) handleCreateIndex(id uint64, m *wire.CreateIndexReq) {
+	tb, err := c.s.eng.Table(m.Table)
+	if err != nil {
+		c.sendErr(id, err)
+		return
+	}
+	var opts []core.IndexOption
+	if !m.Unique {
+		opts = append(opts, core.NonUnique())
+	}
+	if _, err := tb.CreateIndex(m.Index, m.Fields, opts...); err != nil {
+		c.sendErr(id, err)
+		return
+	}
+	c.send(id, wire.TOK, nil)
+}
+
+// --- shared helpers (also used by the HTTP listener) ---
+
+func (s *Server) lookupIndex(table, index string) (*core.Index, error) {
+	tb, err := s.eng.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	if index == "" {
+		return nil, errors.New("server: index name required for get")
+	}
+	return tb.Index(index)
+}
+
+func (s *Server) openCursor(m *wire.QueryReq) (*core.Cursor, error) {
+	tb, err := s.eng.Table(m.Table)
+	if err != nil {
+		return nil, err
+	}
+	var opts []core.QueryOption
+	if m.Index != "" {
+		opts = append(opts, core.WithIndex(m.Index))
+	}
+	if m.Lo != nil || m.Hi != nil {
+		opts = append(opts, core.WithKeyRange(m.Lo, m.Hi))
+	}
+	if len(m.Prefix) > 0 {
+		opts = append(opts, core.WithPrefix(m.Prefix...))
+	}
+	if len(m.Projection) > 0 {
+		opts = append(opts, core.WithProjection(m.Projection...))
+	}
+	if m.Limit > 0 {
+		opts = append(opts, core.WithLimit(int(m.Limit)))
+	}
+	if m.Reverse {
+		opts = append(opts, core.WithReverse())
+	}
+	return tb.Query(opts...)
+}

@@ -1,0 +1,598 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/core"
+	"repro/internal/server"
+	"repro/internal/tuple"
+)
+
+// fixture starts a WAL-backed engine plus a server on a loopback
+// listener and returns a dialed client. Callers own shutdown order.
+type fixture struct {
+	dir  string
+	eng  *core.Engine
+	srv  *server.Server
+	addr string
+}
+
+func startServer(t *testing.T, cfgTweak func(*server.Config)) *fixture {
+	t.Helper()
+	dir := t.TempDir()
+	eng, err := core.NewEngine(core.Options{Path: filepath.Join(dir, "db")}, core.WithWAL())
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	cfg := server.Config{Engine: eng}
+	if cfgTweak != nil {
+		cfgTweak(&cfg)
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(l)
+	return &fixture{dir: dir, eng: eng, srv: srv, addr: l.Addr().String()}
+}
+
+func (f *fixture) stop(t *testing.T) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := f.srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := f.eng.Close(); err != nil {
+		t.Fatalf("engine Close: %v", err)
+	}
+}
+
+func kvFields() []client.Field {
+	return []client.Field{
+		{Name: "id", Kind: tuple.KindInt64},
+		{Name: "val", Kind: tuple.KindString},
+	}
+}
+
+func kvRow(id int64, val string) client.Row {
+	return client.Row{tuple.Int64(id), tuple.String(val)}
+}
+
+func setupKV(t *testing.T, cl *client.Client) {
+	t.Helper()
+	if err := cl.CreateTable("kv", kvFields()...); err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	if err := cl.CreateIndex("kv", "by_id", []string{"id"}, true); err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	f := startServer(t, nil)
+	defer f.stop(t)
+	cl, err := client.Dial(f.addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+	setupKV(t, cl)
+
+	var b client.Batch
+	for i := 0; i < 100; i++ {
+		b.Insert(kvRow(int64(i), fmt.Sprintf("v%03d", i)))
+	}
+	res, err := cl.Apply("kv", &b)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if res.Applied != 100 {
+		t.Fatalf("Applied = %d, want 100", res.Applied)
+	}
+
+	row, found, err := cl.Get("kv", "by_id", tuple.Int64(42))
+	if err != nil || !found {
+		t.Fatalf("Get: found=%v err=%v", found, err)
+	}
+	if row[1].Str != "v042" {
+		t.Errorf("Get row = %v", row)
+	}
+	if _, found, err := cl.Get("kv", "by_id", tuple.Int64(10_000)); err != nil || found {
+		t.Errorf("Get missing key: found=%v err=%v", found, err)
+	}
+
+	// Range query, small pages, projection, reverse.
+	rows, err := cl.Query("kv",
+		client.WithIndex("by_id"),
+		client.WithKeyRange(client.Row{tuple.Int64(10)}, client.Row{tuple.Int64(20)}),
+		client.WithProjection("id"),
+		client.WithReverse(),
+		client.WithPageSize(3),
+	)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	var got []int64
+	for rows.Next() {
+		if n := len(rows.Row()); n != 1 {
+			t.Fatalf("projected row has %d fields", n)
+		}
+		got = append(got, rows.Row()[0].Int)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatalf("rows.Err: %v", err)
+	}
+	rows.Close()
+	if len(got) != 10 || got[0] != 19 || got[9] != 10 {
+		t.Errorf("reverse range = %v", got)
+	}
+
+	// Limit via server-side cursor.
+	rows, err = cl.Query("kv", client.WithIndex("by_id"), client.WithLimit(7))
+	if err != nil {
+		t.Fatalf("Query limit: %v", err)
+	}
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if err := rows.Err(); err != nil || n != 7 {
+		t.Fatalf("limit: n=%d err=%v", n, err)
+	}
+
+	// Update + delete by RID round trip.
+	var wb client.Batch
+	wb.Update(res.RIDs[5], kvRow(5, "updated"))
+	wb.Delete(res.RIDs[6])
+	wres, err := cl.Apply("kv", &wb)
+	if err != nil || wres.Applied != 2 {
+		t.Fatalf("update/delete: %+v err=%v", wres, err)
+	}
+	row, found, _ = cl.Get("kv", "by_id", tuple.Int64(5))
+	if !found || row[1].Str != "updated" {
+		t.Errorf("after update: found=%v row=%v", found, row)
+	}
+	if _, found, _ = cl.Get("kv", "by_id", tuple.Int64(6)); found {
+		t.Error("deleted row still visible")
+	}
+
+	if err := cl.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	raw, err := cl.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	var st server.StatsSnapshot
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("stats JSON: %v", err)
+	}
+	if st.Requests == 0 || len(st.Tables) != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestApplyErrorAttribution: a batch mixing a duplicate key and good
+// ops comes back with per-op errors — the dup fails, neighbors apply.
+func TestApplyErrorAttribution(t *testing.T) {
+	f := startServer(t, nil)
+	defer f.stop(t)
+	cl, err := client.Dial(f.addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	setupKV(t, cl)
+
+	var seed client.Batch
+	seed.Insert(kvRow(7, "orig"))
+	if _, err := cl.Apply("kv", &seed); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+
+	var b client.Batch
+	b.Insert(kvRow(1, "a"))
+	b.Insert(kvRow(7, "dup")) // duplicate key
+	b.Insert(kvRow(2, "b"))
+	res, err := cl.Apply("kv", &b)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if res.Applied != 2 {
+		t.Errorf("Applied = %d, want 2", res.Applied)
+	}
+	if res.Err(0) != nil || res.Err(2) != nil {
+		t.Errorf("neighbors failed: %v / %v", res.Err(0), res.Err(2))
+	}
+	if res.Err(1) == nil || !strings.Contains(res.Err(1).Error(), "duplicate") {
+		t.Errorf("dup err = %v", res.Err(1))
+	}
+	if row, found, _ := cl.Get("kv", "by_id", tuple.Int64(7)); !found || row[1].Str != "orig" {
+		t.Errorf("row 7 = found=%v %v, want original intact", found, row)
+	}
+}
+
+// TestStorm drives ≥64 concurrent client connections mixing Apply and
+// Query against one server under the coalescer, then checks the
+// invariants: every acked key readable, exactly one winner per
+// contended key, index row count == acked successes.
+func TestStorm(t *testing.T) {
+	f := startServer(t, nil)
+	defer f.stop(t)
+	setup, err := client.Dial(f.addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	setupKV(t, setup)
+	setup.Close()
+
+	const (
+		workers    = 64
+		perWorker  = 30
+		contendedN = 8 // keys every worker fights over
+	)
+	var (
+		acked   atomic.Int64 // disjoint-key inserts acked
+		dupWins atomic.Int64 // contended-key inserts acked
+		wg      sync.WaitGroup
+	)
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := client.Dial(f.addr, client.WithPoolSize(1))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < perWorker; i++ {
+				// Disjoint keyspace per worker, plus one contended key
+				// per round on the first contendedN rounds.
+				var b client.Batch
+				key := int64(1000 + w*perWorker + i)
+				b.Insert(kvRow(key, "w"))
+				if i < contendedN {
+					b.Insert(kvRow(int64(i), "contended"))
+				}
+				res, err := cl.Apply("kv", &b)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d apply: %w", w, err)
+					return
+				}
+				if res.Err(0) != nil {
+					errs <- fmt.Errorf("worker %d disjoint key %d failed: %v", w, key, res.Err(0))
+					return
+				}
+				acked.Add(1)
+				if i < contendedN && res.Err(1) == nil {
+					dupWins.Add(1)
+				}
+				// Interleave reads: point get of an acked key and an
+				// occasional short scan.
+				if _, found, err := cl.Get("kv", "by_id", tuple.Int64(key)); err != nil || !found {
+					errs <- fmt.Errorf("worker %d read-own-write %d: found=%v err=%v", w, key, found, err)
+					return
+				}
+				if i%10 == 0 {
+					rows, err := cl.Query("kv", client.WithIndex("by_id"), client.WithLimit(5))
+					if err != nil {
+						errs <- fmt.Errorf("worker %d query: %w", w, err)
+						return
+					}
+					for rows.Next() {
+					}
+					if err := rows.Err(); err != nil {
+						errs <- fmt.Errorf("worker %d scan: %w", w, err)
+						return
+					}
+					rows.Close()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if got := acked.Load(); got != workers*perWorker {
+		t.Fatalf("acked = %d, want %d", got, workers*perWorker)
+	}
+	// Exactly one winner per contended key.
+	if got := dupWins.Load(); got != contendedN {
+		t.Errorf("contended wins = %d, want %d", got, contendedN)
+	}
+	// Index row count equals total acked successes.
+	cl, err := client.Dial(f.addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	rows, err := cl.Query("kv", client.WithIndex("by_id"))
+	if err != nil {
+		t.Fatalf("final query: %v", err)
+	}
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatalf("final scan: %v", err)
+	}
+	want := workers*perWorker + contendedN
+	if n != want {
+		t.Errorf("indexed rows = %d, want %d", n, want)
+	}
+	// The storm must actually have coalesced: shared cycles carrying
+	// more ops than cycles (i.e. >1 op per drain on average) — the
+	// whole point of the subsystem.
+	st := f.srv.Stats()
+	if st.CoalescedCycles == 0 || st.CoalescedOps <= st.CoalescedCycles {
+		t.Logf("coalescing stats: cycles=%d ops=%d (no sharing observed — load may be too serialized on this host)",
+			st.CoalescedCycles, st.CoalescedOps)
+	}
+}
+
+// TestGracefulShutdown: every op acked before Shutdown must be
+// readable after the engine reopens from disk — no acked write lost.
+func TestGracefulShutdown(t *testing.T) {
+	f := startServer(t, nil)
+	cl, err := client.Dial(f.addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	setupKV(t, cl)
+	const n = 500
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wcl, err := client.Dial(f.addr, client.WithPoolSize(1))
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer wcl.Close()
+			for i := w; i < n; i += 8 {
+				var b client.Batch
+				b.Insert(kvRow(int64(i), fmt.Sprintf("v%d", i)))
+				if res, err := wcl.Apply("kv", &b); err != nil || res.Applied != 1 {
+					t.Errorf("apply %d: %+v err=%v", i, res, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	cl.Close()
+	f.stop(t) // Shutdown (drain + final checkpoint) then engine Close
+
+	// Reopen from the same files: recovery + checkpoint must surface
+	// every acked row.
+	eng, err := core.NewEngine(core.Options{Path: filepath.Join(f.dir, "db")}, core.WithWAL())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer eng.Close()
+	tb, err := eng.Table("kv")
+	if err != nil {
+		t.Fatalf("reopened table: %v", err)
+	}
+	ix, err := tb.Index("by_id")
+	if err != nil {
+		t.Fatalf("reopened index: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		row, lres, err := ix.Lookup(nil, tuple.Int64(int64(i)))
+		if err != nil || !lres.Found {
+			t.Fatalf("acked row %d lost after shutdown+reopen: found=%v err=%v", i, lres.Found, err)
+		}
+		if want := fmt.Sprintf("v%d", i); row[1].Str != want {
+			t.Fatalf("row %d = %q, want %q", i, row[1].Str, want)
+		}
+	}
+}
+
+// TestShutdownIdempotent: double Shutdown and post-shutdown Serve are
+// clean errors, not hangs or panics.
+func TestShutdownIdempotent(t *testing.T) {
+	f := startServer(t, nil)
+	ctx := context.Background()
+	if err := f.srv.Shutdown(ctx); err != nil {
+		t.Fatalf("first Shutdown: %v", err)
+	}
+	if err := f.srv.Shutdown(ctx); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+	if err := f.srv.ListenAndServe("127.0.0.1:0"); err == nil {
+		t.Fatal("Serve after Shutdown succeeded")
+	}
+	f.eng.Close()
+}
+
+// TestCoalescingShares: with coalescing on, concurrent one-op applies
+// from many connections produce fewer WAL appends than ops — shared
+// batches under one group commit.
+func TestCoalescingShares(t *testing.T) {
+	f := startServer(t, func(c *server.Config) {
+		c.Coalesce.MaxWait = 2 * time.Millisecond // generous on slow CI
+	})
+	defer f.stop(t)
+	cl, err := client.Dial(f.addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	setupKV(t, cl)
+	cl.Close()
+
+	const workers = 32
+	const perWorker = 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := client.Dial(f.addr, client.WithPoolSize(1))
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < perWorker; i++ {
+				var b client.Batch
+				b.Insert(kvRow(int64(w*perWorker+i), "x"))
+				if _, err := cl.Apply("kv", &b); err != nil {
+					t.Errorf("apply: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := f.srv.Stats()
+	if st.CoalescedOps != workers*perWorker {
+		t.Fatalf("CoalescedOps = %d, want %d", st.CoalescedOps, workers*perWorker)
+	}
+	if st.CoalescedCycles >= st.CoalescedOps {
+		t.Errorf("no sharing: %d cycles for %d ops", st.CoalescedCycles, st.CoalescedOps)
+	}
+	t.Logf("coalescing: %d ops in %d cycles (%.1f ops/cycle), %d WAL appends, %d fsyncs",
+		st.CoalescedOps, st.CoalescedCycles,
+		float64(st.CoalescedOps)/float64(st.CoalescedCycles),
+		st.WALAppends, st.WALSyncs)
+}
+
+// TestHTTPFallback exercises the curl-able JSON listener end to end,
+// including writes that ride the same coalescer as binary traffic.
+func TestHTTPFallback(t *testing.T) {
+	f := startServer(t, nil)
+	defer f.stop(t)
+	hl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("http listen: %v", err)
+	}
+	go f.srv.ServeHTTP(hl)
+	base := "http://" + hl.Addr().String()
+
+	post := func(path, body string) (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var doc map[string]any
+		json.NewDecoder(resp.Body).Decode(&doc)
+		return resp.StatusCode, doc
+	}
+
+	if code, doc := post("/v1/tables",
+		`{"name":"kv","fields":[{"name":"id","kind":"int64"},{"name":"val","kind":"string"}]}`); code != 201 {
+		t.Fatalf("create table: %d %v", code, doc)
+	}
+	if code, doc := post("/v1/tables/kv/indexes",
+		`{"name":"by_id","fields":["id"],"unique":true}`); code != 201 {
+		t.Fatalf("create index: %d %v", code, doc)
+	}
+	code, doc := post("/v1/tables/kv/apply",
+		`{"ops":[{"op":"insert","row":[1,"one"]},{"op":"insert","row":[2,"two"]},{"op":"insert","row":[1,"dup"]}]}`)
+	if code != 200 {
+		t.Fatalf("apply: %d %v", code, doc)
+	}
+	if doc["applied"].(float64) != 2 {
+		t.Errorf("applied = %v", doc["applied"])
+	}
+	errs := doc["errors"].([]any)
+	if errs[0] != "" || errs[1] != "" || errs[2] == "" {
+		t.Errorf("errors = %v", errs)
+	}
+
+	resp, err := http.Get(base + "/v1/tables/kv/rows?index=by_id&project=val")
+	if err != nil {
+		t.Fatalf("rows: %v", err)
+	}
+	var rowsDoc struct {
+		Fields []string `json:"fields"`
+		Rows   [][]any  `json:"rows"`
+	}
+	json.NewDecoder(resp.Body).Decode(&rowsDoc)
+	resp.Body.Close()
+	if len(rowsDoc.Rows) != 2 || rowsDoc.Fields[0] != "val" {
+		t.Errorf("rows = %+v", rowsDoc)
+	}
+
+	resp, err = http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	var st server.StatsSnapshot
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if len(st.Tables) != 1 || st.Tables[0] != "kv" {
+		t.Errorf("stats tables = %v", st.Tables)
+	}
+
+	if code, _ := post("/v1/checkpoint", ""); code != 200 {
+		t.Errorf("checkpoint: %d", code)
+	}
+}
+
+// TestPipelinedOutOfOrder: many in-flight requests on ONE connection
+// complete correctly (request IDs demultiplex).
+func TestPipelinedOutOfOrder(t *testing.T) {
+	f := startServer(t, nil)
+	defer f.stop(t)
+	cl, err := client.Dial(f.addr, client.WithPoolSize(1))
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	setupKV(t, cl)
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				key := int64(g*100 + i)
+				var b client.Batch
+				b.Insert(kvRow(key, fmt.Sprintf("g%d", g)))
+				res, err := cl.Apply("kv", &b)
+				if err != nil || res.Applied != 1 {
+					t.Errorf("apply: %+v err=%v", res, err)
+					return
+				}
+				row, found, err := cl.Get("kv", "by_id", tuple.Int64(key))
+				if err != nil || !found || row[1].Str != fmt.Sprintf("g%d", g) {
+					t.Errorf("get %d: found=%v row=%v err=%v", key, found, row, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,392 @@
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/tuple"
+)
+
+// Batch op kinds on the wire (independent of core's internal tags).
+const (
+	OpInsert uint8 = 0
+	OpUpdate uint8 = 1
+	OpDelete uint8 = 2
+)
+
+// Op is one mutation inside an ApplyReq. RID is the packed physical
+// address for updates and deletes; Row is absent for deletes.
+type Op struct {
+	Kind uint8
+	RID  uint64
+	Row  tuple.Row
+}
+
+// ApplyReq asks the server to apply a batch of ops to one table. The
+// server may coalesce the ops with other connections' into a shared
+// core.Batch; results are still attributed per op.
+type ApplyReq struct {
+	Table string
+	Ops   []Op
+}
+
+// Marshal appends the request payload to dst.
+func (m *ApplyReq) Marshal(dst []byte) []byte {
+	dst = appendString(dst, m.Table)
+	dst = appendUvarint(dst, uint64(len(m.Ops)))
+	for _, op := range m.Ops {
+		dst = append(dst, op.Kind)
+		switch op.Kind {
+		case OpInsert:
+			dst = AppendRow(dst, op.Row)
+		case OpUpdate:
+			dst = appendUvarint(dst, op.RID)
+			dst = AppendRow(dst, op.Row)
+		case OpDelete:
+			dst = appendUvarint(dst, op.RID)
+		}
+	}
+	return dst
+}
+
+// Unmarshal decodes the payload.
+func (m *ApplyReq) Unmarshal(b []byte) error {
+	r := reader{b: b}
+	m.Table = r.string()
+	n := r.count(2)
+	m.Ops = make([]Op, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		var op Op
+		op.Kind = r.byte()
+		switch op.Kind {
+		case OpInsert:
+			op.Row = r.row()
+		case OpUpdate:
+			op.RID = r.uvarint()
+			op.Row = r.row()
+		case OpDelete:
+			op.RID = r.uvarint()
+		default:
+			r.fail(fmt.Errorf("wire: bad op kind %d", op.Kind))
+		}
+		m.Ops = append(m.Ops, op)
+	}
+	return r.done()
+}
+
+// ApplyResp reports per-op outcomes. OpErrs[i] is "" for a success;
+// RIDs[i] is the op's resulting packed RID (0 when unknown). Applied
+// counts successes, so a client can cheaply detect partial failure.
+type ApplyResp struct {
+	Applied int
+	RIDs    []uint64
+	OpErrs  []string
+}
+
+// Marshal appends the response payload to dst.
+func (m *ApplyResp) Marshal(dst []byte) []byte {
+	dst = appendUvarint(dst, uint64(m.Applied))
+	dst = appendUvarint(dst, uint64(len(m.RIDs)))
+	for _, rid := range m.RIDs {
+		dst = appendUvarint(dst, rid)
+	}
+	dst = appendUvarint(dst, uint64(len(m.OpErrs)))
+	for _, e := range m.OpErrs {
+		dst = appendString(dst, e)
+	}
+	return dst
+}
+
+// Unmarshal decodes the payload.
+func (m *ApplyResp) Unmarshal(b []byte) error {
+	r := reader{b: b}
+	m.Applied = int(r.uvarint())
+	n := r.count(1)
+	m.RIDs = make([]uint64, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		m.RIDs = append(m.RIDs, r.uvarint())
+	}
+	n = r.count(1)
+	m.OpErrs = make([]string, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		m.OpErrs = append(m.OpErrs, r.string())
+	}
+	return r.done()
+}
+
+// Err returns the error for op i, or nil.
+func (m *ApplyResp) Err(i int) error {
+	if i >= len(m.OpErrs) || m.OpErrs[i] == "" {
+		return nil
+	}
+	return fmt.Errorf("%s", m.OpErrs[i])
+}
+
+// GetReq is a point lookup through an index by exact key.
+type GetReq struct {
+	Table string
+	Index string
+	Key   tuple.Row
+}
+
+// Marshal appends the request payload to dst.
+func (m *GetReq) Marshal(dst []byte) []byte {
+	dst = appendString(dst, m.Table)
+	dst = appendString(dst, m.Index)
+	return AppendRow(dst, m.Key)
+}
+
+// Unmarshal decodes the payload.
+func (m *GetReq) Unmarshal(b []byte) error {
+	r := reader{b: b}
+	m.Table = r.string()
+	m.Index = r.string()
+	m.Key = r.row()
+	return r.done()
+}
+
+// GetResp answers a GetReq.
+type GetResp struct {
+	Found bool
+	RID   uint64
+	Row   tuple.Row
+}
+
+// Marshal appends the response payload to dst.
+func (m *GetResp) Marshal(dst []byte) []byte {
+	var f byte
+	if m.Found {
+		f = 1
+	}
+	dst = append(dst, f)
+	dst = appendUvarint(dst, m.RID)
+	return AppendRow(dst, m.Row)
+}
+
+// Unmarshal decodes the payload.
+func (m *GetResp) Unmarshal(b []byte) error {
+	r := reader{b: b}
+	m.Found = r.byte() != 0
+	m.RID = r.uvarint()
+	m.Row = r.row()
+	return r.done()
+}
+
+// QueryReq opens a streaming cursor. Lo/Hi/Prefix are key-field rows
+// (nil = absent); Projection names the returned fields (nil = all);
+// Limit 0 = unbounded; PageSize 0 = server default. The server streams
+// TQueryPage frames echoing the request ID until one has Last set.
+type QueryReq struct {
+	Table      string
+	Index      string
+	Lo, Hi     tuple.Row
+	Prefix     tuple.Row
+	Projection []string
+	Limit      uint64
+	PageSize   uint32
+	Reverse    bool
+	WithRIDs   bool
+}
+
+// Marshal appends the request payload to dst.
+func (m *QueryReq) Marshal(dst []byte) []byte {
+	dst = appendString(dst, m.Table)
+	dst = appendString(dst, m.Index)
+	dst = AppendRow(dst, m.Lo)
+	dst = AppendRow(dst, m.Hi)
+	dst = AppendRow(dst, m.Prefix)
+	dst = appendUvarint(dst, uint64(len(m.Projection)))
+	for _, p := range m.Projection {
+		dst = appendString(dst, p)
+	}
+	dst = appendUvarint(dst, m.Limit)
+	dst = appendUvarint(dst, uint64(m.PageSize))
+	var f byte
+	if m.Reverse {
+		f |= 1
+	}
+	if m.WithRIDs {
+		f |= 2
+	}
+	return append(dst, f)
+}
+
+// Unmarshal decodes the payload.
+func (m *QueryReq) Unmarshal(b []byte) error {
+	r := reader{b: b}
+	m.Table = r.string()
+	m.Index = r.string()
+	m.Lo = r.row()
+	m.Hi = r.row()
+	m.Prefix = r.row()
+	n := r.count(1)
+	m.Projection = nil
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Projection = append(m.Projection, r.string())
+	}
+	m.Limit = r.uvarint()
+	m.PageSize = uint32(r.uvarint())
+	f := r.byte()
+	m.Reverse = f&1 != 0
+	m.WithRIDs = f&2 != 0
+	return r.done()
+}
+
+// QueryPage is one page of query results. RIDs is parallel to Rows
+// when the query asked WithRIDs, else empty. Last marks the final page
+// (which may be empty).
+type QueryPage struct {
+	Rows []tuple.Row
+	RIDs []uint64
+	Last bool
+}
+
+// Marshal appends the page payload to dst.
+func (m *QueryPage) Marshal(dst []byte) []byte {
+	var f byte
+	if m.Last {
+		f = 1
+	}
+	dst = append(dst, f)
+	dst = appendUvarint(dst, uint64(len(m.Rows)))
+	for _, row := range m.Rows {
+		dst = AppendRow(dst, row)
+	}
+	dst = appendUvarint(dst, uint64(len(m.RIDs)))
+	for _, rid := range m.RIDs {
+		dst = appendUvarint(dst, rid)
+	}
+	return dst
+}
+
+// Unmarshal decodes the payload.
+func (m *QueryPage) Unmarshal(b []byte) error {
+	r := reader{b: b}
+	m.Last = r.byte() != 0
+	n := r.count(2)
+	m.Rows = make([]tuple.Row, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Rows = append(m.Rows, r.row())
+	}
+	n = r.count(1)
+	m.RIDs = nil
+	for i := 0; i < n && r.err == nil; i++ {
+		m.RIDs = append(m.RIDs, r.uvarint())
+	}
+	return r.done()
+}
+
+// CreateTableReq declares a table. Fields carry declared kinds per the
+// paper's §4.1 hint semantics.
+type CreateTableReq struct {
+	Table  string
+	Fields []tuple.Field
+}
+
+// Marshal appends the request payload to dst.
+func (m *CreateTableReq) Marshal(dst []byte) []byte {
+	dst = appendString(dst, m.Table)
+	dst = appendUvarint(dst, uint64(len(m.Fields)))
+	for _, f := range m.Fields {
+		dst = appendString(dst, f.Name)
+		dst = append(dst, byte(f.Kind))
+		dst = appendUvarint(dst, uint64(f.Size))
+	}
+	return dst
+}
+
+// Unmarshal decodes the payload.
+func (m *CreateTableReq) Unmarshal(b []byte) error {
+	r := reader{b: b}
+	m.Table = r.string()
+	n := r.count(3)
+	m.Fields = make([]tuple.Field, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		var f tuple.Field
+		f.Name = r.string()
+		f.Kind = tuple.Kind(r.byte())
+		f.Size = int(r.uvarint())
+		m.Fields = append(m.Fields, f)
+	}
+	return r.done()
+}
+
+// CreateIndexReq declares an index over a table's fields.
+type CreateIndexReq struct {
+	Table  string
+	Index  string
+	Fields []string
+	Unique bool
+}
+
+// Marshal appends the request payload to dst.
+func (m *CreateIndexReq) Marshal(dst []byte) []byte {
+	dst = appendString(dst, m.Table)
+	dst = appendString(dst, m.Index)
+	dst = appendUvarint(dst, uint64(len(m.Fields)))
+	for _, f := range m.Fields {
+		dst = appendString(dst, f)
+	}
+	var u byte
+	if m.Unique {
+		u = 1
+	}
+	return append(dst, u)
+}
+
+// Unmarshal decodes the payload.
+func (m *CreateIndexReq) Unmarshal(b []byte) error {
+	r := reader{b: b}
+	m.Table = r.string()
+	m.Index = r.string()
+	n := r.count(1)
+	m.Fields = make([]string, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Fields = append(m.Fields, r.string())
+	}
+	m.Unique = r.byte() != 0
+	return r.done()
+}
+
+// StatsResp carries the server's counters as a JSON document — the
+// set of counters evolves faster than the wire protocol should.
+type StatsResp struct {
+	JSON []byte
+}
+
+// Marshal appends the response payload to dst.
+func (m *StatsResp) Marshal(dst []byte) []byte { return appendBytes(dst, m.JSON) }
+
+// Unmarshal decodes the payload.
+func (m *StatsResp) Unmarshal(b []byte) error {
+	r := reader{b: b}
+	m.JSON = r.bytes()
+	return r.done()
+}
+
+// ErrResp reports a failed request.
+type ErrResp struct {
+	Msg string
+}
+
+// Marshal appends the response payload to dst.
+func (m *ErrResp) Marshal(dst []byte) []byte { return appendString(dst, m.Msg) }
+
+// Unmarshal decodes the payload.
+func (m *ErrResp) Unmarshal(b []byte) error {
+	r := reader{b: b}
+	m.Msg = r.string()
+	return r.done()
+}
+
+// done finalizes a decode: any latched error wins, and trailing bytes
+// beyond the message are rejected (they indicate a framing bug or a
+// tampered payload).
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("wire: %d trailing bytes after message", len(r.b)-r.off)
+	}
+	return nil
+}
