@@ -54,6 +54,21 @@ func WithRIDs() QueryOption {
 	return func(q *wire.QueryReq) { q.WithRIDs = true }
 }
 
+// WithParallel asks the server to run the scan as segmented parallel
+// workers (requires WithIndex and forward order; n ≤ 1 = serial; the
+// server clamps n to its core count). Rows arrive in global key order
+// unless WithUnordered is also set.
+func WithParallel(n uint32) QueryOption {
+	return func(q *wire.QueryReq) { q.Parallel = n }
+}
+
+// WithUnordered lets a parallel scan interleave segment blocks instead
+// of merging them into global key order — the maximum-throughput mode.
+// No effect without WithParallel.
+func WithUnordered() QueryOption {
+	return func(q *wire.QueryReq) { q.Unordered = true }
+}
+
 // Query opens a streaming cursor over a table. Pages flow lazily as
 // Next is called — a slow consumer backpressures the server instead of
 // buffering the result set. Close early to abandon a stream.

@@ -1,0 +1,326 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// collectSegments scans every segment serially and returns the
+// concatenated values.
+func collectSegments(t *testing.T, tr *Tree, segs []Segment) []uint64 {
+	t.Helper()
+	var got []uint64
+	for _, s := range segs {
+		c := tr.NewCursor(s.Lo, s.Hi)
+		got = append(got, collectCursor(t, c)...)
+		c.Close()
+	}
+	return got
+}
+
+func TestPlanSegmentsCoversRange(t *testing.T) {
+	tr := newTestTree(t, 512, 512)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if _, err := tr.Insert(intKey(i), uint64(i)); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	for _, tc := range []struct {
+		lo, hi []byte
+		target int
+		want   int // expected row count
+		first  uint64
+	}{
+		{nil, nil, 1, n, 0},
+		{nil, nil, 4, n, 0},
+		{nil, nil, 16, n, 0},
+		{nil, nil, 100000, n, 0}, // clamped, still exact
+		{intKey(123), intKey(4321), 8, 4321 - 123, 123},
+		{intKey(123), intKey(124), 8, 1, 123},
+		{intKey(4000), intKey(4000), 8, 0, 0},
+	} {
+		segs, err := tr.PlanSegments(tc.lo, tc.hi, tc.target)
+		if err != nil {
+			t.Fatalf("PlanSegments: %v", err)
+		}
+		if tc.target > 1 && len(segs) > tc.target {
+			t.Fatalf("target=%d produced %d segments", tc.target, len(segs))
+		}
+		// Segments must chain exactly: seg[0].Lo == lo, seg[i].Hi ==
+		// seg[i+1].Lo, last Hi == hi.
+		if !bytes.Equal(segs[0].Lo, tc.lo) || !bytes.Equal(segs[len(segs)-1].Hi, tc.hi) {
+			t.Fatalf("segments do not span [lo,hi): %v", segs)
+		}
+		for i := 0; i+1 < len(segs); i++ {
+			if !bytes.Equal(segs[i].Hi, segs[i+1].Lo) {
+				t.Fatalf("gap between segment %d and %d", i, i+1)
+			}
+			if bytes.Compare(segs[i].Lo, segs[i].Hi) >= 0 {
+				t.Fatalf("segment %d is empty or inverted: [%x, %x)", i, segs[i].Lo, segs[i].Hi)
+			}
+		}
+		got := collectSegments(t, tr, segs)
+		if len(got) != tc.want {
+			t.Fatalf("target=%d rows=%d want %d", tc.target, len(got), tc.want)
+		}
+		for i, v := range got {
+			if v != tc.first+uint64(i) {
+				t.Fatalf("row %d = %d, want %d", i, v, tc.first+uint64(i))
+			}
+		}
+	}
+}
+
+func TestPlanSegmentsBalance(t *testing.T) {
+	tr := newTestTree(t, 512, 1024)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		tr.Insert(intKey(i), uint64(i))
+	}
+	const target = 8
+	segs, err := tr.PlanSegments(nil, nil, target)
+	if err != nil {
+		t.Fatalf("PlanSegments: %v", err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("expected a multi-segment plan for %d rows, got %d segments", n, len(segs))
+	}
+	sizes := make([]int, len(segs))
+	total := 0
+	for i, s := range segs {
+		c := tr.NewCursor(s.Lo, s.Hi)
+		sizes[i] = len(collectCursor(t, c))
+		c.Close()
+		total += sizes[i]
+	}
+	if total != n {
+		t.Fatalf("segments cover %d rows, want %d", total, n)
+	}
+	// Even downsampling should keep segments within ~3x of the mean;
+	// the boundaries land on subtree edges, not arbitrary keys, so a
+	// loose bound is enough to catch a degenerate plan.
+	mean := n / len(segs)
+	for i, sz := range sizes {
+		if sz > 3*mean {
+			t.Fatalf("segment %d holds %d rows (mean %d): plan is degenerate %v", i, sz, mean, sizes)
+		}
+	}
+}
+
+func TestPlanSegmentsShallowTree(t *testing.T) {
+	tr := newTestTree(t, 512, 64)
+	for i := 0; i < 5; i++ {
+		tr.Insert(intKey(i), uint64(i))
+	}
+	segs, err := tr.PlanSegments(nil, nil, 8)
+	if err != nil {
+		t.Fatalf("PlanSegments: %v", err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("height-1 tree should plan a single segment, got %d", len(segs))
+	}
+	if got := collectSegments(t, tr, segs); len(got) != 5 {
+		t.Fatalf("rows=%d want 5", len(got))
+	}
+}
+
+func TestNextBlockMatchesNext(t *testing.T) {
+	tr := newTestTree(t, 512, 512)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		tr.Insert(intKey(i), uint64(i))
+	}
+	for _, max := range []int{1, 7, 64, 1000} {
+		c := tr.NewCursor(intKey(10), intKey(2500))
+		var got []uint64
+		var b EntryBlock
+		for {
+			k := c.NextBlock(&b, max)
+			if k == 0 {
+				break
+			}
+			for i := 0; i < k; i++ {
+				if binary.BigEndian.Uint64(b.Key(i)) != b.Value(i) {
+					t.Fatalf("key/value mismatch in block at %d", i)
+				}
+				got = append(got, b.Value(i))
+			}
+		}
+		if err := c.Err(); err != nil {
+			t.Fatalf("cursor error: %v", err)
+		}
+		c.Close()
+		if len(got) != 2490 {
+			t.Fatalf("max=%d rows=%d want 2490", max, len(got))
+		}
+		for i, v := range got {
+			if v != uint64(10+i) {
+				t.Fatalf("max=%d row %d = %d", max, i, v)
+			}
+		}
+	}
+}
+
+func TestNextBlockInterleavesWithNext(t *testing.T) {
+	tr := newTestTree(t, 512, 512)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		tr.Insert(intKey(i), uint64(i))
+	}
+	c := tr.NewCursor(nil, nil)
+	defer c.Close()
+	var got []uint64
+	var b EntryBlock
+	for {
+		// Alternate one block fill with one scalar step, with a Close in
+		// between to exercise the re-seek path.
+		k := c.NextBlock(&b, 37)
+		for i := 0; i < k; i++ {
+			got = append(got, b.Value(i))
+		}
+		c.Close()
+		if !c.Next() {
+			break
+		}
+		got = append(got, c.Value())
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("cursor error: %v", err)
+	}
+	if len(got) != n {
+		t.Fatalf("rows=%d want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("row %d = %d", i, v)
+		}
+	}
+}
+
+func TestNextBlockReverse(t *testing.T) {
+	tr := newTestTree(t, 512, 512)
+	const n = 500
+	for i := 0; i < n; i++ {
+		tr.Insert(intKey(i), uint64(i))
+	}
+	c := tr.NewCursor(intKey(50), intKey(450), Reverse())
+	defer c.Close()
+	var got []uint64
+	var b EntryBlock
+	for {
+		k := c.NextBlock(&b, 33)
+		if k == 0 {
+			break
+		}
+		for i := 0; i < k; i++ {
+			got = append(got, b.Value(i))
+		}
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("cursor error: %v", err)
+	}
+	if len(got) != 400 || got[0] != 449 || got[len(got)-1] != 50 {
+		t.Fatalf("reverse block scan: len=%d first=%d last=%d", len(got), got[0], got[len(got)-1])
+	}
+}
+
+// TestSegmentScanRacingSplits runs segment block-scans concurrently
+// with inserts that split leaves mid-scan. Every row that existed
+// before the writers started must be served exactly once per segment
+// plan (writer rows may or may not appear — they land outside the
+// scanned range).
+func TestSegmentScanRacingSplits(t *testing.T) {
+	tr := newTestTree(t, 512, 2048)
+	const base = 8000
+	// Pre-load even keys 0..2*base; writers insert odd keys to force
+	// splits inside the scanned range without changing its membership.
+	for i := 0; i < base; i++ {
+		if _, err := tr.Insert(intKey(2*i), uint64(2*i)); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	segs, err := tr.PlanSegments(nil, nil, 8)
+	if err != nil {
+		t.Fatalf("PlanSegments: %v", err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; ; i += 2 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tr.Insert(intKey(2*(i%base)+1), uint64(2*(i%base)+1))
+			}
+		}(w)
+	}
+	var scanners sync.WaitGroup
+	errs := make(chan error, len(segs))
+	rows := make([][]uint64, len(segs))
+	for si, s := range segs {
+		scanners.Add(1)
+		go func(si int, s Segment) {
+			defer scanners.Done()
+			c := tr.NewCursor(s.Lo, s.Hi)
+			defer c.Close()
+			var b EntryBlock
+			for {
+				k := c.NextBlock(&b, 64)
+				if k == 0 {
+					break
+				}
+				for i := 0; i < k; i++ {
+					rows[si] = append(rows[si], b.Value(i))
+				}
+			}
+			if err := c.Err(); err != nil {
+				errs <- fmt.Errorf("segment %d: %w", si, err)
+			}
+		}(si, s)
+	}
+	scanners.Wait()
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]int)
+	var prev uint64
+	first := true
+	for _, rs := range rows {
+		for _, v := range rs {
+			if !first && v <= prev {
+				t.Fatalf("segment concatenation not ordered: %d after %d", v, prev)
+			}
+			prev, first = v, false
+			seen[v]++
+		}
+	}
+	for i := 0; i < base; i++ {
+		switch got := seen[uint64(2*i)]; got {
+		case 1:
+		case 0:
+			t.Fatalf("pre-loaded key %d lost", 2*i)
+		default:
+			t.Fatalf("pre-loaded key %d served %d times", 2*i, got)
+		}
+	}
+	for v, cnt := range seen {
+		if cnt != 1 {
+			t.Fatalf("key %d served %d times", v, cnt)
+		}
+	}
+	if err := tr.CheckIntegrity(); err != nil {
+		t.Fatalf("post-race integrity: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"iter"
 
@@ -74,6 +75,14 @@ type QueryStats struct {
 	LeafFetches int64
 }
 
+// Add accumulates o's counters into s.
+func (s *QueryStats) Add(o QueryStats) {
+	s.Rows += o.Rows
+	s.CacheHits += o.CacheHits
+	s.HeapReads += o.HeapReads
+	s.LeafFetches += o.LeafFetches
+}
+
 // Next advances to the next row, returning false at the end of the
 // result set or on error (check Err). Exhaustion releases the cursor's
 // resources; Close is still safe afterwards.
@@ -115,6 +124,18 @@ func (c *Cursor) Reverse() bool { return c.reverse }
 
 // Stats returns the running answer-path counters.
 func (c *Cursor) Stats() QueryStats { return c.stats }
+
+// SegmentStats returns per-segment answer-path counters for a parallel
+// cursor (nil for serial cursors). The slice is complete — one entry
+// per planned segment, summing to the serial scan's totals — once the
+// cursor is exhausted or closed; reading it mid-scan returns a
+// snapshot of finished work only.
+func (c *Cursor) SegmentStats() []QueryStats {
+	if p, ok := c.src.(*parallelSource); ok {
+		return p.segmentStats()
+	}
+	return nil
+}
 
 // Close releases the cursor's resources (leaf pin included). It is
 // idempotent — double Close and Close after exhaustion are no-ops —
@@ -158,6 +179,7 @@ type indexSource struct {
 	ix       *Index
 	bt       *btree.Cursor
 	plan     *projPlan
+	fp       *filterPlan
 	keyKinds []tuple.Kind
 	keyVals  []tuple.Value
 	payload  []byte
@@ -167,39 +189,77 @@ type indexSource struct {
 }
 
 func (s *indexSource) step(c *Cursor) bool {
-	if !s.bt.Next() {
-		c.err = s.bt.Err()
-		return false
-	}
-	c.stats.LeafFetches = s.bt.LeafFetches()
-	c.rid = storage.UnpackRID(s.bt.Value())
-	c.key = s.bt.Key()
-	if s.hit {
-		kv, err := tuple.DecodeKeyInto(s.keyVals[:0], s.bt.Key(), s.keyKinds...)
-		if err == nil {
+	for {
+		if !s.bt.Next() {
+			c.err = s.bt.Err()
+			return false
+		}
+		c.stats.LeafFetches = s.bt.LeafFetches()
+		c.rid = storage.UnpackRID(s.bt.Value())
+		c.key = s.bt.Key()
+		hit := s.hit
+		keyDecoded := false
+		if s.fp != nil && len(s.fp.key) > 0 {
+			kv, err := tuple.DecodeKeyInto(s.keyVals[:0], s.bt.Key(), s.keyKinds...)
+			if err != nil {
+				c.err = fmt.Errorf("core: decoding key: %w", err)
+				return false
+			}
 			s.keyVals = kv
-			if row, ok := s.ix.assembleInto(c.row, kv, s.payload, s.plan); ok {
-				c.row = row
-				c.stats.CacheHits++
-				return true
+			keyDecoded = true
+			if !s.fp.passKey(kv) {
+				continue // rejected on key bytes: no cache, no heap
 			}
 		}
+		if hit && s.fp != nil && len(s.fp.cached) > 0 {
+			pass, ok := s.fp.passCached(s.ix, s.payload)
+			if ok && !pass {
+				continue // rejected on the cached payload: no heap
+			}
+			if !ok {
+				hit = false // payload unusable; heap path re-evaluates
+			}
+		}
+		if hit && (s.fp == nil || !s.fp.needsHeap) {
+			if !keyDecoded {
+				if kv, err := tuple.DecodeKeyInto(s.keyVals[:0], s.bt.Key(), s.keyKinds...); err == nil {
+					s.keyVals = kv
+					keyDecoded = true
+				}
+			}
+			if keyDecoded {
+				if row, ok := s.ix.assembleInto(c.row, s.keyVals, s.payload, s.plan); ok {
+					c.row = row
+					c.stats.CacheHits++
+					return true
+				}
+			}
+		}
+		rec, err := s.ix.table.file.GetInto(s.heapBuf[:0], c.rid)
+		if err != nil {
+			if errors.Is(err, storage.ErrDeleted) {
+				// The row vanished between reading its index entry and the
+				// heap fetch — a racing delete committed in between. Skip
+				// it: scans have no snapshot; the row is simply gone.
+				continue
+			}
+			c.err = fmt.Errorf("core: fetching %v: %w", c.rid, err)
+			return false
+		}
+		s.heapBuf = rec[:0]
+		row, _, err := tuple.DecodeInto(s.heapRow, s.ix.table.schema, rec)
+		if err != nil {
+			c.err = fmt.Errorf("core: decoding %v: %w", c.rid, err)
+			return false
+		}
+		s.heapRow = row
+		c.stats.HeapReads++
+		if s.fp != nil && !s.fp.passRow(row) {
+			continue
+		}
+		c.row = projectRowInto(c.row, row, s.plan.idx)
+		return true
 	}
-	rec, err := s.ix.table.file.GetInto(s.heapBuf[:0], c.rid)
-	if err != nil {
-		c.err = fmt.Errorf("core: fetching %v: %w", c.rid, err)
-		return false
-	}
-	s.heapBuf = rec[:0]
-	row, _, err := tuple.DecodeInto(s.heapRow, s.ix.table.schema, rec)
-	if err != nil {
-		c.err = fmt.Errorf("core: decoding %v: %w", c.rid, err)
-		return false
-	}
-	s.heapRow = row
-	c.stats.HeapReads++
-	c.row = projectRowInto(c.row, row, s.plan.idx)
-	return true
 }
 
 func (s *indexSource) close() { s.bt.Close() }
@@ -216,6 +276,7 @@ type heapSource struct {
 	pages   []storage.PageID
 	reverse bool
 	projIdx []int // nil = all fields
+	filters []boundFilter
 
 	pi     int // next index into pages to load
 	recBuf []byte
@@ -248,6 +309,9 @@ func (s *heapSource) step(c *Cursor) bool {
 		}
 		s.decRow = row
 		c.stats.HeapReads++
+		if len(s.filters) > 0 && !passBound(row, s.filters) {
+			continue
+		}
 		if s.projIdx == nil {
 			c.row = row
 		} else {

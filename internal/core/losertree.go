@@ -1,0 +1,146 @@
+package core
+
+import "bytes"
+
+// ltStream is one segment's stream of row blocks feeding the ordered
+// merge. Each stream has a dedicated producer goroutine; the consumer
+// owns blk/pos/done.
+type ltStream struct {
+	ch   chan *RowBlock
+	blk  *RowBlock
+	pos  int
+	done bool
+}
+
+// head returns the stream's current key.
+func (s *ltStream) head() []byte { return s.blk.key(s.pos) }
+
+// loserTree k-way merges segment streams by encoded key. The classic
+// tournament layout: tree[1..k-1] hold the losers of each internal
+// match, tree[0] the overall winner; a replay after advancing stream s
+// walks only s's path to the root, so each served row costs O(log k)
+// comparisons instead of the O(k) of a linear scan over segment heads.
+//
+// Advancing is lazy: the winner served by the previous step is advanced
+// at the start of the next one, so the block slab backing the row the
+// cursor currently exposes is never recycled while the caller can still
+// see it.
+type loserTree struct {
+	p       *parallelSource
+	streams []ltStream
+	tree    []int // internal nodes; tree[0] = current winner
+	k       int
+	last    int // stream served by the previous step, -1 before the first
+	inited  bool
+}
+
+func newLoserTree(p *parallelSource, chans []chan *RowBlock) *loserTree {
+	k := len(chans)
+	lt := &loserTree{p: p, streams: make([]ltStream, k), tree: make([]int, k), k: k, last: -1}
+	for i := range lt.streams {
+		lt.streams[i].ch = chans[i]
+	}
+	return lt
+}
+
+// load blocks until stream s has a non-empty current block or its
+// channel closes (stream exhausted). Consumed blocks are recycled.
+func (lt *loserTree) load(s int) {
+	st := &lt.streams[s]
+	if st.blk != nil {
+		lt.p.recycle(st.blk)
+		st.blk = nil
+	}
+	for {
+		blk, ok := <-st.ch
+		if !ok {
+			st.done = true
+			return
+		}
+		lt.p.takeStats(blk)
+		if blk.n == 0 {
+			lt.p.recycle(blk)
+			continue
+		}
+		st.blk, st.pos = blk, 0
+		return
+	}
+}
+
+// beats reports whether stream a's head orders before stream b's.
+// Exhausted streams always lose; ties break toward the lower stream
+// index, which is also key order (segments are disjoint and sorted).
+func (lt *loserTree) beats(a, b int) bool {
+	sa, sb := &lt.streams[a], &lt.streams[b]
+	switch {
+	case sa.done:
+		return false
+	case sb.done:
+		return true
+	}
+	if c := bytes.Compare(sa.head(), sb.head()); c != 0 {
+		return c < 0
+	}
+	return a < b
+}
+
+// init fills every stream's first block and builds the tournament
+// bottom-up.
+func (lt *loserTree) init() {
+	for i := 0; i < lt.k; i++ {
+		lt.load(i)
+	}
+	winners := make([]int, 2*lt.k)
+	for i := lt.k; i < 2*lt.k; i++ {
+		winners[i] = i - lt.k
+	}
+	for i := lt.k - 1; i >= 1; i-- {
+		a, b := winners[2*i], winners[2*i+1]
+		if lt.beats(a, b) {
+			winners[i], lt.tree[i] = a, b
+		} else {
+			winners[i], lt.tree[i] = b, a
+		}
+	}
+	if lt.k > 1 {
+		lt.tree[0] = winners[1]
+	} else {
+		lt.tree[0] = 0
+	}
+	lt.inited = true
+}
+
+// advance steps stream s to its next row (pulling the next block when
+// the current one is spent) and replays s's path to the root.
+func (lt *loserTree) advance(s int) {
+	st := &lt.streams[s]
+	st.pos++
+	if st.pos >= st.blk.n {
+		lt.load(s)
+	}
+	w := s
+	for i := (s + lt.k) / 2; i >= 1; i /= 2 {
+		if lt.beats(lt.tree[i], w) {
+			w, lt.tree[i] = lt.tree[i], w
+		}
+	}
+	lt.tree[0] = w
+}
+
+// next returns the stream holding the globally smallest head, or -1
+// when every stream is exhausted. The caller must serve that stream's
+// head before calling next again.
+func (lt *loserTree) next() int {
+	if !lt.inited {
+		lt.init()
+	} else if lt.last >= 0 {
+		lt.advance(lt.last)
+	}
+	w := lt.tree[0]
+	if lt.streams[w].done {
+		lt.last = -1
+		return -1
+	}
+	lt.last = w
+	return w
+}

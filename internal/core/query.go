@@ -26,13 +26,16 @@ const (
 type QueryOption func(*queryConfig)
 
 type queryConfig struct {
-	index   string
-	lo, hi  []tuple.Value
-	prefix  []tuple.Value
-	project []string
-	limit   int
-	reverse bool
-	policy  CachePolicy
+	index    string
+	lo, hi   []tuple.Value
+	prefix   []tuple.Value
+	project  []string
+	limit    int
+	reverse  bool
+	policy   CachePolicy
+	filters  []Filter
+	parallel int
+	merge    MergeMode
 }
 
 // WithIndex routes a Table.Query through the named index, yielding rows
@@ -81,6 +84,26 @@ func WithCachePolicy(p CachePolicy) QueryOption {
 	return func(c *queryConfig) { c.policy = p }
 }
 
+// WithParallel executes an index range scan as per-subtree segments on
+// n workers, each driving its own pinned-frame cursor and emitting
+// vectorized row blocks. n ≤ 1 keeps the serial path. Results arrive
+// in key order by default (loser-tree merge over segment heads); pass
+// WithMergeMode(MergeUnordered) to interleave for maximum throughput.
+// Parallel scans require an index and forward iteration; WithLimit
+// still bounds the row count (under MergeUnordered the limited prefix
+// is whichever rows arrived first). See Cursor.SegmentStats for
+// per-segment accounting.
+func WithParallel(n int) QueryOption {
+	return func(c *queryConfig) { c.parallel = n }
+}
+
+// WithMergeMode selects how a parallel query's segment streams combine:
+// MergeOrdered (default) or MergeUnordered. No effect on serial
+// queries.
+func WithMergeMode(m MergeMode) QueryOption {
+	return func(c *queryConfig) { c.merge = m }
+}
+
 // Query opens a cursor over the table. With no options it streams every
 // row in heap order; WithIndex switches to key order and enables key
 // bounds. See Cursor for the iteration contract and pin lifetime —
@@ -107,12 +130,19 @@ func (t *Table) Query(opts ...QueryOption) (*Cursor, error) {
 	if cfg.lo != nil || cfg.hi != nil || cfg.prefix != nil {
 		return nil, fmt.Errorf("core: key bounds on %q require an index (add WithIndex)", t.name)
 	}
+	if cfg.parallel > 1 {
+		return nil, fmt.Errorf("core: WithParallel on %q requires an index (add WithIndex)", t.name)
+	}
 	projIdx, err := t.projPositions(cfg.project)
 	if err != nil {
 		return nil, err
 	}
+	filters, err := t.heapFilters(cfg.filters)
+	if err != nil {
+		return nil, err
+	}
 	return &Cursor{
-		src:     &heapSource{t: t, pages: t.file.Pages(), reverse: cfg.reverse, projIdx: projIdx},
+		src:     &heapSource{t: t, pages: t.file.Pages(), reverse: cfg.reverse, projIdx: projIdx, filters: filters},
 		limit:   cfg.limit,
 		reverse: cfg.reverse,
 	}, nil
@@ -134,38 +164,74 @@ func (ix *Index) Query(opts ...QueryOption) (*Cursor, error) {
 }
 
 func (ix *Index) query(cfg queryConfig) (*Cursor, error) {
-	if cfg.prefix != nil && (cfg.lo != nil || cfg.hi != nil) {
-		return nil, fmt.Errorf("core: WithPrefix and WithKeyRange are mutually exclusive")
-	}
-	plan, err := ix.resolveProjection(cfg.project)
+	plan, fp, start, end, err := ix.resolveQuery(cfg)
 	if err != nil {
 		return nil, err
 	}
-	var start, end []byte
+	if cfg.parallel > 1 {
+		if cfg.reverse {
+			return nil, fmt.Errorf("core: WithParallel does not support WithReverse")
+		}
+		return ix.parallelQuery(cfg, plan, fp, start, end)
+	}
+	s := ix.newIndexSource(start, end, plan, fp, cfg.policy, cfg.reverse)
+	return &Cursor{src: s, limit: cfg.limit, reverse: cfg.reverse}, nil
+}
+
+// resolveQuery turns a queryConfig into the pieces every index read
+// path shares: the projection plan, the classified filter plan, and the
+// encoded key bounds.
+func (ix *Index) resolveQuery(cfg queryConfig) (plan *projPlan, fp *filterPlan, start, end []byte, err error) {
+	if cfg.prefix != nil && (cfg.lo != nil || cfg.hi != nil) {
+		return nil, nil, nil, nil, fmt.Errorf("core: WithPrefix and WithKeyRange are mutually exclusive")
+	}
+	if plan, err = ix.resolveProjection(cfg.project); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if fp, err = ix.buildFilterPlan(cfg.filters); err != nil {
+		return nil, nil, nil, nil, err
+	}
 	if cfg.prefix != nil {
-		p, err := ix.boundKey(cfg.prefix)
-		if err != nil {
-			return nil, err
+		p, perr := ix.boundKey(cfg.prefix)
+		if perr != nil {
+			return nil, nil, nil, nil, perr
 		}
 		start, end = p, prefixSuccessor(p)
 	} else {
 		if start, err = ix.boundKey(cfg.lo); err != nil {
-			return nil, err
+			return nil, nil, nil, nil, err
 		}
 		if end, err = ix.boundKey(cfg.hi); err != nil {
-			return nil, err
+			return nil, nil, nil, nil, err
 		}
 	}
-	s := &indexSource{ix: ix, plan: plan}
+	return plan, fp, start, end, nil
+}
+
+// useScanCache reports whether a scan should probe the §2.1 cache: the
+// policy allows it, the index has one, and either the projection is
+// coverable (cache hits answer rows) or cached-tier filters exist
+// (cache hits reject rows before the heap).
+func (ix *Index) useScanCache(policy CachePolicy, plan *projPlan, fp *filterPlan) bool {
+	if policy != CacheFirst || ix.cache == nil {
+		return false
+	}
+	return plan.coverable || (fp != nil && len(fp.cached) > 0)
+}
+
+// newIndexSource builds the serial row source over encoded bounds —
+// shared by Query and the per-segment fallback path of Aggregate.
+func (ix *Index) newIndexSource(start, end []byte, plan *projPlan, fp *filterPlan, policy CachePolicy, reverse bool) *indexSource {
+	s := &indexSource{ix: ix, plan: plan, fp: fp}
 	s.keyKinds = make([]tuple.Kind, len(ix.keyFields))
 	for i, pos := range ix.keyFields {
 		s.keyKinds[i] = ix.table.schema.Field(pos).Kind
 	}
 	var bopts []btree.CursorOption
-	if cfg.reverse {
+	if reverse {
 		bopts = append(bopts, btree.Reverse())
 	}
-	if cfg.policy == CacheFirst && ix.cache != nil && plan.coverable {
+	if ix.useScanCache(policy, plan, fp) {
 		// Probe the cache under the latch the cursor already holds: the
 		// §2.1.1 leaf-answer flow, batched into the scan.
 		bopts = append(bopts, btree.WithEntryVisitor(func(l *btree.Leaf, pos int) {
@@ -180,7 +246,7 @@ func (ix *Index) query(cfg queryConfig) (*Cursor, error) {
 		}))
 	}
 	s.bt = ix.tree.NewCursor(start, end, bopts...)
-	return &Cursor{src: s, limit: cfg.limit, reverse: cfg.reverse}, nil
+	return s
 }
 
 // boundKey encodes a (possibly partial) key bound, kind-checking each

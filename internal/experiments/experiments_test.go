@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -401,6 +402,26 @@ func TestScanShapes(t *testing.T) {
 	}
 	if rev.CacheHitRate != 1.0 {
 		t.Errorf("reverse cache-first hit rate %.2f, want 1.0", rev.CacheHitRate)
+	}
+	// Parallel series: every (segments, mode) leg present with a
+	// measured throughput and a speedup relative to the serial scan.
+	if res.SerialRowsPerSec != cache.RowsPerSec {
+		t.Errorf("serial_rows_per_sec %.0f, want cache-first %.0f", res.SerialRowsPerSec, cache.RowsPerSec)
+	}
+	if len(res.Parallel) != 6 {
+		t.Fatalf("parallel series has %d points, want 6 (n∈{1,2,4} × 2 modes)", len(res.Parallel))
+	}
+	seen := map[string]bool{}
+	for _, p := range res.Parallel {
+		if p.RowsPerSec <= 0 || p.SpeedupVsSerial <= 0 {
+			t.Errorf("parallel n=%d %s: rows/s %.0f speedup %.2f", p.Segments, p.Mode, p.RowsPerSec, p.SpeedupVsSerial)
+		}
+		seen[fmt.Sprintf("%d/%s", p.Segments, p.Mode)] = true
+	}
+	for _, want := range []string{"1/ordered", "1/unordered", "2/ordered", "2/unordered", "4/ordered", "4/unordered"} {
+		if !seen[want] {
+			t.Errorf("parallel leg %s missing", want)
+		}
 	}
 }
 

@@ -43,13 +43,34 @@ type ScanPoint struct {
 	DiskReadsPerPass float64 `json:"disk_reads_per_pass"`
 }
 
+// ParallelScanPoint is one (segments, merge mode) leg of the parallel
+// sweep. SpeedupVsSerial is measured against the same-run serial
+// cache-first cursor, so it is valid on whatever machine produced the
+// file — cross-file wall-clock comparison still requires matching
+// GOMAXPROCS.
+type ParallelScanPoint struct {
+	Segments        int     `json:"segments"`
+	Mode            string  `json:"mode"` // "ordered" | "unordered"
+	RowsPerSec      float64 `json:"rows_per_sec"`
+	AllocsPerRow    float64 `json:"allocs_per_row"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
 // ScanResult is the measured comparison plus the shape facts that make
 // the JSON comparable across PRs.
 type ScanResult struct {
-	Rows       int         `json:"rows"`
-	LeafPages  int         `json:"leaf_pages"`
-	GOMAXPROCS int         `json:"gomaxprocs"`
-	Points     []ScanPoint `json:"points"`
+	Rows       int `json:"rows"`
+	LeafPages  int `json:"leaf_pages"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// NumCPU is the machine's real core count. GOMAXPROCS alone can
+	// claim parallelism an oversubscribed container cannot deliver, so
+	// the gate's strict multicore invariants key on both.
+	NumCPU int         `json:"num_cpu"`
+	Points []ScanPoint `json:"points"`
+	// SerialRowsPerSec is the cache-first cursor's throughput, re-stated
+	// here as the denominator of every parallel point's speedup.
+	SerialRowsPerSec float64             `json:"serial_rows_per_sec"`
+	Parallel         []ParallelScanPoint `json:"parallel"`
 }
 
 func scanSchema() *tuple.Schema {
@@ -105,7 +126,8 @@ func RunScan(cfg ScanConfig) (ScanResult, error) {
 	if err != nil {
 		return ScanResult{}, err
 	}
-	res := ScanResult{Rows: cfg.Rows, LeafPages: st.LeafPages, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	res := ScanResult{Rows: cfg.Rows, LeafPages: st.LeafPages,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
 
 	proj := []string{"id", "a", "b"}
 	type modeFn struct {
@@ -170,6 +192,59 @@ func RunScan(cfg ScanConfig) (ScanResult, error) {
 			pt.CacheHitRate = float64(last.CacheHits) / float64(last.Rows)
 		}
 		res.Points = append(res.Points, pt)
+		if m.name == "cursor-cache-first" {
+			res.SerialRowsPerSec = pt.RowsPerSec
+		}
+	}
+
+	// Parallel sweep: segmented workers over the same warmed cache-first
+	// scan, both merge modes. n=1 exercises the serial fallback (the
+	// gate holds it to serial throughput); n≥2 legs only express real
+	// speedup on multicore runners, so the gate conditions the strict
+	// unordered-beats-serial check on GOMAXPROCS.
+	for _, n := range []int{1, 2, 4} {
+		for _, mode := range []core.MergeMode{core.MergeOrdered, core.MergeUnordered} {
+			modeName := "ordered"
+			if mode == core.MergeUnordered {
+				modeName = "unordered"
+			}
+			scan := cursorScan(core.WithIndex("by_id"), core.WithProjection(proj...),
+				core.WithParallel(n), core.WithMergeMode(mode))
+			if _, err := scan(); err != nil { // warmup
+				return ScanResult{}, err
+			}
+			// Best-of-3: noise (GC, scheduler) only ever lowers a
+			// throughput sample, so the max is the leg's demonstrated
+			// capability — the gate's n=1-holds-serial check would
+			// otherwise flake on short quick-mode runs.
+			pt := ParallelScanPoint{Segments: n, Mode: modeName}
+			total := int64(cfg.Rows) * int64(cfg.Passes)
+			for rep := 0; rep < 3; rep++ {
+				var ms0, ms1 runtime.MemStats
+				runtime.ReadMemStats(&ms0)
+				start := time.Now()
+				for p := 0; p < cfg.Passes; p++ {
+					qs, err := scan()
+					if err != nil {
+						return ScanResult{}, err
+					}
+					if qs.Rows != int64(cfg.Rows) {
+						return ScanResult{}, fmt.Errorf("experiments: parallel n=%d %s scanned %d rows, want %d",
+							n, modeName, qs.Rows, cfg.Rows)
+					}
+				}
+				elapsed := time.Since(start)
+				runtime.ReadMemStats(&ms1)
+				if rps := float64(total) / elapsed.Seconds(); rps > pt.RowsPerSec {
+					pt.RowsPerSec = rps
+					pt.AllocsPerRow = float64(ms1.Mallocs-ms0.Mallocs) / float64(total)
+				}
+			}
+			if res.SerialRowsPerSec > 0 {
+				pt.SpeedupVsSerial = pt.RowsPerSec / res.SerialRowsPerSec
+			}
+			res.Parallel = append(res.Parallel, pt)
+		}
 	}
 	return res, nil
 }
@@ -202,6 +277,15 @@ func (r ScanResult) Print(w io.Writer) {
 		}
 		fmt.Fprintf(w, "%-36s %14.0f %12.3f %9.0f%% %12s %14.0f\n",
 			p.Mode, p.RowsPerSec, p.AllocsPerRow, p.CacheHitRate*100, fetches, p.DiskReadsPerPass)
+	}
+	if len(r.Parallel) > 0 {
+		fmt.Fprintf(w, "\nParallel segmented scans (GOMAXPROCS=%d, serial baseline %.0f rows/s)\n",
+			r.GOMAXPROCS, r.SerialRowsPerSec)
+		fmt.Fprintf(w, "%-12s %-10s %14s %12s %10s\n", "segments", "merge", "rows/s", "allocs/row", "speedup")
+		for _, p := range r.Parallel {
+			fmt.Fprintf(w, "%-12d %-10s %14.0f %12.3f %9.2fx\n",
+				p.Segments, p.Mode, p.RowsPerSec, p.AllocsPerRow, p.SpeedupVsSerial)
+		}
 	}
 }
 

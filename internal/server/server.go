@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -594,6 +595,18 @@ func (s *Server) openCursor(m *wire.QueryReq) (*core.Cursor, error) {
 	}
 	if m.Reverse {
 		opts = append(opts, core.WithReverse())
+	}
+	if m.Parallel > 1 {
+		// Clamp: the segment planner bounds its own fan-out, but there is
+		// no reason to let one request spawn more workers than cores.
+		n := int(m.Parallel)
+		if max := runtime.GOMAXPROCS(0) * 2; n > max {
+			n = max
+		}
+		opts = append(opts, core.WithParallel(n))
+		if m.Unordered {
+			opts = append(opts, core.WithMergeMode(core.MergeUnordered))
+		}
 	}
 	return tb.Query(opts...)
 }

@@ -561,6 +561,86 @@ func TestHTTPFallback(t *testing.T) {
 	}
 }
 
+// TestParallelQueryOverWire: a client-requested parallel scan streams
+// the same rows as serial — ordered mode in global key order, unordered
+// mode the same multiset — and an absurd worker count is clamped
+// server-side rather than rejected.
+func TestParallelQueryOverWire(t *testing.T) {
+	f := startServer(t, nil)
+	defer f.stop(t)
+	cl, err := client.Dial(f.addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	setupKV(t, cl)
+	const n = 2000
+	var b client.Batch
+	for i := 0; i < n; i++ {
+		b.Insert(kvRow(int64(i), fmt.Sprintf("v%04d", i)))
+	}
+	if res, err := cl.Apply("kv", &b); err != nil || res.Applied != n {
+		t.Fatalf("seed: %+v err=%v", res, err)
+	}
+	drain := func(opts ...client.QueryOption) []int64 {
+		t.Helper()
+		rows, err := cl.Query("kv", append([]client.QueryOption{client.WithIndex("by_id")}, opts...)...)
+		if err != nil {
+			t.Fatalf("Query: %v", err)
+		}
+		defer rows.Close()
+		var ids []int64
+		for rows.Next() {
+			ids = append(ids, rows.Row()[0].Int)
+		}
+		if err := rows.Err(); err != nil {
+			t.Fatalf("rows.Err: %v", err)
+		}
+		return ids
+	}
+	serial := drain()
+	if len(serial) != n {
+		t.Fatalf("serial scan returned %d rows", len(serial))
+	}
+	ordered := drain(client.WithParallel(4), client.WithPageSize(64))
+	if len(ordered) != n {
+		t.Fatalf("ordered parallel returned %d rows", len(ordered))
+	}
+	for i, id := range ordered {
+		if id != serial[i] {
+			t.Fatalf("ordered parallel row %d = %d, want %d", i, id, serial[i])
+		}
+	}
+	unordered := drain(client.WithParallel(4), client.WithUnordered(), client.WithPageSize(64))
+	seen := make(map[int64]int, n)
+	for _, id := range unordered {
+		seen[id]++
+	}
+	for _, id := range serial {
+		if seen[id] != 1 {
+			t.Fatalf("unordered parallel served id %d %d times", id, seen[id])
+		}
+	}
+	// Parallel degree far beyond the server's cores: clamped, not an error.
+	clamped := drain(client.WithParallel(10_000))
+	if len(clamped) != n {
+		t.Fatalf("clamped parallel returned %d rows", len(clamped))
+	}
+	// Parallel with reverse is invalid in core; the server must surface
+	// the error on the stream instead of hanging.
+	rows, err := cl.Query("kv", client.WithIndex("by_id"),
+		client.WithParallel(4), client.WithReverse())
+	if err != nil {
+		t.Fatalf("Query open: %v", err)
+	}
+	for rows.Next() {
+	}
+	if rows.Err() == nil {
+		t.Fatal("parallel+reverse streamed without error")
+	}
+	rows.Close()
+}
+
 // TestPipelinedOutOfOrder: many in-flight requests on ONE connection
 // complete correctly (request IDs demultiplex).
 func TestPipelinedOutOfOrder(t *testing.T) {

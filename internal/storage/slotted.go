@@ -46,6 +46,11 @@ const deadSlotOffset = 0
 // compaction. Callers relocate the record to another page.
 var ErrNoSpace = fmt.Errorf("storage: not enough free space in page")
 
+// ErrDeleted reports a read of a slot whose record has been deleted.
+// Index scans racing a concurrent delete check for it with errors.Is
+// and treat the row as vanished rather than failing the scan.
+var ErrDeleted = fmt.Errorf("storage: slot deleted")
+
 // AsSlotted interprets data (a full page buffer) as a slotted page. It
 // does not validate contents; call Init on fresh pages first.
 func AsSlotted(data []byte) *SlottedPage {
@@ -277,7 +282,7 @@ func (p *SlottedPage) Get(slot uint16) ([]byte, error) {
 	}
 	off, l := p.slot(int(slot))
 	if off == deadSlotOffset {
-		return nil, fmt.Errorf("storage: slot %d is deleted", slot)
+		return nil, fmt.Errorf("storage: slot %d: %w", slot, ErrDeleted)
 	}
 	return p.data[off : off+l], nil
 }

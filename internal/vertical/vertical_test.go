@@ -310,3 +310,76 @@ func TestVerticalQueryIgnoresStrayProjection(t *testing.T) {
 		t.Fatalf("served %d rows, want 20", want)
 	}
 }
+
+func TestVerticalAggregateRoutesGroups(t *testing.T) {
+	e := newEngine(t)
+	groups := [][]string{{"hot_a", "hot_b"}, {"written"}, {"cold_blob"}}
+	vt, err := NewVerticalTable(e, "agg", testSchema(), "id", groups)
+	if err != nil {
+		t.Fatalf("NewVerticalTable: %v", err)
+	}
+	const rows = 300
+	for i := 0; i < rows; i++ {
+		if err := vt.Insert(testRow(i)); err != nil {
+			t.Fatalf("Insert %d: %v", i, err)
+		}
+	}
+	// pk-only aggregates touch exactly one group.
+	res, touched, err := vt.Aggregate([]core.AggSpec{
+		{Op: core.AggCount},
+		{Op: core.AggMin, Field: "id"},
+		{Op: core.AggMax, Field: "id"},
+	})
+	if err != nil {
+		t.Fatalf("Aggregate: %v", err)
+	}
+	if touched != 1 {
+		t.Errorf("pk-only aggregate touched %d groups, want 1", touched)
+	}
+	if res.Rows != rows || res.Values[0].Int != rows || res.Values[1].Int != 0 || res.Values[2].Int != rows-1 {
+		t.Errorf("pk aggregate wrong: %+v", res)
+	}
+	if !res.Pushdown {
+		t.Error("key-only aggregate should push down")
+	}
+	// Specs spanning groups touch only the owning groups, results in
+	// spec order.
+	res, touched, err = vt.Aggregate([]core.AggSpec{
+		{Op: core.AggSum, Field: "written"},
+		{Op: core.AggMax, Field: "hot_b"},
+		{Op: core.AggCount},
+	}, core.WithParallel(2))
+	if err != nil {
+		t.Fatalf("Aggregate: %v", err)
+	}
+	if touched != 2 {
+		t.Errorf("two-group aggregate touched %d groups", touched)
+	}
+	var wantSum int64
+	for i := 0; i < rows; i++ {
+		wantSum += int64(i * 4)
+	}
+	if res.Values[0].Int != wantSum || int64(res.Values[1].Int) != int64((rows-1)*3) || res.Values[2].Int != rows {
+		t.Errorf("cross-group aggregate wrong: %+v", res.Values)
+	}
+	// pk filters apply to every touched group.
+	res, _, err = vt.Aggregate([]core.AggSpec{{Op: core.AggCount}, {Op: core.AggSum, Field: "hot_a"}},
+		core.WithFilter(core.Filter{Field: "id", Op: core.CmpLt, Value: tuple.Int64(10)}))
+	if err != nil {
+		t.Fatalf("filtered Aggregate: %v", err)
+	}
+	if res.Rows != 10 || res.Values[0].Int != 10 || res.Values[1].Int != 90 {
+		t.Errorf("filtered aggregate wrong: rows=%d vals=%+v", res.Rows, res.Values)
+	}
+	// A filter on a field the touched groups don't hold must error.
+	if _, _, err := vt.Aggregate([]core.AggSpec{{Op: core.AggSum, Field: "written"}},
+		core.WithFilter(core.Filter{Field: "hot_a", Op: core.CmpGt, Value: tuple.Int64(0)})); err == nil {
+		t.Error("cross-group filter must error")
+	}
+	if _, _, err := vt.Aggregate(nil); err == nil {
+		t.Error("empty specs must error")
+	}
+	if _, _, err := vt.Aggregate([]core.AggSpec{{Op: core.AggSum, Field: "nope"}}); err == nil {
+		t.Error("unknown field must error")
+	}
+}

@@ -60,6 +60,8 @@ func TestMessageRoundTrips(t *testing.T) {
 		{"QueryReq", &QueryReq{Table: "t", Index: "by_id", Lo: row[:1], Hi: nil,
 			Prefix: row[1:2], Projection: []string{"a", "b"}, Limit: 10,
 			PageSize: 256, Reverse: true, WithRIDs: true}, &QueryReq{}},
+		{"QueryReqParallel", &QueryReq{Table: "t", Index: "by_id",
+			Parallel: 8, Unordered: true}, &QueryReq{}},
 		{"QueryPage", &QueryPage{Rows: []tuple.Row{row, row[:3]},
 			RIDs: []uint64{1, 2}, Last: true}, &QueryPage{}},
 		{"CreateTableReq", &CreateTableReq{Table: "t", Fields: []tuple.Field{
@@ -86,6 +88,38 @@ func TestMessageRoundTrips(t *testing.T) {
 		if err := tc.out.Unmarshal(append(buf, 0)); err == nil {
 			t.Errorf("%s: trailing byte accepted", tc.name)
 		}
+	}
+}
+
+// TestQueryReqCompat pins the flag-gated Parallel encoding: a request
+// without Parallel set marshals to exactly the pre-parallel format, and
+// an old-format payload (flags byte last, bit 8 clear) still decodes.
+func TestQueryReqCompat(t *testing.T) {
+	plain := (&QueryReq{Table: "t", Index: "i", Limit: 3, Reverse: true}).Marshal(nil)
+	if f := plain[len(plain)-1]; f&(4|8) != 0 {
+		t.Fatalf("serial request leaked parallel flags: %08b", f)
+	}
+	var m QueryReq
+	if err := m.Unmarshal(plain); err != nil {
+		t.Fatalf("old-format decode: %v", err)
+	}
+	if m.Parallel != 0 || m.Unordered {
+		t.Fatalf("old-format decode produced Parallel=%d Unordered=%v", m.Parallel, m.Unordered)
+	}
+	// Parallel present: trailing uvarint after the flags byte.
+	par := (&QueryReq{Table: "t", Index: "i", Parallel: 300, Unordered: true}).Marshal(nil)
+	var p QueryReq
+	if err := p.Unmarshal(par); err != nil {
+		t.Fatalf("parallel decode: %v", err)
+	}
+	if p.Parallel != 300 || !p.Unordered {
+		t.Fatalf("parallel round trip: Parallel=%d Unordered=%v", p.Parallel, p.Unordered)
+	}
+	// Flag bit 8 set but uvarint missing → truncation error, not a panic.
+	broken := append([]byte(nil), plain...)
+	broken[len(broken)-1] |= 8
+	if err := m.Unmarshal(broken); err == nil {
+		t.Fatal("flag 8 without trailing count accepted")
 	}
 }
 

@@ -185,6 +185,14 @@ type QueryReq struct {
 	PageSize   uint32
 	Reverse    bool
 	WithRIDs   bool
+	// Parallel > 1 asks the server to run the scan as segmented workers
+	// (requires Index and forward order); 0/1 = serial. Encoded as a
+	// flag-gated trailing field, so requests from older clients — which
+	// stop at the flags byte — still decode.
+	Parallel uint32
+	// Unordered selects the unordered merge for a parallel scan: pages
+	// interleave segment blocks instead of globally ordering by key.
+	Unordered bool
 }
 
 // Marshal appends the request payload to dst.
@@ -207,7 +215,17 @@ func (m *QueryReq) Marshal(dst []byte) []byte {
 	if m.WithRIDs {
 		f |= 2
 	}
-	return append(dst, f)
+	if m.Unordered {
+		f |= 4
+	}
+	if m.Parallel > 0 {
+		f |= 8
+	}
+	dst = append(dst, f)
+	if m.Parallel > 0 {
+		dst = appendUvarint(dst, uint64(m.Parallel))
+	}
+	return dst
 }
 
 // Unmarshal decodes the payload.
@@ -228,6 +246,11 @@ func (m *QueryReq) Unmarshal(b []byte) error {
 	f := r.byte()
 	m.Reverse = f&1 != 0
 	m.WithRIDs = f&2 != 0
+	m.Unordered = f&4 != 0
+	m.Parallel = 0
+	if f&8 != 0 {
+		m.Parallel = uint32(r.uvarint())
+	}
 	return r.done()
 }
 

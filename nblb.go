@@ -254,4 +254,65 @@ var (
 	WithReverse = core.WithReverse
 	// WithCachePolicy selects CacheFirst (default) or HeapOnly.
 	WithCachePolicy = core.WithCachePolicy
+	// WithFilter adds pushed-down filters (conjunction). On index
+	// queries, key-field filters evaluate on decoded key bytes and
+	// cached-field filters on §2.1 cache payloads — rejected rows never
+	// touch the heap.
+	WithFilter = core.WithFilter
+	// WithParallel executes an index range scan as per-subtree segments
+	// on n workers with vectorized row blocks (n ≤ 1 = serial).
+	WithParallel = core.WithParallel
+	// WithMergeMode picks MergeOrdered (loser-tree, global key order,
+	// the default) or MergeUnordered (channel fan-in, max throughput)
+	// for parallel scans.
+	WithMergeMode = core.WithMergeMode
 )
+
+// Filter is one pushed-down field comparison for WithFilter. NULL never
+// matches, including CmpNe.
+type Filter = core.Filter
+
+// CmpOp is a Filter's comparison operator.
+type CmpOp = core.CmpOp
+
+// Comparison operators for Filter.
+const (
+	CmpEq = core.CmpEq
+	CmpNe = core.CmpNe
+	CmpLt = core.CmpLt
+	CmpLe = core.CmpLe
+	CmpGt = core.CmpGt
+	CmpGe = core.CmpGe
+)
+
+// MergeMode selects how a parallel query's segment streams combine.
+type MergeMode = core.MergeMode
+
+// Merge modes for WithMergeMode.
+const (
+	// MergeOrdered serves rows in global key order (loser-tree merge).
+	MergeOrdered = core.MergeOrdered
+	// MergeUnordered interleaves segment blocks as workers finish them.
+	MergeUnordered = core.MergeUnordered
+)
+
+// AggOp is a simple aggregate operator for Table.Aggregate /
+// Index.Aggregate.
+type AggOp = core.AggOp
+
+// Aggregate operators.
+const (
+	AggCount = core.AggCount
+	AggSum   = core.AggSum
+	AggMin   = core.AggMin
+	AggMax   = core.AggMax
+)
+
+// AggSpec names one aggregate: an operator and the field it folds
+// (empty for count(*)).
+type AggSpec = core.AggSpec
+
+// AggResult is an Aggregate call's outcome: one value per spec, the
+// matched row count, and whether evaluation was pushed below the
+// cursor onto key bytes and cached payloads.
+type AggResult = core.AggResult
