@@ -450,6 +450,33 @@ func gateWrite(base, fresh string, tol float64) {
 		}
 	}
 
+	// Transaction-overhead self-invariants. A snapshot transaction pays
+	// for staging, commit-time validation against the version store, and
+	// per-key index descents at commit (staged rows cannot use the raw
+	// path's leaf-grouped runs) — real costs, but bounded ones. At g=1
+	// there is no txnMu contention, so if a transactional batch keeps
+	// less than a quarter of raw batched throughput the commit path has
+	// picked up accidental work (a lock held across I/O, per-row
+	// allocation blowup, validation gone quadratic). Multi-writer points
+	// are reported but not floored: commits serialize on the timestamp
+	// allocator by design, so their ratio degrades with g.
+	if len(f.TxnPoints) == 0 {
+		failf("write: BENCH_write.json has no txn series — the txn-vs-raw sweep must run on every PR")
+	}
+	for _, p := range f.TxnPoints {
+		if p.RawOpsPerSec <= 0 {
+			continue
+		}
+		s := p.TxnOpsPerSec / p.RawOpsPerSec
+		if p.Goroutines == 1 && s < 0.25 {
+			failf("write txn g=1: txn %.0f ops/s vs raw %.0f (%.2f×, need ≥0.25×)",
+				p.TxnOpsPerSec, p.RawOpsPerSec, s)
+		} else {
+			okf("txn g=%d txn %.0f ops/s vs raw %.0f (%.2f×)",
+				p.Goroutines, p.TxnOpsPerSec, p.RawOpsPerSec, s)
+		}
+	}
+
 	var b experiments.WriteResult
 	found, err = readJSON(filepath.Join(base, "BENCH_write.json"), &b)
 	if err != nil {
@@ -541,6 +568,24 @@ func gateWrite(base, fresh string, tol float64) {
 			} else {
 				okf("durable g=%d group commit %.0f ops/s (baseline %.0f)",
 					fp.Goroutines, fp.GroupCommitOpsPerSec, bp.GroupCommitOpsPerSec)
+			}
+		}
+	}
+	if b.TxnOps != f.TxnOps || b.TxnBatchSize != f.TxnBatchSize || len(b.TxnPoints) == 0 {
+		notef("txn workload shape changed or baseline predates transactions — txn comparison skipped; refresh the baseline")
+		return
+	}
+	for _, fp := range f.TxnPoints {
+		for _, bp := range b.TxnPoints {
+			if bp.Goroutines != fp.Goroutines {
+				continue
+			}
+			if !ratioOK(fp.TxnOpsPerSec, bp.TxnOpsPerSec, tol) {
+				failf("write txn g=%d: txn %.0f ops/s vs baseline %.0f (>%.0f%% down)",
+					fp.Goroutines, fp.TxnOpsPerSec, bp.TxnOpsPerSec, tol*100)
+			} else {
+				okf("txn g=%d txn %.0f ops/s (baseline %.0f)",
+					fp.Goroutines, fp.TxnOpsPerSec, bp.TxnOpsPerSec)
 			}
 		}
 	}

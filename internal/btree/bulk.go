@@ -153,7 +153,8 @@ func BulkLoad(pool *buffer.Pool, ff float64, next func() (key []byte, value uint
 		height++
 	}
 
-	t := &Tree{pool: pool, root: level[0].page, height: height}
+	t := &Tree{pool: pool, root: level[0].page}
+	t.height.Store(int64(height))
 	t.numKeys.Store(count)
 	// Seed the safe-node separator bound with the longest loaded key, so
 	// post-load inserts get accurate safety checks from the start.

@@ -145,6 +145,18 @@ func (c *Cursor) nextForward() bool {
 	for {
 		c.fr.Latch.RLock()
 		n := asNode(c.fr.Data())
+		if !n.isLeaf() {
+			// The pinned page stopped being a leaf — only the root does
+			// that (in-place root growth). Its keys moved to a fresh left
+			// page; re-descend from the resume point to find them.
+			c.fr.Latch.RUnlock()
+			c.t.pool.Unpin(c.fr, false)
+			c.fr = nil
+			if !c.seekForward() {
+				return false
+			}
+			continue
+		}
 		if v := n.version(); c.stale || v != c.ver {
 			c.pos = c.reposForward(n)
 			c.ver = v
@@ -259,7 +271,7 @@ func (c *Cursor) nextReverse() bool {
 	for {
 		c.fr.Latch.RLock()
 		n := asNode(c.fr.Data())
-		if n.version() != c.ver {
+		if !n.isLeaf() || n.version() != c.ver {
 			// The leaf changed since it was positioned (or since the
 			// descent observed it): a split may have moved our
 			// predecessors to a right sibling this cursor has already
@@ -308,7 +320,7 @@ func (c *Cursor) nextReverse() bool {
 		}
 		fr.Latch.RLock()
 		ln := asNode(fr.Data())
-		if storage.PageID(ln.rightSibling()) != prevID {
+		if !ln.isLeaf() || storage.PageID(ln.rightSibling()) != prevID {
 			// The left sibling split (or the chain was rewired) between
 			// reading the pointer and latching the page.
 			fr.Latch.RUnlock()

@@ -155,6 +155,13 @@ func (n node) bumpVersion() {
 	binary.LittleEndian.PutUint32(n.data[offVersion:], n.version()+1)
 }
 
+// setVersion overwrites the version counter — used by the in-place
+// root grow to carry the counter forward (bumped) across the re-init,
+// so a cursor pinned at the old root-as-leaf always sees a change.
+func (n node) setVersion(v uint32) {
+	binary.LittleEndian.PutUint32(n.data[offVersion:], v)
+}
+
 // footerOK verifies the footer magic survived.
 func (n node) footerOK() bool {
 	return binary.LittleEndian.Uint32(n.data[len(n.data)-nodeFooterSize:]) == footerMagic

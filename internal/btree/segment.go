@@ -42,9 +42,7 @@ func (t *Tree) PlanSegments(start, end []byte, target int) ([]Segment, error) {
 	if target > maxPlanSegments {
 		target = maxPlanSegments
 	}
-	t.meta.RLock()
-	root, height := t.root, t.height
-	t.meta.RUnlock()
+	root, height := t.root, t.Height()
 	if height <= 1 {
 		return single, nil
 	}

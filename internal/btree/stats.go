@@ -36,9 +36,7 @@ type Stats struct {
 // writers may mutate pages between visits, so a snapshot taken during
 // traffic is approximate; quiescent snapshots are exact.
 func (t *Tree) Stats() (Stats, error) {
-	t.meta.RLock()
-	root, height := t.root, t.height
-	t.meta.RUnlock()
+	root, height := t.root, t.Height()
 	var st Stats
 	st.Height = height
 	pageSize := t.pool.Disk().PageSize()
@@ -114,9 +112,7 @@ func (t *Tree) walk(id storage.PageID, fn func(id storage.PageID, n node) error)
 // writes, and concurrent crabbing writers. The check assumes a
 // quiescent tree (no concurrent writers while it runs).
 func (t *Tree) CheckIntegrity() error {
-	t.meta.RLock()
 	root := t.root
-	t.meta.RUnlock()
 	if err := t.checkNode(root, nil, nil); err != nil {
 		return err
 	}

@@ -3,7 +3,6 @@ package btree
 import (
 	"bytes"
 	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/buffer"
@@ -37,10 +36,14 @@ import (
 //     maxSepLen bytes — an upper bound on any separator this tree can
 //     ever push up, maintained as the longest key ever inserted
 //     (separators are always copies of existing keys).
-//   - meta guards only the root pointer and height. It is taken shared
-//     for the instant between reading t.root and latching the root
-//     page; a writer growing a new root holds it exclusively, so a
-//     latched root page is always the current root.
+//   - The root page id is IMMUTABLE (B-link-style root growth): a root
+//     split copies the halved root into a fresh left page and
+//     re-initialises the root page itself as an internal node over the
+//     two halves, all under the root page latch the pessimistic
+//     descent already holds. There is no tree-wide metadata lock:
+//     descents are type-driven — they look at the latched page to tell
+//     leaf from internal — so a root split costs exactly the latches a
+//     leaf split does, even under writer storms.
 //
 // Deletes do not merge or rebalance nodes — matching the systems the
 // paper measures, where deletes and updates erode fill factor over time
@@ -51,9 +54,10 @@ import (
 type Tree struct {
 	pool *buffer.Pool
 
-	meta   sync.RWMutex // guards root and height only
+	// root never changes after New/Open (growth happens in place), so
+	// reading it needs no synchronization.
 	root   storage.PageID
-	height int // 1 = root is a leaf
+	height atomic.Int64 // levels, 1 = root is a leaf; reporting only
 
 	numKeys atomic.Int64
 	// maxSepLen is the longest key ever inserted (or a conservative
@@ -76,7 +80,9 @@ func New(pool *buffer.Pool) (*Tree, error) {
 	initNode(fr.Data(), nodeLeaf)
 	root := fr.ID()
 	pool.Unpin(fr, true)
-	return &Tree{pool: pool, root: root, height: 1}, nil
+	t := &Tree{pool: pool, root: root}
+	t.height.Store(1)
+	return t, nil
 }
 
 // Open re-attaches to an existing tree given its root (for reopening
@@ -85,25 +91,18 @@ func New(pool *buffer.Pool) (*Tree, error) {
 // length — maximally conservative (more pessimistic holds), never
 // incorrect.
 func Open(pool *buffer.Pool, root storage.PageID, height int, numKeys int64) *Tree {
-	t := &Tree{pool: pool, root: root, height: height}
+	t := &Tree{pool: pool, root: root}
+	t.height.Store(int64(height))
 	t.numKeys.Store(numKeys)
 	t.maxSepLen.Store(int64(t.maxKeyLen()))
 	return t
 }
 
-// Root returns the current root page id.
-func (t *Tree) Root() storage.PageID {
-	t.meta.RLock()
-	defer t.meta.RUnlock()
-	return t.root
-}
+// Root returns the root page id (fixed for the tree's lifetime).
+func (t *Tree) Root() storage.PageID { return t.root }
 
 // Height returns the number of levels (1 = just a leaf).
-func (t *Tree) Height() int {
-	t.meta.RLock()
-	defer t.meta.RUnlock()
-	return t.height
-}
+func (t *Tree) Height() int { return int(t.height.Load()) }
 
 // Len returns the number of keys.
 func (t *Tree) Len() int64 { return t.numKeys.Load() }
@@ -151,52 +150,62 @@ const (
 )
 
 // descendLatched walks from the root to the leaf chosen by pick with
-// read-coupled shared latches: the meta lock covers the instant between
-// reading t.root and latching the root page, and each child is latched
-// before its parent is released, so no split can reroute the descent
-// mid-flight. The leaf latch is acquired in the requested mode while
-// the parent's latch is still held — there is no window in which the
-// targeted leaf can change before the caller's first read. Returns the
-// pinned, latched leaf frame and whether its latch is exclusive; the
-// caller must unlatch (per mode) and Unpin exactly once.
+// read-coupled shared latches: each child is latched before its parent
+// is released, so no split can reroute the descent mid-flight. The
+// descent is type-driven — whether a page is the leaf comes from the
+// latched page itself, never from a height snapshot — because the root
+// page can turn from leaf into internal in place (root growth) at any
+// moment a latch is not held on it. Returns the pinned, latched leaf
+// frame and whether its latch is exclusive; the caller must unlatch
+// (per mode) and Unpin exactly once. pick stays on the stack (never
+// retained), keeping point lookups allocation-free.
 //
-// Leaf depth comes from the height snapshot taken under meta: levels
-// below a node never change (B+Trees grow only at the root, and root
-// replacement requires meta exclusive), so the snapshot stays valid for
-// the whole descent. pick stays on the stack (never retained), keeping
-// point lookups allocation-free.
+// Latch escalation: the shared probe that discovers a page is the leaf
+// must be upgraded for leafExclusive/leafVisit, and Go's RWMutex has no
+// atomic upgrade, so the shared latch is dropped first.
+//
+//   - At a NON-ROOT leaf the parent's shared latch is still held across
+//     the gap: a leaf is only ever split by a writer holding its parent
+//     exclusively (insertLatched retains the parent whenever the leaf
+//     is unsafe), so the leaf may absorb leaf-local writes in the gap
+//     but cannot be restructured or change type.
+//   - At the ROOT there is no parent, but none is needed: the root page
+//     IS the root forever. The only hazard is the root growing into an
+//     internal node inside the gap, so the type is re-checked after
+//     escalating and the descent demotes back to shared and continues
+//     downward if it did.
 func (t *Tree) descendLatched(pick func(n node) storage.PageID, mode leafLatchMode) (*buffer.Frame, bool, error) {
-	t.meta.RLock()
-	id, height := t.root, t.height
-	fr, err := t.pool.Fetch(id)
+	fr, err := t.pool.Fetch(t.root)
 	if err != nil {
-		t.meta.RUnlock()
 		return nil, false, err
 	}
-	exclusive := false
-	latchLeaf := func(f *buffer.Frame) {
-		switch mode {
-		case leafExclusive:
-			f.Latch.Lock()
-			exclusive = true
-		case leafVisit:
-			if f.Latch.TryLock() {
-				exclusive = true
-			} else {
-				f.Latch.RLock()
-			}
-		default:
-			f.Latch.RLock()
+	fr.Latch.RLock()
+	n := asNode(fr.Data())
+	for n.isLeaf() {
+		if mode == leafShared {
+			return fr, false, nil
 		}
-	}
-	if height == 1 {
-		latchLeaf(fr)
-	} else {
+		fr.Latch.RUnlock()
+		if mode == leafVisit {
+			if !fr.Latch.TryLock() {
+				fr.Latch.RLock()
+				if n = asNode(fr.Data()); n.isLeaf() {
+					return fr, false, nil
+				}
+				continue // grew mid-escalation: already shared, descend
+			}
+		} else {
+			fr.Latch.Lock()
+		}
+		if n = asNode(fr.Data()); n.isLeaf() {
+			return fr, true, nil
+		}
+		// The root grew while unlatched; demote and descend.
+		fr.Latch.Unlock()
 		fr.Latch.RLock()
+		n = asNode(fr.Data())
 	}
-	t.meta.RUnlock()
-	for level := 1; level < height; level++ {
-		n := asNode(fr.Data())
+	for {
 		child := pick(n)
 		cfr, err := t.pool.Fetch(child)
 		if err != nil {
@@ -204,28 +213,32 @@ func (t *Tree) descendLatched(pick func(n node) storage.PageID, mode leafLatchMo
 			t.pool.Unpin(fr, false)
 			return nil, false, err
 		}
-		if level+1 == height {
-			latchLeaf(cfr)
-		} else {
-			cfr.Latch.RLock()
+		cfr.Latch.RLock()
+		cn := asNode(cfr.Data())
+		if !cn.isLeaf() {
+			fr.Latch.RUnlock()
+			t.pool.Unpin(fr, false)
+			fr, n = cfr, cn
+			continue
+		}
+		exclusive := false
+		switch mode {
+		case leafExclusive:
+			cfr.Latch.RUnlock()
+			cfr.Latch.Lock()
+			exclusive = true
+		case leafVisit:
+			cfr.Latch.RUnlock()
+			if cfr.Latch.TryLock() {
+				exclusive = true
+			} else {
+				cfr.Latch.RLock()
+			}
 		}
 		fr.Latch.RUnlock()
 		t.pool.Unpin(fr, false)
-		fr = cfr
+		return cfr, exclusive, nil
 	}
-	if n := asNode(fr.Data()); !n.isLeaf() {
-		// Height bookkeeping can only disagree with the page if the tree
-		// was Opened with a wrong height; fail loudly instead of serving
-		// from the wrong level.
-		if exclusive {
-			fr.Latch.Unlock()
-		} else {
-			fr.Latch.RUnlock()
-		}
-		t.pool.Unpin(fr, false)
-		return nil, false, fmt.Errorf("btree: height %d descent ended on internal node %v", height, fr.ID())
-	}
-	return fr, exclusive, nil
 }
 
 // leafExclusive crab-descends to the leaf covering key and returns it
@@ -347,28 +360,17 @@ type latchedNode struct {
 // insertPessimistic is the split path: crab exclusive latches from the
 // root down, releasing all retained ancestors whenever a child is safe,
 // so on arrival the latch set is exactly the nodes a split can touch.
-// The meta lock is taken shared unless the root itself is unsafe (the
-// split might grow a new root, which rewrites t.root); that rare case
-// restarts the descent holding meta exclusively.
+// Because the root grows in place under its own page latch, an unsafe
+// root needs no special lock — it simply stays on the retained path.
 func (t *Tree) insertPessimistic(key []byte, value uint64, ifAbsent bool) (bool, error) {
 	// Escalation ladder. maxSepLen is a snapshot: a longer key published
 	// by a concurrent writer after the load can make the safe-node rule
 	// too optimistic, which pendingSepFits detects before any page is
 	// mutated (the descent then bails). The last rung uses the absolute
 	// key-length bound, under which a "safe" verdict can never be wrong
-	// and an unsafe path retains the root with meta held — so it always
-	// settles.
-	sepBound := int(t.maxSepLen.Load())
-	attempts := [3]struct {
-		metaEx   bool
-		sepBound int
-	}{
-		{false, sepBound},
-		{true, sepBound},
-		{true, t.maxKeyLen()},
-	}
-	for _, a := range attempts {
-		ins, done, err := t.insertLatched(key, value, a.sepBound, a.metaEx, ifAbsent)
+	// and an unsafe path retains the root — so it always settles.
+	for _, sepBound := range [2]int{int(t.maxSepLen.Load()), t.maxKeyLen()} {
+		ins, done, err := t.insertLatched(key, value, sepBound, ifAbsent)
 		if done || err != nil {
 			return ins, err
 		}
@@ -394,8 +396,8 @@ func longestKeyIn(n node) int {
 // walking up from the leaf, a node that cannot absorb the incoming
 // separator splits and pushes up one of its own keys, bounded by its
 // longest. The chain must be absorbed by some retained node — or reach
-// path[0] with rootHeld (path[0] is the root and meta is exclusive, so
-// growing a new root is legal). A false return means the safe-node
+// path[0] with rootHeld (path[0] is the root, exclusively latched, so
+// growing it in place is legal). A false return means the safe-node
 // bound the descent used was stale; the caller restarts conservatively
 // rather than splitting past the retained latches.
 func pendingSepFits(path []latchedNode, rootHeld bool) bool {
@@ -410,30 +412,13 @@ func pendingSepFits(path []latchedNode, rootHeld bool) bool {
 	return rootHeld
 }
 
-// insertLatched performs one pessimistic descent+insert. With
-// metaEx=false it bails (done=false) if the root is unsafe; with
-// metaEx=true it holds the meta lock exclusively for as long as the
-// root stays on the retained path, so a root split can be installed.
-func (t *Tree) insertLatched(key []byte, value uint64, sepBound int, metaEx, ifAbsent bool) (inserted, done bool, err error) {
-	if metaEx {
-		t.meta.Lock()
-	} else {
-		t.meta.RLock()
-	}
-	metaHeld := true
-	releaseMeta := func() {
-		if !metaHeld {
-			return
-		}
-		metaHeld = false
-		if metaEx {
-			t.meta.Unlock()
-		} else {
-			t.meta.RUnlock()
-		}
-	}
-	defer releaseMeta()
-
+// insertLatched performs one pessimistic descent+insert. It bails
+// (done=false) only when the safe-node bound it descended under turns
+// out stale at the dry-run (pendingSepFits); the caller then escalates
+// the bound. An unsafe root needs no special handling — it stays on
+// the retained path, exclusively latched, and the grow branch rebuilds
+// it in place.
+func (t *Tree) insertLatched(key []byte, value uint64, sepBound int, ifAbsent bool) (inserted, done bool, err error) {
 	var pathArr [8]latchedNode
 	path := pathArr[:0]
 	releasePath := func(dirty bool) {
@@ -451,12 +436,6 @@ func (t *Tree) insertLatched(key []byte, value uint64, sepBound int, metaEx, ifA
 	fr.Latch.Lock()
 	n := asNode(fr.Data())
 	path = append(path, latchedNode{fr, n})
-	if !t.nodeSafe(n, key, sepBound) && !metaEx {
-		// The root might split; that needs meta exclusive. Bail and let
-		// the caller restart with metaEx=true.
-		releasePath(false)
-		return false, false, nil
-	}
 
 	for !n.isLeaf() {
 		if t.nodeSafe(n, key, sepBound) {
@@ -467,7 +446,6 @@ func (t *Tree) insertLatched(key []byte, value uint64, sepBound int, metaEx, ifA
 				t.pool.Unpin(e.fr, false)
 			}
 			path = append(path[:0], path[len(path)-1])
-			releaseMeta()
 		}
 		child := storage.PageID(n.childFor(key))
 		cfr, err := t.pool.Fetch(child)
@@ -489,7 +467,6 @@ func (t *Tree) insertLatched(key []byte, value uint64, sepBound int, metaEx, ifA
 			t.pool.Unpin(e.fr, false)
 		}
 		path = append(path[:0], leaf)
-		releaseMeta()
 	}
 
 	// releaseLeafDirty unpins the leaf dirty and any retained ancestors
@@ -525,7 +502,7 @@ func (t *Tree) insertLatched(key []byte, value uint64, sepBound int, metaEx, ifA
 	// safe-node bound was stale — a concurrent writer published a
 	// longer key after this descent loaded it), bail and let the caller
 	// escalate instead of splitting past the latches we hold.
-	if !pendingSepFits(path, metaEx && metaHeld) {
+	if !pendingSepFits(path, path[0].fr.ID() == t.root) {
 		releasePath(false)
 		return false, false, nil
 	}
@@ -573,24 +550,49 @@ func (t *Tree) insertLatched(key []byte, value uint64, sepBound int, metaEx, ifA
 	}
 	// The split propagated past the whole retained path — only possible
 	// when path[0] is the root (ancestors are only released below safe
-	// nodes, and a safe node absorbs the separator). Grow a new root;
-	// meta is held exclusively because the unsafe-root check bailed
-	// earlier otherwise.
-	nfr, err := t.pool.NewPage()
+	// nodes, and a safe node absorbs the separator). Grow IN PLACE: the
+	// root page id is immutable, so the halved root's content moves to a
+	// fresh left page L and the root page itself is re-initialised as an
+	// internal node [L, sep → right] — all under the root page latch
+	// this descent already holds exclusively. A raw page copy is legal
+	// because node pages never store their own id.
+	rootE := path[0]
+	lfr, err := t.pool.NewPage()
 	if err != nil {
 		releasePath(true)
 		return false, false, err
 	}
-	nn := initNode(nfr.Data(), nodeInternal)
-	nn.setLeftmostChild(uint64(path[0].fr.ID()))
-	if err := nn.insertAt(0, sep, uint64(rightID)); err != nil {
-		t.pool.Unpin(nfr, false)
-		releasePath(true)
-		return false, false, fmt.Errorf("btree: new root insert: %w", err)
+	copy(lfr.Data(), rootE.fr.Data())
+	wasLeaf := rootE.n.isLeaf()
+	oldVer := rootE.n.version()
+	leftID := lfr.ID()
+	t.pool.Unpin(lfr, true)
+	if wasLeaf {
+		// The right half (created by splitLeafInsert) chains back to the
+		// root page; repoint it at L before the root stops being a leaf.
+		// Latch order holds: root first, then a deeper page — the same
+		// root→leaf direction every descent uses.
+		rfr, err := t.pool.Fetch(rightID)
+		if err != nil {
+			releasePath(true)
+			return false, false, err
+		}
+		rfr.Latch.Lock()
+		asNode(rfr.Data()).setLeftSibling(uint64(leftID))
+		rfr.Latch.Unlock()
+		t.pool.Unpin(rfr, true)
 	}
-	t.root = nfr.ID()
-	t.height++
-	t.pool.Unpin(nfr, true)
+	rn := initNode(rootE.fr.Data(), nodeInternal)
+	rn.setLeftmostChild(uint64(leftID))
+	if err := rn.insertAt(0, sep, uint64(rightID)); err != nil {
+		releasePath(true)
+		return false, false, fmt.Errorf("btree: root grow insert: %w", err)
+	}
+	// Cursors pinned at the old root-as-leaf revalidate on the version
+	// counter; carry it forward (bumped) across the re-init so they can
+	// never mistake the internal page for the leaf they left.
+	rn.setVersion(oldVer + 1)
+	t.height.Add(1)
 	releasePath(true)
 	t.numKeys.Add(1)
 	return true, true, nil

@@ -263,7 +263,7 @@ func (t *Table) Aggregate(specs []AggSpec, opts ...QueryOption) (AggResult, erro
 	if err != nil {
 		return AggResult{}, err
 	}
-	cur := &Cursor{src: &heapSource{t: t, pages: t.file.Pages(), filters: filters}}
+	cur := &Cursor{src: &heapSource{t: t, pages: t.file.Pages(), filters: filters, snap: snapLatest}}
 	defer cur.Close()
 	st := newAggState(bounds)
 	if err := foldCursor(cur, st); err != nil {
@@ -494,6 +494,11 @@ func (ix *Index) aggSegmentPushdown(seg btree.Segment, bounds []aggBound, fp *fi
 		}
 		for i := 0; i < k; i++ {
 			key := eb.Key(i)
+			// Aggregates read latest state: skip dead versions (their
+			// entries persist until GC).
+			if !ix.table.ridVisible(storage.UnpackRID(eb.Value(i)), snapLatest) {
+				continue
+			}
 			hit := cacheNeeded && hits[i]
 			var payload []byte
 			if hit {

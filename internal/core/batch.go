@@ -96,6 +96,10 @@ type applyConfig struct {
 	fill     float64
 	wantRIDs bool
 	isolate  bool
+	// stamp is the commit timestamp raw inserts are born at when a
+	// snapshot is pinned (0 = no snapshot open, no metadata written).
+	// See Engine.rawStampTS.
+	stamp uint64
 }
 
 // WithSyncIndexes applies each op's index maintenance immediately after
@@ -266,6 +270,7 @@ func (t *Table) Apply(b *Batch, opts ...ApplyOption) (Result, error) {
 		wb = e.getWALBatch(t.name)
 		e.commitGate.RLock()
 	}
+	cfg.stamp = e.rawStampTS()
 	t.mu.RLock()
 
 	// Pre-flight, in batch order. A failure here truncates the batch
@@ -354,7 +359,20 @@ func (t *Table) applySync(ops []batchOp, st []opState, res *Result, cfg applyCon
 		switch op.kind {
 		case BatchInsert:
 			var rid storage.RID
-			if rid, err = t.file.Insert(st[i].rec); err == nil {
+			if cfg.stamp != 0 {
+				// Insert and meta land in one exclusive section so a heap
+				// scanner that copied the new row's bytes always finds its
+				// born stamp when it takes the read lock to check.
+				t.vers.mu.Lock()
+				rid, err = t.file.Insert(st[i].rec)
+				if err == nil {
+					t.vers.set(rid, versionMeta{born: cfg.stamp})
+				}
+				t.vers.mu.Unlock()
+			} else {
+				rid, err = t.file.Insert(st[i].rec)
+			}
+			if err == nil {
 				st[i].newRID = rid
 				t.rows.Add(1)
 				wb.put(rid, rid, st[i].rec)
@@ -538,7 +556,17 @@ func (t *Table) applyGrouped(ops []batchOp, st []opState, res *Result, cfg apply
 	}
 	if len(insRecs) > 0 {
 		rids := make([]storage.RID, len(insRecs))
+		if cfg.stamp != 0 {
+			t.vers.mu.Lock()
+		}
 		placed, err := t.file.InsertRunFill(insRecs, rids, cfg.fill)
+		if cfg.stamp != 0 {
+			// Same exclusive insert+meta section as the sync path, run-wide.
+			for k := 0; k < placed; k++ {
+				t.vers.set(rids[k], versionMeta{born: cfg.stamp})
+			}
+			t.vers.mu.Unlock()
+		}
 		for k := 0; k < placed; k++ {
 			st[insOps[k]].newRID = rids[k]
 			wb.put(rids[k], rids[k], insRecs[k])

@@ -186,6 +186,7 @@ type indexSource struct {
 	hit      bool
 	heapRow  tuple.Row
 	heapBuf  []byte
+	snap     uint64 // read timestamp (snapLatest outside transactions)
 }
 
 func (s *indexSource) step(c *Cursor) bool {
@@ -197,6 +198,22 @@ func (s *indexSource) step(c *Cursor) bool {
 		c.stats.LeafFetches = s.bt.LeafFetches()
 		c.rid = storage.UnpackRID(s.bt.Value())
 		c.key = s.bt.Key()
+		// MVCC visibility. Unique entries point at the newest version
+		// under the key; a pinned snapshot may need an older one, reached
+		// through the prev chain. Non-unique entries (and latest reads,
+		// where the chain degenerates to a liveness check) are per-RID.
+		if s.snap != snapLatest && s.ix.unique {
+			vrid, ok := s.ix.table.resolveVisible(c.rid, s.snap)
+			if !ok {
+				continue
+			}
+			if vrid != c.rid {
+				s.hit = false // cache payload describes the newest version
+				c.rid = vrid
+			}
+		} else if !s.ix.table.ridVisible(c.rid, s.snap) {
+			continue
+		}
 		hit := s.hit
 		keyDecoded := false
 		if s.fp != nil && len(s.fp.key) > 0 {
@@ -277,6 +294,7 @@ type heapSource struct {
 	reverse bool
 	projIdx []int // nil = all fields
 	filters []boundFilter
+	snap    uint64 // read timestamp (snapLatest outside transactions)
 
 	pi     int // next index into pages to load
 	recBuf []byte
@@ -301,6 +319,11 @@ func (s *heapSource) step(c *Cursor) bool {
 			s.i--
 		} else {
 			s.i++
+		}
+		// Every version is its own heap record; serve the ones visible at
+		// the read timestamp (for latest reads: the live ones).
+		if !s.t.ridVisible(c.rid, s.snap) {
+			continue
 		}
 		row, _, err := tuple.DecodeInto(s.decRow, s.t.schema, rec)
 		if err != nil {

@@ -127,6 +127,7 @@ func (e *Engine) snapshotManifest(beginLSN uint64) *manifest {
 		Version:       manifestVersion,
 		CheckpointLSN: beginLSN,
 		NumPages:      e.disk.NumPages(),
+		Clock:         e.clock.Load(),
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -149,6 +150,17 @@ func (e *Engine) snapshotManifest(beginLSN uint64) *manifest {
 		for _, id := range t.file.Pages() {
 			mt.HeapPages = append(mt.HeapPages, uint64(id))
 		}
+		t.vers.mu.RLock()
+		for rid, vm := range t.vers.m {
+			if vm.prev == tombstonePrev {
+				continue // physically collected; only in-flight scanners need it
+			}
+			mt.Versions = append(mt.Versions, manifestVer{
+				RID: rid.Pack(), Born: vm.born, Dead: vm.dead, Prev: vm.prev,
+			})
+		}
+		t.vers.mu.RUnlock()
+		sort.Slice(mt.Versions, func(i, j int) bool { return mt.Versions[i].RID < mt.Versions[j].RID })
 		ixNames := make([]string, 0, len(t.indexes))
 		for n := range t.indexes {
 			ixNames = append(ixNames, n)
@@ -311,6 +323,7 @@ func (e *Engine) recover() error {
 	var startLSN uint64
 	if m != nil {
 		startLSN = m.CheckpointLSN
+		e.clock.Store(m.Clock)
 		// The crash may have happened before lately-allocated pages were
 		// flushed; a FileDisk then reports fewer pages than the
 		// checkpoint knew. Re-extend so manifest page ids resolve.
@@ -333,10 +346,7 @@ func (e *Engine) recover() error {
 			maxHeapPage = uint64(id) + 1
 		}
 	}
-	err = e.wal.Replay(startLSN, func(_ uint64, typ uint8, payload []byte) error {
-		if typ != recBatch {
-			return nil
-		}
+	noteBatchPages := func(payload []byte) error {
 		_, actions, derr := decodeBatch(payload)
 		if derr != nil {
 			return derr
@@ -349,6 +359,24 @@ func (e *Engine) recover() error {
 			case actDel:
 				notePage(a.rid.Page)
 			}
+		}
+		return nil
+	}
+	err = e.wal.Replay(startLSN, func(_ uint64, typ uint8, payload []byte) error {
+		switch typ {
+		case recBatch:
+			return noteBatchPages(payload)
+		case recTxn:
+			_, subs, derr := decodeTxn(payload)
+			if derr != nil {
+				return derr
+			}
+			for _, sub := range subs {
+				if err := noteBatchPages(sub); err != nil {
+					return err
+				}
+			}
+			return nil
 		}
 		return nil
 	})
@@ -371,9 +399,34 @@ func (e *Engine) recover() error {
 		return err
 	}
 
+	// No snapshot survives a crash, so no version history needs to
+	// either: a full GC pass at watermark = clock (nothing registered,
+	// so the watermark IS the clock) flattens every dead version a
+	// checkpoint carried across — the physical rows replay could not
+	// know about. Replayed recTxn records are already flat; GC's
+	// ErrDeleted path prunes their leftover manifest metas.
+	anyVersions := false
+	for _, t := range e.tables {
+		if t.vers.any.Load() {
+			anyVersions = true
+			break
+		}
+	}
+	if anyVersions {
+		wal.TestPoint("gc:recovery")
+		e.RunGC()
+		// Nothing is scanning during recovery, so the tombstones the GC
+		// pass just left can be dropped immediately.
+		for _, t := range e.tables {
+			t.vers.sweepTombstones()
+		}
+	}
+
 	if replayed > 0 {
 		// Replay is physical and idempotent, so row deltas were not
-		// tracked; recount from the heaps.
+		// tracked; recount from the heaps. Post-GC, live heap records
+		// and logical rows coincide (every dead version was at or below
+		// the watermark and is now gone).
 		for _, t := range e.tables {
 			st, serr := t.file.Stats()
 			if serr != nil {
@@ -382,9 +435,10 @@ func (e *Engine) recover() error {
 			t.rows.Store(int64(st.LiveRecords))
 		}
 	}
-	if replayed > 0 || m == nil {
-		// Terminal checkpoint: the replayed state becomes the new base
-		// image, and the WAL shrinks back to a begin record.
+	if replayed > 0 || m == nil || anyVersions {
+		// Terminal checkpoint: the replayed (and GC-flattened) state
+		// becomes the new base image, and the WAL shrinks back to a
+		// begin record.
 		if err := e.Checkpoint(); err != nil {
 			return err
 		}
@@ -435,45 +489,72 @@ func (e *Engine) redoRecord(typ uint8, payload []byte) error {
 		delete(e.tables, string(payload))
 		return nil
 	case recBatch:
-		table, actions, err := decodeBatch(payload)
+		return e.redoBatch(payload)
+	case recTxn:
+		// A committed transaction, replayed whole and flattened: the
+		// record encodes its post-GC state (updates as remove-old/put-new,
+		// obsolete entries as deletions), so no version metadata survives
+		// recovery — correctly, since no snapshot does either. The clock
+		// advances past the commit timestamp so future commits never
+		// reuse it. Uncommitted transactions never reached the log at
+		// all: staging is purely in-memory.
+		ts, subs, err := decodeTxn(payload)
 		if err != nil {
 			return err
 		}
-		t, ok := e.tables[table]
-		if !ok {
-			return nil // table dropped later in the log
+		if ts > e.clock.Load() {
+			e.clock.Store(ts)
 		}
-		for i := range actions {
-			a := &actions[i]
-			switch a.kind {
-			case actPut:
-				if a.rid != a.newRID {
-					// Relocated update: the pre-image's slot died.
-					if err := t.file.RedoDelete(a.rid); err != nil {
-						return err
-					}
-				}
-				if err := t.file.RedoPut(a.newRID, a.rec); err != nil {
-					return err
-				}
-			case actDel:
-				if err := t.file.RedoDelete(a.rid); err != nil {
-					return err
-				}
-			case actIdx:
-				ix, ok := t.indexes[a.index]
-				if !ok {
-					continue // index dropped with a later table rebuild
-				}
-				if _, err := ix.tree.ApplyRun(a.entries); err != nil {
-					return err
-				}
+		for _, sub := range subs {
+			if err := e.redoBatch(sub); err != nil {
+				return err
 			}
 		}
 		return nil
 	default:
 		return fmt.Errorf("core: unknown wal record type %d", typ)
 	}
+}
+
+// redoBatch replays one recBatch-format payload (a raw Apply's record,
+// or one table's slice of a recTxn record).
+func (e *Engine) redoBatch(payload []byte) error {
+	table, actions, err := decodeBatch(payload)
+	if err != nil {
+		return err
+	}
+	t, ok := e.tables[table]
+	if !ok {
+		return nil // table dropped later in the log
+	}
+	for i := range actions {
+		a := &actions[i]
+		switch a.kind {
+		case actPut:
+			if a.rid != a.newRID {
+				// Relocated update: the pre-image's slot died.
+				if err := t.file.RedoDelete(a.rid); err != nil {
+					return err
+				}
+			}
+			if err := t.file.RedoPut(a.newRID, a.rec); err != nil {
+				return err
+			}
+		case actDel:
+			if err := t.file.RedoDelete(a.rid); err != nil {
+				return err
+			}
+		case actIdx:
+			ix, ok := t.indexes[a.index]
+			if !ok {
+				continue // index dropped with a later table rebuild
+			}
+			if _, err := ix.tree.ApplyRun(a.entries); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // replayCreateTable redoes a create-table record: same construction as
@@ -564,6 +645,12 @@ func (e *Engine) rebuildTable(mt *manifestTable) error {
 		indexes: make(map[string]*Index),
 	}
 	t.rows.Store(mt.Rows)
+	for _, v := range mt.Versions {
+		t.vers.set(storage.UnpackRID(v.RID), versionMeta{born: v.Born, dead: v.Dead, prev: v.Prev})
+		if v.Dead != 0 {
+			e.deadVersions.Add(1)
+		}
+	}
 	for i := range mt.Indexes {
 		mi := &mt.Indexes[i]
 		icfg := indexConfig{

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/buffer"
 	"repro/internal/storage"
@@ -98,6 +99,19 @@ type Engine struct {
 
 	mu     sync.RWMutex
 	tables map[string]*Table
+
+	// MVCC state (see mvcc.go and txn.go). clock is the last committed
+	// transaction timestamp; txnMu serializes Txn.Commit critical
+	// sections (timestamp allocation + conflict check + effects);
+	// snapMu guards the active-snapshot registry the GC watermark is
+	// computed from. Raw Apply never touches any of this — a workload
+	// that never calls Begin pays one atomic load per visibility check
+	// at most.
+	clock        atomic.Uint64
+	txnMu        sync.Mutex
+	snapMu       sync.Mutex
+	snaps        map[uint64]int // startTS → live snapshot count
+	deadVersions atomic.Int64   // GC backlog: versions awaiting physical removal
 }
 
 // NewEngine creates an engine with the given options. Functional

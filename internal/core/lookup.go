@@ -104,8 +104,15 @@ func (ix *Index) lookupInLeaf(l *btree.Leaf, key []byte, keyVals []tuple.Value, 
 	if !found {
 		return nil, res, nil
 	}
+	rid := storage.UnpackRID(packed)
+	// A unique entry always points at the newest version of its key;
+	// when that version is dead (deleted, entry awaiting GC) the key has
+	// no live match.
+	if !ix.table.ridVisible(rid, snapLatest) {
+		return nil, res, nil
+	}
 	res.Found = true
-	res.RID = storage.UnpackRID(packed)
+	res.RID = rid
 	// Only probe the cache when the plan can be answered from it — an
 	// uncoverable projection would scan the slots just to throw the
 	// payload away.
@@ -222,7 +229,11 @@ func (ix *Index) LookupRID(keyVals ...tuple.Value) (storage.RID, bool, error) {
 	if err != nil || !found {
 		return storage.InvalidRID, false, err
 	}
-	return storage.UnpackRID(packed), true, nil
+	rid := storage.UnpackRID(packed)
+	if !ix.table.ridVisible(rid, snapLatest) {
+		return storage.InvalidRID, false, nil // newest version deleted, entry awaits GC
+	}
+	return rid, true, nil
 }
 
 // LookupAll returns every row matching the key values on a non-unique

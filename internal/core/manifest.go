@@ -24,11 +24,15 @@ const (
 )
 
 type manifest struct {
-	Magic         string          `json:"magic"`
-	Version       int             `json:"version"`
-	CheckpointLSN uint64          `json:"checkpoint_lsn"`
-	NumPages      uint64          `json:"num_pages"`
-	Tables        []manifestTable `json:"tables"`
+	Magic         string `json:"magic"`
+	Version       int    `json:"version"`
+	CheckpointLSN uint64 `json:"checkpoint_lsn"`
+	NumPages      uint64 `json:"num_pages"`
+	// Clock is the engine's last committed transaction timestamp as of
+	// the checkpoint. Recovery restores it (and advances it past any
+	// replayed recTxn records) so timestamps never repeat across a crash.
+	Clock  uint64          `json:"clock,omitempty"`
+	Tables []manifestTable `json:"tables"`
 }
 
 type manifestTable struct {
@@ -40,6 +44,20 @@ type manifestTable struct {
 	HeapInsertShards int             `json:"heap_insert_shards"`
 	HeapPages        []uint64        `json:"heap_pages"`
 	Indexes          []manifestIndex `json:"indexes,omitempty"`
+	// Versions are the table's MVCC metas still live at checkpoint time
+	// (a checkpoint can land while dead versions await GC or while a
+	// snapshot pins history). Recovery reloads them, then a full GC pass
+	// at watermark=clock flattens whatever no reader can see — no
+	// snapshot survives a crash.
+	Versions []manifestVer `json:"versions,omitempty"`
+}
+
+// manifestVer is one persisted versionMeta (RID packed).
+type manifestVer struct {
+	RID  uint64 `json:"rid"`
+	Born uint64 `json:"born,omitempty"`
+	Dead uint64 `json:"dead,omitempty"`
+	Prev uint64 `json:"prev,omitempty"`
 }
 
 type manifestField struct {

@@ -120,6 +120,7 @@ func (ix *Index) parallelQuery(cfg queryConfig, plan *projPlan, fp *filterPlan, 
 		merge:  cfg.merge,
 		segs:   segs,
 		width:  len(plan.idx),
+		snap:   cfg.snapshotTS(),
 		cancel: make(chan struct{}),
 	}
 	p.keyKinds = make([]tuple.Kind, len(ix.keyFields))
@@ -148,6 +149,7 @@ type parallelSource struct {
 	segs     []btree.Segment
 	width    int
 	keyKinds []tuple.Kind
+	snap     uint64 // read timestamp (snapLatest outside transactions)
 
 	cancel    chan struct{}
 	closeOnce sync.Once
@@ -444,6 +446,21 @@ func (w *segWorker) resolve(blk *RowBlock, i int) error {
 	if w.useCache && w.hits[i] {
 		payload = w.payloads[w.poffs[i]:w.poffs[i+1]]
 		hit = true
+	}
+	// MVCC visibility, mirroring the serial indexSource: unique entries
+	// resolve through the version chain under a pinned snapshot, every
+	// other shape is a per-RID check.
+	if p.snap != snapLatest && p.ix.unique {
+		vrid, ok := p.ix.table.resolveVisible(rid, p.snap)
+		if !ok {
+			return nil
+		}
+		if vrid != rid {
+			hit = false // cache payload describes the newest version
+			rid = vrid
+		}
+	} else if !p.ix.table.ridVisible(rid, p.snap) {
+		return nil
 	}
 	keyDecoded := false
 	if w.needKey {

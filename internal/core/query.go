@@ -36,6 +36,28 @@ type queryConfig struct {
 	filters  []Filter
 	parallel int
 	merge    MergeMode
+	snap     uint64
+	snapSet  bool
+}
+
+// snapshotTS is the effective read timestamp: the pinned snapshot when
+// one was set (Txn.Query), else snapLatest.
+func (c *queryConfig) snapshotTS() uint64 {
+	if c.snapSet {
+		return c.snap
+	}
+	return snapLatest
+}
+
+// withSnapshot pins the query to read as-of ts — the Txn.Query path.
+// Snapshot reads bypass the index cache (HeapOnly): cached payloads
+// always describe the newest version, and a pinned snapshot may need an
+// older one.
+func withSnapshot(ts uint64) QueryOption {
+	return func(c *queryConfig) {
+		c.snap, c.snapSet = ts, true
+		c.policy = HeapOnly
+	}
 }
 
 // WithIndex routes a Table.Query through the named index, yielding rows
@@ -142,7 +164,7 @@ func (t *Table) Query(opts ...QueryOption) (*Cursor, error) {
 		return nil, err
 	}
 	return &Cursor{
-		src:     &heapSource{t: t, pages: t.file.Pages(), reverse: cfg.reverse, projIdx: projIdx, filters: filters},
+		src:     &heapSource{t: t, pages: t.file.Pages(), reverse: cfg.reverse, projIdx: projIdx, filters: filters, snap: cfg.snapshotTS()},
 		limit:   cfg.limit,
 		reverse: cfg.reverse,
 	}, nil
@@ -175,6 +197,7 @@ func (ix *Index) query(cfg queryConfig) (*Cursor, error) {
 		return ix.parallelQuery(cfg, plan, fp, start, end)
 	}
 	s := ix.newIndexSource(start, end, plan, fp, cfg.policy, cfg.reverse)
+	s.snap = cfg.snapshotTS()
 	return &Cursor{src: s, limit: cfg.limit, reverse: cfg.reverse}, nil
 }
 
@@ -222,7 +245,7 @@ func (ix *Index) useScanCache(policy CachePolicy, plan *projPlan, fp *filterPlan
 // newIndexSource builds the serial row source over encoded bounds —
 // shared by Query and the per-segment fallback path of Aggregate.
 func (ix *Index) newIndexSource(start, end []byte, plan *projPlan, fp *filterPlan, policy CachePolicy, reverse bool) *indexSource {
-	s := &indexSource{ix: ix, plan: plan, fp: fp}
+	s := &indexSource{ix: ix, plan: plan, fp: fp, snap: snapLatest}
 	s.keyKinds = make([]tuple.Kind, len(ix.keyFields))
 	for i, pos := range ix.keyFields {
 		s.keyKinds[i] = ix.table.schema.Field(pos).Kind

@@ -58,6 +58,11 @@ type Table struct {
 	mu      sync.RWMutex
 	indexes map[string]*Index
 	rows    atomic.Int64
+
+	// vers is the table's MVCC version store (mvcc.go). Rows with no
+	// entry are visible to every snapshot — the empty map is the
+	// pre-transactional state and costs nothing.
+	vers versionStore
 }
 
 func newTable(e *Engine, name string, schema *tuple.Schema, opts ...TableOption) (*Table, error) {

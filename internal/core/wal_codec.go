@@ -23,6 +23,11 @@ const (
 	recDropTable       uint8 = 4
 	recCheckpointBegin uint8 = 5
 	recCheckpointEnd   uint8 = 6
+	// recTxn is one committed transaction: commit timestamp, then each
+	// touched table's actions in the recBatch sub-format. Replay applies
+	// the transaction whole (the record only exists if commit reached the
+	// log) and flattened — post-GC state, no version metadata.
+	recTxn uint8 = 7
 )
 
 // Action kinds within a batch record.
@@ -192,6 +197,22 @@ func decodeBatch(payload []byte) (table string, actions []walAction, err error) 
 		return "", nil, d.err
 	}
 	return table, actions, nil
+}
+
+// encodeTxn appends happen in txn.go (encodeTxnRecord); decodeTxn
+// parses a recTxn payload into its commit timestamp and per-table
+// recBatch-format sub-payloads (aliasing the input).
+func decodeTxn(payload []byte) (ts uint64, subs [][]byte, err error) {
+	d := &batchDecoder{buf: payload}
+	ts = d.uvarint()
+	n := d.uvarint()
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		subs = append(subs, d.bytes(d.uvarint()))
+	}
+	if d.err != nil {
+		return 0, nil, d.err
+	}
+	return ts, subs, nil
 }
 
 // ddlCreateTable is the JSON payload of a recCreateTable record. The

@@ -49,6 +49,9 @@ type WriteConfig struct {
 
 	DurableOps       int // rows ingested per goroutine count of the durable sweep
 	DurableBatchSize int // rows per Apply (= per WAL record) in the durable sweep
+
+	TxnOps       int // rows ingested per goroutine count of the transaction sweep
+	TxnBatchSize int // rows per transaction (and per raw Apply) in that sweep
 }
 
 // DefaultWriteConfig sweeps 1..8 writers over a 50/50 insert/update mix
@@ -71,6 +74,9 @@ func DefaultWriteConfig() WriteConfig {
 
 		DurableOps:       30000,
 		DurableBatchSize: 64,
+
+		TxnOps:       30000,
+		TxnBatchSize: 64,
 	}
 }
 
@@ -147,6 +153,22 @@ type DurablePoint struct {
 	SyncNoneOpsPerSec float64 `json:"sync_none_ops_per_sec"`
 }
 
+// TxnPoint is one goroutine count of the transaction-overhead sweep:
+// the same batched ascending ingest as the batch sweep, once through
+// raw Table.Apply and once wrapping every batch in Begin → Txn.Apply →
+// Commit. The gap is the full MVCC toll — staging, commit-time
+// validation against the version store, per-key index descents at
+// commit (staged rows cannot use the leaf-grouped runs), and commits
+// serializing on the timestamp allocator.
+type TxnPoint struct {
+	Goroutines   int     `json:"goroutines"`
+	RawOpsPerSec float64 `json:"raw_ops_per_sec"`
+	TxnOpsPerSec float64 `json:"txn_ops_per_sec"`
+	// Ratio is txn/raw throughput — how much of the raw batched path a
+	// transactional writer keeps.
+	Ratio float64 `json:"ratio"`
+}
+
 // WriteResult is the measured sweeps plus the environment facts that
 // matter when comparing JSON summaries across machines and PRs.
 type WriteResult struct {
@@ -168,6 +190,10 @@ type WriteResult struct {
 	DurableOps       int            `json:"durable_ops_per_point"`
 	DurableBatchSize int            `json:"durable_batch_size"`
 	DurablePoints    []DurablePoint `json:"durable_points"`
+
+	TxnOps       int        `json:"txn_ops_per_point"`
+	TxnBatchSize int        `json:"txn_batch_size"`
+	TxnPoints    []TxnPoint `json:"txn_points"`
 }
 
 // RunWrite measures parallel insert/update throughput on the crabbing
@@ -190,6 +216,8 @@ func RunWrite(cfg WriteConfig) (WriteResult, error) {
 		BatchSizes:       cfg.BatchSizes,
 		DurableOps:       cfg.DurableOps,
 		DurableBatchSize: cfg.DurableBatchSize,
+		TxnOps:           cfg.TxnOps,
+		TxnBatchSize:     cfg.TxnBatchSize,
 	}
 	for _, g := range cfg.Goroutines {
 		mOps, _, _, err := measureWrites(cfg, g, true)
@@ -315,7 +343,107 @@ func RunWrite(cfg WriteConfig) (WriteResult, error) {
 			res.DurablePoints = append(res.DurablePoints, pt)
 		}
 	}
+	// Transaction sweep: raw batched Apply versus Begin → Txn.Apply →
+	// Commit over the same workload. Best-of-3 like the batch sweep: the
+	// gate holds a floor on the txn/raw ratio, so each side needs enough
+	// repetitions that one scheduler hiccup cannot fake a collapse.
+	if cfg.TxnOps > 0 {
+		const txnReps = 3
+		for _, g := range cfg.Goroutines {
+			var pt TxnPoint
+			pt.Goroutines = g
+			for rep := 0; rep < txnReps; rep++ {
+				runtime.GC()
+				ops, err := measureTxnIngest(cfg, g, false)
+				if err != nil {
+					return WriteResult{}, err
+				}
+				if ops > pt.RawOpsPerSec {
+					pt.RawOpsPerSec = ops
+				}
+				runtime.GC()
+				ops, err = measureTxnIngest(cfg, g, true)
+				if err != nil {
+					return WriteResult{}, err
+				}
+				if ops > pt.TxnOpsPerSec {
+					pt.TxnOpsPerSec = ops
+				}
+			}
+			if pt.RawOpsPerSec > 0 {
+				pt.Ratio = pt.TxnOpsPerSec / pt.RawOpsPerSec
+			}
+			res.TxnPoints = append(res.TxnPoints, pt)
+		}
+	}
 	return res, nil
+}
+
+// measureTxnIngest runs cfg.TxnOps row inserts split across g
+// goroutines against a fresh engine+table+unique index and returns
+// aggregate rows/second. Workers ingest disjoint ascending key ranges
+// in batches of cfg.TxnBatchSize — through raw Table.Apply, or with
+// each batch staged and committed as one snapshot transaction. The
+// workloads are identical, so the throughput gap isolates the MVCC
+// machinery: version-store bookkeeping, commit validation, per-key
+// index inserts for staged rows, and the serialized timestamp
+// allocation under txnMu.
+func measureTxnIngest(cfg WriteConfig, g int, txn bool) (float64, error) {
+	e, err := core.NewEngine(core.Options{BufferPoolPages: 1 << 14})
+	if err != nil {
+		return 0, err
+	}
+	defer e.Close()
+	tb, err := e.CreateTable("ingest", batchIngestSchema())
+	if err != nil {
+		return 0, err
+	}
+	if _, err := tb.CreateIndex("by_id", []string{"id"}); err != nil {
+		return 0, err
+	}
+	size := cfg.TxnBatchSize
+	perG := cfg.TxnOps / g
+	var wg sync.WaitGroup
+	errCh := make(chan error, g)
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := int64(w) * int64(perG)
+			var b core.Batch
+			for n := 0; n < perG; {
+				b.Reset()
+				for k := 0; k < size && n < perG; k++ {
+					id := base + int64(n)
+					b.Insert(tuple.Row{tuple.Int64(id), tuple.Int64(id * 3), tuple.Int64(id ^ 0x5a5a)})
+					n++
+				}
+				if txn {
+					tx := e.Begin()
+					if _, ierr := tx.Apply(tb, &b); ierr != nil {
+						tx.Abort()
+						errCh <- ierr
+						return
+					}
+					if ierr := tx.Commit(); ierr != nil {
+						errCh <- ierr
+						return
+					}
+				} else if _, ierr := tb.Apply(&b); ierr != nil {
+					errCh <- ierr
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		return 0, err
+	}
+	return float64(perG*g) / elapsed.Seconds(), nil
 }
 
 // Durable-sweep engine configurations.
@@ -754,6 +882,17 @@ func (r WriteResult) Print(w io.Writer) {
 	for _, p := range r.DurablePoints {
 		fmt.Fprintf(w, "%12d %16.0f %18.0f %14.0f %16.0f\n",
 			p.Goroutines, p.NonDurableOpsPerSec, p.GroupCommitOpsPerSec, p.OpsPerFsync, p.SyncNoneOpsPerSec)
+	}
+	if len(r.TxnPoints) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nTransaction overhead, %d rows per point in transactions of %d rows\n",
+		r.TxnOps, r.TxnBatchSize)
+	fmt.Fprintf(w, "%12s %16s %16s %10s\n",
+		"goroutines", "raw ops/s", "txn ops/s", "txn/raw")
+	for _, p := range r.TxnPoints {
+		fmt.Fprintf(w, "%12d %16.0f %16.0f %9.2f×\n",
+			p.Goroutines, p.RawOpsPerSec, p.TxnOpsPerSec, p.Ratio)
 	}
 }
 

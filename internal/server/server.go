@@ -318,6 +318,13 @@ type conn struct {
 	sem  chan struct{}
 	hwg  sync.WaitGroup // in-flight handlers
 	wwg  sync.WaitGroup // writer goroutine
+
+	// Open snapshot transactions, scoped to this connection. A dropped
+	// connection aborts them all (serve's epilogue), so an abandoned
+	// transaction can never pin the GC watermark forever.
+	txnMu  sync.Mutex
+	txns   map[uint64]*core.Txn
+	txnSeq uint64
 }
 
 func newConn(s *Server, nc net.Conn) *conn {
@@ -357,9 +364,53 @@ func (c *conn) serve() {
 		c.dispatch(f)
 	}
 	c.hwg.Wait()
+	c.txnMu.Lock()
+	for id, txn := range c.txns {
+		txn.Abort()
+		delete(c.txns, id)
+	}
+	c.txnMu.Unlock()
 	close(c.outc)
 	c.wwg.Wait()
 	c.nc.Close()
+}
+
+// beginTxn opens a transaction and registers it under a fresh
+// connection-local id.
+func (c *conn) beginTxn() (uint64, *core.Txn) {
+	txn := c.s.eng.Begin()
+	c.txnMu.Lock()
+	c.txnSeq++
+	id := c.txnSeq
+	if c.txns == nil {
+		c.txns = make(map[uint64]*core.Txn)
+	}
+	c.txns[id] = txn
+	c.txnMu.Unlock()
+	return id, txn
+}
+
+// txn resolves a connection-local transaction id.
+func (c *conn) txn(id uint64) (*core.Txn, error) {
+	c.txnMu.Lock()
+	txn := c.txns[id]
+	c.txnMu.Unlock()
+	if txn == nil {
+		return nil, fmt.Errorf("server: unknown transaction %d", id)
+	}
+	return txn, nil
+}
+
+// finishTxn removes and returns a transaction for commit/abort.
+func (c *conn) finishTxn(id uint64) (*core.Txn, error) {
+	c.txnMu.Lock()
+	txn := c.txns[id]
+	delete(c.txns, id)
+	c.txnMu.Unlock()
+	if txn == nil {
+		return nil, fmt.Errorf("server: unknown transaction %d", id)
+	}
+	return txn, nil
 }
 
 func (c *conn) writeLoop() {
@@ -456,6 +507,44 @@ func (c *conn) dispatch(f wire.Frame) {
 			}
 			c.send(id, wire.TOK, nil)
 		})
+	case wire.TTxnBegin:
+		c.spawn(func() {
+			txnID, txn := c.beginTxn()
+			m := wire.TxnBeginResp{TxnID: txnID, StartTS: txn.StartTS()}
+			c.send(id, wire.TTxnBeginResp, m.Marshal(nil))
+		})
+	case wire.TTxnCommit:
+		var m wire.TxnFinishReq
+		if err := m.Unmarshal(f.Payload); err != nil {
+			c.sendErr(id, err)
+			return
+		}
+		c.spawn(func() {
+			txn, err := c.finishTxn(m.TxnID)
+			if err == nil {
+				err = txn.Commit()
+			}
+			if err != nil {
+				c.sendErr(id, err)
+				return
+			}
+			c.send(id, wire.TOK, nil)
+		})
+	case wire.TTxnAbort:
+		var m wire.TxnFinishReq
+		if err := m.Unmarshal(f.Payload); err != nil {
+			c.sendErr(id, err)
+			return
+		}
+		c.spawn(func() {
+			txn, err := c.finishTxn(m.TxnID)
+			if err != nil {
+				c.sendErr(id, err)
+				return
+			}
+			txn.Abort()
+			c.send(id, wire.TOK, nil)
+		})
 	case wire.TStats:
 		c.spawn(func() {
 			doc, err := json.Marshal(c.s.Stats())
@@ -472,11 +561,52 @@ func (c *conn) dispatch(f wire.Frame) {
 }
 
 func (c *conn) handleApply(id uint64, m *wire.ApplyReq) {
+	if m.TxnID != 0 {
+		c.handleTxnApply(id, m)
+		return
+	}
 	resp, err := c.s.applyOps(m.Table, m.Ops)
 	if err != nil {
 		c.sendErr(id, err)
 		return
 	}
+	c.send(id, wire.TApplyResp, resp.Marshal(nil))
+}
+
+// handleTxnApply stages ops into an open transaction. Staging bypasses
+// the write coalescer deliberately: a transaction's writes must not be
+// folded into other connections' batches — they become durable only at
+// the transaction's own commit record.
+func (c *conn) handleTxnApply(id uint64, m *wire.ApplyReq) {
+	txn, err := c.txn(m.TxnID)
+	if err != nil {
+		c.sendErr(id, err)
+		return
+	}
+	tb, err := c.s.eng.Table(m.Table)
+	if err != nil {
+		c.sendErr(id, err)
+		return
+	}
+	if len(m.Ops) == 0 {
+		c.sendErr(id, errors.New("server: empty batch"))
+		return
+	}
+	var b core.Batch
+	for _, op := range m.Ops {
+		switch op.Kind {
+		case wire.OpInsert:
+			b.Insert(op.Row)
+		case wire.OpUpdate:
+			b.Update(storage.UnpackRID(op.RID), op.Row)
+		case wire.OpDelete:
+			b.Delete(storage.UnpackRID(op.RID))
+		}
+	}
+	res, aerr := txn.Apply(tb, &b)
+	// Staged writes have no RIDs yet (rows land in the heap at commit);
+	// the response reports per-op acceptance only.
+	resp := sliceResult(&res, aerr, 0, len(m.Ops))
 	c.send(id, wire.TApplyResp, resp.Marshal(nil))
 }
 
@@ -500,7 +630,7 @@ func (c *conn) handleGet(id uint64, m *wire.GetReq) {
 }
 
 func (c *conn) handleQuery(id uint64, m *wire.QueryReq) {
-	cur, err := c.s.openCursor(m)
+	cur, err := c.openCursor(m)
 	if err != nil {
 		c.sendErr(id, err)
 		return
@@ -577,6 +707,31 @@ func (s *Server) openCursor(m *wire.QueryReq) (*core.Cursor, error) {
 	if err != nil {
 		return nil, err
 	}
+	return tb.Query(queryOpts(m)...)
+}
+
+// openCursor resolves a query against the connection: a TxnID routes
+// the scan through that transaction's snapshot (seeing its own staged
+// writes and nothing committed after its start), everything else falls
+// through to the shared latest-read path — including rows that arrived
+// via other connections' coalesced batches, which become visible to
+// snapshots begun after their group commit.
+func (c *conn) openCursor(m *wire.QueryReq) (*core.Cursor, error) {
+	if m.TxnID == 0 {
+		return c.s.openCursor(m)
+	}
+	txn, err := c.txn(m.TxnID)
+	if err != nil {
+		return nil, err
+	}
+	tb, err := c.s.eng.Table(m.Table)
+	if err != nil {
+		return nil, err
+	}
+	return txn.Query(tb, queryOpts(m)...)
+}
+
+func queryOpts(m *wire.QueryReq) []core.QueryOption {
 	var opts []core.QueryOption
 	if m.Index != "" {
 		opts = append(opts, core.WithIndex(m.Index))
@@ -608,5 +763,5 @@ func (s *Server) openCursor(m *wire.QueryReq) (*core.Cursor, error) {
 			opts = append(opts, core.WithMergeMode(core.MergeUnordered))
 		}
 	}
-	return tb.Query(opts...)
+	return opts
 }

@@ -32,20 +32,24 @@ const headerSize = 4 + 4 + 8 + 1
 // Message types. Requests and responses share one space; a response's
 // type is independent of its request's (e.g. most DDL acks are TOK).
 const (
-	TErr         uint8 = 1  // ErrResp — request failed
-	TOK          uint8 = 2  // empty ack
-	TPing        uint8 = 3  // empty liveness probe (response: TOK)
-	TApply       uint8 = 4  // ApplyReq
-	TApplyResp   uint8 = 5  // ApplyResp
-	TGet         uint8 = 6  // GetReq — point lookup
-	TGetResp     uint8 = 7  // GetResp
-	TQuery       uint8 = 8  // QueryReq — opens a streaming cursor
-	TQueryPage   uint8 = 9  // QueryPage — one page; Last marks the end
-	TCreateTable uint8 = 10 // CreateTableReq (response: TOK)
-	TCreateIndex uint8 = 11 // CreateIndexReq (response: TOK)
-	TCheckpoint  uint8 = 12 // empty — force a checkpoint (response: TOK)
-	TStats       uint8 = 13 // empty — engine counters (response: TStatsResp)
-	TStatsResp   uint8 = 14 // StatsResp
+	TErr          uint8 = 1  // ErrResp — request failed
+	TOK           uint8 = 2  // empty ack
+	TPing         uint8 = 3  // empty liveness probe (response: TOK)
+	TApply        uint8 = 4  // ApplyReq
+	TApplyResp    uint8 = 5  // ApplyResp
+	TGet          uint8 = 6  // GetReq — point lookup
+	TGetResp      uint8 = 7  // GetResp
+	TQuery        uint8 = 8  // QueryReq — opens a streaming cursor
+	TQueryPage    uint8 = 9  // QueryPage — one page; Last marks the end
+	TCreateTable  uint8 = 10 // CreateTableReq (response: TOK)
+	TCreateIndex  uint8 = 11 // CreateIndexReq (response: TOK)
+	TCheckpoint   uint8 = 12 // empty — force a checkpoint (response: TOK)
+	TStats        uint8 = 13 // empty — engine counters (response: TStatsResp)
+	TStatsResp    uint8 = 14 // StatsResp
+	TTxnBegin     uint8 = 15 // empty — open a snapshot transaction (response: TTxnBeginResp)
+	TTxnBeginResp uint8 = 16 // TxnBeginResp
+	TTxnCommit    uint8 = 17 // TxnFinishReq — commit (response: TOK, or TErr on conflict)
+	TTxnAbort     uint8 = 18 // TxnFinishReq — abort (response: TOK)
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/tuple"
@@ -27,6 +28,11 @@ type Op struct {
 type ApplyReq struct {
 	Table string
 	Ops   []Op
+	// TxnID != 0 stages the ops into the connection's open transaction
+	// instead of applying them directly. Encoded as an optional trailing
+	// field: old requests simply end after the ops, so both directions
+	// stay decodable.
+	TxnID uint64
 }
 
 // Marshal appends the request payload to dst.
@@ -44,6 +50,9 @@ func (m *ApplyReq) Marshal(dst []byte) []byte {
 		case OpDelete:
 			dst = appendUvarint(dst, op.RID)
 		}
+	}
+	if m.TxnID != 0 {
+		dst = appendUvarint(dst, m.TxnID)
 	}
 	return dst
 }
@@ -69,6 +78,15 @@ func (m *ApplyReq) Unmarshal(b []byte) error {
 			r.fail(fmt.Errorf("wire: bad op kind %d", op.Kind))
 		}
 		m.Ops = append(m.Ops, op)
+	}
+	m.TxnID = 0
+	if r.err == nil && r.off < len(r.b) {
+		m.TxnID = r.uvarint()
+		if m.TxnID == 0 && r.err == nil {
+			// The field is only encoded when nonzero; a trailing zero is
+			// garbage, not an old-format request.
+			r.fail(errors.New("wire: zero txn id"))
+		}
 	}
 	return r.done()
 }
@@ -193,6 +211,10 @@ type QueryReq struct {
 	// Unordered selects the unordered merge for a parallel scan: pages
 	// interleave segment blocks instead of globally ordering by key.
 	Unordered bool
+	// TxnID != 0 reads through the connection's open transaction: the
+	// cursor observes that transaction's snapshot timestamp. Flag-gated
+	// trailing field (bit 16), like Parallel.
+	TxnID uint64
 }
 
 // Marshal appends the request payload to dst.
@@ -221,9 +243,15 @@ func (m *QueryReq) Marshal(dst []byte) []byte {
 	if m.Parallel > 0 {
 		f |= 8
 	}
+	if m.TxnID != 0 {
+		f |= 16
+	}
 	dst = append(dst, f)
 	if m.Parallel > 0 {
 		dst = appendUvarint(dst, uint64(m.Parallel))
+	}
+	if m.TxnID != 0 {
+		dst = appendUvarint(dst, m.TxnID)
 	}
 	return dst
 }
@@ -250,6 +278,10 @@ func (m *QueryReq) Unmarshal(b []byte) error {
 	m.Parallel = 0
 	if f&8 != 0 {
 		m.Parallel = uint32(r.uvarint())
+	}
+	m.TxnID = 0
+	if f&16 != 0 {
+		m.TxnID = r.uvarint()
 	}
 	return r.done()
 }
@@ -383,6 +415,42 @@ func (m *StatsResp) Marshal(dst []byte) []byte { return appendBytes(dst, m.JSON)
 func (m *StatsResp) Unmarshal(b []byte) error {
 	r := reader{b: b}
 	m.JSON = r.bytes()
+	return r.done()
+}
+
+// TxnBeginResp answers a TTxnBegin: the connection-scoped transaction
+// handle and the snapshot timestamp its reads observe.
+type TxnBeginResp struct {
+	TxnID   uint64
+	StartTS uint64
+}
+
+// Marshal appends the response payload to dst.
+func (m *TxnBeginResp) Marshal(dst []byte) []byte {
+	dst = appendUvarint(dst, m.TxnID)
+	return appendUvarint(dst, m.StartTS)
+}
+
+// Unmarshal decodes the payload.
+func (m *TxnBeginResp) Unmarshal(b []byte) error {
+	r := reader{b: b}
+	m.TxnID = r.uvarint()
+	m.StartTS = r.uvarint()
+	return r.done()
+}
+
+// TxnFinishReq commits or aborts a transaction (TTxnCommit/TTxnAbort).
+type TxnFinishReq struct {
+	TxnID uint64
+}
+
+// Marshal appends the request payload to dst.
+func (m *TxnFinishReq) Marshal(dst []byte) []byte { return appendUvarint(dst, m.TxnID) }
+
+// Unmarshal decodes the payload.
+func (m *TxnFinishReq) Unmarshal(b []byte) error {
+	r := reader{b: b}
+	m.TxnID = r.uvarint()
 	return r.done()
 }
 

@@ -316,3 +316,18 @@ type AggSpec = core.AggSpec
 // matched row count, and whether evaluation was pushed below the
 // cursor onto key bytes and cached payloads.
 type AggResult = core.AggResult
+
+// Txn is a multi-op snapshot transaction: Engine.Begin pins a snapshot,
+// Txn.Apply stages batches, Txn.Query opens snapshot-isolated cursors
+// as-of the start timestamp, and Txn.Commit applies everything
+// atomically under one commit timestamp (and one WAL record) after a
+// first-committer-wins conflict check.
+type Txn = core.Txn
+
+// Transaction errors: ErrTxnConflict is Commit's first-committer-wins
+// rejection (retry against a fresh snapshot); ErrTxnDone reports a Txn
+// used after Commit or Abort.
+var (
+	ErrTxnConflict = core.ErrTxnConflict
+	ErrTxnDone     = core.ErrTxnDone
+)

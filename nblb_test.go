@@ -4,6 +4,7 @@ package nblb
 // user sees, exercised end to end.
 
 import (
+	"errors"
 	"fmt"
 	"path/filepath"
 	"testing"
@@ -297,4 +298,86 @@ func TestFacadeScanOrder(t *testing.T) {
 		}
 	}
 	_ = fmt.Sprint(got)
+}
+
+func TestFacadeTransactions(t *testing.T) {
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer db.Close()
+	tb, err := db.CreateTable("t", MustSchema(
+		Field{Name: "id", Kind: KindInt64},
+		Field{Name: "v", Kind: KindInt32},
+	))
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	if _, err := tb.CreateIndex("pk", []string{"id"}); err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+	rid, err := tb.Insert(Row{Int64(1), Int32(10)})
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+
+	// Snapshot pinned before the transactional update commits.
+	before := db.Begin()
+	defer before.Abort()
+
+	txn := db.Begin()
+	var b Batch
+	b.Update(rid, Row{Int64(1), Int32(20)})
+	b.Insert(Row{Int64(2), Int32(30)})
+	if _, err := txn.Apply(tb, &b); err != nil {
+		t.Fatalf("stage: %v", err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+
+	// The older snapshot still reads the pre-commit state.
+	cur, err := before.Query(tb, WithIndex("pk"))
+	if err != nil {
+		t.Fatalf("snapshot Query: %v", err)
+	}
+	var ids []int64
+	for cur.Next() {
+		ids = append(ids, cur.Row()[0].Int)
+	}
+	cur.Close()
+	if len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("old snapshot saw %v, want just id 1", ids)
+	}
+
+	// A conflicting update loses first-committer-wins.
+	loser := db.Begin()
+	winner := db.Begin()
+	var lb, wb Batch
+	// The committed update moved id 1 to a new version; look it up fresh.
+	pk, err := tb.Index("pk")
+	if err != nil {
+		t.Fatalf("Index: %v", err)
+	}
+	newRID, found, err := pk.LookupRID(Int64(1))
+	if err != nil || !found {
+		t.Fatalf("LookupRID: found=%v err=%v", found, err)
+	}
+	lb.Update(newRID, Row{Int64(1), Int32(40)})
+	wb.Update(newRID, Row{Int64(1), Int32(50)})
+	if _, err := loser.Apply(tb, &lb); err != nil {
+		t.Fatalf("loser stage: %v", err)
+	}
+	if _, err := winner.Apply(tb, &wb); err != nil {
+		t.Fatalf("winner stage: %v", err)
+	}
+	if err := winner.Commit(); err != nil {
+		t.Fatalf("winner Commit: %v", err)
+	}
+	if err := loser.Commit(); !errors.Is(err, ErrTxnConflict) {
+		t.Fatalf("loser Commit = %v, want ErrTxnConflict", err)
+	}
+	if err := loser.Commit(); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("double Commit = %v, want ErrTxnDone", err)
+	}
 }
