@@ -71,8 +71,13 @@ var (
 )
 
 // ServerError is an error the server attributed to the request (bad
-// table, duplicate key, malformed row). It is never retried.
-type ServerError struct{ Msg string }
+// table, duplicate key, malformed row). It is never retried. Code
+// carries the server's wire.ErrCode* classification so callers can
+// dispatch without matching message text.
+type ServerError struct {
+	Msg  string
+	Code uint64
+}
 
 func (e *ServerError) Error() string { return e.Msg }
 
@@ -449,5 +454,5 @@ func checkErr(f wire.Frame) (wire.Frame, error) {
 	if err := m.Unmarshal(f.Payload); err != nil {
 		return f, err
 	}
-	return f, &ServerError{Msg: m.Msg}
+	return f, &ServerError{Msg: m.Msg, Code: m.Code}
 }

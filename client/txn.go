@@ -2,7 +2,6 @@ package client
 
 import (
 	"errors"
-	"strings"
 	"time"
 
 	"repro/internal/wire"
@@ -105,7 +104,7 @@ func (t *Txn) Commit() error {
 	m := wire.TxnFinishReq{TxnID: t.id}
 	_, err := t.cc.roundTrip(wire.TTxnCommit, m.Marshal(nil), t.timeout)
 	var se *ServerError
-	if errors.As(err, &se) && strings.Contains(se.Msg, "transaction conflict") {
+	if errors.As(err, &se) && se.Code == wire.ErrCodeTxnConflict {
 		return ErrTxnConflict
 	}
 	return err

@@ -260,17 +260,27 @@ func (t *Table) Apply(b *Batch, opts ...ApplyOption) (Result, error) {
 		res.OpErrs = make([]error, len(ops))
 	}
 
-	// Under WAL, the whole mutate+log-append runs inside the commit gate
-	// (shared) so a checkpoint can never observe effects whose record is
-	// half-appended. The fsync happens after the gate drops — holding it
-	// across disk latency would stall checkpoints for nothing.
 	e := t.engine
 	var wb *walBatch
 	if e.wal != nil {
 		wb = e.getWALBatch(t.name)
-		e.commitGate.RLock()
 	}
+	// The raw commit stamp allocates BEFORE the gate: rawStampTS takes
+	// txnMu, and the engine-wide lock order is txnMu before commitGate
+	// (Txn.Commit holds txnMu across its gated section). Taking txnMu
+	// with the gate held shared would deadlock the moment a gate writer
+	// (checkpoint, GC) is pending: the writer waits for this reader, a
+	// committer holding txnMu waits for the writer, and this reader
+	// waits for the committer's txnMu.
 	cfg.stamp = e.rawStampTS()
+	// The whole mutate+log-append runs inside the commit gate (shared):
+	// under WAL so a checkpoint can never observe effects whose record
+	// is half-appended, and even without one because RunGC holds the
+	// gate exclusively and relies on it to serialize its heap and tree
+	// surgery against concurrent raw mutations. The fsync happens after
+	// the gate drops — holding it across disk latency would stall
+	// checkpoints for nothing.
+	e.commitGate.RLock()
 	t.mu.RLock()
 
 	// Pre-flight, in batch order. A failure here truncates the batch
@@ -333,8 +343,8 @@ func (t *Table) Apply(b *Batch, opts ...ApplyOption) (Result, error) {
 		}
 	}
 	t.mu.RUnlock()
+	e.commitGate.RUnlock()
 	if wb != nil {
-		e.commitGate.RUnlock()
 		e.putWALBatch(wb)
 		if lsn != 0 {
 			if cerr := e.walCommit(lsn); cerr != nil {

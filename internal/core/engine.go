@@ -83,10 +83,14 @@ type Engine struct {
 	heapShards int // default insert shard count for new tables' heaps
 
 	// WAL state (nil/zero without Options.WAL). commitGate orders
-	// mutations against checkpoints: every Apply and DDL holds it shared
-	// across mutate+log-append, a checkpoint holds it exclusively around
-	// its snapshot+flush. Lock order: commitGate, then e.mu, then t.mu;
-	// the log's own mutex is innermost.
+	// mutations against checkpoints and GC: every Apply, txn commit,
+	// and DDL holds it shared across mutate+log-append; a checkpoint or
+	// GC pass holds it exclusively. Lock order: txnMu, then commitGate,
+	// then e.mu, then t.mu, then a table's vers.mu; the log's own mutex
+	// is innermost. txnMu must NEVER be acquired with commitGate held
+	// (raw stamps allocate via rawStampTS before the gate): a pending
+	// gate writer blocks new shared acquisitions, so gate-then-txnMu
+	// deadlocks against Txn.Commit's txnMu-then-gate.
 	wal          *wal.Log
 	walPath      string
 	manifestPath string

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/btree"
 	"repro/internal/storage"
@@ -282,7 +283,13 @@ func (tx *Txn) Abort() {
 // publishes. Returns ErrTxnConflict (wrapped) when a staged target was
 // modified since Begin, or a duplicate-key error when a claimed unique
 // key is held by a live committed row this transaction does not
-// replace. On either failure nothing was applied.
+// replace. On any failure — validation, a mid-commit heap or index
+// error, a WAL append error — nothing stays applied: effects that had
+// already landed are rolled back before the commit gate drops, and the
+// unpublished timestamp is free for reuse. The one exception is a
+// group-commit fsync failure after the clock published: the commit is
+// visible in memory but may not survive a crash (the same contract as
+// a raw Apply whose fsync fails).
 func (tx *Txn) Commit() error {
 	if tx.done {
 		return ErrTxnDone
@@ -344,7 +351,7 @@ func (tx *Txn) Commit() error {
 	// upserts (checkpoints additionally rely on it for clock/meta
 	// consistency).
 	e.commitGate.RLock()
-	err := tx.commitEffects(ts)
+	undo, err := tx.commitEffects(ts)
 	var lsn uint64
 	if err == nil && e.wal != nil {
 		payload := tx.encodeTxnRecord(ts)
@@ -353,9 +360,16 @@ func (tx *Txn) Commit() error {
 		}
 	}
 	// Publish the clock before the gate drops so a checkpoint can never
-	// snapshot the new versions' metadata against the old clock.
+	// snapshot the new versions' metadata against the old clock. On
+	// error, roll the landed effects back before the gate drops instead:
+	// the same gated section that made the partial state briefly
+	// reachable guarantees no checkpoint or GC ever observes it, so the
+	// failed commit leaves no trace and ts (never published) is safely
+	// allocated again by the next committer.
 	if err == nil {
 		e.clock.Store(ts)
+	} else {
+		tx.rollbackEffects(ts, undo)
 	}
 	e.commitGate.RUnlock()
 	if err != nil {
@@ -372,9 +386,46 @@ func (tx *Txn) Commit() error {
 	return nil
 }
 
+// tableUndo records one table's landed commit effects so a mid-commit
+// failure can roll them back: how many ops' heap writes and meta flips
+// landed, the counters already bumped, and every index-tree mutation
+// in landing order.
+type tableUndo struct {
+	tt      *txnTable
+	heapOps int   // ops whose heap write + version meta landed
+	delta   int64 // rows-counter delta already applied
+	dead    int   // deadVersions increments already applied
+	entries []entryUndo
+}
+
+// entryUndo reverses one landed index-tree mutation: restore key to the
+// packed RID it held before (restore), or delete the fresh entry.
+type entryUndo struct {
+	ix      *Index
+	key     []byte
+	val     uint64
+	restore bool
+}
+
+// testCommitFailAfter > 0 makes commitEffects fail with an injected
+// error just before the n-th staged heap op lands — test support for
+// the rollback path. 0 disables injection.
+var testCommitFailAfter atomic.Int64
+
+// errInjectedCommitFailure is the error TestingFailCommitAfter injects.
+var errInjectedCommitFailure = errors.New("core: injected commit failure")
+
+// TestingFailCommitAfter arms a one-shot commitEffects failure just
+// before the n-th staged heap op (across tables, in commit order)
+// lands, exercising the mid-commit rollback. n = 0 disarms. Test
+// support only.
+func TestingFailCommitAfter(n int) { testCommitFailAfter.Store(int64(n)) }
+
 // commitEffects lands the staged writes: new heap versions, version
 // metadata, and index maintenance, per table. Caller holds txnMu and
-// (under WAL) commitGate shared.
+// commitGate shared. The returned undo list records exactly what
+// landed — on error the caller MUST run rollbackEffects with it before
+// the gate drops.
 //
 // Per table the order is: all heap inserts and meta flips under the
 // version store's exclusive lock, then index entries. A heap scanner
@@ -383,23 +434,35 @@ func (tx *Txn) Commit() error {
 // and the scanner's read lock can only be granted after it), and an
 // index reader that finds a new entry finds the meta that was published
 // before the entry (meta-before-entry ordering).
-func (tx *Txn) commitEffects(ts uint64) error {
+func (tx *Txn) commitEffects(ts uint64) ([]*tableUndo, error) {
 	e := tx.e
+	var undo []*tableUndo
 	for _, tt := range tx.tables {
 		t := tt.t
+		u := &tableUndo{tt: tt}
+		undo = append(undo, u)
 		t.mu.RLock()
 		vs := &t.vers
 		vs.mu.Lock()
 		var delta int64
 		for i := range tt.ops {
 			op := &tt.ops[i]
+			if v := testCommitFailAfter.Load(); v != 0 {
+				if v == 1 {
+					testCommitFailAfter.Store(0)
+					vs.mu.Unlock()
+					t.mu.RUnlock()
+					return undo, errInjectedCommitFailure
+				}
+				testCommitFailAfter.Store(v - 1)
+			}
 			switch op.kind {
 			case BatchInsert:
 				rid, err := t.file.Insert(op.rec)
 				if err != nil {
 					vs.mu.Unlock()
 					t.mu.RUnlock()
-					return fmt.Errorf("core: txn commit insert: %w", err)
+					return undo, fmt.Errorf("core: txn commit insert: %w", err)
 				}
 				op.newRID = rid
 				vs.set(rid, versionMeta{born: ts})
@@ -409,20 +472,24 @@ func (tx *Txn) commitEffects(ts uint64) error {
 				if err != nil {
 					vs.mu.Unlock()
 					t.mu.RUnlock()
-					return fmt.Errorf("core: txn commit update: %w", err)
+					return undo, fmt.Errorf("core: txn commit update: %w", err)
 				}
 				op.newRID = rid
 				vs.set(rid, versionMeta{born: ts, prev: op.rid.Pack()})
 				vs.markDead(op.rid, ts)
 				e.deadVersions.Add(1)
+				u.dead++
 			case BatchDelete:
 				vs.markDead(op.rid, ts)
 				e.deadVersions.Add(1)
+				u.dead++
 				delta--
 			}
+			u.heapOps = i + 1
 		}
 		vs.mu.Unlock()
 		t.rows.Add(delta)
+		u.delta = delta
 
 		for i := range tt.ops {
 			op := &tt.ops[i]
@@ -439,22 +506,87 @@ func (tx *Txn) commitEffects(ts uint64) error {
 				continue
 			}
 			for _, ix := range t.indexes {
-				if err := ix.commitEntry(op, ts); err != nil {
+				if err := ix.commitEntry(op, ts, u); err != nil {
 					t.mu.RUnlock()
-					return err
+					return undo, err
 				}
 			}
 		}
 		t.mu.RUnlock()
 	}
-	return nil
+	return undo, nil
+}
+
+// rollbackEffects undoes a failed commit's landed effects, newest table
+// first. Caller still holds txnMu and commitGate shared — the same
+// section the effects landed under, so neither a checkpoint nor GC can
+// observe the intermediate state, and the in-flight readers that could
+// are handled below.
+//
+// Per table the reversal is index entries first (fresh entries deleted,
+// clobbered unique entries restored to the version they pointed at),
+// then heap rows and version metas under one exclusive vers.mu section.
+// A failed commit's new version is not erased from the version store
+// but tombstoned dead-at-birth ({born: ts, dead: ts, prev:
+// tombstonePrev}): born == dead fails the visibility rule for every
+// snapshot and for latest reads, so a heap scanner that copied the
+// row's bytes before the rollback still judges it invisible — the GC
+// tombstone argument exactly. Staged update/delete targets get their
+// dead stamp cleared, restoring the pre-commit meta (markDead preserved
+// born and prev).
+func (tx *Txn) rollbackEffects(ts uint64, undo []*tableUndo) {
+	e := tx.e
+	for k := len(undo) - 1; k >= 0; k-- {
+		u := undo[k]
+		tt := u.tt
+		t := tt.t
+		t.mu.RLock()
+		for j := len(u.entries) - 1; j >= 0; j-- {
+			eu := &u.entries[j]
+			if eu.restore {
+				eu.ix.tree.Insert(eu.key, eu.val)
+			} else {
+				eu.ix.tree.Delete(eu.key)
+			}
+			if eu.ix.cache != nil {
+				eu.ix.cache.NotifyUpdate(eu.key)
+			}
+		}
+		vs := &t.vers
+		vs.mu.Lock()
+		for i := 0; i < u.heapOps; i++ {
+			op := &tt.ops[i]
+			switch op.kind {
+			case BatchInsert, BatchUpdate:
+				// Delete-then-tombstone inside one exclusive section: a
+				// scanner that copied the bytes checks the meta after this
+				// lock and sees dead-at-birth; nothing chains to newRID
+				// (its own prev is overwritten), so slot reuse is safe.
+				t.file.Delete(op.newRID)
+				vs.set(op.newRID, versionMeta{born: ts, dead: ts, prev: tombstonePrev})
+				if op.kind == BatchUpdate {
+					m := vs.m[op.rid]
+					m.dead = 0
+					vs.set(op.rid, m)
+				}
+			case BatchDelete:
+				m := vs.m[op.rid]
+				m.dead = 0
+				vs.set(op.rid, m)
+			}
+		}
+		vs.mu.Unlock()
+		t.rows.Add(-u.delta)
+		e.deadVersions.Add(int64(-u.dead))
+	}
 }
 
 // commitEntry installs the index entry for a staged insert/update's new
-// version. Old entries are left in place for snapshot readers (GC
-// unlinks them); unique indexes chain through a dead previous holder of
-// the key so per-key time travel keeps working across key reuse.
-func (ix *Index) commitEntry(op *txnOp, ts uint64) error {
+// version, recording the reversal in u. Old entries are left in place
+// for snapshot readers (GC unlinks them); unique indexes chain through
+// a dead previous holder of the key so per-key time travel keeps
+// working across key reuse.
+func (ix *Index) commitEntry(op *txnOp, ts uint64, u *tableUndo) error {
 	newKey, err := ix.entryKey(op.row, op.newRID)
 	if err != nil {
 		return err
@@ -463,6 +595,7 @@ func (ix *Index) commitEntry(op *txnOp, ts uint64) error {
 		if _, err := ix.tree.Insert(newKey, op.newRID.Pack()); err != nil {
 			return err
 		}
+		u.entries = append(u.entries, entryUndo{ix: ix, key: newKey})
 		if ix.cache != nil {
 			ix.cache.NotifyUpdate(newKey)
 		}
@@ -475,10 +608,12 @@ func (ix *Index) commitEntry(op *txnOp, ts uint64) error {
 		}
 		if string(oldKey) == string(newKey) {
 			// Key unchanged: the entry upserts to the newest version and
-			// snapshot readers hop the prev chain back.
+			// snapshot readers hop the prev chain back. Undo restores the
+			// entry to the superseded version it pointed at.
 			if _, err := ix.tree.Insert(newKey, op.newRID.Pack()); err != nil {
 				return err
 			}
+			u.entries = append(u.entries, entryUndo{ix: ix, key: newKey, val: op.rid.Pack(), restore: true})
 			if ix.cache != nil {
 				ix.cache.NotifyUpdate(newKey)
 			}
@@ -502,8 +637,12 @@ func (ix *Index) commitEntry(op *txnOp, ts uint64) error {
 		if _, err := ix.tree.Insert(newKey, op.newRID.Pack()); err != nil {
 			return err
 		}
-	} else if _, err := ix.tree.InsertIfAbsent(newKey, op.newRID.Pack()); err != nil {
-		return err
+		u.entries = append(u.entries, entryUndo{ix: ix, key: newKey, val: v, restore: true})
+	} else {
+		if _, err := ix.tree.InsertIfAbsent(newKey, op.newRID.Pack()); err != nil {
+			return err
+		}
+		u.entries = append(u.entries, entryUndo{ix: ix, key: newKey})
 	}
 	if ix.cache != nil {
 		ix.cache.NotifyUpdate(newKey)

@@ -3,9 +3,11 @@ package core
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/storage"
 	"repro/internal/tuple"
@@ -323,5 +325,88 @@ func TestTxnStormGCNeverUnlinksReachable(t *testing.T) {
 		if cerr := checkConservation(cur, err, nKeys, total, "final-"+name); cerr != nil {
 			t.Error(cerr)
 		}
+	}
+}
+
+// TestTxnRawApplyCheckpointNoDeadlock regression-tests the engine's
+// lock order (txnMu before commitGate, never the reverse). The storm
+// combines every ingredient of the historical 3-way deadlock: a pinned
+// snapshot (so every raw Apply allocates a commit stamp under txnMu),
+// raw Applies holding the commit gate shared, transactions committing
+// under txnMu-then-gate, and gate writers (checkpoints, GC passes)
+// pending exclusively. When Apply allocated its stamp while already
+// inside the gate, the writer waited on Apply, Apply waited on the
+// committer's txnMu, and the committer waited behind the pending
+// writer — forever.
+func TestTxnRawApplyCheckpointNoDeadlock(t *testing.T) {
+	dir := t.TempDir()
+	e, err := NewEngine(Options{Path: filepath.Join(dir, "db"), WAL: true})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	defer e.Close()
+	tb := kvTable(t, e)
+
+	snap := e.Begin() // keeps rawStampTS on its txnMu-taking path
+	defer snap.Abort()
+
+	const iters = 150
+	var wg sync.WaitGroup
+	errc := make(chan error, 3)
+	wg.Add(1)
+	go func() { // raw writer
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			var b Batch
+			b.Insert(kvRow(int64(1_000_000+i), int64(i)))
+			if _, err := tb.Apply(&b); err != nil {
+				errc <- fmt.Errorf("raw apply: %w", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // transactional writer
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			txn := e.Begin()
+			var b Batch
+			b.Insert(kvRow(int64(2_000_000+i), int64(i)))
+			if _, err := txn.Apply(tb, &b); err != nil {
+				txn.Abort()
+				errc <- fmt.Errorf("txn apply: %w", err)
+				return
+			}
+			if err := txn.Commit(); err != nil {
+				errc <- fmt.Errorf("txn commit: %w", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // gate writers
+		defer wg.Done()
+		for i := 0; i < iters/5; i++ {
+			if err := e.Checkpoint(); err != nil {
+				errc <- fmt.Errorf("checkpoint: %w", err)
+				return
+			}
+			e.RunGC()
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("lock-order deadlock: storm did not finish")
+	}
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if got := tb.Rows(); got != 2*iters {
+		t.Fatalf("Rows() = %d after storm, want %d", got, 2*iters)
 	}
 }

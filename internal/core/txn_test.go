@@ -438,6 +438,121 @@ func TestTxnStagedDuplicateAttribution(t *testing.T) {
 	}
 }
 
+// Regression: a commit that fails after some effects landed must roll
+// every one of them back — earlier tables' new versions must not stay
+// visible to latest readers, staged targets must not stay marked dead,
+// unique entries must point back at the surviving version, and the
+// never-published timestamp must be reusable without conflating the
+// failed commit's leftovers with the next successful one.
+func TestTxnCommitRollbackOnMidCommitFailure(t *testing.T) {
+	e := newTestEngine(t)
+	tb := kvTable(t, e)
+	tb2, err := e.CreateTable("kv2", kvSchema())
+	if err != nil {
+		t.Fatalf("CreateTable kv2: %v", err)
+	}
+	if _, err := tb2.CreateIndex("by_k2", []string{"k"}); err != nil {
+		t.Fatalf("CreateIndex kv2: %v", err)
+	}
+	ix := tb.indexes["by_k"]
+
+	for k, v := range map[int64]int64{1: 10, 2: 20, 3: 30} {
+		if _, err := tb.Insert(kvRow(k, v)); err != nil {
+			t.Fatalf("seed Insert: %v", err)
+		}
+	}
+	snap := e.Begin() // must keep reading the seed state throughout
+	defer snap.Abort()
+	clockBefore := e.Clock()
+	deadBefore := e.deadVersions.Load()
+
+	rid1, _, err := ix.LookupRID(tuple.Int64(1))
+	if err != nil {
+		t.Fatalf("LookupRID 1: %v", err)
+	}
+	rid2, _, err := ix.LookupRID(tuple.Int64(2))
+	if err != nil {
+		t.Fatalf("LookupRID 2: %v", err)
+	}
+
+	tx := e.Begin()
+	var ba, bb Batch
+	ba.Update(rid1, kvRow(1, 11)) // unique entry upsert (key unchanged)
+	ba.Delete(rid2)
+	ba.Insert(kvRow(4, 40)) // fresh unique entry
+	if _, err := tx.Apply(tb, &ba); err != nil {
+		t.Fatalf("Apply kv: %v", err)
+	}
+	bb.Insert(kvRow(9, 90))
+	if _, err := tx.Apply(tb2, &bb); err != nil {
+		t.Fatalf("Apply kv2: %v", err)
+	}
+
+	// kv's three heap ops land (heap, metas, entries), then kv2's heap
+	// phase fails on its first op — everything must unwind.
+	TestingFailCommitAfter(4)
+	defer TestingFailCommitAfter(0)
+	if err := tx.Commit(); !errors.Is(err, errInjectedCommitFailure) {
+		t.Fatalf("Commit = %v, want injected failure", err)
+	}
+
+	if got := readAll(t)(tb.Query()); len(got) != 3 || got[1] != 10 || got[2] != 20 || got[3] != 30 {
+		t.Fatalf("latest heap read after failed commit = %v, want seed state", got)
+	}
+	if got := readAll(t)(tb.Query(WithIndex("by_k"))); len(got) != 3 || got[1] != 10 {
+		t.Fatalf("latest index read after failed commit = %v, want seed state", got)
+	}
+	if _, found, err := ix.LookupRID(tuple.Int64(4)); err != nil || found {
+		t.Fatalf("k=4 lookup after failed commit: found=%v err=%v, want absent", found, err)
+	}
+	if got := readAll(t)(tb2.Query()); len(got) != 0 {
+		t.Fatalf("kv2 rows after failed commit = %v, want none", got)
+	}
+	if tb.Rows() != 3 || tb2.Rows() != 0 {
+		t.Fatalf("Rows() = %d/%d after failed commit, want 3/0", tb.Rows(), tb2.Rows())
+	}
+	if got := e.Clock(); got != clockBefore {
+		t.Fatalf("clock = %d after failed commit, want unchanged %d", got, clockBefore)
+	}
+	if got := e.deadVersions.Load(); got != deadBefore {
+		t.Fatalf("deadVersions = %d after failed commit, want %d", got, deadBefore)
+	}
+
+	// The reused timestamp must carry only the retry's versions: the same
+	// logical changes committed now must be fully visible, and the old
+	// snapshot must still see the seed state.
+	retry := e.Begin()
+	var rb, rb2 Batch
+	rb.Update(rid1, kvRow(1, 11))
+	rb.Delete(rid2)
+	rb.Insert(kvRow(4, 40))
+	if _, err := retry.Apply(tb, &rb); err != nil {
+		t.Fatalf("retry Apply kv: %v", err)
+	}
+	rb2.Insert(kvRow(9, 90))
+	if _, err := retry.Apply(tb2, &rb2); err != nil {
+		t.Fatalf("retry Apply kv2: %v", err)
+	}
+	if err := retry.Commit(); err != nil {
+		t.Fatalf("retry Commit: %v", err)
+	}
+	got := readAll(t)(tb.Query(WithIndex("by_k")))
+	if len(got) != 3 || got[1] != 11 || got[3] != 30 || got[4] != 40 {
+		t.Fatalf("latest after retry = %v, want {1:11 3:30 4:40}", got)
+	}
+	if got := readAll(t)(tb2.Query()); len(got) != 1 || got[9] != 90 {
+		t.Fatalf("kv2 after retry = %v, want {9:90}", got)
+	}
+	if got := readAll(t)(snap.Query(tb, WithIndex("by_k"))); len(got) != 3 || got[1] != 10 || got[2] != 20 {
+		t.Fatalf("snapshot after retry = %v, want seed state", got)
+	}
+	snap.Abort()
+	e.RunGC() // must not trip over the rollback's tombstones
+	if got := readAll(t)(tb.Query(WithIndex("by_k"))); len(got) != 3 || got[1] != 11 {
+		t.Fatalf("latest after GC = %v, want {1:11 3:30 4:40}", got)
+	}
+}
+
 func TestTxnUseAfterFinish(t *testing.T) {
 	e := newTestEngine(t)
 	tb := kvTable(t, e)

@@ -323,8 +323,47 @@ type conn struct {
 	// connection aborts them all (serve's epilogue), so an abandoned
 	// transaction can never pin the GC watermark forever.
 	txnMu  sync.Mutex
-	txns   map[uint64]*core.Txn
+	txns   map[uint64]*connTxn
 	txnSeq uint64
+}
+
+// connTxn wraps a core transaction with the server-side cursor
+// accounting the engine cannot do itself: core documents that cursors
+// must be drained before Commit/Abort (finishing releases the snapshot
+// that protects their versions from GC), but a pipelined client can
+// race TTxnCommit/TTxnAbort against an in-flight snapshot Query. The
+// stream counter turns that race into a wait — finishTxn blocks until
+// every streaming cursor has drained, so the snapshot stays pinned for
+// exactly as long as a cursor can still visit its versions.
+type connTxn struct {
+	txn *core.Txn
+
+	mu       sync.Mutex
+	finished bool
+	streams  sync.WaitGroup
+}
+
+// acquireStream registers one streaming cursor; it fails once the
+// transaction has been handed to commit/abort. Callers must release
+// with streams.Done after the cursor is closed.
+func (ct *connTxn) acquireStream() bool {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	if ct.finished {
+		return false
+	}
+	ct.streams.Add(1)
+	return true
+}
+
+// finish marks the transaction closed to new cursors and waits for the
+// ones still streaming, then yields the core transaction.
+func (ct *connTxn) finish() *core.Txn {
+	ct.mu.Lock()
+	ct.finished = true
+	ct.mu.Unlock()
+	ct.streams.Wait()
+	return ct.txn
 }
 
 func newConn(s *Server, nc net.Conn) *conn {
@@ -364,9 +403,11 @@ func (c *conn) serve() {
 		c.dispatch(f)
 	}
 	c.hwg.Wait()
+	// All handlers have returned, so no cursor can still be streaming:
+	// finish() never waits here.
 	c.txnMu.Lock()
-	for id, txn := range c.txns {
-		txn.Abort()
+	for id, ct := range c.txns {
+		ct.finish().Abort()
 		delete(c.txns, id)
 	}
 	c.txnMu.Unlock()
@@ -383,34 +424,35 @@ func (c *conn) beginTxn() (uint64, *core.Txn) {
 	c.txnSeq++
 	id := c.txnSeq
 	if c.txns == nil {
-		c.txns = make(map[uint64]*core.Txn)
+		c.txns = make(map[uint64]*connTxn)
 	}
-	c.txns[id] = txn
+	c.txns[id] = &connTxn{txn: txn}
 	c.txnMu.Unlock()
 	return id, txn
 }
 
 // txn resolves a connection-local transaction id.
-func (c *conn) txn(id uint64) (*core.Txn, error) {
+func (c *conn) txn(id uint64) (*connTxn, error) {
 	c.txnMu.Lock()
-	txn := c.txns[id]
+	ct := c.txns[id]
 	c.txnMu.Unlock()
-	if txn == nil {
+	if ct == nil {
 		return nil, fmt.Errorf("server: unknown transaction %d", id)
 	}
-	return txn, nil
+	return ct, nil
 }
 
-// finishTxn removes and returns a transaction for commit/abort.
+// finishTxn removes a transaction from the registry for commit/abort,
+// waiting out any cursor still streaming its snapshot.
 func (c *conn) finishTxn(id uint64) (*core.Txn, error) {
 	c.txnMu.Lock()
-	txn := c.txns[id]
+	ct := c.txns[id]
 	delete(c.txns, id)
 	c.txnMu.Unlock()
-	if txn == nil {
+	if ct == nil {
 		return nil, fmt.Errorf("server: unknown transaction %d", id)
 	}
-	return txn, nil
+	return ct.finish(), nil
 }
 
 func (c *conn) writeLoop() {
@@ -439,8 +481,17 @@ func (c *conn) send(reqID uint64, typ uint8, payload []byte) {
 }
 
 func (c *conn) sendErr(reqID uint64, err error) {
-	m := wire.ErrResp{Msg: err.Error()}
+	m := wire.ErrResp{Msg: err.Error(), Code: errCode(err)}
 	c.send(reqID, wire.TErr, m.Marshal(nil))
+}
+
+// errCode classifies an error for ErrResp.Code so clients dispatch on
+// the code, never on message text.
+func errCode(err error) uint64 {
+	if errors.Is(err, core.ErrTxnConflict) {
+		return wire.ErrCodeTxnConflict
+	}
+	return wire.ErrCodeGeneric
 }
 
 // spawn runs fn on a handler goroutine, capped by the per-connection
@@ -578,7 +629,7 @@ func (c *conn) handleApply(id uint64, m *wire.ApplyReq) {
 // folded into other connections' batches — they become durable only at
 // the transaction's own commit record.
 func (c *conn) handleTxnApply(id uint64, m *wire.ApplyReq) {
-	txn, err := c.txn(m.TxnID)
+	ct, err := c.txn(m.TxnID)
 	if err != nil {
 		c.sendErr(id, err)
 		return
@@ -603,7 +654,7 @@ func (c *conn) handleTxnApply(id uint64, m *wire.ApplyReq) {
 			b.Delete(storage.UnpackRID(op.RID))
 		}
 	}
-	res, aerr := txn.Apply(tb, &b)
+	res, aerr := ct.txn.Apply(tb, &b)
 	// Staged writes have no RIDs yet (rows land in the heap at commit);
 	// the response reports per-op acceptance only.
 	resp := sliceResult(&res, aerr, 0, len(m.Ops))
@@ -630,11 +681,12 @@ func (c *conn) handleGet(id uint64, m *wire.GetReq) {
 }
 
 func (c *conn) handleQuery(id uint64, m *wire.QueryReq) {
-	cur, err := c.openCursor(m)
+	cur, release, err := c.openCursor(m)
 	if err != nil {
 		c.sendErr(id, err)
 		return
 	}
+	defer release()    // runs after Close: the snapshot stays pinned until then
 	defer cur.Close()
 	pageSize := int(m.PageSize)
 	if pageSize <= 0 {
@@ -711,24 +763,36 @@ func (s *Server) openCursor(m *wire.QueryReq) (*core.Cursor, error) {
 }
 
 // openCursor resolves a query against the connection: a TxnID routes
-// the scan through that transaction's snapshot (seeing its own staged
-// writes and nothing committed after its start), everything else falls
-// through to the shared latest-read path — including rows that arrived
-// via other connections' coalesced batches, which become visible to
-// snapshots begun after their group commit.
-func (c *conn) openCursor(m *wire.QueryReq) (*core.Cursor, error) {
+// the scan through that transaction's snapshot — it reads the Begin
+// snapshot and excludes the transaction's own staged writes (core.Txn
+// has no read-your-own-writes) — everything else falls through to the
+// shared latest-read path, including rows that arrived via other
+// connections' coalesced batches, which become visible to snapshots
+// begun after their group commit. A transactional cursor registers
+// with the connTxn so commit/abort waits out its stream; the returned
+// release must be called after the cursor is closed.
+func (c *conn) openCursor(m *wire.QueryReq) (*core.Cursor, func(), error) {
 	if m.TxnID == 0 {
-		return c.s.openCursor(m)
+		cur, err := c.s.openCursor(m)
+		return cur, func() {}, err
 	}
-	txn, err := c.txn(m.TxnID)
+	ct, err := c.txn(m.TxnID)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	tb, err := c.s.eng.Table(m.Table)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return txn.Query(tb, queryOpts(m)...)
+	if !ct.acquireStream() {
+		return nil, nil, fmt.Errorf("server: transaction %d already finished", m.TxnID)
+	}
+	cur, err := ct.txn.Query(tb, queryOpts(m)...)
+	if err != nil {
+		ct.streams.Done()
+		return nil, nil, err
+	}
+	return cur, ct.streams.Done, nil
 }
 
 func queryOpts(m *wire.QueryReq) []core.QueryOption {

@@ -3,10 +3,13 @@ package server_test
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/client"
+	"repro/internal/server"
 	"repro/internal/tuple"
 )
 
@@ -82,6 +85,121 @@ func TestTxnOverWire(t *testing.T) {
 	// Finished transactions reject further use.
 	if _, err := txn.Apply("kv", &b1); err == nil {
 		t.Fatalf("Apply on finished txn succeeded")
+	}
+}
+
+// TestTxnFinishWaitsForStreamingCursor pins the server-side cursor
+// accounting: a TTxnAbort (or commit) racing an in-flight snapshot
+// Query on the same transaction must wait for the stream to drain
+// before releasing the snapshot. Without the wait, a concurrent GC
+// pass can unlink versions the cursor still has to visit and the scan
+// silently drops rows — so every stream that opened successfully must
+// deliver the complete Begin snapshot, abort notwithstanding.
+func TestTxnFinishWaitsForStreamingCursor(t *testing.T) {
+	f := startServer(t, func(cfg *server.Config) { cfg.PageSize = 32 })
+	defer f.stop(t)
+	cl, err := client.Dial(f.addr)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+	setupKV(t, cl)
+
+	const nKeys = 200
+	var seed client.Batch
+	for i := 0; i < nKeys; i++ {
+		seed.Insert(kvRow(int64(i), "v0"))
+	}
+	if _, err := cl.Apply("kv", &seed); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+
+	// GC hammer: the moment a snapshot releases, its versions are
+	// collectible — exactly what the finish-wait must hold off until the
+	// cursor drains.
+	var stopGC atomic.Bool
+	var gcWG sync.WaitGroup
+	gcWG.Add(1)
+	go func() {
+		defer gcWG.Done()
+		for !stopGC.Load() {
+			f.eng.RunGC()
+		}
+	}()
+	defer func() { stopGC.Store(true); gcWG.Wait() }()
+
+	prev := "v0"
+	for round := 0; round < 15; round++ {
+		// Collect the current version of every row.
+		rows, err := cl.Query("kv", client.WithIndex("by_id"), client.WithRIDs())
+		if err != nil {
+			t.Fatalf("rid query: %v", err)
+		}
+		rids := make(map[int64]uint64, nKeys)
+		for rows.Next() {
+			rids[rows.Row()[0].Int] = rows.RID()
+		}
+		if err := rows.Err(); err != nil {
+			t.Fatalf("rid rows: %v", err)
+		}
+		rows.Close()
+		if len(rids) != nKeys {
+			t.Fatalf("round %d: %d rids, want %d", round, len(rids), nKeys)
+		}
+
+		victim, err := cl.Begin()
+		if err != nil {
+			t.Fatalf("Begin victim: %v", err)
+		}
+		// Supersede every row AFTER the victim's snapshot pinned: the
+		// victim is now the only thing keeping the old versions alive.
+		writer, err := cl.Begin()
+		if err != nil {
+			t.Fatalf("Begin writer: %v", err)
+		}
+		next := fmt.Sprintf("r%d", round)
+		var ub client.Batch
+		for k, rid := range rids {
+			ub.Update(rid, kvRow(k, next))
+		}
+		if _, err := writer.Apply("kv", &ub); err != nil {
+			t.Fatalf("writer Apply: %v", err)
+		}
+		if err := writer.Commit(); err != nil {
+			t.Fatalf("writer Commit: %v", err)
+		}
+
+		// Open the victim's stream, then abort immediately — the abort
+		// frame chases the query frame down the same pipelined connection.
+		stream, err := victim.Query("kv", client.WithIndex("by_id"))
+		if err != nil {
+			t.Fatalf("victim Query: %v", err)
+		}
+		if err := victim.Abort(); err != nil {
+			t.Fatalf("Abort: %v", err)
+		}
+		got := map[int64]string{}
+		for stream.Next() {
+			r := stream.Row()
+			got[r[0].Int] = r[1].Str
+		}
+		serr := stream.Err()
+		stream.Close()
+		if serr != nil {
+			// The abort won the race before the cursor opened: a clean,
+			// attributed failure is fine. Silent row loss is not.
+			prev = next
+			continue
+		}
+		if len(got) != nKeys {
+			t.Fatalf("round %d: aborted-mid-stream snapshot returned %d rows, want %d", round, len(got), nKeys)
+		}
+		for k, v := range got {
+			if v != prev {
+				t.Fatalf("round %d: key %d = %q, want snapshot value %q", round, k, v, prev)
+			}
+		}
+		prev = next
 	}
 }
 

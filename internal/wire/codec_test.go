@@ -72,6 +72,8 @@ func TestMessageRoundTrips(t *testing.T) {
 			Fields: []string{"id"}, Unique: true}, &CreateIndexReq{}},
 		{"StatsResp", &StatsResp{JSON: []byte(`{"rows":1}`)}, &StatsResp{}},
 		{"ErrResp", &ErrResp{Msg: "no such table"}, &ErrResp{}},
+		{"ErrRespCoded", &ErrResp{Msg: "core: transaction conflict",
+			Code: ErrCodeTxnConflict}, &ErrResp{}},
 	}
 	for _, tc := range cases {
 		buf := tc.in.Marshal(nil)

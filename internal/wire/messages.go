@@ -454,18 +454,35 @@ func (m *TxnFinishReq) Unmarshal(b []byte) error {
 	return r.done()
 }
 
+// Error codes carried by ErrResp.Code: a machine-readable
+// classification for the errors clients dispatch on, so retry logic
+// never has to match message text.
+const (
+	// ErrCodeGeneric is an unclassified server error.
+	ErrCodeGeneric uint64 = 0
+	// ErrCodeTxnConflict reports first-committer-wins validation
+	// failure: the transaction rolled back cleanly and may be retried
+	// from Begin.
+	ErrCodeTxnConflict uint64 = 1
+)
+
 // ErrResp reports a failed request.
 type ErrResp struct {
-	Msg string
+	Msg  string
+	Code uint64 // ErrCode* classification
 }
 
 // Marshal appends the response payload to dst.
-func (m *ErrResp) Marshal(dst []byte) []byte { return appendString(dst, m.Msg) }
+func (m *ErrResp) Marshal(dst []byte) []byte {
+	dst = appendString(dst, m.Msg)
+	return appendUvarint(dst, m.Code)
+}
 
 // Unmarshal decodes the payload.
 func (m *ErrResp) Unmarshal(b []byte) error {
 	r := reader{b: b}
 	m.Msg = r.string()
+	m.Code = r.uvarint()
 	return r.done()
 }
 
