@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// LockOrder reports acquisition edges that invert the documented
+// lock-ordering rules (LockRules; ARCHITECTURE.md "Locks, latches, and
+// their order"). It simulates each function's held set and checks both
+// direct acquisitions and — through per-function summaries — every
+// statically resolved call that may acquire a lock deeper in the call
+// graph. PR 9's 3-way deadlock (Table.Apply holding the commitGate
+// while rawStampTS took txnMu, against Txn.Commit's txnMu→commitGate)
+// is exactly the shape this catches; see
+// testdata/src/lockorder_pr9/regression.go.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "detect lock acquisitions that invert a documented ordering rule",
+	Run:  runLockOrder,
+}
+
+func runLockOrder(pass *Pass) error {
+	checkLockAnnotations(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFuncLockOrder(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFuncLockOrder(pass *Pass, fn *ast.FuncDecl) {
+	hooks := simHooks{
+		acquire: func(name string, pos token.Pos, h *heldSet) {
+			for heldName, stack := range h.m {
+				why, bad := OrderViolation(heldName, name)
+				if !bad {
+					continue
+				}
+				pass.Reportf(pos,
+					"acquires %q while holding %q (acquired at %s): inverts documented lock order (%s)",
+					name, heldName, pass.Fset.Position(stack[len(stack)-1]), why)
+			}
+		},
+		call: func(callee string, pos token.Pos, h *heldSet) {
+			if h.empty() {
+				return
+			}
+			sum := pass.World.Summary(callee)
+			for name, eff := range sum.mayAcquire {
+				for heldName, stack := range h.m {
+					why, bad := OrderViolation(heldName, name)
+					if !bad {
+						continue
+					}
+					via := shortFuncName(callee)
+					if p := describePath(eff.path); p != "" {
+						via += " → " + p
+					}
+					pass.Reportf(pos,
+						"call may acquire %q (via %s) while holding %q (acquired at %s): inverts documented lock order (%s)",
+						name, via, heldName, pass.Fset.Position(stack[len(stack)-1]), why)
+				}
+			}
+		},
+	}
+	simFunc(pass.Info, pass.World, fn.Body, hooks)
+}
+
+// checkLockAnnotations verifies that the compiled-in registry bindings
+// (BuiltinLockFields) and the source annotations agree for every lock
+// the current package declares: a registry-bound field must carry the
+// matching // nblb:lock annotation, and an annotation must not
+// contradict the registry. This is what keeps ARCHITECTURE.md's table,
+// registry.go, and the source from drifting apart.
+func checkLockAnnotations(pass *Pass) {
+	prefix := pass.Pkg.Path() + "."
+	for key, regName := range BuiltinLockFields {
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		annName, ok := pass.World.AnnotatedLockName(key)
+		if !ok {
+			pass.Reportf(pass.Files[0].Name.Pos(),
+				"lock %s is bound to %q in the registry but its field has no `// nblb:lock %s` annotation",
+				key, regName, regName)
+			continue
+		}
+		if annName != regName {
+			pass.Reportf(pass.Files[0].Name.Pos(),
+				"lock %s is annotated %q but registered as %q — update registry.go or the annotation",
+				key, annName, regName)
+		}
+	}
+}

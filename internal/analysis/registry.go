@@ -1,0 +1,187 @@
+package analysis
+
+// This file is the machine-readable form of ARCHITECTURE.md's "Locks,
+// latches, and their order" table. The lockorder analyzer checks
+// acquisition edges against LockRules; the walseam analyzer checks
+// wal.TestPoint names against CrashMatrixPoints. When the prose table
+// changes, this file must change with it (ARCHITECTURE.md's "Enforced
+// invariants" column points back here).
+
+// LockRule is one directed ordering edge: Outer may be held while
+// acquiring Inner; the inversion — acquiring Outer while Inner is held —
+// is a deadlock risk and is what the analyzer reports. Rule names the
+// ARCHITECTURE.md ordering rule the edge comes from.
+type LockRule struct {
+	Outer, Inner string
+	Rule         string
+}
+
+// LockRules are the documented ordering edges. Transitive closure is
+// taken by the analyzer, so chains only need their adjacent pairs.
+var LockRules = []LockRule{
+	// Canonical write/commit chain (rules 7 and the PR 9 txn addendum):
+	// txnMu → commitGate → e.mu → t.mu → vers.mu, wal mutex innermost.
+	{"txnMu", "commitGate", "txn commit order (engine.go)"},
+	{"txnMu", "snapMu", "txn commit order (engine.go)"},
+	{"commitGate", "engine-mu", "rule 7"},
+	{"engine-mu", "table-mu", "rule 7"},
+	{"table-mu", "version-store", "txn commit order (engine.go)"},
+	{"commitGate", "wal-mu", "rule 7 (wal mutex is a leaf)"},
+	{"commitGate", "wal-commit-mu", "rule 7 (group commit under the gate)"},
+	{"wal-commit-mu", "wal-mu", "group-commit leader fsyncs under the log mutex"},
+	// ckptMu nests OUTSIDE the gate: checkpoints take it first.
+	{"ckptMu", "commitGate", "rule 7 (two checkpoints serialize before blocking writers)"},
+	// Heap insert path (rules 1–2).
+	{"heap-shard", "frame-latch", "rule 1"},
+	{"heap-shard", "heap-meta", "rule 2"},
+	// Descents fetch child pages (buffer shard mutex) while holding
+	// frame latches; the reverse — waiting on a latch under the shard
+	// mutex — is rule 4's forbidden edge.
+	{"frame-latch", "buffer-shard", "rule 4"},
+}
+
+// SelfUnsafe lists locks that must never be acquired while an instance
+// of the same lock is already held: rule 3 (never two heap shard
+// mutexes) and the buffer pool's cross-shard steal contract. The frame
+// latch is deliberately absent — latch crabbing holds several at once
+// under the root→leaf, left→right protocol (rule 6), which static
+// analysis cannot order by instance.
+var SelfUnsafe = map[string]string{
+	"heap-shard":   "rule 3: never two heap shard mutexes at once",
+	"buffer-shard": "steal() must drop its own shard before locking a sibling",
+	"txnMu":        "txnMu is non-reentrant",
+	"commitGate":   "a shared re-acquire deadlocks behind a pending exclusive waiter",
+}
+
+// BuiltinLockFields binds the engine's own mutex/latch fields to lock
+// names. The same binding is asserted in source by `// nblb:lock`
+// annotations on each field; this compiled-in copy is what lets the
+// `go vet -vettool` unit mode (which cannot see imported packages'
+// source) resolve cross-package acquisitions, and lets the lockorder
+// analyzer verify annotation and registry agree when it analyzes the
+// declaring package.
+var BuiltinLockFields = map[string]string{
+	"repro/internal/core.Engine.txnMu":      "txnMu",
+	"repro/internal/core.Engine.snapMu":     "snapMu",
+	"repro/internal/core.Engine.commitGate": "commitGate",
+	"repro/internal/core.Engine.ckptMu":     "ckptMu",
+	"repro/internal/core.Engine.mu":         "engine-mu",
+	"repro/internal/core.Table.mu":          "table-mu",
+	"repro/internal/core.versionStore.mu":   "version-store",
+	"repro/internal/wal.Log.mu":             "wal-mu",
+	"repro/internal/wal.Log.cmu":            "wal-commit-mu",
+	"repro/internal/heap.insertShard.mu":    "heap-shard",
+	"repro/internal/heap.File.meta":         "heap-meta",
+	"repro/internal/buffer.shard.mu":        "buffer-shard",
+	"repro/internal/buffer.Frame.Latch":     "frame-latch",
+}
+
+// BuiltinFuncTags is the compiled-in copy of the function annotations
+// (`// nblb:acquires-pin` and friends), for the same unit-mode reason.
+var BuiltinFuncTags = map[string][]string{
+	"repro/internal/buffer.Pool.Fetch":      {"acquires-pin"},
+	"repro/internal/buffer.Pool.NewPage":    {"acquires-pin"},
+	"repro/internal/buffer.Pool.Unpin":      {"releases-pin"},
+	"repro/internal/wal.Log.Append":         {"blocking-io"},
+	"repro/internal/wal.Log.Sync":           {"blocking-io"},
+	"repro/internal/wal.Log.Commit":         {"blocking-io"},
+	"repro/internal/wal.Log.TruncateTo":     {"blocking-io"},
+	"repro/internal/buffer.Pool.FlushAll":   {"blocking-io"},
+	"repro/internal/buffer.Pool.DirtyPages": {"blocking-io"},
+	// DiskManager is the interface method (what e.disk.Sync() resolves
+	// to); FileDisk.Sync is the concrete fsync for direct callers.
+	"repro/internal/storage.DiskManager.Sync": {"blocking-io"},
+	"repro/internal/storage.FileDisk.Sync":    {"blocking-io"},
+}
+
+// BuiltinCarriers lists types allowed to carry a pinned frame or held
+// latch out of the function that acquired it (mirrors nblb:carries-pin
+// annotations).
+var BuiltinCarriers = []string{
+	"repro/internal/btree.Cursor",
+	"repro/internal/btree.Leaf",
+	"repro/internal/btree.latchedNode",
+}
+
+// BuiltinDeprecated mirrors the Deprecated: doc markers for unit mode.
+var BuiltinDeprecated = map[string]string{
+	"repro/internal/core.Table.Scan": "Deprecated: Scan is a thin wrapper over Query; use Query.",
+	"repro/internal/btree.Tree.Scan": "Deprecated: Scan is a thin wrapper over the pinned-frame Cursor; use NewCursor.",
+}
+
+// CrashMatrixPoints are the wal.TestPoint names with a corresponding
+// crash-matrix case (core/crash_test.go, core/crash_txn_test.go). The
+// walseam analyzer rejects TestPoint calls whose name constant is not
+// listed: a new crash seam needs a new matrix case FIRST, then an entry
+// here naming the test that kills at it.
+var CrashMatrixPoints = map[string]string{
+	"wal:append":                 "TestCrashMatrix (mid-append)",
+	"wal:append-partial":         "TestCrashMatrix (torn frame)",
+	"wal:synced":                 "TestCrashMatrix (post-append/pre-ack)",
+	"wal:truncate-before-rename": "TestCrashMatrix",
+	"wal:truncate-after-rename":  "TestCrashMatrix",
+	"ckpt:begin":                 "TestCrashMatrix",
+	"ckpt:flushed":               "TestCrashMatrix",
+	"ckpt:manifest":              "TestCrashMatrix + TestCrashTxnMatrix",
+	"ckpt:truncated":             "TestCrashMatrix + TestCrashTxnMatrix",
+	"txn:appended":               "TestCrashTxnMatrix (mid-commit)",
+	"gc:unlinked":                "TestCrashTxnMatrix (mid-GC)",
+	"gc:recovery":                "TestCrashGCRecovery (killed mid-recovery, before the sweep)",
+}
+
+// lockRank holds the transitive closure of LockRules: closure[a][b]
+// means a may be held while acquiring b.
+var lockClosure = buildClosure()
+
+func buildClosure() map[string]map[string]string {
+	c := map[string]map[string]string{}
+	add := func(a, b, why string) {
+		if c[a] == nil {
+			c[a] = map[string]string{}
+		}
+		if _, ok := c[a][b]; !ok {
+			c[a][b] = why
+		}
+	}
+	for _, r := range LockRules {
+		add(r.Outer, r.Inner, r.Rule)
+	}
+	// Floyd–Warshall style closure over the small rule graph.
+	for changed := true; changed; {
+		changed = false
+		for a, outs := range c {
+			for b, whyAB := range outs {
+				for d, whyBD := range c[b] {
+					if _, ok := c[a][d]; !ok && a != d {
+						add(a, d, whyAB+" + "+whyBD)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return c
+}
+
+// OrderAllowed reports whether holding `held` while acquiring `acq` is
+// a registered order (directly or transitively).
+func OrderAllowed(held, acq string) bool {
+	_, ok := lockClosure[held][acq]
+	return ok
+}
+
+// OrderViolation reports whether acquiring `acq` while `held` is held
+// inverts a registered rule, and if so which rule.
+func OrderViolation(held, acq string) (string, bool) {
+	if held == acq {
+		why, bad := SelfUnsafe[held]
+		return why, bad
+	}
+	if OrderAllowed(held, acq) {
+		return "", false
+	}
+	if why, ok := lockClosure[acq][held]; ok {
+		return why, true
+	}
+	return "", false
+}

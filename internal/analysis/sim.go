@@ -1,0 +1,410 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the shared abstract interpreter behind lockorder and
+// walseam: a block-structured walk over a function body that tracks
+// which named locks are held at each acquisition and call site.
+//
+// Precision choices, deliberately biased against false positives:
+//
+//   - Branches are explored independently; after an if/switch the held
+//     set is the INTERSECTION of the branches that fall through, so a
+//     conditionally-released lock is treated as released.
+//   - Loop bodies are simulated once; the held set after a loop is the
+//     intersection of "before" and "after one iteration".
+//   - TryLock/TryRLock never block, so they are exempt from ordering
+//     checks and (being conditional) do not join the held set.
+//   - `go` statements start with an EMPTY held set — a spawned
+//     goroutine does not inherit its parent's critical section (its
+//     body is still simulated, with that empty set).
+//   - defer of a release is ignored (the lock stays held to function
+//     end, which is exactly what a deferred unlock means); other
+//     deferred calls are processed with the held set at the defer.
+//   - Function literals are simulated where they appear, with the
+//     current held set: in this codebase closures passed to helpers
+//     (visitors, DirtyPages walkers) run synchronously under the
+//     caller's locks.
+
+// heldSet maps lock name → stack of acquisition positions.
+type heldSet struct {
+	m map[string][]token.Pos
+}
+
+func newHeldSet() *heldSet { return &heldSet{m: map[string][]token.Pos{}} }
+
+func (h *heldSet) acquire(name string, pos token.Pos) { h.m[name] = append(h.m[name], pos) }
+
+func (h *heldSet) release(name string) {
+	if s := h.m[name]; len(s) > 0 {
+		if len(s) == 1 {
+			delete(h.m, name)
+		} else {
+			h.m[name] = s[:len(s)-1]
+		}
+	}
+}
+
+func (h *heldSet) clone() *heldSet {
+	c := newHeldSet()
+	for k, v := range h.m {
+		c.m[k] = append([]token.Pos(nil), v...)
+	}
+	return c
+}
+
+// intersect keeps only locks held in both sets (at the shallower
+// depth), preserving h's acquisition positions.
+func (h *heldSet) intersect(o *heldSet) {
+	for k, v := range h.m {
+		ov, ok := o.m[k]
+		if !ok {
+			delete(h.m, k)
+			continue
+		}
+		if len(ov) < len(v) {
+			h.m[k] = v[:len(ov)]
+		}
+	}
+}
+
+func (h *heldSet) empty() bool { return len(h.m) == 0 }
+
+// lockOp classifies one call expression's effect on the held set.
+type lockOp int
+
+const (
+	opNone    lockOp = iota
+	opAcquire        // blocking Lock/RLock on a named lock
+	opTry            // TryLock/TryRLock on a named lock
+	opRelease        // Unlock/RUnlock on a named lock
+)
+
+// classifyLockCall resolves x.Lock()/x.Unlock()-shaped calls whose
+// receiver chain lands on an annotated (or registry-bound) lock field.
+func classifyLockCall(info *types.Info, w *World, call *ast.CallExpr) (lockOp, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return opNone, ""
+	}
+	var op lockOp
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = opAcquire
+	case "TryLock", "TryRLock":
+		op = opTry
+	case "Unlock", "RUnlock":
+		op = opRelease
+	default:
+		return opNone, ""
+	}
+	name, ok := lockNameOf(info, w, sel.X)
+	if !ok {
+		return opNone, ""
+	}
+	return op, name
+}
+
+// lockNameOf resolves the lock name of a receiver expression: a struct
+// field selection (via its nblb:lock annotation or registry binding) or
+// a package-level var.
+func lockNameOf(info *types.Info, w *World, expr ast.Expr) (string, bool) {
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok {
+				if name, ok := w.LockName(FieldKey(s.Recv(), v)); ok {
+					return name, true
+				}
+			}
+		}
+		// Qualified package-level var: pkg.Mu.
+		if id, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+				if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil {
+					return w.LockName(v.Pkg().Path() + "." + v.Name())
+				}
+			}
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return w.LockName(v.Pkg().Path() + "." + v.Name())
+		}
+	case *ast.ParenExpr:
+		return lockNameOf(info, w, e.X)
+	}
+	return "", false
+}
+
+// calleeKey resolves a call's static callee to its function key, or ""
+// for dynamic calls (function values, closures invoked via variables).
+func calleeKey(info *types.Info, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return FuncKey(fn)
+		}
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return FuncKey(fn)
+		}
+	}
+	return ""
+}
+
+// simHooks receive the interpreter's events.
+type simHooks struct {
+	// acquire fires before a blocking acquisition joins the held set.
+	acquire func(name string, pos token.Pos, h *heldSet)
+	// call fires for every statically resolved non-lock call.
+	call func(key string, pos token.Pos, h *heldSet)
+}
+
+type simCtx struct {
+	info  *types.Info
+	world *World
+	hooks simHooks
+}
+
+// simFunc runs the interpreter over one function body.
+func simFunc(info *types.Info, w *World, body *ast.BlockStmt, hooks simHooks) {
+	if body == nil {
+		return
+	}
+	sc := &simCtx{info: info, world: w, hooks: hooks}
+	sc.stmts(body.List, newHeldSet())
+}
+
+// stmts simulates a statement list, returning false if the list
+// definitely terminates (return/branch) before its end.
+func (sc *simCtx) stmts(list []ast.Stmt, h *heldSet) bool {
+	for _, s := range list {
+		if !sc.stmt(s, h) {
+			return false
+		}
+	}
+	return true
+}
+
+func (sc *simCtx) stmt(s ast.Stmt, h *heldSet) bool {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		sc.expr(st.X, h)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			sc.expr(e, h)
+		}
+		for _, e := range st.Lhs {
+			sc.expr(e, h)
+		}
+	case *ast.DeclStmt:
+		ast.Inspect(st, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				sc.expr(e, h)
+				return false
+			}
+			return true
+		})
+	case *ast.IncDecStmt:
+		sc.expr(st.X, h)
+	case *ast.SendStmt:
+		sc.expr(st.Chan, h)
+		sc.expr(st.Value, h)
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			sc.expr(e, h)
+		}
+		return false
+	case *ast.BranchStmt:
+		return false
+	case *ast.BlockStmt:
+		return sc.stmts(st.List, h)
+	case *ast.LabeledStmt:
+		return sc.stmt(st.Stmt, h)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			sc.stmt(st.Init, h)
+		}
+		sc.expr(st.Cond, h)
+		thenH := h.clone()
+		thenFalls := sc.stmts(st.Body.List, thenH)
+		elseH := h.clone()
+		elseFalls := true
+		if st.Else != nil {
+			elseFalls = sc.stmt(st.Else, elseH)
+		}
+		switch {
+		case thenFalls && elseFalls:
+			*h = *thenH
+			h.intersect(elseH)
+		case thenFalls:
+			*h = *thenH
+		case elseFalls:
+			*h = *elseH
+		default:
+			return false
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			sc.stmt(st.Init, h)
+		}
+		if st.Cond != nil {
+			sc.expr(st.Cond, h)
+		}
+		bodyH := h.clone()
+		sc.stmts(st.Body.List, bodyH)
+		if st.Post != nil {
+			sc.stmt(st.Post, bodyH)
+		}
+		h.intersect(bodyH)
+	case *ast.RangeStmt:
+		sc.expr(st.X, h)
+		bodyH := h.clone()
+		sc.stmts(st.Body.List, bodyH)
+		h.intersect(bodyH)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			sc.stmt(st.Init, h)
+		}
+		if st.Tag != nil {
+			sc.expr(st.Tag, h)
+		}
+		sc.caseBodies(st.Body, h)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			sc.stmt(st.Init, h)
+		}
+		sc.stmt(st.Assign, h)
+		sc.caseBodies(st.Body, h)
+	case *ast.SelectStmt:
+		sc.caseBodies(st.Body, h)
+	case *ast.DeferStmt:
+		sc.deferCall(st.Call, h)
+	case *ast.GoStmt:
+		// Spawned goroutines inherit nothing: simulate the body (or the
+		// called function's effects are its own) under an empty set.
+		for _, a := range st.Call.Args {
+			sc.expr(a, h)
+		}
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			sc.stmts(lit.Body.List, newHeldSet())
+		}
+	}
+	return true
+}
+
+// caseBodies merges switch/select clause bodies by intersection of the
+// falling branches (plus the implicit no-match path when there is no
+// default clause).
+func (sc *simCtx) caseBodies(body *ast.BlockStmt, h *heldSet) {
+	var results []*heldSet
+	hasDefault := false
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch c := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				sc.expr(e, h)
+			}
+			if c.List == nil {
+				hasDefault = true
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				sc.stmt(c.Comm, h.clone())
+			} else {
+				hasDefault = true
+			}
+			stmts = c.Body
+		}
+		ch := h.clone()
+		if sc.stmts(stmts, ch) {
+			results = append(results, ch)
+		}
+	}
+	if !hasDefault {
+		results = append(results, h.clone())
+	}
+	if len(results) == 0 {
+		return
+	}
+	*h = *results[0]
+	for _, r := range results[1:] {
+		h.intersect(r)
+	}
+}
+
+// expr walks an expression, handling calls post-order (arguments and
+// receivers evaluate before the call takes effect) and function
+// literals with the current held set.
+func (sc *simCtx) expr(e ast.Expr, h *heldSet) {
+	if e == nil {
+		return
+	}
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		// Arguments and the callee expression first (but not the
+		// selector's method name, which isn't an evaluation).
+		if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+			sc.expr(sel.X, h)
+		} else if _, ok := x.Fun.(*ast.FuncLit); !ok {
+			sc.expr(x.Fun, h)
+		}
+		for _, a := range x.Args {
+			sc.expr(a, h)
+		}
+		sc.applyCall(x, h)
+		if lit, ok := x.Fun.(*ast.FuncLit); ok {
+			sc.stmts(lit.Body.List, h)
+		}
+	case *ast.FuncLit:
+		sc.stmts(x.Body.List, h)
+	default:
+		// Generic recursion that re-enters sc.expr for nested calls.
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch nn := n.(type) {
+			case *ast.CallExpr, *ast.FuncLit:
+				sc.expr(nn.(ast.Expr), h)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+func (sc *simCtx) applyCall(call *ast.CallExpr, h *heldSet) {
+	op, name := classifyLockCall(sc.info, sc.world, call)
+	switch op {
+	case opAcquire:
+		if sc.hooks.acquire != nil {
+			sc.hooks.acquire(name, call.Pos(), h)
+		}
+		h.acquire(name, call.Pos())
+		return
+	case opRelease:
+		h.release(name)
+		return
+	case opTry:
+		return
+	}
+	if key := calleeKey(sc.info, call); key != "" && sc.hooks.call != nil {
+		sc.hooks.call(key, call.Pos(), h)
+	}
+}
+
+// deferCall handles `defer f(...)`: a deferred release keeps the lock
+// held (that is its meaning); everything else is processed in place.
+func (sc *simCtx) deferCall(call *ast.CallExpr, h *heldSet) {
+	if op, _ := classifyLockCall(sc.info, sc.world, call); op == opRelease {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			sc.expr(sel.X, h)
+		}
+		return
+	}
+	sc.expr(call, h)
+}

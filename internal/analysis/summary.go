@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// funcSummary is the inter-procedural abstraction of one function: the
+// locks it may acquire (blocking acquisitions only, directly or through
+// any statically resolved callee) and the blocking-io functions it may
+// reach. Paths record one example call chain for diagnostics.
+type funcSummary struct {
+	mayAcquire map[string]effect // lock name → example
+	mayIO      map[string]effect // blocking-io function key → example
+}
+
+// effect is one example occurrence: where, and through which calls.
+type effect struct {
+	pos  token.Pos
+	path []string // callee chain from the summarized function, outermost first
+}
+
+// Summary returns the function's effect summary, computing it (and its
+// callees', recursively) on demand. Unknown functions — dynamic calls,
+// packages outside the world — summarize as empty; annotation tags on
+// the callee still apply at call sites regardless.
+func (w *World) Summary(key string) *funcSummary {
+	return w.summarize(key, map[string]bool{})
+}
+
+func (w *World) summarize(key string, stack map[string]bool) *funcSummary {
+	if s, ok := w.summaries[key]; ok {
+		return s
+	}
+	if stack[key] {
+		// Recursion: break the cycle with the (possibly partial) effects
+		// found so far on this path. Do not memoize the partial result.
+		return &funcSummary{}
+	}
+	fd, ok := w.funcs[key]
+	if !ok {
+		return &funcSummary{}
+	}
+	stack[key] = true
+	defer delete(stack, key)
+
+	s := &funcSummary{mayAcquire: map[string]effect{}, mayIO: map[string]effect{}}
+	if w.FuncHasTag(key, "blocking-io") {
+		if fd.decl.Name != nil {
+			s.mayIO[key] = effect{pos: fd.decl.Name.Pos()}
+		}
+	}
+	hooks := simHooks{
+		acquire: func(name string, pos token.Pos, _ *heldSet) {
+			if _, ok := s.mayAcquire[name]; !ok {
+				s.mayAcquire[name] = effect{pos: pos}
+			}
+		},
+		call: func(callee string, pos token.Pos, _ *heldSet) {
+			if w.FuncHasTag(callee, "blocking-io") {
+				if _, ok := s.mayIO[callee]; !ok {
+					s.mayIO[callee] = effect{pos: pos, path: []string{callee}}
+				}
+			}
+			cs := w.summarize(callee, stack)
+			for name, e := range cs.mayAcquire {
+				if _, ok := s.mayAcquire[name]; !ok {
+					s.mayAcquire[name] = effect{pos: pos, path: append([]string{callee}, e.path...)}
+				}
+			}
+			// commit-entry functions are the approved boundary: their
+			// transitive I/O does not propagate to callers.
+			if !w.FuncHasTag(callee, "commit-entry") {
+				for io, e := range cs.mayIO {
+					if _, ok := s.mayIO[io]; !ok {
+						s.mayIO[io] = effect{pos: pos, path: append([]string{callee}, e.path...)}
+					}
+				}
+			}
+		},
+	}
+	simFunc(fd.info, w, fd.decl.Body, hooks)
+	w.summaries[key] = s
+	return s
+}
+
+// describePath renders "a → b → c" for diagnostics, with short names.
+func describePath(path []string) string {
+	if len(path) == 0 {
+		return ""
+	}
+	short := make([]string, len(path))
+	for i, p := range path {
+		short[i] = shortFuncName(p)
+	}
+	return strings.Join(short, " → ")
+}
+
+// shortFuncName trims the package path off a function key, keeping
+// Type.Method or Func.
+func shortFuncName(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		key = key[i+1:]
+	}
+	// key is now "pkg.Type.Method" or "pkg.Func"; drop the package.
+	if i := strings.Index(key, "."); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}

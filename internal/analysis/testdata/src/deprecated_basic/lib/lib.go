@@ -1,0 +1,11 @@
+// Package lib declares one deprecated API and its replacement for the
+// deprecated-internal fixture.
+package lib
+
+// Old is the legacy scan API.
+//
+// Deprecated: Old is retired; use New.
+func Old() int { return 1 }
+
+// New replaces Old.
+func New() int { return 2 }

@@ -1,0 +1,26 @@
+// Package use exercises the deprecated-internal analyzer: a flagged
+// call, a nolint suppression with a reason (silent), and a reasonless
+// nolint (reported in its own right).
+package use
+
+import "deprecated_basic/lib"
+
+// Fine calls the replacement.
+func Fine() int { return lib.New() }
+
+// Bad calls the deprecated API.
+func Bad() int {
+	return lib.Old() // want "call to deprecated Old — Old is retired; use New\."
+}
+
+// Suppressed measures the legacy path on purpose; the reasoned nolint
+// keeps it silent.
+func Suppressed() int {
+	return lib.Old() //nolint:nblb-deprecated // benchmarking the legacy path
+}
+
+// SuppressedNoReason shows a reasonless nolint is itself a finding.
+func SuppressedNoReason() int {
+	// want+1 "nolint:nblb-deprecated without a reason"
+	return lib.Old() //nolint:nblb-deprecated
+}

@@ -1,0 +1,80 @@
+// Package lockorder_basic exercises the lockorder analyzer: direct
+// inversions, self-deadlock on SelfUnsafe locks, inversions reached
+// through a callee's summary, and the TryLock exemption.
+package lockorder_basic
+
+import "sync"
+
+type Engine struct {
+	// nblb:lock engine-mu
+	mu sync.Mutex
+}
+
+type Table struct {
+	// nblb:lock table-mu
+	mu sync.Mutex
+}
+
+type Shard struct {
+	// nblb:lock heap-shard
+	mu sync.Mutex
+}
+
+// Good follows rule 7: engine-mu outside table-mu.
+func Good(e *Engine, t *Table) {
+	e.mu.Lock()
+	t.mu.Lock()
+	t.mu.Unlock()
+	e.mu.Unlock()
+}
+
+// Bad inverts the documented edge.
+func Bad(e *Engine, t *Table) {
+	t.mu.Lock()
+	e.mu.Lock() // want "acquires \"engine-mu\" while holding \"table-mu\" .*inverts documented lock order"
+	e.mu.Unlock()
+	t.mu.Unlock()
+}
+
+// SelfBad holds two heap shard mutexes at once (rule 3).
+func SelfBad(a, b *Shard) {
+	a.mu.Lock()
+	b.mu.Lock() // want "acquires \"heap-shard\" while holding \"heap-shard\""
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func lockEngine(e *Engine) {
+	e.mu.Lock()
+	e.mu.Unlock()
+}
+
+// IndirectBad reaches engine-mu through a helper while holding the
+// table mutex — caught via lockEngine's summary.
+func IndirectBad(e *Engine, t *Table) {
+	t.mu.Lock()
+	lockEngine(e) // want "call may acquire \"engine-mu\" \(via lockEngine\) while holding \"table-mu\""
+	t.mu.Unlock()
+}
+
+// TryOK: TryLock cannot block, so ordering does not apply.
+func TryOK(e *Engine, t *Table) {
+	t.mu.Lock()
+	if e.mu.TryLock() {
+		e.mu.Unlock()
+	}
+	t.mu.Unlock()
+}
+
+// BranchRelease drops the engine mutex on every branch before taking
+// the table mutex; the held sets intersect to empty at the join.
+func BranchRelease(e *Engine, t *Table, cond bool) {
+	e.mu.Lock()
+	if cond {
+		e.mu.Unlock()
+	} else {
+		e.mu.Unlock()
+	}
+	t.mu.Lock()
+	t.mu.Unlock()
+}

@@ -1,0 +1,52 @@
+// Package lockorder_pr9 is the regression fixture for PR 9's 3-way
+// deadlock: Table.Apply held the commitGate while its timestamp helper
+// took txnMu, against Txn.Commit's documented txnMu → commitGate order.
+// ApplyPreFix reproduces the buggy shape (flagged); ApplyPostFix is the
+// shipped fix (stamp before entering the gate — clean).
+package lockorder_pr9
+
+import "sync"
+
+// Engine mirrors the core.Engine fields involved in the deadlock.
+type Engine struct {
+	// nblb:lock txnMu
+	txnMu sync.Mutex
+	// nblb:lock commitGate
+	commitGate sync.RWMutex
+
+	clock uint64
+}
+
+// rawStampTS stamps a commit timestamp under txnMu.
+func (e *Engine) rawStampTS() uint64 {
+	e.txnMu.Lock()
+	e.clock++
+	ts := e.clock
+	e.txnMu.Unlock()
+	return ts
+}
+
+// ApplyPreFix is the pre-fix shape: the gate is held when the stamp
+// helper takes txnMu.
+func (e *Engine) ApplyPreFix() uint64 {
+	e.commitGate.RLock()
+	ts := e.rawStampTS() // want "call may acquire \"txnMu\" \(via Engine\.rawStampTS\) while holding \"commitGate\""
+	e.commitGate.RUnlock()
+	return ts
+}
+
+// ApplyPostFix is the fix: stamp first, then enter the gate.
+func (e *Engine) ApplyPostFix() uint64 {
+	ts := e.rawStampTS()
+	e.commitGate.RLock()
+	e.commitGate.RUnlock()
+	return ts
+}
+
+// Commit holds txnMu outside the gate — the documented order.
+func (e *Engine) Commit() {
+	e.txnMu.Lock()
+	e.commitGate.RLock()
+	e.commitGate.RUnlock()
+	e.txnMu.Unlock()
+}

@@ -1,0 +1,101 @@
+// Package pinleak_basic exercises the pinleak analyzer's pin half:
+// acquisition via an nblb:acquires-pin function, release on every
+// path, escapes through returns and carrier types, and the flagged
+// shapes (early-return leak, non-carrier store, discarded result).
+package pinleak_basic
+
+import "errors"
+
+type Frame struct{ id uint32 }
+
+type Pool struct{}
+
+// Fetch pins a page.
+// nblb:acquires-pin
+func (p *Pool) Fetch(id uint32) (*Frame, error) {
+	if id == 0 {
+		return nil, errors.New("no page")
+	}
+	return &Frame{id: id}, nil
+}
+
+// Unpin releases a pin.
+// nblb:releases-pin
+func (p *Pool) Unpin(fr *Frame, dirty bool) {}
+
+// Cursor legitimately carries a pinned frame between calls.
+// nblb:carries-pin
+type Cursor struct{ fr *Frame }
+
+// holder is NOT a carrier; parking a pin here is a quiet leak.
+type holder struct{ fr *Frame }
+
+// Good releases on the success path and has nothing to release on the
+// error path.
+func Good(p *Pool) error {
+	fr, err := p.Fetch(1)
+	if err != nil {
+		return err
+	}
+	p.Unpin(fr, false)
+	return nil
+}
+
+// GoodDefer releases via defer, satisfying every path.
+func GoodDefer(p *Pool, cond bool) error {
+	fr, err := p.Fetch(1)
+	if err != nil {
+		return err
+	}
+	defer p.Unpin(fr, false)
+	if cond {
+		return errors.New("early")
+	}
+	return nil
+}
+
+// GoodEscape returns the frame: the pin is the caller's contract now.
+func GoodEscape(p *Pool) (*Frame, error) {
+	fr, err := p.Fetch(1)
+	if err != nil {
+		return nil, err
+	}
+	return fr, nil
+}
+
+// GoodCarrier hands the pin to an nblb:carries-pin type.
+func GoodCarrier(p *Pool) (*Cursor, error) {
+	fr, err := p.Fetch(1)
+	if err != nil {
+		return nil, err
+	}
+	return &Cursor{fr: fr}, nil
+}
+
+// Bad leaks the pin on the mid-function error return.
+func Bad(p *Pool) error {
+	fr, err := p.Fetch(1)
+	if err != nil {
+		return err
+	}
+	if fr.id > 10 {
+		return errors.New("out of range") // want "return leaks the pin acquired at .*\(Pool\.Fetch\)"
+	}
+	p.Unpin(fr, false)
+	return nil
+}
+
+// BadStore parks the pin in a non-carrier struct.
+func BadStore(p *Pool, h *holder) error {
+	fr, err := p.Fetch(1)
+	if err != nil {
+		return err
+	}
+	h.fr = fr // want "pin acquired at .* escapes into .*holder, which is not annotated nblb:carries-pin"
+	return nil
+}
+
+// BadDiscard drops the pinned frame on the floor.
+func BadDiscard(p *Pool) {
+	p.Fetch(1) // want "result of Pool\.Fetch \(nblb:acquires-pin\) is discarded"
+}

@@ -1,0 +1,60 @@
+// Package pinleak_latch exercises the pinleak analyzer's frame-latch
+// half: a latch acquired through an nblb:lock frame-latch field must be
+// released on every path, and a TryLock is live only in the branch
+// where it succeeded.
+package pinleak_latch
+
+import "sync"
+
+type Frame struct {
+	// nblb:lock frame-latch
+	Latch sync.RWMutex
+	id    uint32
+}
+
+func get() *Frame { return &Frame{} }
+
+// GoodLatch releases the latch on both paths out.
+func GoodLatch(cond bool) {
+	fr := get()
+	fr.Latch.Lock()
+	if cond {
+		fr.Latch.Unlock()
+		return
+	}
+	fr.Latch.Unlock()
+}
+
+// GoodTry holds the latch only where TryLock succeeded.
+func GoodTry() {
+	fr := get()
+	if fr.Latch.TryLock() {
+		fr.Latch.Unlock()
+	}
+}
+
+// GoodHandoff returns the latched frame; releasing is the caller's job.
+func GoodHandoff() *Frame {
+	fr := get()
+	fr.Latch.RLock()
+	return fr
+}
+
+// BadLatch leaks the latch on the early return.
+func BadLatch(cond bool) {
+	fr := get()
+	fr.Latch.Lock()
+	if cond {
+		return // want "return leaks the frame latch acquired at .*\(Lock\)"
+	}
+	fr.Latch.Unlock()
+}
+
+// BadTry forgets the unlock on the success branch.
+func BadTry() bool {
+	fr := get()
+	if fr.Latch.TryLock() {
+		return true // want "return leaks the frame latch acquired at .*\(TryLock\)"
+	}
+	return false
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// WALSeam polices the commit critical section and the crash-test seams
+// around it:
+//
+//  1. While the commitGate is held, nothing may reach a function tagged
+//     nblb:blocking-io (wal.Log.Append/Sync, Pool.FlushAll, disk
+//     syncs) — directly or through any statically resolved call chain —
+//     unless the enclosing function is itself tagged nblb:commit-entry.
+//     Commit-entry functions (Txn.Commit's gate body, Checkpoint,
+//     Table.Apply's stamped path) are the audited places where holding
+//     writers across an fsync is the whole point; anywhere else it
+//     stalls every committer behind an unbounded disk wait.
+//
+//  2. Every wal.TestPoint name must be registered in CrashMatrixPoints,
+//     i.e. some crash-matrix case must kill the process there. A seam
+//     without a matrix case is a recovery path no test ever exercises.
+var WALSeam = &Analyzer{
+	Name: "walseam",
+	Doc:  "keep blocking I/O out of the commit gate and crash seams in the crash matrix",
+	Run:  runWALSeam,
+}
+
+// gateLocks are the critical-section locks rule 1 applies to.
+var gateLocks = map[string]bool{"commitGate": true}
+
+func runWALSeam(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			key := funcKeyOf(pass.Pkg, fn, pass.Info)
+			entry := key != "" && pass.World.FuncHasTag(key, "commit-entry")
+			checkFuncWALSeam(pass, fn, entry)
+		}
+	}
+	return nil
+}
+
+func checkFuncWALSeam(pass *Pass, fn *ast.FuncDecl, commitEntry bool) {
+	hooks := simHooks{
+		call: func(callee string, pos token.Pos, h *heldSet) {
+			checkTestPoint(pass, callee, pos, fn)
+			if commitEntry {
+				return
+			}
+			gate := gateHeld(h)
+			if gate == "" {
+				return
+			}
+			// Calls INTO a commit-entry function are the approved doorway
+			// even when the gate is already held (re-entrant layering is
+			// the entry function's contract to get right).
+			if pass.World.FuncHasTag(callee, "commit-entry") {
+				return
+			}
+			if pass.World.FuncHasTag(callee, "blocking-io") {
+				pass.Reportf(pos,
+					"calls %s (nblb:blocking-io) while holding %q: blocking I/O inside the commit gate stalls every writer; route it through an nblb:commit-entry function",
+					shortFuncName(callee), gate)
+				return
+			}
+			sum := pass.World.Summary(callee)
+			for io, eff := range sum.mayIO {
+				via := shortFuncName(callee)
+				if p := describePath(eff.path); p != "" {
+					via += " → " + p
+				}
+				pass.Reportf(pos,
+					"call may reach %s (nblb:blocking-io, via %s) while holding %q: blocking I/O inside the commit gate stalls every writer",
+					shortFuncName(io), via, gate)
+				break // one example per call site is enough
+			}
+		},
+	}
+	simFunc(pass.Info, pass.World, fn.Body, hooks)
+}
+
+func gateHeld(h *heldSet) string {
+	for name := range h.m {
+		if gateLocks[name] {
+			return name
+		}
+	}
+	return ""
+}
+
+// checkTestPoint enforces seam registration: wal.TestPoint("x") with a
+// constant name must have a CrashMatrixPoints entry. Non-constant names
+// only appear in the test-hook plumbing itself and are skipped. The
+// suffix match (rather than the exact repro path) lets analysistest
+// fixtures declare their own wal package and exercise the rule.
+func checkTestPoint(pass *Pass, callee string, pos token.Pos, fn *ast.FuncDecl) {
+	if !strings.HasSuffix(callee, "wal.TestPoint") {
+		return
+	}
+	call := enclosingCall(fn, pos)
+	if call == nil || len(call.Args) != 1 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	name, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	if _, ok := CrashMatrixPoints[name]; !ok {
+		pass.Reportf(pos,
+			"wal.TestPoint(%q) has no crash-matrix case: add one to core/crash_test.go or core/crash_txn_test.go, then register the point in analysis.CrashMatrixPoints",
+			name)
+	}
+}
+
+// enclosingCall finds the call expression at pos inside fn.
+func enclosingCall(fn *ast.FuncDecl, pos token.Pos) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if c, ok := n.(*ast.CallExpr); ok && c.Pos() == pos {
+			found = c
+			return false
+		}
+		return true
+	})
+	return found
+}

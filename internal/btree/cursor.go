@@ -30,6 +30,8 @@ import (
 // Close releases the pin but keeps the resume point: a closed cursor's
 // Next re-seeks from the last served key and continues, which lets
 // callers drop the pin across long pauses.
+//
+// nblb:carries-pin
 type Cursor struct {
 	t       *Tree
 	start   []byte // inclusive lower bound, nil = first key; copied

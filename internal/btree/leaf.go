@@ -11,6 +11,8 @@ import (
 // callbacks. It exposes exactly what the index cache (internal/idxcache)
 // needs: the lookup result, the free-space region, and the CSN /
 // predicate-log header fields. It is only valid during the callback.
+//
+// nblb:carries-pin
 type Leaf struct {
 	fr        *buffer.Frame
 	n         node

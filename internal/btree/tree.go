@@ -352,6 +352,8 @@ func (t *Tree) Delete(key []byte) (bool, error) {
 
 // latchedNode is one exclusively latched, pinned node on a pessimistic
 // descent's retained path.
+//
+// nblb:carries-pin
 type latchedNode struct {
 	fr *buffer.Frame
 	n  node
@@ -838,7 +840,8 @@ func (t *Tree) leafFrameBefore(bound []byte) (*buffer.Frame, uint32, error) {
 
 // descendFrame walks from the root to a leaf with read-coupled shared
 // latches — each child latched before its parent is released, starting
-// from the meta lock as the root's virtual parent — choosing the child
+// from the root page's own latch (there is no tree-wide metadata lock)
+// — choosing the child
 // via pick at each internal node. It returns the leaf pinned together
 // with its version as observed under the descent's latch: a caller that
 // later re-latches the leaf and sees the same version knows the leaf is

@@ -52,6 +52,8 @@ type Frame struct {
 	// and must release the latch before the pin. Eviction asserts this
 	// (see shard.evict) — it is what lets the latch-crabbing B+Tree
 	// treat a latched frame as immune to eviction.
+	//
+	// nblb:lock frame-latch
 	Latch latch.Latch
 }
 
@@ -213,6 +215,8 @@ func (p *Pool) ResetStats() {
 
 // Fetch pins the page into a frame, reading it from disk on a miss.
 // Callers must Unpin exactly once per Fetch.
+//
+// nblb:acquires-pin
 func (p *Pool) Fetch(id storage.PageID) (*Frame, error) {
 	if id == storage.InvalidPageID {
 		return nil, fmt.Errorf("buffer: fetch of invalid page id")
@@ -227,7 +231,7 @@ func (p *Pool) Fetch(id storage.PageID) (*Frame, error) {
 		return f, nil
 	}
 	s.misses.Inc()
-	f, err := p.frameFor(s)
+	f, err := p.frameFor(s) //nolint:nblb-lockorder // frameFor drops s.mu around the sibling steal; the two shard locks are never held together
 	if err != nil {
 		s.mu.Unlock()
 		return nil, err
@@ -252,6 +256,8 @@ func (p *Pool) Fetch(id storage.PageID) (*Frame, error) {
 }
 
 // NewPage allocates a fresh page on disk and pins it in a zeroed frame.
+//
+// nblb:acquires-pin
 func (p *Pool) NewPage() (*Frame, error) {
 	id, err := p.disk.Allocate()
 	if err != nil {
@@ -259,7 +265,7 @@ func (p *Pool) NewPage() (*Frame, error) {
 	}
 	s := p.shardOf(id)
 	s.mu.Lock()
-	f, err := p.frameFor(s)
+	f, err := p.frameFor(s) //nolint:nblb-lockorder // frameFor drops s.mu around the sibling steal; the two shard locks are never held together
 	if err != nil {
 		s.mu.Unlock()
 		return nil, err
@@ -383,6 +389,8 @@ func (p *Pool) steal(self *shard) (*Frame, error) {
 // Unpin releases one pin. If dirty is true the page will be written
 // back before eviction; if false, any in-memory mutations remain
 // volatile (the index-cache write path). Unpin is lock-free.
+//
+// nblb:releases-pin
 func (p *Pool) Unpin(f *Frame, dirty bool) {
 	if dirty {
 		p.markDirty(f)
@@ -408,6 +416,8 @@ func (p *Pool) Unpin(f *Frame, dirty bool) {
 // awaited while holding the shard mutex: B+Tree descents fetch child
 // pages (which needs the mutex) while holding parent latches, so that
 // nesting would deadlock.
+//
+// nblb:blocking-io
 func (p *Pool) FlushAll() error {
 	var pinned []*Frame
 	for i := range p.shards {
@@ -451,6 +461,8 @@ func (p *Pool) FlushAll() error {
 // same set in place. fn must not retain data past the call. Pin and
 // latch discipline match FlushAll: candidates are pinned under the
 // shard lock and read under a shared frame latch outside it.
+//
+// nblb:blocking-io
 func (p *Pool) DirtyPages(fn func(id storage.PageID, data []byte) error) error {
 	var pinned []*Frame
 	for i := range p.shards {

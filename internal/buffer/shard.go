@@ -12,7 +12,7 @@ import (
 // list, clock hand, and free list, all guarded by one mutex. Stats are
 // atomic (metrics.Counter) so aggregation never takes shard locks.
 type shard struct {
-	mu     sync.Mutex
+	mu     sync.Mutex                // nblb:lock buffer-shard
 	table  map[storage.PageID]*Frame // resident pages
 	frames []*Frame                  // every frame this shard owns (clock order)
 	free   []*Frame                  // detached frames ready for reuse

@@ -240,6 +240,8 @@ type opState struct {
 // Like every table write, Apply holds the table mutex only shared (to
 // pin the index set): parallel Applies contend per heap shard and per
 // index leaf, never on the table.
+//
+// nblb:commit-entry — the audited mutate+log-append critical section.
 func (t *Table) Apply(b *Batch, opts ...ApplyOption) (Result, error) {
 	var cfg applyConfig
 	for _, o := range opts {

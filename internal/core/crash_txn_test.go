@@ -270,3 +270,147 @@ func verifyTxnAfterRecovery(t *testing.T, dir string) {
 		t.Fatalf("committed row val = %d, want 11", row[3].Int)
 	}
 }
+
+// TestCrashGCRecoveryChild is re-execed twice by TestCrashGCRecovery:
+// phase "build" constructs a store whose checkpoint carries live
+// version history (a reader snapshot pins old versions across committed
+// updates) and SIGKILLs without closing — the crash image; phase
+// "recover" reopens it with a hook that kills at the gc:recovery seam,
+// dying in the middle of recovery itself, right before the
+// recovery-time GC sweep.
+func TestCrashGCRecoveryChild(t *testing.T) {
+	dir := os.Getenv("NBLB_CRASH_GC_DIR")
+	if dir == "" {
+		t.Skip("crash gc child: run by TestCrashGCRecovery")
+	}
+	die := func() { syscall.Kill(os.Getpid(), syscall.SIGKILL) }
+
+	switch os.Getenv("NBLB_CRASH_GC_PHASE") {
+	case "build":
+		e, err := NewEngine(crashOptions(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl, err := e.CreateTable("t", crashSchema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		byID, err := tbl.CreateIndex("by_id", []string{"id"}, WithCache("val"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tbl.CreateIndex("by_batch", []string{"batch"}, NonUnique()); err != nil {
+			t.Fatal(err)
+		}
+		txn := e.Begin()
+		var ins Batch
+		for j := 0; j < crashInsPerBatch; j++ {
+			ins.Insert(crashRow(0, 0, j, int64(j)))
+		}
+		if _, err := txn.Apply(tbl, &ins); err != nil {
+			t.Fatal(err)
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		// A reader snapshot pins the GC watermark below the updates that
+		// follow, so the version store still holds the old row images
+		// when the checkpoint manifest is written.
+		reader := e.Begin()
+		defer reader.Abort()
+		upd := e.Begin()
+		var mod Batch
+		for j := 0; j < crashInsPerBatch; j++ {
+			rid, found, lerr := byID.LookupRID(tuple.Int64(int64(j)))
+			if lerr != nil || !found {
+				t.Fatalf("build: rid lookup j=%d: found=%v err=%v", j, found, lerr)
+			}
+			mod.Update(rid, crashRow(0, 0, j, int64(100+j)))
+		}
+		if _, err := upd.Apply(tbl, &mod); err != nil {
+			t.Fatal(err)
+		}
+		if err := upd.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		die()
+	case "recover":
+		wal.SetTestHook(func(p string) {
+			if p == "gc:recovery" {
+				die()
+			}
+		})
+		defer wal.SetTestHook(nil)
+		_, err := NewEngine(crashOptions(dir))
+		t.Fatalf("gc:recovery never fired: the build phase left no version history (NewEngine err=%v)", err)
+	default:
+		t.Fatalf("unknown NBLB_CRASH_GC_PHASE %q", os.Getenv("NBLB_CRASH_GC_PHASE"))
+	}
+}
+
+// TestCrashGCRecovery is the crash-matrix case for the gc:recovery
+// seam (registered in analysis.CrashMatrixPoints): a store that dies
+// in the middle of its recovery-time GC sweep must recover cleanly on
+// the next open — recovery restarted over a half-recovered store is
+// still recovery.
+func TestCrashGCRecovery(t *testing.T) {
+	if os.Getenv("NBLB_CRASH_TXN_DIR") != "" || os.Getenv("NBLB_CRASH_DIR") != "" || os.Getenv("NBLB_CRASH_GC_DIR") != "" {
+		t.Skip("inside crash child")
+	}
+	if testing.Short() {
+		t.Skip("crash matrix re-execs the test binary per point")
+	}
+	dir := t.TempDir()
+	bin, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []string{"build", "recover"} {
+		cmd := exec.Command(bin, "-test.run", "^TestCrashGCRecoveryChild$")
+		cmd.Env = append(os.Environ(),
+			"NBLB_CRASH_GC_DIR="+dir,
+			"NBLB_CRASH_GC_PHASE="+phase,
+		)
+		out, runErr := cmd.CombinedOutput()
+		killed := false
+		if ee, ok := runErr.(*exec.ExitError); ok {
+			if ws, ok := ee.Sys().(syscall.WaitStatus); ok && ws.Signaled() && ws.Signal() == syscall.SIGKILL {
+				killed = true
+			}
+		}
+		if !killed {
+			t.Fatalf("phase %s did not die by SIGKILL (err=%v):\n%s", phase, runErr, out)
+		}
+	}
+	// Third open: recovery over the mid-recovery crash image must
+	// converge — updated values visible, version history flattened,
+	// indexes intact.
+	e, err := NewEngine(crashOptions(dir))
+	if err != nil {
+		t.Fatalf("recovery after mid-recovery crash failed: %v", err)
+	}
+	defer e.Close()
+	tbl, err := e.Table("t")
+	if err != nil {
+		t.Fatalf("table lost: %v", err)
+	}
+	byID := mustIndex(t, tbl, "by_id")
+	for j := 0; j < crashInsPerBatch; j++ {
+		row, res, err := byID.Lookup(nil, tuple.Int64(int64(j)))
+		if err != nil || !res.Found {
+			t.Fatalf("row %d lost after mid-recovery crash: found=%v err=%v", j, res.Found, err)
+		}
+		if row[3].Int != int64(100+j) {
+			t.Fatalf("row %d val = %d, want %d (committed update lost)", j, row[3].Int, 100+j)
+		}
+	}
+	if err := byID.Tree().CheckIntegrity(); err != nil {
+		t.Fatalf("by_id integrity after mid-recovery crash: %v", err)
+	}
+	if err := mustIndex(t, tbl, "by_batch").Tree().CheckIntegrity(); err != nil {
+		t.Fatalf("by_batch integrity after mid-recovery crash: %v", err)
+	}
+}

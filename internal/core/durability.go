@@ -65,6 +65,9 @@ func (e *Engine) Checkpoint() error {
 //     crash anywhere in here is repaired from the double-write file.
 //  4. Install the manifest (atomic rename), log checkpoint-end, drop
 //     the WAL prefix before B, and remove the double-write file.
+//
+// nblb:commit-entry — checkpoints hold the gate exclusively across I/O
+// by design.
 func (e *Engine) checkpointLocked() error {
 	beginLSN, err := e.wal.Append(recCheckpointBegin, nil)
 	if err != nil {

@@ -97,11 +97,11 @@ type Engine struct {
 	dwPath       string
 	syncPolicy   SyncPolicy
 	ckptBytes    int64
-	commitGate   sync.RWMutex
-	ckptMu       sync.Mutex // serializes checkpoints
-	wbPool       sync.Pool  // *walBatch encoders, recycled across Applies
+	commitGate   sync.RWMutex // nblb:lock commitGate
+	ckptMu       sync.Mutex   // serializes checkpoints; nblb:lock ckptMu
+	wbPool       sync.Pool    // *walBatch encoders, recycled across Applies
 
-	mu     sync.RWMutex
+	mu     sync.RWMutex // nblb:lock engine-mu
 	tables map[string]*Table
 
 	// MVCC state (see mvcc.go and txn.go). clock is the last committed
@@ -112,8 +112,8 @@ type Engine struct {
 	// that never calls Begin pays one atomic load per visibility check
 	// at most.
 	clock        atomic.Uint64
-	txnMu        sync.Mutex
-	snapMu       sync.Mutex
+	txnMu        sync.Mutex     // nblb:lock txnMu
+	snapMu       sync.Mutex     // nblb:lock snapMu
 	snaps        map[uint64]int // startTS → live snapshot count
 	deadVersions atomic.Int64   // GC backlog: versions awaiting physical removal
 }

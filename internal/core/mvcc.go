@@ -67,7 +67,7 @@ type versionMeta struct {
 // fast-path flag: once a transaction has ever touched the table,
 // visibility checks must consult the map; before that they are free.
 type versionStore struct {
-	mu  sync.RWMutex
+	mu  sync.RWMutex // nblb:lock version-store
 	m   map[storage.RID]versionMeta
 	any atomic.Bool
 }

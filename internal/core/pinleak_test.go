@@ -1,0 +1,216 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/tuple"
+)
+
+// These tests are the runtime counterpart of the nblb-vet pinleak
+// analyzer: the analyzer proves every acquire/release pairs up on every
+// static path, and these prove the dynamic accounting agrees — after an
+// operation dies mid-flight on an injected disk fault, the buffer pool
+// must report zero pinned frames. A nonzero count here is a pin leaked
+// on an error path the analyzer missed (an escape hatch annotation that
+// lied, or an interprocedural handoff it can't see).
+
+func pinleakSchema() *tuple.Schema {
+	return tuple.MustSchema(
+		tuple.Field{Name: "id", Kind: tuple.KindInt64},
+		tuple.Field{Name: "val", Kind: tuple.KindString},
+	)
+}
+
+func pinleakRow(i int) tuple.Row {
+	return tuple.Row{
+		tuple.Int64(int64(i)),
+		tuple.String(fmt.Sprintf("val-%06d-%s", i, "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")),
+	}
+}
+
+// TestApplyAllocateFaultLeavesNoPins arms an allocation fault deep
+// enough that engine and table setup survive, then drives a bulk Apply
+// into it: the batch dies partway through heap extension or an index
+// split, and every frame pinned by the half-done operation must be
+// unpinned on the way out.
+func TestApplyAllocateFaultLeavesNoPins(t *testing.T) {
+	inner, err := storage.NewMemDisk(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := storage.NewFaultDisk(inner, storage.FaultPlan{
+		Op:    storage.FaultAllocate,
+		After: 40,
+		Mode:  storage.FaultFail,
+	})
+	e, err := NewEngine(Options{PageSize: 1024, BufferPoolPages: 128, Disk: fd})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	defer e.Close()
+
+	tb, err := e.CreateTable("t", pinleakSchema())
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	if _, err := tb.CreateIndex("by_id", []string{"id"}); err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+	if fd.Fired() {
+		t.Fatal("fault fired during setup; raise FaultPlan.After")
+	}
+
+	var b Batch
+	for i := 0; i < 5000; i++ {
+		b.Insert(pinleakRow(i))
+	}
+	_, err = tb.Apply(&b)
+	if err == nil {
+		t.Fatal("Apply succeeded; batch too small to reach the armed allocation")
+	}
+	if !fd.Fired() {
+		t.Fatalf("Apply failed (%v) but not from the injected fault", err)
+	}
+	if !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("Apply error does not wrap storage.ErrInjected: %v", err)
+	}
+	if pins := e.Pool().PinnedFrames(); pins != 0 {
+		t.Fatalf("%d frames still pinned after failed Apply", pins)
+	}
+
+	// The engine must still work: the next Apply (allocation fault is
+	// one-shot) goes through and a scan sees a consistent table.
+	var b2 Batch
+	for i := 10000; i < 10010; i++ {
+		b2.Insert(pinleakRow(i))
+	}
+	if _, err := tb.Apply(&b2); err != nil {
+		t.Fatalf("Apply after fault: %v", err)
+	}
+	cur, err := tb.Query()
+	if err != nil {
+		t.Fatalf("Query after fault: %v", err)
+	}
+	for cur.Next() {
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatalf("scan after fault: %v", err)
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatalf("cursor Close: %v", err)
+	}
+	if pins := e.Pool().PinnedFrames(); pins != 0 {
+		t.Fatalf("%d frames still pinned after recovery scan", pins)
+	}
+}
+
+// TestQueryReadFaultLeavesNoPins makes a scan fail mid-flight: the
+// table is built clean, closed, and reopened behind a FaultDisk with a
+// pool far smaller than the table, so a full scan must fetch from disk.
+// The fault stays disarmed through reopen and warm-up, then Rearm trips
+// the very next page read — the fetch fails and the cursor errors. The
+// scan's own pins (and the failed fetch's) must all be released.
+func TestQueryReadFaultLeavesNoPins(t *testing.T) {
+	dir, err := os.MkdirTemp("", "nblb-pinleak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "db")
+
+	// Phase 1: build a table much larger than the reopened pool and
+	// close it clean (WAL mode, so the catalog survives the reopen).
+	e, err := NewEngine(Options{PageSize: 1024, BufferPoolPages: 512, Path: path, WAL: true})
+	if err != nil {
+		t.Fatalf("NewEngine (build): %v", err)
+	}
+	tb, err := e.CreateTable("t", pinleakSchema())
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	if _, err := tb.CreateIndex("by_id", []string{"id"}); err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+	var b Batch
+	for i := 0; i < 2000; i++ {
+		b.Insert(pinleakRow(i))
+	}
+	if _, err := tb.Apply(&b); err != nil {
+		t.Fatalf("bulk Apply: %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close (build): %v", err)
+	}
+
+	// Phase 2: reopen behind a disarmed FaultDisk and a pool that
+	// cannot hold the table.
+	inner, err := storage.NewFileDisk(path, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := storage.NewFaultDisk(inner, storage.FaultPlan{})
+	e2, err := NewEngine(Options{PageSize: 1024, BufferPoolPages: 32, Path: path, WAL: true, Disk: fd})
+	if err != nil {
+		t.Fatalf("NewEngine (fault): %v", err)
+	}
+	tb2, err := e2.Table("t")
+	if err != nil {
+		t.Fatalf("Table: %v", err)
+	}
+
+	// Arm the fault only now: the next page fetched from disk fails.
+	// The 32-page pool guarantees the scan fetches almost immediately.
+	fd.Rearm(storage.FaultPlan{Op: storage.FaultRead, After: 1})
+	var scanErr error
+	cur, err := tb2.Query()
+	if err != nil {
+		scanErr = err // the fault can fire while Query positions the scan
+	} else {
+		for cur.Next() {
+		}
+		scanErr = cur.Err()
+		cur.Close()
+	}
+	if scanErr == nil {
+		t.Fatal("scan succeeded; eviction never hit the write fault")
+	}
+	if !fd.Fired() {
+		t.Fatalf("scan failed (%v) but not from the injected fault", scanErr)
+	}
+	if !errors.Is(scanErr, storage.ErrInjected) {
+		t.Fatalf("scan error does not wrap storage.ErrInjected: %v", scanErr)
+	}
+	if pins := e2.Pool().PinnedFrames(); pins != 0 {
+		t.Fatalf("%d frames still pinned after failed scan", pins)
+	}
+
+	// One-shot fault has passed; a retry scan must now complete.
+	cur2, err := tb2.Query()
+	if err != nil {
+		t.Fatalf("retry Query: %v", err)
+	}
+	n := 0
+	for cur2.Next() {
+		n++
+	}
+	if err := cur2.Err(); err != nil {
+		t.Fatalf("retry scan: %v", err)
+	}
+	if err := cur2.Close(); err != nil {
+		t.Fatalf("retry cursor Close: %v", err)
+	}
+	if n != 2000 {
+		t.Fatalf("retry scan saw %d rows, want 2000", n)
+	}
+	if pins := e2.Pool().PinnedFrames(); pins != 0 {
+		t.Fatalf("%d frames still pinned after retry scan", pins)
+	}
+	if err := e2.Close(); err != nil {
+		t.Fatalf("Close (fault engine): %v", err)
+	}
+}

@@ -55,7 +55,7 @@ type Table struct {
 	file   *heap.File
 	cfg    tableConfig // resolved creation config (checkpoint manifest)
 
-	mu      sync.RWMutex
+	mu      sync.RWMutex // nblb:lock table-mu
 	indexes map[string]*Index
 	rows    atomic.Int64
 

@@ -290,6 +290,8 @@ func (tx *Txn) Abort() {
 // group-commit fsync failure after the clock published: the commit is
 // visible in memory but may not survive a crash (the same contract as
 // a raw Apply whose fsync fails).
+//
+// nblb:commit-entry — the audited txn commit critical section.
 func (tx *Txn) Commit() error {
 	if tx.done {
 		return ErrTxnDone

@@ -177,12 +177,12 @@ func RunAblatePredLog(cfg AblatePredLogConfig) (AblatePredLogResult, error) {
 	return res, nil
 }
 
-func runPredLogOnce(cfg AblatePredLogConfig, limit int) (AblatePredLogRow, error) {
+func runPredLogOnce(cfg AblatePredLogConfig, limit int) (_ AblatePredLogRow, err error) {
 	e, err := core.NewEngine(core.Options{PageSize: 8192, BufferPoolPages: 1 << 14})
 	if err != nil {
 		return AblatePredLogRow{}, err
 	}
-	defer e.Close()
+	defer closeEngine(e, &err)
 	tb, err := e.CreateTable("page", wiki.PageSchema())
 	if err != nil {
 		return AblatePredLogRow{}, err

@@ -43,12 +43,12 @@ type CapacityResult struct {
 // RunCapacity builds the name_title index on a synthetic page table,
 // counts actual cache slots leaf by leaf, and evaluates the closed form
 // with the paper's numbers for comparison.
-func RunCapacity(cfg CapacityConfig) (CapacityResult, error) {
+func RunCapacity(cfg CapacityConfig) (_ CapacityResult, err error) {
 	e, err := core.NewEngine(core.Options{PageSize: cfg.PageSize, BufferPoolPages: 1 << 16})
 	if err != nil {
 		return CapacityResult{}, err
 	}
-	defer e.Close()
+	defer closeEngine(e, &err)
 	tb, err := e.CreateTable("page", wiki.PageSchema())
 	if err != nil {
 		return CapacityResult{}, err

@@ -1,0 +1,16 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// closeEngine folds an engine Close failure into *errp: a benchmark
+// whose teardown cannot flush its state should fail loudly, not report
+// numbers from a half-written store. An earlier error keeps precedence.
+func closeEngine(e *core.Engine, errp *error) {
+	if cerr := e.Close(); cerr != nil && *errp == nil {
+		*errp = fmt.Errorf("experiments: closing engine: %w", cerr)
+	}
+}

@@ -41,12 +41,12 @@ type CoveringResult struct {
 }
 
 // RunCovering builds the three indexes and compares their footprints.
-func RunCovering(cfg CoveringConfig) (CoveringResult, error) {
+func RunCovering(cfg CoveringConfig) (_ CoveringResult, err error) {
 	e, err := core.NewEngine(core.Options{PageSize: 8192, BufferPoolPages: 1 << 16})
 	if err != nil {
 		return CoveringResult{}, err
 	}
-	defer e.Close()
+	defer closeEngine(e, &err)
 	tb, err := e.CreateTable("page", wiki.PageSchema())
 	if err != nil {
 		return CoveringResult{}, err

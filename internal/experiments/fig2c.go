@@ -59,17 +59,17 @@ type Fig2cResult struct {
 // RunFig2c builds two identical fully-resident engines — with and
 // without the index cache — and measures lookup latency at the three
 // operating points.
-func RunFig2c(cfg Fig2cConfig) (Fig2cResult, error) {
+func RunFig2c(cfg Fig2cConfig) (_ Fig2cResult, err error) {
 	withCache, ixCache, err := buildFig2cEngine(cfg, true)
 	if err != nil {
 		return Fig2cResult{}, err
 	}
-	defer withCache.Close()
+	defer closeEngine(withCache, &err)
 	noCache, ixPlain, err := buildFig2cEngine(cfg, false)
 	if err != nil {
 		return Fig2cResult{}, err
 	}
-	defer noCache.Close()
+	defer closeEngine(noCache, &err)
 
 	if _, err := ixCache.WarmCache(); err != nil {
 		return Fig2cResult{}, err

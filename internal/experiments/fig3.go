@@ -213,7 +213,9 @@ func RunFig3(cfg Fig3Config) (Fig3Result, error) {
 			fullIndexBytes = ts.SizeBytes
 		}
 		res.Points = append(res.Points, point)
-		e.Close()
+		if err := e.Close(); err != nil {
+			return Fig3Result{}, err
+		}
 	}
 
 	// Partitioned configuration: hot rows into their own table+index.
@@ -272,7 +274,9 @@ func RunFig3(cfg Fig3Config) (Fig3Result, error) {
 			res.IndexShrinkFactor = float64(fullIndexBytes) / float64(st.HotIndexBytes)
 		}
 		res.Points = append(res.Points, point)
-		e.Close()
+		if err := e.Close(); err != nil {
+			return Fig3Result{}, err
+		}
 	}
 
 	base := res.Points[0].MsPerQuery

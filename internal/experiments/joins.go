@@ -51,12 +51,12 @@ func (r JoinCacheResult) Saved() float64 {
 // its page's title-length and latest pointer" — twice: once resolving
 // every join through the page table's index, once probing the revision
 // page's join cache first.
-func RunJoinCache(cfg JoinCacheConfig) (JoinCacheResult, error) {
+func RunJoinCache(cfg JoinCacheConfig) (_ JoinCacheResult, err error) {
 	e, err := core.NewEngine(core.Options{PageSize: 4096, BufferPoolPages: 1 << 14})
 	if err != nil {
 		return JoinCacheResult{}, err
 	}
-	defer e.Close()
+	defer closeEngine(e, &err)
 
 	gen := wiki.NewGenerator(wiki.Config{
 		Pages: cfg.Pages, RevisionsPerPage: cfg.RevisionsPerPage,

@@ -88,7 +88,7 @@ func scanSchema() *tuple.Schema {
 // the paper's §3.1 regime. Heap reads therefore pay eviction + "disk"
 // traffic per page while the cache-resident path stays in the pool,
 // which is exactly the trade the index cache exists to win.
-func RunScan(cfg ScanConfig) (ScanResult, error) {
+func RunScan(cfg ScanConfig) (_ ScanResult, err error) {
 	// ~56 B/row heap footprint and ~0.4 fill-factor leaves: the pool
 	// budget covers the index plus a sliver of heap.
 	poolPages := cfg.Rows/100 + 64
@@ -96,7 +96,7 @@ func RunScan(cfg ScanConfig) (ScanResult, error) {
 	if err != nil {
 		return ScanResult{}, err
 	}
-	defer e.Close()
+	defer closeEngine(e, &err)
 	tb, err := e.CreateTable("s", scanSchema())
 	if err != nil {
 		return ScanResult{}, err
@@ -140,16 +140,23 @@ func RunScan(cfg ScanConfig) (ScanResult, error) {
 			if err != nil {
 				return core.QueryStats{}, err
 			}
-			defer cur.Close()
 			for cur.Next() {
 			}
-			return cur.Stats(), cur.Err()
+			st := cur.Stats()
+			if err := cur.Err(); err != nil {
+				cur.Close()
+				return core.QueryStats{}, err
+			}
+			if err := cur.Close(); err != nil {
+				return core.QueryStats{}, err
+			}
+			return st, nil
 		}
 	}
 	runs := []modeFn{
 		{"callback-heap-order (deprecated)", func() (core.QueryStats, error) {
 			var qs core.QueryStats
-			err := tb.Scan(func(_ storage.RID, _ tuple.Row) bool { qs.Rows++; return true })
+			err := tb.Scan(func(_ storage.RID, _ tuple.Row) bool { qs.Rows++; return true }) //nolint:nblb-deprecated // the experiment measures the legacy callback path against cursors on purpose
 			return qs, err
 		}},
 		{"cursor-heap-only", cursorScan(core.WithIndex("by_id"),

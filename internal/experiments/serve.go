@@ -102,7 +102,7 @@ func RunServe(cfg ServeConfig) (ServeResult, error) {
 	return res, nil
 }
 
-func runServePoint(cfg ServeConfig, conns int, coalesce bool) (ServePoint, error) {
+func runServePoint(cfg ServeConfig, conns int, coalesce bool) (_ ServePoint, err error) {
 	p := ServePoint{Conns: conns}
 	dir, err := os.MkdirTemp("", "nblb-serve-bench")
 	if err != nil {
@@ -115,7 +115,7 @@ func runServePoint(cfg ServeConfig, conns int, coalesce bool) (ServePoint, error
 	if err != nil {
 		return p, err
 	}
-	defer eng.Close()
+	defer closeEngine(eng, &err)
 	if _, err := benchServeTable(eng); err != nil {
 		return p, err
 	}
@@ -158,7 +158,11 @@ func runServePoint(cfg ServeConfig, conns int, coalesce bool) (ServePoint, error
 				errs[w] = err
 				return
 			}
-			defer cl.Close()
+			defer func() {
+				if cerr := cl.Close(); cerr != nil && errs[w] == nil {
+					errs[w] = cerr
+				}
+			}()
 			lat := make([]time.Duration, 0, cfg.OpsPerConn)
 			base := int64(w) * int64(cfg.OpsPerConn) * int64(cfg.BatchOps)
 			var b client.Batch

@@ -59,17 +59,17 @@ type ThroughputResult struct {
 // RunThroughput measures parallel cache-hit lookup throughput against
 // a shards=1 pool (the classic single-mutex design) and the sharded
 // pool.
-func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
+func RunThroughput(cfg ThroughputConfig) (_ ThroughputResult, err error) {
 	eSingle, single, err := buildThroughputIndex(cfg, 1)
 	if err != nil {
 		return ThroughputResult{}, err
 	}
-	defer eSingle.Close()
+	defer closeEngine(eSingle, &err)
 	eSharded, sharded, err := buildThroughputIndex(cfg, cfg.Shards)
 	if err != nil {
 		return ThroughputResult{}, err
 	}
-	defer eSharded.Close()
+	defer closeEngine(eSharded, &err)
 
 	res := ThroughputResult{
 		Rows:       cfg.Rows,

@@ -41,7 +41,7 @@ type VPartResult struct {
 // RunVPart advises a split for the revision workload (hot read fields
 // vs write-hot fields vs cold bulk), materializes it, and measures
 // group touches for the three operation classes.
-func RunVPart(cfg VPartConfig) (VPartResult, error) {
+func RunVPart(cfg VPartConfig) (_ VPartResult, err error) {
 	schema := wiki.RevisionSchema()
 	// Workload profile modeled on the paper's description: queries read
 	// id/page/text pointers constantly, the comment and user text rarely;
@@ -82,7 +82,7 @@ func RunVPart(cfg VPartConfig) (VPartResult, error) {
 	if err != nil {
 		return VPartResult{}, err
 	}
-	defer e.Close()
+	defer closeEngine(e, &err)
 	vt, err := vertical.NewVerticalTable(e, "revision", schema, "rev_id", groups)
 	if err != nil {
 		return VPartResult{}, err

@@ -388,12 +388,12 @@ func RunWrite(cfg WriteConfig) (WriteResult, error) {
 // machinery: version-store bookkeeping, commit validation, per-key
 // index inserts for staged rows, and the serialized timestamp
 // allocation under txnMu.
-func measureTxnIngest(cfg WriteConfig, g int, txn bool) (float64, error) {
+func measureTxnIngest(cfg WriteConfig, g int, txn bool) (_ float64, err error) {
 	e, err := core.NewEngine(core.Options{BufferPoolPages: 1 << 14})
 	if err != nil {
 		return 0, err
 	}
-	defer e.Close()
+	defer closeEngine(e, &err)
 	tb, err := e.CreateTable("ingest", batchIngestSchema())
 	if err != nil {
 		return 0, err
@@ -482,7 +482,7 @@ func measureDurableIngest(cfg WriteConfig, g, mode int) (opsPerSec, opsPerFsync 
 	if err != nil {
 		return 0, 0, err
 	}
-	defer e.Close()
+	defer closeEngine(e, &err)
 	tb, err := e.CreateTable("ingest", batchIngestSchema())
 	if err != nil {
 		return 0, 0, err
@@ -550,12 +550,12 @@ func batchIngestSchema() *tuple.Schema {
 // range (the contiguous-run shape of real ingest: log tails, monotone
 // ids, time series), in batches of size through Table.Apply when
 // batched, one Table.Insert per row otherwise.
-func measureBatchIngest(cfg WriteConfig, g, size int, batched bool) (float64, error) {
+func measureBatchIngest(cfg WriteConfig, g, size int, batched bool) (_ float64, err error) {
 	e, err := core.NewEngine(core.Options{BufferPoolPages: 1 << 14})
 	if err != nil {
 		return 0, err
 	}
-	defer e.Close()
+	defer closeEngine(e, &err)
 	tb, err := e.CreateTable("ingest", batchIngestSchema())
 	if err != nil {
 		return 0, err

@@ -128,7 +128,7 @@ func (m *freeSpaceMap) pick(need int) (storage.PageID, bool) {
 // held across the whole placement attempt (pick, fetch, page insert),
 // so two inserters in one shard never race for the same page's space.
 type insertShard struct {
-	mu   sync.Mutex
+	mu   sync.Mutex // nblb:lock heap-shard
 	fsm  freeSpaceMap
 	tail storage.PageID
 	// cur is the page that accepted this shard's last insert — the hot
@@ -180,6 +180,8 @@ type File struct {
 	// order, plus the shard that owns each page's free-space entry.
 	// Ownership never changes after allocation, so a reader may release
 	// meta before acting on what it looked up.
+	//
+	// nblb:lock heap-meta
 	meta struct {
 		sync.RWMutex
 		pages []storage.PageID

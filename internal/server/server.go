@@ -686,7 +686,7 @@ func (c *conn) handleQuery(id uint64, m *wire.QueryReq) {
 		c.sendErr(id, err)
 		return
 	}
-	defer release()    // runs after Close: the snapshot stays pinned until then
+	defer release() // runs after Close: the snapshot stays pinned until then
 	defer cur.Close()
 	pageSize := int(m.PageSize)
 	if pageSize <= 0 {

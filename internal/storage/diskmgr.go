@@ -222,6 +222,8 @@ func (d *FileDisk) NumPages() uint64 {
 func (d *FileDisk) PageSize() int { return d.pageSize }
 
 // Sync flushes the file to stable storage.
+//
+// nblb:blocking-io
 func (d *FileDisk) Sync() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()

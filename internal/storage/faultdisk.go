@@ -14,6 +14,7 @@ const (
 	FaultWrite FaultOp = iota
 	FaultSync
 	FaultAllocate
+	FaultRead
 )
 
 // FaultMode selects how the armed operation misbehaves.
@@ -70,6 +71,19 @@ func NewFaultDisk(inner DiskManager, plan FaultPlan) *FaultDisk {
 	}
 }
 
+// Rearm replaces the plan and resets the call counter and fired state,
+// so a test can run fault-free setup through the wrapper and then arm a
+// fault precisely at the operation under test (plans are otherwise
+// fixed at construction, which forces brittle call-count calibration).
+func (d *FaultDisk) Rearm(plan FaultPlan) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.plan = plan
+	d.rng = rand.New(rand.NewSource(plan.Seed))
+	d.seen = 0
+	d.fired = false
+}
+
 // Fired reports whether the armed fault has fired.
 func (d *FaultDisk) Fired() bool {
 	d.mu.Lock()
@@ -104,8 +118,16 @@ func (d *FaultDisk) Allocate() (PageID, error) {
 	return d.inner.Allocate()
 }
 
-// ReadPage implements DiskManager.
+// ReadPage implements DiskManager. A FaultRead plan fails the read
+// without touching the inner disk (FaultMode is ignored: there is no
+// torn-read analogue — the buffer is simply not filled).
 func (d *FaultDisk) ReadPage(id PageID, buf []byte) error {
+	if d.arm(FaultRead) {
+		if d.plan.OnFault != nil {
+			d.plan.OnFault()
+		}
+		return ErrInjected
+	}
 	return d.inner.ReadPage(id, buf)
 }
 

@@ -73,7 +73,7 @@ type Stats struct {
 // Log is an append-only redo log over a single file. All methods are
 // safe for concurrent use.
 type Log struct {
-	mu           sync.Mutex // serializes file writes, fsync, truncation
+	mu           sync.Mutex // serializes file writes, fsync, truncation; nblb:lock wal-mu
 	f            *os.File
 	path         string
 	offset       int64
@@ -86,7 +86,7 @@ type Log struct {
 	appends atomic.Int64
 	syncs   atomic.Int64
 
-	cmu     sync.Mutex // group-commit leader election
+	cmu     sync.Mutex // group-commit leader election; nblb:lock wal-commit-mu
 	cond    *sync.Cond
 	syncing bool
 }
@@ -164,6 +164,8 @@ func (l *Log) scan() error {
 // Append writes one record and returns its LSN. The record is in the
 // OS page cache afterwards but not durable until Sync (or a Commit
 // covering the LSN) completes.
+//
+// nblb:blocking-io
 func (l *Log) Append(typ uint8, payload []byte) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -203,6 +205,8 @@ func (l *Log) Append(typ uint8, payload []byte) (uint64, error) {
 }
 
 // Sync makes every appended record durable.
+//
+// nblb:blocking-io
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -224,6 +228,8 @@ func (l *Log) Sync() error {
 // covering every record appended so far; the rest park on a condition
 // variable and are woken by the leader's broadcast. Under concurrency
 // this amortizes one fsync over many commits.
+//
+// nblb:blocking-io
 func (l *Log) Commit(lsn uint64) error {
 	if l.synced.Load() >= lsn {
 		return nil
@@ -305,6 +311,8 @@ func (l *Log) replayLocked(from uint64, fn func(lsn uint64, typ uint8, payload [
 // TruncateTo drops every record with LSN < keep by streaming the
 // survivors to a temp file and atomically renaming it over the log.
 // Called after a checkpoint makes the dropped prefix redundant.
+//
+// nblb:blocking-io
 func (l *Log) TruncateTo(keep uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()

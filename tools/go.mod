@@ -1,0 +1,17 @@
+// Tool dependencies, kept out of the repo's own (dependency-free)
+// go.mod. CI builds the linters with
+//
+//	go run -modfile=tools/go.mod -mod=mod <pkg> ...
+//
+// so the versions are pinned here and reviewed like any other change,
+// instead of floating behind `go run pkg@version`. -mod=mod lets the
+// runner materialize tools/go.sum on the fly; the sum file is not
+// committed because this container cannot reach a module proxy.
+module repro/tools
+
+go 1.24
+
+require (
+	golang.org/x/vuln v1.1.4
+	honnef.co/go/tools v0.6.1
+)
